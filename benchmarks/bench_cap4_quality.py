@@ -1,0 +1,68 @@
+"""Benchmark for CAP-4 — recommendation quality vs. the §2.3 baselines.
+
+Measures the real cost of producing recommendations with each engine and
+regenerates the quality comparison plus the cold-start/sparsity sweep.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.harness import (
+    build_standard_dataset,
+    build_standard_recommenders,
+    evaluate_recommenders,
+)
+
+
+@pytest.fixture(scope="module")
+def standard_setup():
+    dataset = build_standard_dataset(num_consumers=60, num_items=150,
+                                     events_per_user=40, seed=31)
+    recommenders = build_standard_recommenders(dataset)
+    return dataset, recommenders
+
+
+@pytest.mark.parametrize(
+    "engine",
+    ["agent-hybrid", "collaborative-filtering", "information-filtering", "popularity"],
+)
+def test_recommendation_cost_per_engine(benchmark, standard_setup, engine):
+    dataset, recommenders = standard_setup
+    recommender = recommenders[engine]
+    users = dataset.users[:20]
+
+    def recommend_for_all():
+        return [recommender.recommend(user, k=10) for user in users]
+
+    lists = benchmark(recommend_for_all)
+    assert len(lists) == len(users)
+
+
+def test_cap4_quality_rows(benchmark, standard_setup, experiment_reporter):
+    dataset, recommenders = standard_setup
+    rows = benchmark.pedantic(
+        evaluate_recommenders, args=(dataset, recommenders), kwargs={"k": 10},
+        rounds=1, iterations=1,
+    )
+    from repro.experiments.harness import ExperimentResult
+
+    result = ExperimentResult(name="CAP-4 recommendation quality", rows=rows)
+    experiment_reporter(result)
+    by_name = {row["recommender"]: row for row in rows}
+    assert by_name["agent-hybrid"]["f1@10"] > by_name["collaborative-filtering"]["f1@10"]
+    assert by_name["agent-hybrid"]["f1@10"] > by_name["information-filtering"]["f1@10"]
+    assert by_name["agent-hybrid"]["precision@10"] > by_name["popularity"]["precision@10"]
+
+
+def test_cap4_cold_start_rows(benchmark, experiment_reporter):
+    result = benchmark.pedantic(
+        figures.cap4_cold_start,
+        kwargs={"events_schedule": (2, 5, 10, 20, 40), "num_consumers": 30},
+        rounds=1, iterations=1,
+    )
+    experiment_reporter(result)
+    sparsities = result.column("sparsity")
+    assert sparsities == sorted(sparsities, reverse=True)
+    # Under the sparsest setting the hybrid must stay ahead of pure CF.
+    sparsest = result.rows[0]
+    assert sparsest["agent-hybrid-f1@10"] >= sparsest["collaborative-filtering-f1@10"]

@@ -1,0 +1,35 @@
+"""Benchmark for FIG-3.2 — the recommendation mechanism serving a community.
+
+Measures consumer-session throughput of the buyer agent server (BSMA, HttpA,
+PA, per-consumer BRAs and their MBAs) as the consumer community grows.
+"""
+
+import pytest
+
+from repro.ecommerce.platform_builder import build_platform
+from repro.experiments import figures
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.scenarios import ScenarioRunner
+
+
+@pytest.mark.parametrize("consumers", [5, 10, 20])
+def test_session_throughput(benchmark, consumers):
+    def run_community():
+        platform = build_platform(num_marketplaces=2, num_sellers=2,
+                                  items_per_seller=20, seed=5)
+        population = ConsumerPopulation(consumers, groups=4, seed=6)
+        runner = ScenarioRunner(platform, population, seed=7)
+        return runner.warm_up(sessions_per_consumer=1, queries_per_session=1)
+
+    report = benchmark.pedantic(run_community, rounds=1, iterations=1)
+    assert report.sessions == consumers
+
+
+def test_fig32_mechanism_rows(benchmark, experiment_reporter):
+    result = benchmark.pedantic(
+        figures.fig32_mechanism_concurrency,
+        kwargs={"consumer_counts": (5, 10, 20)},
+        rounds=1, iterations=1,
+    )
+    experiment_reporter(result)
+    assert all(row["sessions"] == row["consumers"] for row in result.rows)

@@ -1,0 +1,27 @@
+"""Benchmark for FIG-4.1 — creation of the recommendation mechanism.
+
+Measures the real cost of the full platform bootstrap (coordinator, agents,
+marketplace stocking and the 6-step Figure 4.1 creation protocol) and checks
+every protocol step is performed each time.
+"""
+
+from repro.ecommerce.platform_builder import build_platform
+from repro.experiments import figures
+from repro.experiments.figures import CREATION_PROTOCOL_STEPS
+
+
+def test_platform_bootstrap(benchmark):
+    platform = benchmark(
+        lambda: build_platform(num_marketplaces=2, num_sellers=2,
+                               items_per_seller=10, seed=9)
+    )
+    assert platform.buyer_server.is_ready
+
+
+def test_fig41_creation_protocol_rows(benchmark, experiment_reporter):
+    result = benchmark.pedantic(
+        figures.fig41_creation_protocol, kwargs={"repeats": 3}, rounds=1, iterations=1
+    )
+    experiment_reporter(result)
+    assert all(row["all_steps_present"] for row in result.rows)
+    assert all(row["steps_observed"] >= len(CREATION_PROTOCOL_STEPS) for row in result.rows)

@@ -1,0 +1,56 @@
+"""Benchmark for FIG-4.3 — the buy / auction / negotiation workflow.
+
+Measures the real cost of each trade style through the full agent pipeline
+and prints the Figure 4.3 rows (success, price paid vs. list price, workflow
+steps, simulated latency).
+"""
+
+import pytest
+
+from repro.ecommerce.platform_builder import ECommercePlatform, PlatformConfig, build_platform
+from repro.experiments import figures
+
+
+@pytest.fixture
+def trading_session():
+    # A very deep stock so the benchmark can repeat the purchase thousands of
+    # times without exhausting the listing.
+    config = PlatformConfig(num_marketplaces=2, num_sellers=2, items_per_seller=25,
+                            stock_per_item=1_000_000, seed=17)
+    platform = ECommercePlatform(config)
+    session = platform.login("bench-consumer")
+    hits = session.query("books")
+    assert hits
+    return session, hits[0]
+
+
+def test_direct_purchase_cost(benchmark, trading_session):
+    session, hit = trading_session
+    outcome = benchmark(lambda: session.buy(hit.item, marketplace=hit.marketplace))
+    assert outcome.succeeded
+
+
+def test_auction_cost(benchmark, trading_session):
+    session, hit = trading_session
+    outcome = benchmark(
+        lambda: session.join_auction(hit.item, max_price=hit.price * 1.3,
+                                     marketplace=hit.marketplace)
+    )
+    assert outcome.outcome["rounds"] >= 1
+
+
+def test_negotiation_cost(benchmark, trading_session):
+    session, hit = trading_session
+    outcome = benchmark(
+        lambda: session.negotiate(hit.item, max_price=hit.price * 0.95,
+                                  marketplace=hit.marketplace)
+    )
+    assert outcome.outcome["rounds"] >= 1
+
+
+def test_fig43_trade_rows(benchmark, experiment_reporter):
+    result = benchmark.pedantic(figures.fig43_buy_auction_workflow, rounds=1, iterations=1)
+    experiment_reporter(result)
+    rows = {row["trade"]: row for row in result.rows}
+    assert rows["direct-buy"]["succeeded"]
+    assert all(row["all_steps_present"] for row in result.rows)

@@ -1,0 +1,65 @@
+"""Benchmark for FIG-4.5 — the profile learning rule and similarity algorithm.
+
+Measures (a) the real cost of applying the learning rule, (b) the cost of a
+similar-user search as the consumer community grows, and regenerates the two
+FIG-4.5 experiments: learning convergence and similarity-search quality.
+"""
+
+import pytest
+
+from repro.core.profile import Profile
+from repro.core.profile_learning import FeedbackEvent, ProfileLearner
+from repro.core.ratings import InteractionKind
+from repro.core.similarity import SimilarityConfig, find_similar_users
+from repro.experiments import figures
+from repro.experiments.harness import build_standard_dataset
+from repro.workload.products import ProductGenerator
+
+
+def test_profile_learning_rule_cost(benchmark):
+    items = ProductGenerator(seed=21).generate(100, seller="bench")
+    learner = ProfileLearner()
+    events = [
+        FeedbackEvent("bench-user", item, InteractionKind.BUY, timestamp=float(index))
+        for index, item in enumerate(items)
+    ]
+
+    def learn():
+        return learner.build_profile("bench-user", events)
+
+    profile = benchmark(learn)
+    assert profile.feedback_events == len(events)
+
+
+@pytest.mark.parametrize("consumers", [50, 100, 200])
+def test_similar_user_search_cost(benchmark, consumers):
+    dataset = build_standard_dataset(num_consumers=consumers, num_items=120,
+                                     events_per_user=20, seed=23)
+    profiles = dataset.build_profiles()
+    target = profiles[dataset.users[0]]
+    config = SimilarityConfig(top_k=10)
+
+    neighbours = benchmark(lambda: find_similar_users(target, profiles.values(), config))
+    assert neighbours
+
+
+def test_fig45_learning_convergence_rows(benchmark, experiment_reporter):
+    result = benchmark.pedantic(
+        figures.fig45_profile_learning,
+        kwargs={"event_counts": (5, 10, 20, 40, 80), "learning_rates": (0.1, 0.3, 0.6)},
+        rounds=1, iterations=1,
+    )
+    experiment_reporter(result)
+    alignments = result.column("mean_taste_alignment")
+    assert alignments[-1] > alignments[0] or max(alignments) > 0.9
+
+
+def test_fig45_similarity_search_rows(benchmark, experiment_reporter):
+    result = benchmark.pedantic(
+        figures.fig45_similarity_scaling,
+        kwargs={"population_sizes": (20, 50, 100, 200)},
+        rounds=1, iterations=1,
+    )
+    experiment_reporter(result)
+    for row in result.rows:
+        assert row["same_taste_group_fraction"] > row["random_baseline_fraction"]

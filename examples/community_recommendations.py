@@ -1,0 +1,82 @@
+"""Community recommendations: the similarity algorithm at work.
+
+Warms the recommendation mechanism up with a whole community of consumers
+(clustered into taste groups), then shows that a returning consumer receives
+recommendation information that comes from the consumers most similar to them
+— the core claim of §4.4 — and compares the mechanism against the §2.3
+baselines (pure collaborative filtering, pure information filtering,
+popularity) on the offline quality benchmark.
+
+Run with::
+
+    python examples/community_recommendations.py
+"""
+
+from __future__ import annotations
+
+from repro import build_platform
+from repro.core.similarity import SimilarityConfig, find_similar_users
+from repro.experiments import (
+    build_standard_dataset,
+    build_standard_recommenders,
+    evaluate_recommenders,
+    format_table,
+)
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.scenarios import ScenarioRunner
+
+
+def live_platform_demo() -> None:
+    """Run a consumer community through the live agent platform."""
+    platform = build_platform(num_marketplaces=2, num_sellers=3,
+                              items_per_seller=30, seed=19)
+    population = ConsumerPopulation(12, groups=3, seed=20)
+    runner = ScenarioRunner(platform, population, seed=21)
+
+    print("Warming up: 12 consumers shop across the platform ...")
+    report = runner.warm_up(sessions_per_consumer=1, queries_per_session=2)
+    print(f"  sessions={report.sessions} queries={report.queries} "
+          f"purchases={report.purchases} auctions={report.auctions}")
+    print()
+
+    # One consumer comes back; who does the mechanism consider similar?
+    target = population.consumers()[0]
+    user_db = platform.buyer_server.user_db
+    profile = user_db.profile(target.user_id)
+    neighbours = find_similar_users(profile, user_db.profiles(), SimilarityConfig(top_k=5))
+    print(f"Consumers most similar to {target.user_id} (taste group {target.group}):")
+    for neighbour_id, similarity in neighbours:
+        group = population.consumer(neighbour_id).group
+        marker = "same group" if group == target.group else f"group {group}"
+        print(f"  {neighbour_id:<16s} similarity={similarity:.3f}  ({marker})")
+    print()
+
+    session = platform.login(target.user_id)
+    recommendations = session.recommendations(k=8)
+    print(f"Recommendations for {target.user_id}:")
+    for rec in recommendations:
+        print(f"  {rec.item_id:<22s} score={rec.score:.3f}  ({rec.reason})")
+    session.logout()
+    print()
+
+
+def offline_quality_comparison() -> None:
+    """The CAP-4 offline comparison against the baselines."""
+    print("Offline quality comparison (60 consumers, 150 items, 40 events each):")
+    dataset = build_standard_dataset(num_consumers=60, events_per_user=40, seed=31)
+    recommenders = build_standard_recommenders(dataset)
+    rows = evaluate_recommenders(dataset, recommenders, k=10)
+    print(format_table(rows))
+    print()
+    print("The agent-hybrid mechanism should lead on precision/recall while the")
+    print("popularity baseline trails badly on coverage — the shape the paper's")
+    print("related-work discussion (§2.3) predicts.")
+
+
+def main() -> None:
+    live_platform_demo()
+    offline_quality_comparison()
+
+
+if __name__ == "__main__":
+    main()

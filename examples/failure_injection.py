@@ -1,0 +1,74 @@
+"""Failure injection: what happens when a marketplace goes down.
+
+The paper motivates mobile agents with robustness and fault tolerance (§1).
+This example crashes one marketplace mid-shopping-session and shows that the
+recommendation mechanism simply drops it from the Mobile Buyer Agent's
+itinerary (the consumer still gets results from the survivors), that an
+outage of *every* marketplace is reported as a clean error, and that full
+coverage returns once the host recovers.
+
+Run with::
+
+    python examples/failure_injection.py
+"""
+
+from __future__ import annotations
+
+from repro import build_platform
+from repro.errors import ReproError
+
+
+def main() -> None:
+    platform = build_platform(num_marketplaces=3, num_sellers=3,
+                              items_per_seller=20, seed=29)
+    session = platform.login("carol")
+
+    all_marketplaces = platform.marketplace_names()
+    print(f"Marketplaces online: {all_marketplaces}")
+    results = session.query("books")
+    print(f"Initial query across all marketplaces: {len(results)} items found")
+    print()
+
+    # -- crash one marketplace ---------------------------------------------------
+    victim = all_marketplaces[0]
+    platform.failures.crash_host(victim)
+    print(f"*** {victim} has crashed ***")
+
+    results = session.query("books")
+    sources = sorted({hit.marketplace for hit in results})
+    print(f"The MBA skipped the dead marketplace and still found {len(results)} items "
+          f"from {sources}")
+    skipped = platform.event_log.by_category("workflow.itinerary-filtered")[-1]
+    print(f"Event log records the filtered itinerary: skipped={skipped.payload['skipped']}")
+    if results:
+        best = results[0]
+        purchase = session.buy(best.item, marketplace=best.marketplace)
+        print(f"Bought {best.item.name!r} on {best.marketplace} "
+              f"for {purchase.price_paid:.2f} despite the outage")
+    print()
+
+    # -- total outage -------------------------------------------------------------
+    for name in all_marketplaces[1:]:
+        platform.failures.crash_host(name)
+    print("*** every marketplace is now down ***")
+    try:
+        session.query("books")
+    except ReproError as exc:
+        print(f"Total outage is reported cleanly: {type(exc).__name__}: {exc}")
+    print()
+
+    # -- recovery ---------------------------------------------------------------------
+    for name in all_marketplaces:
+        platform.failures.recover_host(name)
+    print("*** all marketplaces have recovered ***")
+    results = session.query("books")
+    print(f"Query across all marketplaces again: {len(results)} items found from "
+          f"{sorted({hit.marketplace for hit in results})}")
+
+    session.logout()
+    print()
+    print("Network statistics:", platform.network.stats())
+
+
+if __name__ == "__main__":
+    main()

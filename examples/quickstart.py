@@ -1,0 +1,75 @@
+"""Quickstart: one consumer using the agent-based recommendation mechanism.
+
+Builds the full e-commerce platform (coordinator, marketplaces, sellers and
+the buyer agent server), logs a consumer in, runs the Figure 4.2 merchandise
+query workflow and the Figure 4.3 purchase workflow, and prints the
+recommendation information the mechanism generates along the way.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_platform
+
+
+def main() -> None:
+    # 1. Assemble the platform: 2 marketplaces, 2 sellers, synthetic merchandise.
+    platform = build_platform(num_marketplaces=2, num_sellers=2,
+                              items_per_seller=30, seed=7)
+    print("Platform ready:")
+    print(f"  marketplaces : {platform.marketplace_names()}")
+    print(f"  catalogue    : {len(platform.catalog_view())} items")
+    print(f"  simulated t  : {platform.now:.2f} ms (bootstrap + stocking)")
+    print()
+
+    # 2. A consumer registers and logs in: the mechanism creates their BRA.
+    session = platform.login("alice")
+    print("alice logged in; her Buyer Recommend Agent is", session.bra_id)
+    print()
+
+    # 3. Figure 4.2: query merchandise.  The BRA sends a Mobile Buyer Agent to
+    #    every marketplace; the recommendation mechanism ranks what it brings
+    #    back and adds discoveries from similar consumers.
+    results = session.query("laptop")
+    print(f"Query 'laptop' -> {len(results)} results from the marketplaces")
+    for hit in results[:5]:
+        print(f"  {hit.item.name:<38s} {hit.price:>8.2f}  @ {hit.marketplace}")
+    print()
+
+    # 4. Figure 4.3: buy the best hit, then bargain for another item.
+    if results:
+        best = results[0]
+        purchase = session.buy(best.item, marketplace=best.marketplace)
+        print(f"Bought {best.item.name!r} for {purchase.price_paid:.2f} "
+              f"(list price {best.price:.2f})")
+        negotiation = session.negotiate(best.item, max_price=best.price * 0.9,
+                                        marketplace=best.marketplace)
+        if negotiation.succeeded:
+            print(f"Negotiated a second unit down to {negotiation.price_paid:.2f}")
+        else:
+            print("Negotiation for a second unit failed (seller held its reserve)")
+    print()
+
+    # 5. Ask the mechanism for recommendations directly (no marketplace trip).
+    recommendations = session.recommendations(k=5)
+    print("Recommendations for alice:")
+    for rec in recommendations:
+        print(f"  {rec.item_id:<22s} score={rec.score:.3f}  ({rec.reason})")
+    print()
+
+    # 6. Peek at the workflow trace the agents produced (Figures 4.2/4.3).
+    workflow_events = [e for e in platform.event_log if e.category.startswith("workflow.")]
+    print(f"The agents recorded {len(workflow_events)} workflow steps; the first ten:")
+    for event in workflow_events[:10]:
+        print("  " + event.describe())
+
+    session.logout()
+    print()
+    print(f"alice logged out; total simulated time {platform.now:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

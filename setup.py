@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (where
+PEP 660 editable installs are unavailable) via ``python setup.py develop`` or
+legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

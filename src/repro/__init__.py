@@ -1,0 +1,60 @@
+"""repro — reproduction of "An Agent-Based Consumer Recommendation Mechanism".
+
+The package reimplements, in pure Python, the full agent-based e-commerce
+platform and consumer recommendation mechanism described by Wang, Hwang and
+Wang (2004):
+
+- :mod:`repro.platform` — a deterministic discrete-event simulation substrate
+  (clock, network, hosts) standing in for the physical testbed.
+- :mod:`repro.agents` — an Aglet-style mobile-agent runtime (creation, cloning,
+  dispatch, deactivation, messaging, authentication of returning agents).
+- :mod:`repro.ecommerce` — the e-commerce platform: coordinator server,
+  marketplaces (query, negotiation, auctions), seller servers and the buyer
+  agent server that *is* the recommendation mechanism (BSMA, HttpA, PA, BRA,
+  MBA, UserDB, BSMDB).
+- :mod:`repro.core` — the recommendation algorithms: hierarchical consumer
+  profiles, the Rocchio-style profile learning rule, the similarity algorithm,
+  collaborative filtering, information filtering, popularity and hybrid
+  recommenders, and evaluation metrics.
+- :mod:`repro.workload` — synthetic consumer populations, product catalogues
+  and behaviour traces used by the examples, tests and benchmarks.
+- :mod:`repro.experiments` — harnesses that regenerate every figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import build_platform
+
+    platform = build_platform(num_marketplaces=2, seed=7)
+    session = platform.login("alice")
+    results = session.query("laptop")
+    session.buy(results[0].item_id)
+    recommendations = session.recommendations()
+"""
+
+from repro.version import __version__
+from repro.ecommerce.platform_builder import ECommercePlatform, build_platform
+from repro.ecommerce.session import ConsumerSession
+from repro.core.profile import Profile, Category, SubCategory, TermVector
+from repro.core.recommender import (
+    Recommendation,
+    RecommendationEngine,
+    Recommender,
+)
+from repro.core.similarity import profile_similarity, SimilarityConfig
+
+__all__ = [
+    "__version__",
+    "ECommercePlatform",
+    "build_platform",
+    "ConsumerSession",
+    "Profile",
+    "Category",
+    "SubCategory",
+    "TermVector",
+    "Recommendation",
+    "RecommendationEngine",
+    "Recommender",
+    "profile_similarity",
+    "SimilarityConfig",
+]

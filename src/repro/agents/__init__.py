@@ -1,0 +1,47 @@
+"""Aglet-style mobile agent runtime.
+
+The paper builds on IBM Aglets: Java objects that migrate between hosts with
+their code and state, exchange messages, and can be deactivated to storage and
+re-activated later.  This package reimplements that programming model in pure
+Python on top of the simulated platform:
+
+- :mod:`repro.agents.lifecycle` — agent states and legal transitions.
+- :mod:`repro.agents.messages` — typed messages and replies.
+- :mod:`repro.agents.aglet` — the :class:`Aglet` base class with the standard
+  lifecycle callbacks (``on_creation``, ``on_arrival``, ``on_deactivating`` ...).
+- :mod:`repro.agents.context` — the per-host :class:`AgletContext` runtime
+  offering create / clone / dispatch / retract / deactivate / activate /
+  dispose, exactly the operations §3.1 lists for the mobile agent platform.
+- :mod:`repro.agents.proxy` — location-transparent handles used to message
+  agents wherever they currently are.
+- :mod:`repro.agents.directory` — naming: host name → context, agent id →
+  location.
+- :mod:`repro.agents.serialization` — state capture/restore for migration and
+  deactivation.
+- :mod:`repro.agents.security` — authentication of returning mobile agents
+  (§4.1 principle 2 and future-work item 4).
+"""
+
+from repro.agents.lifecycle import AgletState, AgletInfo
+from repro.agents.messages import Message, Reply
+from repro.agents.aglet import Aglet
+from repro.agents.context import AgletContext
+from repro.agents.proxy import AgletProxy
+from repro.agents.directory import ContextDirectory
+from repro.agents.security import AuthenticationService, AgentCredential
+from repro.agents.serialization import capture_state, restore_state
+
+__all__ = [
+    "AgletState",
+    "AgletInfo",
+    "Message",
+    "Reply",
+    "Aglet",
+    "AgletContext",
+    "AgletProxy",
+    "ContextDirectory",
+    "AuthenticationService",
+    "AgentCredential",
+    "capture_state",
+    "restore_state",
+]

@@ -1,0 +1,65 @@
+"""Agent lifecycle states and legal transitions.
+
+The Aglet model has four externally visible states.  An aglet is *active*
+while it lives in a context's memory, *deactivated* while serialized to the
+context's storage (the paper's BSMA deactivates a BRA while its MBA is away,
+§4.1-3), *in transit* during a dispatch, and *disposed* once destroyed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import AgentLifecycleError
+
+__all__ = ["AgletState", "LEGAL_TRANSITIONS", "check_transition", "AgletInfo"]
+
+
+class AgletState(enum.Enum):
+    """Externally visible lifecycle state of an aglet."""
+
+    ACTIVE = "active"
+    DEACTIVATED = "deactivated"
+    IN_TRANSIT = "in-transit"
+    DISPOSED = "disposed"
+
+
+LEGAL_TRANSITIONS: Dict[AgletState, FrozenSet[AgletState]] = {
+    AgletState.ACTIVE: frozenset(
+        {AgletState.DEACTIVATED, AgletState.IN_TRANSIT, AgletState.DISPOSED}
+    ),
+    AgletState.DEACTIVATED: frozenset({AgletState.ACTIVE, AgletState.DISPOSED}),
+    AgletState.IN_TRANSIT: frozenset({AgletState.ACTIVE, AgletState.DISPOSED}),
+    AgletState.DISPOSED: frozenset(),
+}
+
+
+def check_transition(current: AgletState, target: AgletState) -> None:
+    """Raise :class:`AgentLifecycleError` when ``current -> target`` is illegal."""
+    if target not in LEGAL_TRANSITIONS[current]:
+        raise AgentLifecycleError(
+            f"illegal aglet state transition {current.value} -> {target.value}"
+        )
+
+
+@dataclass
+class AgletInfo:
+    """Bookkeeping record a context keeps about each aglet it ever hosted."""
+
+    aglet_id: str
+    agent_type: str
+    owner: str
+    created_at: float
+    state: AgletState = AgletState.ACTIVE
+    location: str = ""
+    origin: str = ""
+    hops: int = 0
+    messages_handled: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def transition(self, target: AgletState) -> None:
+        """Validate and apply a state transition."""
+        check_transition(self.state, target)
+        self.state = target

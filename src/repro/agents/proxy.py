@@ -1,0 +1,63 @@
+"""Location-transparent handles to aglets.
+
+A proxy is what other agents and the application layer hold instead of a raw
+aglet reference.  Messages sent through a proxy are routed by the directory to
+wherever the aglet currently lives, so callers never care whether the agent
+has migrated, and the runtime can charge the network model for remote hops.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import AgentNotFoundError
+from repro.agents.messages import Message, Reply
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.directory import ContextDirectory
+
+__all__ = ["AgletProxy"]
+
+
+class AgletProxy:
+    """Handle to an aglet, valid across migrations and deactivations."""
+
+    def __init__(self, aglet_id: str, agent_type: str, directory: "ContextDirectory") -> None:
+        self.aglet_id = aglet_id
+        self.agent_type = agent_type
+        self._directory = directory
+
+    @property
+    def location(self) -> str:
+        """Host currently running (or storing) the aglet."""
+        return self._directory.locate(self.aglet_id)
+
+    @property
+    def exists(self) -> bool:
+        """Whether the directory still knows about the aglet."""
+        return self._directory.knows(self.aglet_id)
+
+    def send(self, message: Message, from_host: str = "") -> Reply:
+        """Deliver ``message`` to the aglet wherever it is and return the reply.
+
+        ``from_host`` names the sending host so the network model can charge
+        the hop; an empty string means "same host as the target" (no network
+        charge), which is what agent-internal calls use.
+        """
+        host = self.location
+        context = self._directory.context_for(host)
+        return context.deliver(self.aglet_id, message, from_host=from_host)
+
+    def request(self, kind: str, from_host: str = "", sender: str = "", **payload: Any) -> Reply:
+        """Convenience wrapper building the :class:`Message` for the caller."""
+        return self.send(Message(kind=kind, payload=payload, sender=sender), from_host=from_host)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AgletProxy) and other.aglet_id == self.aglet_id
+
+    def __hash__(self) -> int:
+        return hash(self.aglet_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.location if self.exists else "<gone>"
+        return f"AgletProxy({self.aglet_id!r} @ {where})"

@@ -1,0 +1,94 @@
+"""State capture and restore for migrating or deactivated aglets.
+
+When an aglet is dispatched to another host or deactivated to storage, the
+runtime captures its instance state (everything except its binding to the
+local context) and later restores it — the Python analogue of Aglets moving
+"program code as well as the states of all the objects it is carrying".
+
+Capture uses :func:`copy.deepcopy` so an agent deactivated to storage cannot
+be mutated behind the runtime's back, and the captured blob size is estimated
+so the network model can charge migration payloads realistically.
+"""
+
+from __future__ import annotations
+
+import copy
+import sys
+from typing import Any, Dict, Tuple
+
+from repro.errors import SerializationError
+
+__all__ = ["capture_state", "restore_state", "estimate_payload_bytes", "StateSnapshot"]
+
+#: Instance attributes owned by the runtime rather than the agent; they are
+#: never part of a migration payload and are re-bound on arrival.
+RUNTIME_ATTRIBUTES = ("_context", "_proxy", "_info")
+
+
+class StateSnapshot(dict):
+    """A captured agent state: a plain dict with a payload-size estimate."""
+
+    @property
+    def payload_bytes(self) -> int:
+        return estimate_payload_bytes(self)
+
+
+def _estimate(value: Any, depth: int = 0) -> int:
+    """Rough, deterministic size estimate of a Python value in bytes."""
+    if depth > 8:
+        return 64
+    if value is None or isinstance(value, bool):
+        return 8
+    if isinstance(value, (int, float)):
+        return 16
+    if isinstance(value, str):
+        return 48 + len(value)
+    if isinstance(value, bytes):
+        return 48 + len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 56 + sum(_estimate(item, depth + 1) for item in value)
+    if isinstance(value, dict):
+        return 64 + sum(
+            _estimate(key, depth + 1) + _estimate(item, depth + 1)
+            for key, item in value.items()
+        )
+    if hasattr(value, "__dict__"):
+        return 64 + _estimate(vars(value), depth + 1)
+    return int(sys.getsizeof(value)) if hasattr(sys, "getsizeof") else 64
+
+
+def estimate_payload_bytes(state: Dict[str, Any]) -> int:
+    """Estimate how many bytes a captured state occupies on the wire."""
+    return _estimate(state)
+
+
+def capture_state(agent: Any) -> StateSnapshot:
+    """Capture the migratable state of ``agent``.
+
+    Runtime bindings (context, proxy, info record) are excluded; everything
+    else is deep-copied.  Objects that cannot be deep-copied make the agent
+    non-migratable, which surfaces as :class:`SerializationError`.
+    """
+    state: Dict[str, Any] = {}
+    for key, value in vars(agent).items():
+        if key in RUNTIME_ATTRIBUTES:
+            continue
+        try:
+            state[key] = copy.deepcopy(value)
+        except Exception as exc:  # pragma: no cover - defensive
+            raise SerializationError(
+                f"attribute {key!r} of {type(agent).__name__} cannot be serialized: {exc}"
+            ) from exc
+    return StateSnapshot(state)
+
+
+def restore_state(agent: Any, snapshot: Dict[str, Any]) -> None:
+    """Restore a previously captured state onto ``agent``."""
+    if not isinstance(snapshot, dict):
+        raise SerializationError(
+            f"state snapshot must be a dict, got {type(snapshot).__name__}"
+        )
+    for key, value in snapshot.items():
+        if key in RUNTIME_ATTRIBUTES:
+            continue
+        setattr(agent, key, copy.deepcopy(value))

@@ -1,0 +1,243 @@
+"""The paper's recommendation mechanism: profile similarity + live results.
+
+Section 4.4: "The generation of recommendation information is to find the
+similar user's profile through the similarity. ... And then compare the
+consumer Y's profile with the user queried merchandise information [and] the
+recommendation information is generated."
+
+Concretely the :class:`AgentHybridRecommender` does what the BRA asks the
+mechanism to do in the Figure 4.2 workflow:
+
+1. load the active consumer's hierarchical profile;
+2. find the most similar other consumers in UserDB with
+   :func:`repro.core.similarity.find_similar_users`, applying the Figure 4.5
+   discard rule for the queried category;
+3. collect the merchandise those similar consumers prefer (their observational
+   ratings weighted by profile similarity);
+4. when the consumer just ran a query, score the queried merchandise against
+   the similar consumers' profiles and the consumer's own profile, so the
+   returned recommendation list both re-ranks the live results and adds the
+   "goods whose interest is closest" from the similar consumers.
+
+Without other users (cold start) the mechanism degrades gracefully to the
+consumer's own profile (information filtering), which is exactly the synergy
+§2.3 motivates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import RecommendationError
+from repro.core.items import Item, ItemCatalogView
+from repro.core.information_filtering import InformationFilteringRecommender
+from repro.core.profile import Profile
+from repro.core.ratings import RatingsStore
+from repro.core.recommender import Recommendation, Recommender
+from repro.core.similarity import SimilarityConfig, cosine_similarity, find_similar_users
+
+__all__ = ["AgentHybridRecommender"]
+
+ProfileProvider = Callable[[str], Optional[Profile]]
+AllProfilesProvider = Callable[[], Iterable[Profile]]
+
+
+class AgentHybridRecommender(Recommender):
+    """The paper's agent-based similarity recommender."""
+
+    name = "agent-hybrid"
+
+    def __init__(
+        self,
+        ratings: RatingsStore,
+        catalog: ItemCatalogView,
+        profile_of: ProfileProvider,
+        all_profiles: AllProfilesProvider,
+        similarity_config: Optional[SimilarityConfig] = None,
+        collaborative_weight: float = 0.6,
+        content_weight: float = 0.4,
+    ) -> None:
+        if collaborative_weight < 0 or content_weight < 0:
+            raise RecommendationError("mixing weights cannot be negative")
+        if collaborative_weight + content_weight <= 0:
+            raise RecommendationError("at least one mixing weight must be positive")
+        self.ratings = ratings
+        self.catalog = catalog
+        self.profile_of = profile_of
+        self.all_profiles = all_profiles
+        self.similarity_config = similarity_config or SimilarityConfig()
+        self.collaborative_weight = collaborative_weight
+        self.content_weight = content_weight
+        self._content = InformationFilteringRecommender(catalog, profile_of)
+
+    # -- similar users ----------------------------------------------------------
+
+    def similar_users(
+        self, user_id: str, category: Optional[str] = None
+    ) -> List[Tuple[str, float]]:
+        """The similar-consumer list the mechanism bases recommendations on."""
+        target = self.profile_of(user_id)
+        if target is None or target.is_empty():
+            return []
+        return find_similar_users(
+            target, self.all_profiles(), self.similarity_config, category=category
+        )
+
+    # -- scoring helpers ---------------------------------------------------------
+
+    def _neighbour_item_scores(
+        self,
+        user_id: str,
+        neighbours: Sequence[Tuple[str, float]],
+        category: Optional[str],
+        excluded: set,
+    ) -> Dict[str, float]:
+        """Similarity-weighted preference of the neighbourhood for each item."""
+        seen = set(self.ratings.items_of(user_id))
+        scores: Dict[str, float] = {}
+        weights: Dict[str, float] = {}
+        for neighbour, similarity in neighbours:
+            for item_id, value in self.ratings.user_vector(neighbour).items():
+                if item_id in seen or item_id in excluded:
+                    continue
+                if category is not None and item_id in self.catalog:
+                    if self.catalog.get(item_id).category != category:
+                        continue
+                scores[item_id] = scores.get(item_id, 0.0) + similarity * value
+                weights[item_id] = weights.get(item_id, 0.0) + similarity
+        return {
+            item_id: scores[item_id] / weights[item_id]
+            for item_id in scores
+            if weights[item_id] > 0
+        }
+
+    def _normalized(self, raw: Dict[str, float]) -> Dict[str, float]:
+        if not raw:
+            return {}
+        peak = max(raw.values())
+        if peak <= 0:
+            return {item_id: 0.0 for item_id in raw}
+        return {item_id: value / peak for item_id, value in raw.items()}
+
+    # -- Recommender interface -----------------------------------------------------
+
+    def can_recommend(self, user_id: str) -> bool:
+        profile = self.profile_of(user_id)
+        return profile is not None and not profile.is_empty()
+
+    def recommend(
+        self,
+        user_id: str,
+        k: int = 10,
+        category: Optional[str] = None,
+        exclude: Iterable[str] = (),
+    ) -> List[Recommendation]:
+        profile = self.profile_of(user_id)
+        if profile is None or profile.is_empty():
+            return []
+        excluded = set(exclude)
+
+        neighbours = self.similar_users(user_id, category=category)
+        neighbour_scores = self._normalized(
+            self._neighbour_item_scores(user_id, neighbours, category, excluded)
+        )
+
+        content_candidates = self._content.recommend(
+            user_id, k=max(k * 3, 30), category=category, exclude=excluded
+        )
+        content_scores = self._normalized(
+            {rec.item_id: rec.score for rec in content_candidates}
+        )
+
+        total_weight = self.collaborative_weight + self.content_weight
+        combined: Dict[str, float] = {}
+        for item_id in set(neighbour_scores) | set(content_scores):
+            combined[item_id] = (
+                self.collaborative_weight * neighbour_scores.get(item_id, 0.0)
+                + self.content_weight * content_scores.get(item_id, 0.0)
+            ) / total_weight
+
+        recommendations = [
+            Recommendation(
+                item_id=item_id,
+                score=score,
+                source=self.name,
+                reason=(
+                    "preferred by similar consumers"
+                    if item_id in neighbour_scores
+                    else "matches your profile"
+                ),
+            )
+            for item_id, score in combined.items()
+            if score > 0
+        ]
+        recommendations.sort(key=lambda rec: (-rec.score, rec.item_id))
+        return recommendations[:k]
+
+    # -- query-time re-ranking (Figure 4.2 step "generate recommendation") ----------
+
+    def recommend_for_query(
+        self,
+        user_id: str,
+        query_items: Sequence[Item],
+        k: int = 10,
+        extra: int = 5,
+    ) -> List[Recommendation]:
+        """Rank live query results and append similar-consumer discoveries.
+
+        Args:
+            user_id: the querying consumer.
+            query_items: merchandise returned by the marketplaces for the
+                current query (the MBA's findings in Figure 4.2).
+            k: how many ranked query results to return.
+            extra: how many additional similar-consumer favourites to append
+                beyond the query results (serendipitous discoveries).
+        """
+        profile = self.profile_of(user_id)
+        categories = {item.category for item in query_items}
+        category = categories.pop() if len(categories) == 1 else None
+        neighbours = self.similar_users(user_id, category=category)
+        neighbour_profiles = [
+            self.profile_of(neighbour) for neighbour, _ in neighbours
+        ]
+
+        ranked: List[Recommendation] = []
+        for item in query_items:
+            own_match = self._content.score_item(profile, item) if profile else 0.0
+            neighbour_match = 0.0
+            weight_total = 0.0
+            for (neighbour_id, similarity), neighbour_profile in zip(
+                neighbours, neighbour_profiles
+            ):
+                if neighbour_profile is None or not neighbour_profile.has_category(item.category):
+                    continue
+                neighbour_category = neighbour_profile.category(item.category, create=False)
+                match = cosine_similarity(
+                    neighbour_category.terms.as_dict(), item.term_weights
+                )
+                neighbour_match += similarity * match
+                weight_total += similarity
+            if weight_total > 0:
+                neighbour_match /= weight_total
+            score = (
+                self.content_weight * own_match
+                + self.collaborative_weight * neighbour_match
+            ) / (self.content_weight + self.collaborative_weight)
+            ranked.append(
+                Recommendation(
+                    item_id=item.item_id,
+                    score=score,
+                    source=self.name,
+                    reason="ranked query result",
+                )
+            )
+        ranked.sort(key=lambda rec: (-rec.score, rec.item_id))
+        ranked = ranked[:k]
+
+        if extra > 0:
+            already = {rec.item_id for rec in ranked} | {item.item_id for item in query_items}
+            discoveries = self.recommend(
+                user_id, k=extra, category=category, exclude=already
+            )
+            ranked.extend(discoveries)
+        return ranked

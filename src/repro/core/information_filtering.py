@@ -1,0 +1,110 @@
+"""Information filtering (the IF technique of §2.3).
+
+"IF techniques build a profile of user preferences that is particularly
+valuable when a user encounters new content that has not been rated before
+... they do not depend on having other users in the system."
+
+The recommender scores each catalogue item by how well its descriptive terms
+and category match the consumer's learned hierarchical profile: a cosine match
+between the item's term vector and the profile's terms for the item's
+category, boosted by the scalar category preference.  Because it only needs
+the consumer's own profile and the item content, it keeps working for brand
+new items (no one has rated them yet) — the property the paper highlights —
+but it cannot produce serendipitous cross-category discoveries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.errors import RecommendationError
+from repro.core.items import Item, ItemCatalogView
+from repro.core.profile import Profile
+from repro.core.recommender import Recommendation, Recommender
+from repro.core.similarity import cosine_similarity
+
+__all__ = ["InformationFilteringRecommender"]
+
+ProfileProvider = Callable[[str], Optional[Profile]]
+
+
+class InformationFilteringRecommender(Recommender):
+    """Content-based recommender matching items against the consumer profile."""
+
+    name = "information-filtering"
+
+    def __init__(
+        self,
+        catalog: ItemCatalogView,
+        profiles: ProfileProvider,
+        category_boost: float = 0.3,
+        subcategory_boost: float = 0.2,
+    ) -> None:
+        if category_boost < 0 or subcategory_boost < 0:
+            raise RecommendationError("boost factors cannot be negative")
+        self.catalog = catalog
+        self.profiles = profiles
+        self.category_boost = category_boost
+        self.subcategory_boost = subcategory_boost
+
+    # -- scoring -----------------------------------------------------------------
+
+    def score_item(self, profile: Profile, item: Item) -> float:
+        """Content match score of ``item`` against ``profile`` in [0, ~1.5]."""
+        if not profile.has_category(item.category):
+            return 0.0
+        category = profile.category(item.category, create=False)
+
+        term_match = cosine_similarity(category.terms.as_dict(), item.term_weights)
+
+        max_preference = max(
+            (c.preference for c in profile.categories.values()), default=0.0
+        )
+        category_part = 0.0
+        if max_preference > 0:
+            category_part = self.category_boost * (category.preference / max_preference)
+
+        subcategory_part = 0.0
+        if item.subcategory and item.subcategory in category.subcategories:
+            sub = category.subcategories[item.subcategory]
+            subcategory_part = self.subcategory_boost * cosine_similarity(
+                sub.terms.as_dict(), item.term_weights
+            )
+
+        return term_match + category_part + subcategory_part
+
+    def can_recommend(self, user_id: str) -> bool:
+        profile = self.profiles(user_id)
+        return profile is not None and not profile.is_empty()
+
+    def recommend(
+        self,
+        user_id: str,
+        k: int = 10,
+        category: Optional[str] = None,
+        exclude: Iterable[str] = (),
+    ) -> List[Recommendation]:
+        profile = self.profiles(user_id)
+        if profile is None or profile.is_empty():
+            return []
+        excluded = set(exclude)
+
+        candidates = (
+            self.catalog.in_category(category) if category is not None else list(self.catalog)
+        )
+        recommendations: List[Recommendation] = []
+        for item in candidates:
+            if item.item_id in excluded:
+                continue
+            score = self.score_item(profile, item)
+            if score > 0:
+                recommendations.append(
+                    Recommendation(
+                        item_id=item.item_id,
+                        score=score,
+                        source=self.name,
+                        reason=f"matches your interest in {item.category}",
+                    )
+                )
+        recommendations.sort(key=lambda rec: (-rec.score, rec.item_id))
+        return recommendations[:k]

@@ -1,0 +1,112 @@
+"""Popularity recommenders: overall top sellers and the weekly hottest list.
+
+§2.3 lists "the top overall sellers on a site" as the simplest recommendation
+basis, and §5.2 (future work, item 2) asks for "weekly hottest merchandise".
+Both are implemented here; the first doubles as the cold-start fallback and
+the weakest baseline in the quality benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import RecommendationError
+from repro.core.items import ItemCatalogView
+from repro.core.ratings import RatingsStore
+from repro.core.recommender import Recommendation, Recommender
+
+__all__ = ["PopularityRecommender", "WeeklyHottestRecommender", "WEEK_MS"]
+
+#: One simulated week in milliseconds.
+WEEK_MS = 7 * 24 * 60 * 60 * 1000.0
+
+
+class PopularityRecommender(Recommender):
+    """Recommend the items with the most purchases overall (top sellers)."""
+
+    name = "popularity"
+
+    def __init__(self, ratings: RatingsStore, catalog: Optional[ItemCatalogView] = None) -> None:
+        self.ratings = ratings
+        self.catalog = catalog
+
+    def _eligible(self, item_id: str, category: Optional[str]) -> bool:
+        if category is None or self.catalog is None:
+            return True
+        return item_id in self.catalog and self.catalog.get(item_id).category == category
+
+    def recommend(
+        self,
+        user_id: str,
+        k: int = 10,
+        category: Optional[str] = None,
+        exclude: Iterable[str] = (),
+    ) -> List[Recommendation]:
+        excluded = set(exclude)
+        counts = self.ratings.purchases()
+        recommendations = [
+            Recommendation(
+                item_id=item_id,
+                score=float(count),
+                source=self.name,
+                reason=f"bought {count} times overall",
+            )
+            for item_id, count in counts.items()
+            if item_id not in excluded and self._eligible(item_id, category)
+        ]
+        recommendations.sort(key=lambda rec: (-rec.score, rec.item_id))
+        return recommendations[:k]
+
+
+class WeeklyHottestRecommender(Recommender):
+    """Recommend the items bought most often during the most recent week.
+
+    The window is anchored at ``now`` supplied by a clock callable, so the
+    same recommender instance keeps giving fresh answers as simulated time
+    moves on.
+    """
+
+    name = "weekly-hottest"
+
+    def __init__(
+        self,
+        ratings: RatingsStore,
+        now: "callable",
+        catalog: Optional[ItemCatalogView] = None,
+        window_ms: float = WEEK_MS,
+    ) -> None:
+        if window_ms <= 0:
+            raise RecommendationError("window must be positive")
+        self.ratings = ratings
+        self.now = now
+        self.catalog = catalog
+        self.window_ms = window_ms
+
+    def _eligible(self, item_id: str, category: Optional[str]) -> bool:
+        if category is None or self.catalog is None:
+            return True
+        return item_id in self.catalog and self.catalog.get(item_id).category == category
+
+    def recommend(
+        self,
+        user_id: str,
+        k: int = 10,
+        category: Optional[str] = None,
+        exclude: Iterable[str] = (),
+    ) -> List[Recommendation]:
+        excluded = set(exclude)
+        end = float(self.now())
+        start = max(0.0, end - self.window_ms)
+        counts = self.ratings.purchases_between(start, end)
+        recommendations = [
+            Recommendation(
+                item_id=item_id,
+                score=float(count),
+                source=self.name,
+                reason=f"bought {count} times this week",
+            )
+            for item_id, count in counts.items()
+            if item_id not in excluded and self._eligible(item_id, category)
+        ]
+        recommendations.sort(key=lambda rec: (-rec.score, rec.item_id))
+        return recommendations[:k]

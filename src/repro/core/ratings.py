@@ -1,0 +1,183 @@
+"""Consumer behaviour records and the observational ratings store.
+
+The paper's mechanism uses *observational* ratings: "the system infers user
+preferences from actions rather than requiring the user to explicitly rate an
+item" (§2.3).  The BRA records every merchandise query, negotiation, auction
+bid and purchase; the PA turns them into profile updates; the collaborative
+filtering recommender additionally needs them as a user × item preference
+matrix.  :class:`RatingsStore` is that matrix, fed by :class:`Interaction`
+records with per-behaviour implicit weights.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import RecommendationError
+
+__all__ = ["InteractionKind", "Interaction", "RatingsStore", "IMPLICIT_WEIGHTS"]
+
+
+class InteractionKind(enum.Enum):
+    """The consumer behaviours the BRA records (§3.3-2)."""
+
+    QUERY = "query"
+    VIEW = "view"
+    NEGOTIATE = "negotiate"
+    AUCTION_BID = "auction-bid"
+    BUY = "buy"
+    RATE = "rate"
+
+
+#: Implicit preference weight of each behaviour.  A purchase is the strongest
+#: signal, a query the weakest; explicit ratings carry their own value.
+IMPLICIT_WEIGHTS: Dict[InteractionKind, float] = {
+    InteractionKind.QUERY: 1.0,
+    InteractionKind.VIEW: 1.5,
+    InteractionKind.NEGOTIATE: 2.5,
+    InteractionKind.AUCTION_BID: 3.0,
+    InteractionKind.BUY: 5.0,
+    InteractionKind.RATE: 0.0,  # replaced by the explicit value
+}
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One observed consumer behaviour."""
+
+    user_id: str
+    item_id: str
+    kind: InteractionKind
+    timestamp: float = 0.0
+    value: float = 0.0
+    category: str = ""
+    marketplace: str = ""
+
+    def implicit_value(self) -> float:
+        """The preference weight this behaviour contributes."""
+        if self.kind is InteractionKind.RATE:
+            return self.value
+        return IMPLICIT_WEIGHTS[self.kind]
+
+
+class RatingsStore:
+    """Accumulated user × item preference values built from interactions.
+
+    The store keeps, per (user, item), the accumulated implicit value and the
+    most recent timestamp, plus per-item aggregate statistics used by the
+    popularity and cross-sell recommenders.
+    """
+
+    def __init__(self, max_value: float = 10.0) -> None:
+        if max_value <= 0:
+            raise RecommendationError("max_value must be positive")
+        self.max_value = max_value
+        self._values: Dict[str, Dict[str, float]] = {}
+        self._timestamps: Dict[Tuple[str, str], float] = {}
+        self._interactions: List[Interaction] = []
+        self._item_users: Dict[str, Set[str]] = {}
+        self._purchases: Dict[str, int] = {}
+        self._purchase_log: List[Interaction] = []
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add(self, interaction: Interaction) -> float:
+        """Record one interaction; return the user's new value for the item."""
+        if not interaction.user_id or not interaction.item_id:
+            raise RecommendationError("interaction must name both a user and an item")
+        user_values = self._values.setdefault(interaction.user_id, {})
+        current = user_values.get(interaction.item_id, 0.0)
+        updated = min(self.max_value, current + interaction.implicit_value())
+        user_values[interaction.item_id] = updated
+        self._timestamps[(interaction.user_id, interaction.item_id)] = interaction.timestamp
+        self._interactions.append(interaction)
+        self._item_users.setdefault(interaction.item_id, set()).add(interaction.user_id)
+        if interaction.kind is InteractionKind.BUY:
+            self._purchases[interaction.item_id] = self._purchases.get(interaction.item_id, 0) + 1
+            self._purchase_log.append(interaction)
+        return updated
+
+    def add_all(self, interactions: Iterable[Interaction]) -> int:
+        count = 0
+        for interaction in interactions:
+            self.add(interaction)
+            count += 1
+        return count
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def users(self) -> List[str]:
+        return sorted(self._values)
+
+    @property
+    def items(self) -> List[str]:
+        return sorted(self._item_users)
+
+    @property
+    def interaction_count(self) -> int:
+        return len(self._interactions)
+
+    def value(self, user_id: str, item_id: str) -> float:
+        return self._values.get(user_id, {}).get(item_id, 0.0)
+
+    def user_vector(self, user_id: str) -> Dict[str, float]:
+        """The user's item→value vector (a copy)."""
+        return dict(self._values.get(user_id, {}))
+
+    def items_of(self, user_id: str) -> List[str]:
+        return sorted(self._values.get(user_id, {}))
+
+    def users_of(self, item_id: str) -> List[str]:
+        return sorted(self._item_users.get(item_id, set()))
+
+    def has_user(self, user_id: str) -> bool:
+        return user_id in self._values
+
+    def last_interaction_at(self, user_id: str, item_id: str) -> Optional[float]:
+        return self._timestamps.get((user_id, item_id))
+
+    def interactions_of(self, user_id: str) -> List[Interaction]:
+        return [record for record in self._interactions if record.user_id == user_id]
+
+    # -- aggregates ----------------------------------------------------------
+
+    def purchase_count(self, item_id: str) -> int:
+        return self._purchases.get(item_id, 0)
+
+    def purchases(self) -> Dict[str, int]:
+        return dict(self._purchases)
+
+    def purchases_between(self, start: float, end: float) -> Dict[str, int]:
+        """Purchase counts restricted to a simulated-time window."""
+        window: Dict[str, int] = {}
+        for record in self._purchase_log:
+            if start <= record.timestamp <= end:
+                window[record.item_id] = window.get(record.item_id, 0) + 1
+        return window
+
+    def co_purchases(self) -> Dict[Tuple[str, str], int]:
+        """Counts of item pairs bought by the same user (for cross-selling)."""
+        pairs: Dict[Tuple[str, str], int] = {}
+        bought_by_user: Dict[str, Set[str]] = {}
+        for record in self._purchase_log:
+            bought_by_user.setdefault(record.user_id, set()).add(record.item_id)
+        for bought in bought_by_user.values():
+            ordered = sorted(bought)
+            for index, first in enumerate(ordered):
+                for second in ordered[index + 1:]:
+                    pairs[(first, second)] = pairs.get((first, second), 0) + 1
+        return pairs
+
+    def density(self) -> float:
+        """Fraction of the user × item matrix that is filled."""
+        if not self._values or not self._item_users:
+            return 0.0
+        filled = sum(len(vector) for vector in self._values.values())
+        return filled / float(len(self._values) * len(self._item_users))
+
+    def sparsity(self) -> float:
+        """1 - density; the "sparsity problem" knob from §2.3."""
+        return 1.0 - self.density()

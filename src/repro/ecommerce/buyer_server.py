@@ -1,0 +1,210 @@
+"""The Buyer Agent Server — the consumer recommendation mechanism itself.
+
+"Buyer Agent Server is also the proposed consumer recommendation mechanism.
+... A consumer recommendation mechanism stands for servicing a consumer
+community and providing the executable system and providing the storage of
+saving consumer personal information." (§3.2)
+
+:class:`BuyerAgentServer` is the host-side wrapper: it runs the Figure 4.1
+bootstrap against the coordinator (which dispatches the BSMA here), attaches
+the shared services (UserDB, BSMDB, the profile learner and the
+recommendation service) and exposes the handles the consumer-facing
+:class:`~repro.ecommerce.session.ConsumerSession` needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ECommerceError, RegistrationError
+from repro.agents.context import AgletContext
+from repro.agents.messages import MessageKinds
+from repro.core.cold_start import ColdStartPolicy, ColdStartStrategy
+from repro.core.cross_sell import CrossSellRecommender
+from repro.core.hybrid import AgentHybridRecommender
+from repro.core.information_filtering import InformationFilteringRecommender
+from repro.core.items import Item, ItemCatalogView
+from repro.core.popularity import PopularityRecommender, WeeklyHottestRecommender
+from repro.core.profile import Profile
+from repro.core.profile_learning import LearningConfig, ProfileLearner
+from repro.core.recommender import Recommendation, RecommendationEngine
+from repro.core.similarity import SimilarityConfig
+from repro.ecommerce.buyer_agents import BuyerServerManagementAgent, HttpAgent
+from repro.ecommerce.databases import BSMDB, UserDB
+
+__all__ = ["RecommendationService", "BuyerAgentServer"]
+
+
+class RecommendationService:
+    """Recommendation engines wired to the buyer agent server's databases.
+
+    The BRA fetches this service from its host whenever it needs to generate
+    recommendation information (§3.3-2), so the engines always see the latest
+    profiles and observational ratings in UserDB.
+    """
+
+    def __init__(
+        self,
+        user_db: UserDB,
+        catalog: ItemCatalogView,
+        similarity_config: Optional[SimilarityConfig] = None,
+        now: Optional[callable] = None,
+    ) -> None:
+        self.user_db = user_db
+        self.catalog = catalog
+        self.similarity_config = similarity_config or SimilarityConfig()
+        self.now = now if now is not None else (lambda: 0.0)
+
+        def profile_of(user_id: str) -> Optional[Profile]:
+            if not user_db.is_registered(user_id):
+                return None
+            return user_db.profile(user_id)
+
+        self.hybrid = AgentHybridRecommender(
+            ratings=user_db.ratings,
+            catalog=catalog,
+            profile_of=profile_of,
+            all_profiles=user_db.profiles,
+            similarity_config=self.similarity_config,
+        )
+        self.information_filtering = InformationFilteringRecommender(catalog, profile_of)
+        self.popularity = PopularityRecommender(user_db.ratings, catalog)
+        # §5.2 future-work extensions: weekly hottest and tied-sale suggestions.
+        self.weekly_hottest = WeeklyHottestRecommender(
+            user_db.ratings, now=self.now, catalog=catalog
+        )
+        self.cross_sell = CrossSellRecommender(user_db.ratings, catalog)
+        self.cold_start = ColdStartPolicy(
+            strategy=ColdStartStrategy.CONTENT_THEN_POPULARITY,
+            content_recommender=self.information_filtering,
+            popularity_recommender=self.popularity,
+        )
+        self.engine = RecommendationEngine(
+            primary=self.hybrid,
+            ratings=user_db.ratings,
+            fallback=self.popularity,
+        )
+
+    def recommend(
+        self, user_id: str, k: int = 10, category: Optional[str] = None
+    ) -> List[Recommendation]:
+        """Recommendations for ``user_id`` (hybrid with popularity fallback)."""
+        return self.engine.recommend(user_id, k=k, category=category)
+
+    def weekly_hottest_list(
+        self, k: int = 10, category: Optional[str] = None
+    ) -> List[Recommendation]:
+        """The weekly hottest merchandise (§5.2 future-work item 2)."""
+        return self.weekly_hottest.recommend("*community*", k=k, category=category)
+
+    def cross_sell_for(
+        self,
+        user_id: str,
+        k: int = 5,
+        category: Optional[str] = None,
+        basket: Optional[List[str]] = None,
+    ) -> List[Recommendation]:
+        """Tied-sale suggestions for an explicit basket or the purchase history."""
+        if basket:
+            return self.cross_sell.recommend_for_basket(
+                list(basket), k=k, category=category
+            )
+        return self.cross_sell.recommend(user_id, k=k, category=category)
+
+    def recommend_for_query(
+        self, user_id: str, query_items: List[Item], k: int = 10, extra: int = 5
+    ) -> List[Recommendation]:
+        """Rank live query results and append similar-consumer discoveries."""
+        known_items = [item for item in query_items if item.item_id in self.catalog]
+        unknown_items = [item for item in query_items if item.item_id not in self.catalog]
+        for item in unknown_items:
+            # Merchandise discovered at a marketplace but not yet in the local
+            # view becomes part of the recommendation catalogue from now on.
+            self.catalog.add(item)
+            known_items.append(item)
+        return self.hybrid.recommend_for_query(user_id, known_items, k=k, extra=extra)
+
+
+class BuyerAgentServer:
+    """One buyer agent server (consumer recommendation mechanism)."""
+
+    def __init__(
+        self,
+        context: AgletContext,
+        coordinator_agent_id: str,
+        catalog: Optional[ItemCatalogView] = None,
+        learning_config: Optional[LearningConfig] = None,
+        similarity_config: Optional[SimilarityConfig] = None,
+    ) -> None:
+        self.context = context
+        self.name = context.host_name
+        self.coordinator_agent_id = coordinator_agent_id
+
+        # Attach the shared services the functional agents will look up.
+        self.user_db = UserDB()
+        self.bsmdb = BSMDB()
+        self.profile_learner = ProfileLearner(learning_config)
+        context.host.attach_service("user-db", self.user_db)
+        context.host.attach_service("bsmdb", self.bsmdb)
+        context.host.attach_service("profile-learner", self.profile_learner)
+        context.host.attach_service("buyer-agent-server", self)
+
+        self.recommendations = RecommendationService(
+            self.user_db, catalog if catalog is not None else ItemCatalogView([]),
+            similarity_config, now=lambda: context.now,
+        )
+        context.host.attach_service("recommendation-service", self.recommendations)
+
+        self.bsma: Optional[BuyerServerManagementAgent] = None
+        self.httpa: Optional[HttpAgent] = None
+
+    # -- Figure 4.1 bootstrap -------------------------------------------------------
+
+    def bootstrap(self) -> None:
+        """Ask the coordinator to set this host up as a buyer agent server.
+
+        Runs the full Figure 4.1 protocol: the request travels to the CA, the
+        CA creates and dispatches a BSMA here, and the BSMA creates the PA and
+        HttpA and initialises the databases on arrival.
+        """
+        if self.bsma is not None:
+            raise RegistrationError(f"buyer agent server {self.name!r} is already bootstrapped")
+        reply = self.context.send_message(
+            self.coordinator_agent_id,
+            _creation_request(self.name),
+        )
+        if not reply.ok:
+            raise RegistrationError(f"coordinator refused to create buyer server: {reply.error}")
+        bsma_id = reply.require("bsma_id")
+        self.bsma = self.context.get_local(bsma_id)
+        self.httpa = self.context.get_local(self.bsma.httpa_id)
+
+    @property
+    def is_ready(self) -> bool:
+        return self.bsma is not None and self.bsma.initialized
+
+    # -- direct handles used by sessions, tests and benchmarks -------------------------
+
+    def http_proxy(self):
+        if self.httpa is None:
+            raise ECommerceError(f"buyer agent server {self.name!r} has not been bootstrapped")
+        return self.httpa.proxy
+
+    def online_users(self) -> List[str]:
+        return self.bsmdb.online_user_ids()
+
+    def register_consumer(self, user_id: str, display_name: str = "") -> None:
+        """Register a consumer through the normal HttpA path."""
+        reply = self.http_proxy().request(
+            MessageKinds.REGISTER, sender="browser",
+            user_id=user_id, display_name=display_name,
+        )
+        if not reply.ok:
+            raise ECommerceError(reply.error)
+
+
+def _creation_request(host: str):
+    """The Figure 4.1 step-1 message ("request to be Buyer Agent Server")."""
+    from repro.agents.messages import Message
+
+    return Message(kind=MessageKinds.CREATE_BUYER_SERVER, payload={"host": host}, sender=host)

@@ -1,0 +1,135 @@
+"""Merchandise catalogue with stock and price management.
+
+Seller servers "integrate and catalogue merchandise" (§3.2); marketplaces hold
+the listings seller agents bring them.  A :class:`MerchandiseCatalog` is the
+mutable, stock-aware store both use; recommenders see it through the read-only
+:class:`~repro.core.items.ItemCatalogView`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import CatalogError, TransactionError
+from repro.core.items import Item, ItemCatalogView
+
+__all__ = ["Listing", "MerchandiseCatalog"]
+
+
+@dataclass
+class Listing:
+    """One catalogue entry: an item plus commercial terms."""
+
+    item: Item
+    stock: int = 0
+    reserve_price: float = 0.0
+    sold: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stock < 0:
+            raise CatalogError(f"listing {self.item.item_id!r} has negative stock")
+        if self.reserve_price < 0:
+            raise CatalogError(f"listing {self.item.item_id!r} has a negative reserve price")
+        if self.reserve_price == 0.0:
+            # Default reservation: sellers will not go below 70% of list price.
+            self.reserve_price = round(self.item.price * 0.7, 2)
+
+    @property
+    def available(self) -> bool:
+        return self.stock > 0
+
+
+class MerchandiseCatalog:
+    """Stock-aware catalogue of merchandise listings."""
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self._listings: Dict[str, Listing] = {}
+
+    # -- listing management --------------------------------------------------------
+
+    def list_item(self, item: Item, stock: int = 1, reserve_price: float = 0.0) -> Listing:
+        """Add an item to the catalogue (or add stock to an existing listing)."""
+        if item.item_id in self._listings:
+            listing = self._listings[item.item_id]
+            listing.stock += stock
+            return listing
+        listing = Listing(item=item, stock=stock, reserve_price=reserve_price)
+        self._listings[item.item_id] = listing
+        return listing
+
+    def remove_item(self, item_id: str) -> None:
+        if item_id not in self._listings:
+            raise CatalogError(f"cannot remove unknown item {item_id!r}")
+        del self._listings[item_id]
+
+    def listing(self, item_id: str) -> Listing:
+        if item_id not in self._listings:
+            raise CatalogError(f"unknown item {item_id!r} in catalogue of {self.owner!r}")
+        return self._listings[item_id]
+
+    def item(self, item_id: str) -> Item:
+        return self.listing(item_id).item
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._listings
+
+    def __len__(self) -> int:
+        return len(self._listings)
+
+    def listings(self) -> List[Listing]:
+        return [self._listings[item_id] for item_id in sorted(self._listings)]
+
+    def items(self) -> List[Item]:
+        return [listing.item for listing in self.listings()]
+
+    def view(self) -> ItemCatalogView:
+        """A read-only view for the recommenders."""
+        return ItemCatalogView(self.items())
+
+    # -- search ----------------------------------------------------------------------
+
+    def search(self, keyword: str, in_stock_only: bool = True) -> List[Listing]:
+        """Keyword search over listings (name, category or descriptive term)."""
+        matches = [
+            listing
+            for listing in self.listings()
+            if listing.item.matches_keyword(keyword)
+            and (listing.available or not in_stock_only)
+        ]
+        return matches
+
+    def in_category(self, category: str, in_stock_only: bool = True) -> List[Listing]:
+        return [
+            listing
+            for listing in self.listings()
+            if listing.item.category == category
+            and (listing.available or not in_stock_only)
+        ]
+
+    # -- stock / sales ------------------------------------------------------------------
+
+    def sell(self, item_id: str, quantity: int = 1) -> Item:
+        """Decrement stock for a completed sale and return the item sold."""
+        if quantity <= 0:
+            raise TransactionError("quantity must be positive")
+        listing = self.listing(item_id)
+        if listing.stock < quantity:
+            raise TransactionError(
+                f"item {item_id!r} has only {listing.stock} in stock, wanted {quantity}"
+            )
+        listing.stock -= quantity
+        listing.sold += quantity
+        return listing.item
+
+    def restock(self, item_id: str, quantity: int) -> None:
+        if quantity <= 0:
+            raise CatalogError("restock quantity must be positive")
+        self.listing(item_id).stock += quantity
+
+    def total_stock(self) -> int:
+        return sum(listing.stock for listing in self._listings.values())
+
+    def total_sold(self) -> int:
+        return sum(listing.sold for listing in self._listings.values())

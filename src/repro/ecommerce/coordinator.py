@@ -1,0 +1,119 @@
+"""Coordinator server and Coordinator Agent (CA).
+
+"There is a Coordinator Agent (CA) in Coordinator Server.  The CA is static in
+Coordinator Server and manages an E-Commerce (EC) domain." (§3.2)
+
+The CA keeps the registry of marketplaces, seller servers and buyer agent
+servers in the domain, answers topology queries, and performs the first three
+steps of the Figure 4.1 bootstrap: on a ``CREATE_BUYER_SERVER`` request it
+creates a BSMA on the coordinator host and dispatches it to the requesting
+buyer agent server host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import RegistrationError
+from repro.agents.aglet import Aglet
+from repro.agents.context import AgletContext
+from repro.agents.messages import Message, MessageKinds, Reply
+
+__all__ = ["CoordinatorAgent", "CoordinatorServer"]
+
+
+class CoordinatorAgent(Aglet):
+    """Static agent managing the EC domain registry."""
+
+    agent_type = "CA"
+
+    def on_creation(self) -> None:
+        self.marketplaces: List[str] = []
+        self.seller_servers: List[str] = []
+        self.buyer_servers: List[str] = []
+
+    def handle_message(self, message: Message) -> Reply:
+        if message.kind == MessageKinds.SERVER_REGISTER:
+            return self._handle_register(message)
+        if message.kind == MessageKinds.CREATE_BUYER_SERVER:
+            return self._handle_create_buyer_server(message)
+        if message.kind == "platform.topology":
+            return message.reply(
+                marketplaces=list(self.marketplaces),
+                seller_servers=list(self.seller_servers),
+                buyer_servers=list(self.buyer_servers),
+                coordinator=self.location,
+            )
+        return super().handle_message(message)
+
+    def _handle_register(self, message: Message) -> Reply:
+        role = message.require("role")
+        host = message.require("host")
+        registry = {
+            "marketplace": self.marketplaces,
+            "seller": self.seller_servers,
+            "buyer-server": self.buyer_servers,
+        }.get(role)
+        if registry is None:
+            return Reply.failure(
+                message.kind, f"unknown server role {role!r}", message.correlation_id
+            )
+        if host not in registry:
+            registry.append(host)
+        self.context.transport.event_log.record(
+            self.now, "coordinator.server-registered", host, self.location, role=role,
+        )
+        return message.reply(registered=True, role=role)
+
+    def _handle_create_buyer_server(self, message: Message) -> Reply:
+        """Figure 4.1 steps 2-3: create a BSMA and dispatch it to the requester."""
+        # Imported here to avoid a circular import at module load time: the
+        # buyer agents module needs the message kinds defined above it.
+        from repro.ecommerce.buyer_agents import BuyerServerManagementAgent
+
+        target_host = message.require("host")
+        if not self.context.directory.has_context(target_host):
+            raise RegistrationError(
+                f"cannot create a buyer agent server on unknown host {target_host!r}"
+            )
+        log = self.context.transport.event_log
+        log.record(self.now, "creation.request-buyer-server", target_host, self.location)
+
+        bsma = self.context.create(
+            BuyerServerManagementAgent,
+            owner=target_host,
+            home=target_host,
+            coordinator_id=self.aglet_id,
+        )
+        log.record(self.now, "creation.bsma-created", self.location, bsma.aglet_id)
+
+        self.context.dispatch(bsma, target_host)
+        log.record(self.now, "creation.bsma-dispatched", self.location, target_host,
+                   bsma_id=bsma.aglet_id)
+
+        if target_host not in self.buyer_servers:
+            self.buyer_servers.append(target_host)
+        return message.reply(bsma_id=bsma.aglet_id)
+
+
+class CoordinatorServer:
+    """The coordinator server: one per EC domain."""
+
+    def __init__(self, context: AgletContext) -> None:
+        self.context = context
+        self.name = context.host_name
+        context.host.attach_service("coordinator-server", self)
+        self.agent = context.create(CoordinatorAgent, owner=self.name)
+
+    def register_server(self, role: str, host: str) -> None:
+        """Register a marketplace / seller / buyer server with the CA."""
+        reply = self.agent.proxy.request(
+            MessageKinds.SERVER_REGISTER, role=role, host=host, sender=self.name
+        )
+        if not reply.ok:
+            raise RegistrationError(reply.error)
+
+    def topology(self) -> Dict[str, object]:
+        """The CA's view of the EC domain."""
+        reply = self.agent.proxy.request("platform.topology", sender=self.name)
+        return dict(reply.payload)

@@ -1,0 +1,228 @@
+"""UserDB and BSMDB — the two databases of the recommendation mechanism.
+
+§3.3 of the paper:
+
+- **UserDB** "records the consumer user profile and consumer transaction
+  records."  It also holds the observational ratings store the collaborative
+  part of the mechanism needs (§2.3: "systems ... use observational ratings").
+- **BSMDB** "records the E-commerce platform's marketplaces, sell server and
+  coordinator server information.  The on-line BRA information and the
+  corresponding MBA that migrate to marketplace will also be recorded."
+
+Both are in-memory stores attached to the buyer agent server host; agents
+reach them through host services rather than holding direct references so that
+agent state stays serialisable for deactivation and migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import LoginError, UnknownUserError
+from repro.core.profile import Profile
+from repro.core.ratings import Interaction, RatingsStore
+from repro.ecommerce.transactions import TransactionRecord
+
+__all__ = ["UserRecord", "UserDB", "BSMDB"]
+
+
+@dataclass
+class UserRecord:
+    """Registration record of one consumer."""
+
+    user_id: str
+    display_name: str = ""
+    registered_at: float = 0.0
+    logins: int = 0
+    last_login_at: float = 0.0
+
+
+class UserDB:
+    """Consumer registry: profiles, transactions and observational ratings."""
+
+    def __init__(self) -> None:
+        self._users: Dict[str, UserRecord] = {}
+        self._profiles: Dict[str, Profile] = {}
+        self._transactions: Dict[str, List[TransactionRecord]] = {}
+        self.ratings = RatingsStore()
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, user_id: str, display_name: str = "", timestamp: float = 0.0) -> UserRecord:
+        """Register a consumer; registering twice is a login-protocol error."""
+        if user_id in self._users:
+            raise LoginError(f"user {user_id!r} is already registered")
+        record = UserRecord(user_id=user_id, display_name=display_name or user_id,
+                            registered_at=timestamp)
+        self._users[user_id] = record
+        self._profiles[user_id] = Profile(user_id)
+        self._transactions[user_id] = []
+        return record
+
+    def is_registered(self, user_id: str) -> bool:
+        return user_id in self._users
+
+    def user(self, user_id: str) -> UserRecord:
+        self._require(user_id)
+        return self._users[user_id]
+
+    def record_login(self, user_id: str, timestamp: float) -> None:
+        record = self.user(user_id)
+        record.logins += 1
+        record.last_login_at = timestamp
+
+    @property
+    def user_ids(self) -> List[str]:
+        return sorted(self._users)
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    # -- profiles ----------------------------------------------------------------
+
+    def profile(self, user_id: str) -> Profile:
+        self._require(user_id)
+        return self._profiles[user_id]
+
+    def store_profile(self, profile: Profile) -> None:
+        self._require(profile.user_id)
+        self._profiles[profile.user_id] = profile
+
+    def profiles(self) -> List[Profile]:
+        return [self._profiles[user_id] for user_id in sorted(self._profiles)]
+
+    # -- transactions --------------------------------------------------------------
+
+    def record_transaction(self, transaction: TransactionRecord) -> None:
+        self._require(transaction.user_id)
+        self._transactions[transaction.user_id].append(transaction)
+
+    def transactions_of(self, user_id: str) -> List[TransactionRecord]:
+        self._require(user_id)
+        return list(self._transactions[user_id])
+
+    def all_transactions(self) -> List[TransactionRecord]:
+        return [txn for records in self._transactions.values() for txn in records]
+
+    # -- behaviour -------------------------------------------------------------------
+
+    def record_interaction(self, interaction: Interaction) -> float:
+        """Record an observational rating; returns the accumulated value."""
+        self._require(interaction.user_id)
+        return self.ratings.add(interaction)
+
+    def _require(self, user_id: str) -> None:
+        if user_id not in self._users:
+            raise UnknownUserError(f"user {user_id!r} is not registered")
+
+
+@dataclass
+class MBARecord:
+    """Bookkeeping for one mobile buyer agent currently away from home."""
+
+    mba_id: str
+    owner: str
+    bra_id: str
+    task: str
+    itinerary: List[str] = field(default_factory=list)
+    dispatched_at: float = 0.0
+    returned_at: Optional[float] = None
+    authenticated: bool = False
+
+
+@dataclass
+class OnlineBRARecord:
+    """Bookkeeping for one online consumer's BRA."""
+
+    bra_id: str
+    user_id: str
+    logged_in_at: float
+    deactivated: bool = False
+
+
+class BSMDB:
+    """Buyer Server Management Database (platform topology + agent tracking)."""
+
+    def __init__(self) -> None:
+        self.coordinator: Optional[str] = None
+        self._marketplaces: List[str] = []
+        self._seller_servers: List[str] = []
+        self._online_bras: Dict[str, OnlineBRARecord] = {}
+        self._mbas: Dict[str, MBARecord] = {}
+
+    # -- platform topology ---------------------------------------------------------
+
+    def set_coordinator(self, host_name: str) -> None:
+        self.coordinator = host_name
+
+    def add_marketplace(self, host_name: str) -> None:
+        if host_name not in self._marketplaces:
+            self._marketplaces.append(host_name)
+
+    def add_seller_server(self, host_name: str) -> None:
+        if host_name not in self._seller_servers:
+            self._seller_servers.append(host_name)
+
+    @property
+    def marketplaces(self) -> List[str]:
+        return list(self._marketplaces)
+
+    @property
+    def seller_servers(self) -> List[str]:
+        return list(self._seller_servers)
+
+    # -- online BRAs -----------------------------------------------------------------
+
+    def record_bra_online(self, bra_id: str, user_id: str, timestamp: float) -> None:
+        self._online_bras[user_id] = OnlineBRARecord(bra_id, user_id, timestamp)
+
+    def record_bra_deactivated(self, user_id: str, deactivated: bool) -> None:
+        if user_id in self._online_bras:
+            self._online_bras[user_id].deactivated = deactivated
+
+    def record_bra_offline(self, user_id: str) -> None:
+        self._online_bras.pop(user_id, None)
+
+    def online_bra(self, user_id: str) -> Optional[OnlineBRARecord]:
+        return self._online_bras.get(user_id)
+
+    def online_user_ids(self) -> List[str]:
+        return sorted(self._online_bras)
+
+    # -- dispatched MBAs ----------------------------------------------------------------
+
+    def record_mba_dispatched(
+        self,
+        mba_id: str,
+        owner: str,
+        bra_id: str,
+        task: str,
+        itinerary: Iterable[str],
+        timestamp: float,
+    ) -> MBARecord:
+        record = MBARecord(
+            mba_id=mba_id,
+            owner=owner,
+            bra_id=bra_id,
+            task=task,
+            itinerary=list(itinerary),
+            dispatched_at=timestamp,
+        )
+        self._mbas[mba_id] = record
+        return record
+
+    def record_mba_returned(self, mba_id: str, timestamp: float, authenticated: bool) -> None:
+        if mba_id in self._mbas:
+            self._mbas[mba_id].returned_at = timestamp
+            self._mbas[mba_id].authenticated = authenticated
+
+    def mba(self, mba_id: str) -> Optional[MBARecord]:
+        return self._mbas.get(mba_id)
+
+    def outstanding_mbas(self) -> List[MBARecord]:
+        """MBAs dispatched but not yet returned."""
+        return [record for record in self._mbas.values() if record.returned_at is None]
+
+    def mba_history(self) -> List[MBARecord]:
+        return list(self._mbas.values())

@@ -1,0 +1,239 @@
+"""Marketplace server: where buyer and seller mobile agents trade.
+
+"Marketplace is a place that lets the Mobile Agent of the Buyer and the Mobile
+Agent of the Seller trade with each other.  And provide kinds of trading
+services such as: information query, negotiations, and auctions." (§3.2)
+
+A :class:`MarketplaceServer` owns a merchandise catalogue (stocked by seller
+agents), an auction house and a negotiation service, and hosts a static
+:class:`MarketplaceAgent` that answers the trading messages mobile agents send
+while visiting the marketplace host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CatalogError, MarketplaceError, TransactionError
+from repro.agents.aglet import Aglet
+from repro.agents.context import AgletContext
+from repro.agents.messages import Message, MessageKinds, Reply
+from repro.core.items import Item
+from repro.ecommerce.auction import AuctionHouse
+from repro.ecommerce.catalog import MerchandiseCatalog
+from repro.ecommerce.negotiation import NegotiationService
+from repro.ecommerce.transactions import TransactionKind, TransactionRecord
+
+__all__ = ["MarketplaceAgent", "MarketplaceServer"]
+
+
+class MarketplaceAgent(Aglet):
+    """Static agent answering trading requests on a marketplace host.
+
+    The agent keeps no trading state of its own: the catalogue, auction house
+    and negotiation service are host services, fetched per message, so the
+    agent itself stays trivially serialisable.
+    """
+
+    agent_type = "MarketAgent"
+
+    def on_creation(self, marketplace_name: str = "") -> None:
+        self.marketplace_name = marketplace_name or self.location
+
+    # -- host service access ----------------------------------------------------
+
+    def _server(self) -> "MarketplaceServer":
+        return self.context.host.service("marketplace-server")
+
+    # -- message handling ----------------------------------------------------------
+
+    def handle_message(self, message: Message) -> Reply:
+        server = self._server()
+        try:
+            if message.kind == MessageKinds.MARKET_QUERY:
+                return self._handle_query(server, message)
+            if message.kind == MessageKinds.MARKET_BUY:
+                return self._handle_buy(server, message)
+            if message.kind == MessageKinds.MARKET_NEGOTIATE:
+                return self._handle_negotiate(server, message)
+            if message.kind == MessageKinds.MARKET_AUCTION_BID:
+                return self._handle_auction(server, message)
+            if message.kind == MessageKinds.MARKET_CATALOG:
+                return self._handle_catalog_update(server, message)
+        except (MarketplaceError, TransactionError, CatalogError) as exc:
+            return Reply.failure(message.kind, str(exc), message.correlation_id)
+        return super().handle_message(message)
+
+    def _handle_query(self, server: "MarketplaceServer", message: Message) -> Reply:
+        keyword = message.argument("keyword", "")
+        category = message.argument("category")
+        listings = server.search(keyword=keyword, category=category)
+        results = [
+            {
+                "item": listing.item,
+                "price": listing.item.price,
+                "stock": listing.stock,
+                "marketplace": server.name,
+            }
+            for listing in listings
+        ]
+        return message.reply(results=results, marketplace=server.name)
+
+    def _handle_buy(self, server: "MarketplaceServer", message: Message) -> Reply:
+        item_id = message.require("item_id")
+        user_id = message.require("user_id")
+        transaction = server.sell_direct(item_id, user_id, timestamp=self.now)
+        return message.reply(transaction=transaction, marketplace=server.name)
+
+    def _handle_negotiate(self, server: "MarketplaceServer", message: Message) -> Reply:
+        item_id = message.require("item_id")
+        user_id = message.require("user_id")
+        max_price = float(message.require("max_price"))
+        outcome, transaction = server.negotiate_purchase(
+            item_id, user_id, max_price, timestamp=self.now
+        )
+        return message.reply(
+            agreed=outcome.agreed,
+            final_price=outcome.final_price,
+            rounds=outcome.rounds,
+            transaction=transaction,
+            marketplace=server.name,
+        )
+
+    def _handle_auction(self, server: "MarketplaceServer", message: Message) -> Reply:
+        item_id = message.require("item_id")
+        user_id = message.require("user_id")
+        max_price = float(message.require("max_price"))
+        result, transaction = server.auction_purchase(
+            item_id, user_id, max_price, timestamp=self.now
+        )
+        return message.reply(
+            won=transaction is not None,
+            winning_bid=result.winning_bid,
+            rounds=result.rounds,
+            bids=result.bids,
+            transaction=transaction,
+            marketplace=server.name,
+        )
+
+    def _handle_catalog_update(self, server: "MarketplaceServer", message: Message) -> Reply:
+        listings = message.require("listings")
+        added = 0
+        for entry in listings:
+            server.catalog.list_item(
+                entry["item"], stock=int(entry.get("stock", 1)),
+                reserve_price=float(entry.get("reserve_price", 0.0)),
+            )
+            added += 1
+        return message.reply(added=added, marketplace=server.name)
+
+
+class MarketplaceServer:
+    """One marketplace of the e-commerce platform."""
+
+    def __init__(self, context: AgletContext, seed: int = 0) -> None:
+        self.context = context
+        self.name = context.host_name
+        self.catalog = MerchandiseCatalog(owner=self.name)
+        self.auction_house = AuctionHouse(self.name, seed=seed)
+        self.negotiations = NegotiationService(self.name)
+        self.transactions: List[TransactionRecord] = []
+        context.host.attach_service("marketplace-server", self)
+        self.agent = context.create(MarketplaceAgent, owner=self.name,
+                                    marketplace_name=self.name)
+
+    # -- querying -----------------------------------------------------------------
+
+    def search(self, keyword: str = "", category: Optional[str] = None):
+        """Search the catalogue by keyword and/or category."""
+        if keyword:
+            listings = self.catalog.search(keyword)
+            if category:
+                listings = [l for l in listings if l.item.category == category]
+            return listings
+        if category:
+            return self.catalog.in_category(category)
+        return [listing for listing in self.catalog.listings() if listing.available]
+
+    # -- trading ---------------------------------------------------------------------
+
+    def sell_direct(self, item_id: str, user_id: str, timestamp: float) -> TransactionRecord:
+        """A straight purchase at list price."""
+        item = self.catalog.sell(item_id)
+        transaction = TransactionRecord.create(
+            user_id=user_id,
+            item_id=item_id,
+            marketplace=self.name,
+            kind=TransactionKind.DIRECT_PURCHASE,
+            price=item.price,
+            list_price=item.price,
+            timestamp=timestamp,
+            seller=item.seller,
+        )
+        self.transactions.append(transaction)
+        return transaction
+
+    def negotiate_purchase(
+        self, item_id: str, user_id: str, max_price: float, timestamp: float
+    ):
+        """Bargain for the item; buy it at the agreed price on success."""
+        listing = self.catalog.listing(item_id)
+        if not listing.available:
+            raise TransactionError(f"item {item_id!r} is out of stock on {self.name!r}")
+        outcome = self.negotiations.negotiate(
+            listing.item, buyer_max=max_price, seller_reserve=listing.reserve_price
+        )
+        transaction = None
+        if outcome.agreed:
+            self.catalog.sell(item_id)
+            transaction = TransactionRecord.create(
+                user_id=user_id,
+                item_id=item_id,
+                marketplace=self.name,
+                kind=TransactionKind.NEGOTIATED_PURCHASE,
+                price=outcome.final_price,
+                list_price=listing.item.price,
+                timestamp=timestamp,
+                seller=listing.item.seller,
+            )
+            self.transactions.append(transaction)
+        return outcome, transaction
+
+    def auction_purchase(
+        self, item_id: str, user_id: str, max_price: float, timestamp: float
+    ):
+        """Run an auction for the item; buy it if the consumer's agent wins."""
+        listing = self.catalog.listing(item_id)
+        if not listing.available:
+            raise TransactionError(f"item {item_id!r} is out of stock on {self.name!r}")
+        result = self.auction_house.run_auction(
+            listing.item, bidder=user_id, max_price=max_price,
+            reserve_price=listing.reserve_price,
+        )
+        transaction = None
+        if result.winner == user_id:
+            self.catalog.sell(item_id)
+            transaction = TransactionRecord.create(
+                user_id=user_id,
+                item_id=item_id,
+                marketplace=self.name,
+                kind=TransactionKind.AUCTION_WIN,
+                price=result.winning_bid,
+                list_price=listing.item.price,
+                timestamp=timestamp,
+                seller=listing.item.seller,
+            )
+            self.transactions.append(transaction)
+        return result, transaction
+
+    # -- statistics --------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "listings": float(len(self.catalog)),
+            "stock": float(self.catalog.total_stock()),
+            "sold": float(self.catalog.total_sold()),
+            "transactions": float(len(self.transactions)),
+            "auctions": float(len(self.auction_house.completed)),
+            "negotiations": float(len(self.negotiations.completed)),
+        }

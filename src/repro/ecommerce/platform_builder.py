@@ -1,0 +1,255 @@
+"""Assemble the full e-commerce platform on the simulated substrate.
+
+:func:`build_platform` wires together everything Figure 3.1 shows — a
+coordinator server, marketplaces, seller servers and a buyer agent server —
+on top of the simulated network and the Aglet-style runtime, stocks the
+marketplaces with synthetic merchandise and runs the Figure 4.1 bootstrap.
+The resulting :class:`ECommercePlatform` is the facade used by the examples,
+the integration tests and every platform-level benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ECommerceError, UnknownUserError
+from repro.agents.context import AgletContext
+from repro.agents.directory import ContextDirectory
+from repro.core.items import Item, ItemCatalogView
+from repro.core.profile_learning import LearningConfig
+from repro.core.similarity import SimilarityConfig
+from repro.platform.clock import Scheduler
+from repro.platform.events import EventLog
+from repro.platform.failure import FailureInjector
+from repro.platform.host import Host
+from repro.platform.metrics import MetricsRegistry
+from repro.platform.network import NetworkConfig, SimulatedNetwork
+from repro.platform.transport import Transport
+from repro.ecommerce.buyer_server import BuyerAgentServer
+from repro.ecommerce.coordinator import CoordinatorServer
+from repro.ecommerce.marketplace import MarketplaceServer
+from repro.ecommerce.seller import SellerServer
+from repro.ecommerce.session import ConsumerSession
+
+__all__ = ["PlatformConfig", "ECommercePlatform", "build_platform"]
+
+
+@dataclass
+class PlatformConfig:
+    """Shape of the platform to build.
+
+    Attributes:
+        num_marketplaces: how many marketplace servers to create.
+        num_sellers: how many seller servers to create.
+        items_per_seller: synthetic merchandise generated per seller.
+        stock_per_item: initial stock of every listing.
+        replicate_listings: when True every seller lists on every marketplace;
+            when False sellers are spread round-robin so different
+            marketplaces carry different merchandise (which is what makes
+            multi-marketplace itineraries worthwhile, capability CAP-2).
+        seed: master seed for the synthetic catalogue and the network model.
+        network: network latency/loss parameters.
+        learning: profile-learning parameters of the mechanism.
+        similarity: similarity-algorithm parameters of the mechanism.
+    """
+
+    num_marketplaces: int = 2
+    num_sellers: int = 2
+    items_per_seller: int = 30
+    stock_per_item: int = 25
+    replicate_listings: bool = False
+    seed: int = 0
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    learning: LearningConfig = field(default_factory=LearningConfig)
+    similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
+
+    def validate(self) -> None:
+        if self.num_marketplaces <= 0:
+            raise ECommerceError("the platform needs at least one marketplace")
+        if self.num_sellers <= 0:
+            raise ECommerceError("the platform needs at least one seller server")
+        if self.items_per_seller <= 0:
+            raise ECommerceError("items_per_seller must be positive")
+        if self.stock_per_item <= 0:
+            raise ECommerceError("stock_per_item must be positive")
+
+
+class ECommercePlatform:
+    """The assembled platform: servers, substrate handles and consumer entry points."""
+
+    def __init__(self, config: PlatformConfig) -> None:
+        config.validate()
+        self.config = config
+
+        # -- simulation substrate ------------------------------------------------
+        self.scheduler = Scheduler()
+        network_config = NetworkConfig(
+            base_latency_ms=config.network.base_latency_ms,
+            local_latency_ms=config.network.local_latency_ms,
+            bandwidth_kb_per_ms=config.network.bandwidth_kb_per_ms,
+            jitter_ms=config.network.jitter_ms,
+            loss_probability=config.network.loss_probability,
+            seed=config.seed,
+        )
+        self.network = SimulatedNetwork(network_config)
+        self.event_log = EventLog()
+        self.metrics = MetricsRegistry()
+        self.transport = Transport(self.network, self.scheduler, self.event_log, self.metrics)
+        self.directory = ContextDirectory()
+        self.failures = FailureInjector(self.network, self.scheduler)
+        self.hosts: Dict[str, Host] = {}
+
+        # -- servers ---------------------------------------------------------------
+        self.coordinator = self._build_coordinator()
+        self.marketplaces: List[MarketplaceServer] = [
+            self._build_marketplace(index) for index in range(config.num_marketplaces)
+        ]
+        self.sellers: List[SellerServer] = [
+            self._build_seller(index) for index in range(config.num_sellers)
+        ]
+        self._stock_sellers_and_marketplaces()
+        self.buyer_server = self._build_buyer_server()
+
+        self._sessions: Dict[str, ConsumerSession] = {}
+
+    # -- construction helpers -------------------------------------------------------
+
+    def _new_host(self, name: str) -> Host:
+        host = Host(name, self.network, self.scheduler)
+        host.start()
+        self.hosts[name] = host
+        self.failures.register_host(host)
+        return host
+
+    def _new_context(self, host: Host) -> AgletContext:
+        return AgletContext(host, self.transport, self.directory)
+
+    def _build_coordinator(self) -> CoordinatorServer:
+        host = self._new_host("coordinator")
+        return CoordinatorServer(self._new_context(host))
+
+    def _build_marketplace(self, index: int) -> MarketplaceServer:
+        name = f"marketplace-{index + 1}"
+        host = self._new_host(name)
+        server = MarketplaceServer(self._new_context(host), seed=self.config.seed + index)
+        self.coordinator.register_server("marketplace", name)
+        return server
+
+    def _build_seller(self, index: int) -> SellerServer:
+        name = f"seller-{index + 1}"
+        host = self._new_host(name)
+        server = SellerServer(self._new_context(host))
+        self.coordinator.register_server("seller", name)
+        return server
+
+    def _stock_sellers_and_marketplaces(self) -> None:
+        """Generate synthetic merchandise and list it on the marketplaces."""
+        from repro.workload.products import ProductGenerator
+
+        generator = ProductGenerator(seed=self.config.seed)
+        for index, seller in enumerate(self.sellers):
+            items = generator.generate(
+                count=self.config.items_per_seller, seller=seller.name
+            )
+            seller.add_all(items, stock=self.config.stock_per_item)
+            if self.config.replicate_listings:
+                targets = [marketplace.name for marketplace in self.marketplaces]
+            else:
+                marketplace = self.marketplaces[index % len(self.marketplaces)]
+                targets = [marketplace.name]
+            for target in targets:
+                seller.list_on_marketplace(target)
+
+    def _build_buyer_server(self) -> BuyerAgentServer:
+        host = self._new_host("buyer-agent-server")
+        context = self._new_context(host)
+        server = BuyerAgentServer(
+            context,
+            coordinator_agent_id=self.coordinator.agent.aglet_id,
+            catalog=self.catalog_view(),
+            learning_config=self.config.learning,
+            similarity_config=self.config.similarity,
+        )
+        self.coordinator.register_server("buyer-server", host.name)
+        server.bootstrap()
+        return server
+
+    # -- consumer entry points -----------------------------------------------------------
+
+    def register_consumer(self, user_id: str, display_name: str = "") -> None:
+        """Register a consumer with the recommendation mechanism."""
+        self.buyer_server.register_consumer(user_id, display_name)
+
+    def login(self, user_id: str, register: bool = True) -> ConsumerSession:
+        """Log a consumer in and return their session.
+
+        With ``register=True`` (the default) unknown consumers are registered
+        first, which is what the examples and most tests want.
+        """
+        if register and not self.buyer_server.user_db.is_registered(user_id):
+            self.register_consumer(user_id)
+        session = ConsumerSession(self.buyer_server, user_id)
+        session.login()
+        self._sessions[user_id] = session
+        return session
+
+    def session(self, user_id: str) -> ConsumerSession:
+        if user_id not in self._sessions:
+            raise UnknownUserError(f"no session has been opened for {user_id!r}")
+        return self._sessions[user_id]
+
+    # -- platform-wide views --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.clock.now
+
+    def marketplace_names(self) -> List[str]:
+        return [marketplace.name for marketplace in self.marketplaces]
+
+    def catalog_view(self) -> ItemCatalogView:
+        """A read-only view over every item any seller catalogues."""
+        items: List[Item] = []
+        for seller in self.sellers:
+            items.extend(seller.catalog.items())
+        return ItemCatalogView(items)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate platform statistics used by benchmarks and examples."""
+        return {
+            "now_ms": self.now,
+            "network": self.network.stats(),
+            "metrics": self.metrics.snapshot(),
+            "marketplaces": {m.name: m.stats() for m in self.marketplaces},
+            "consumers": len(self.buyer_server.user_db),
+            "online": self.buyer_server.online_users(),
+        }
+
+
+def build_platform(
+    num_marketplaces: int = 2,
+    num_sellers: int = 2,
+    items_per_seller: int = 30,
+    seed: int = 0,
+    config: Optional[PlatformConfig] = None,
+    **overrides,
+) -> ECommercePlatform:
+    """Build a ready-to-use e-commerce platform.
+
+    Either pass a full :class:`PlatformConfig` via ``config`` or use the
+    keyword shortcuts; extra keyword arguments are applied to the config as
+    attribute overrides (e.g. ``replicate_listings=True``).
+    """
+    if config is None:
+        config = PlatformConfig(
+            num_marketplaces=num_marketplaces,
+            num_sellers=num_sellers,
+            items_per_seller=items_per_seller,
+            seed=seed,
+        )
+    for key, value in overrides.items():
+        if not hasattr(config, key):
+            raise ECommerceError(f"unknown platform configuration option {key!r}")
+        setattr(config, key, value)
+    return ECommercePlatform(config)

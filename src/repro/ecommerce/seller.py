@@ -1,0 +1,133 @@
+"""Seller servers and their agents.
+
+"Seller Server stands for the seller and merchandise provider.  The seller
+server's function contains integrating and cataloging merchandise." (§3.2)
+
+A :class:`SellerServer` keeps its own master catalogue and lists merchandise
+on marketplaces through :class:`MobileSellerAgent` (MSA) instances: the MSA
+migrates to the marketplace carrying the listings and hands them to the
+marketplace agent there — the seller-side mirror of the buyer's MBA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ECommerceError
+from repro.agents.aglet import Aglet
+from repro.agents.context import AgletContext
+from repro.agents.messages import Message, MessageKinds, Reply
+from repro.core.items import Item
+from repro.ecommerce.catalog import MerchandiseCatalog
+
+__all__ = ["SellerAgent", "MobileSellerAgent", "SellerServer"]
+
+
+class SellerAgent(Aglet):
+    """Static agent managing a seller server's master catalogue."""
+
+    agent_type = "SA"
+
+    def on_creation(self, seller_name: str = "") -> None:
+        self.seller_name = seller_name or self.location
+
+    def _server(self) -> "SellerServer":
+        return self.context.host.service("seller-server")
+
+    def handle_message(self, message: Message) -> Reply:
+        if message.kind == MessageKinds.MARKET_CATALOG:
+            # A marketplace (or test) asking what this seller offers.
+            server = self._server()
+            return message.reply(
+                listings=[
+                    {"item": listing.item, "stock": listing.stock,
+                     "reserve_price": listing.reserve_price}
+                    for listing in server.catalog.listings()
+                ],
+                seller=server.name,
+            )
+        return super().handle_message(message)
+
+
+class MobileSellerAgent(Aglet):
+    """Mobile agent carrying listings from a seller server to a marketplace."""
+
+    agent_type = "MSA"
+
+    def on_creation(self, listings: Optional[List[Dict]] = None, home: str = "") -> None:
+        self.listings = list(listings or [])
+        self.home = home
+        self.delivered_to: List[str] = []
+
+    def deliver_listings(self) -> int:
+        """Hand the carried listings to the marketplace agent on this host."""
+        market_agents = self.context.active_aglets("MarketAgent")
+        if not market_agents:
+            raise ECommerceError(
+                f"MSA {self.aglet_id} arrived on {self.location!r} but found no marketplace agent"
+            )
+        reply = self.send_to(
+            market_agents[0], MessageKinds.MARKET_CATALOG, listings=self.listings
+        )
+        if not reply.ok:
+            raise ECommerceError(f"marketplace rejected listings: {reply.error}")
+        self.delivered_to.append(self.location)
+        return int(reply.value("added", 0))
+
+
+class SellerServer:
+    """One merchandise provider of the e-commerce platform."""
+
+    def __init__(self, context: AgletContext) -> None:
+        self.context = context
+        self.name = context.host_name
+        self.catalog = MerchandiseCatalog(owner=self.name)
+        context.host.attach_service("seller-server", self)
+        self.agent = context.create(SellerAgent, owner=self.name, seller_name=self.name)
+        self.listed_on: List[str] = []
+
+    # -- catalogue management ---------------------------------------------------------
+
+    def add_merchandise(self, item: Item, stock: int = 1, reserve_price: float = 0.0) -> None:
+        """Add one item to the seller's master catalogue."""
+        if item.seller and item.seller != self.name:
+            raise ECommerceError(
+                f"item {item.item_id!r} belongs to seller {item.seller!r}, "
+                f"cannot be catalogued by {self.name!r}"
+            )
+        self.catalog.list_item(item, stock=stock, reserve_price=reserve_price)
+
+    def add_all(self, items: Iterable[Item], stock: int = 1) -> int:
+        count = 0
+        for item in items:
+            self.add_merchandise(item, stock=stock)
+            count += 1
+        return count
+
+    # -- marketplace listing -------------------------------------------------------------
+
+    def list_on_marketplace(self, marketplace_host: str) -> int:
+        """Send an MSA to ``marketplace_host`` carrying the full catalogue.
+
+        Returns the number of listings the marketplace accepted.
+        """
+        listings = [
+            {"item": listing.item, "stock": listing.stock,
+             "reserve_price": listing.reserve_price}
+            for listing in self.catalog.listings()
+        ]
+        if not listings:
+            return 0
+        msa = self.context.create(
+            MobileSellerAgent, owner=self.name, listings=listings, home=self.name
+        )
+        self.context.dispatch(msa, marketplace_host)
+        remote_context = self.context.directory.context_for(marketplace_host)
+        remote_msa = remote_context.get_local(msa.aglet_id)
+        added = remote_msa.deliver_listings()
+        # The MSA's job is done; retract it home and dispose of it.
+        self.context.retract(msa.aglet_id)
+        self.context.dispose(self.context.get_local(msa.aglet_id))
+        if marketplace_host not in self.listed_on:
+            self.listed_on.append(marketplace_host)
+        return added

@@ -1,0 +1,222 @@
+"""Consumer-facing session API.
+
+"Consumers can connect to the consumer recommend mechanism through browser
+with PC or Notebook." (§3.2)  A :class:`ConsumerSession` plays the role of
+that browser: it talks exclusively to the HttpA agent of one buyer agent
+server and exposes the operations the paper's workflows cover — merchandise
+query, direct purchase, auction, negotiation, recommendations — as plain
+Python methods returning plain result objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import SessionError
+from repro.agents.messages import MessageKinds
+from repro.core.items import Item
+from repro.core.recommender import Recommendation
+from repro.ecommerce.transactions import TransactionRecord
+
+__all__ = ["QueryResult", "TradeResult", "ConsumerSession"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One merchandise search hit returned to the consumer."""
+
+    item: Item
+    price: float
+    marketplace: str
+    stock: int
+
+    @property
+    def item_id(self) -> str:
+        return self.item.item_id
+
+
+@dataclass(frozen=True)
+class TradeResult:
+    """Outcome of a buy / auction / negotiation request."""
+
+    succeeded: bool
+    transaction: Optional[TransactionRecord]
+    outcome: Dict[str, Any]
+    recommendations: List[Recommendation] = field(default_factory=list)
+
+    @property
+    def price_paid(self) -> Optional[float]:
+        return self.transaction.price if self.transaction else None
+
+
+class ConsumerSession:
+    """A logged-in consumer's handle onto the recommendation mechanism."""
+
+    def __init__(self, buyer_server: "BuyerAgentServer", user_id: str) -> None:
+        self._server = buyer_server
+        self.user_id = user_id
+        self._active = False
+        self.last_query_results: List[QueryResult] = []
+        self.last_recommendations: List[Recommendation] = []
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def login(self) -> "ConsumerSession":
+        """Log in: the mechanism creates this consumer's BRA (§4.1-1)."""
+        if self._active:
+            raise SessionError(f"session for {self.user_id!r} is already active")
+        reply = self._request(MessageKinds.LOGIN)
+        self.bra_id = reply.require("bra_id")
+        self._active = True
+        return self
+
+    def logout(self) -> None:
+        """Log out: the mechanism disposes of this consumer's BRA (§4.1-1)."""
+        self._require_active()
+        self._request(MessageKinds.LOGOUT)
+        self._active = False
+
+    @property
+    def is_active(self) -> bool:
+        return self._active
+
+    def __enter__(self) -> "ConsumerSession":
+        if not self._active:
+            self.login()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._active:
+            self.logout()
+
+    # -- workflows -----------------------------------------------------------------
+
+    def query(
+        self,
+        keyword: str,
+        category: Optional[str] = None,
+        marketplaces: Optional[List[str]] = None,
+    ) -> List[QueryResult]:
+        """Figure 4.2: query merchandise across the marketplaces.
+
+        The returned list is what the MBA found; the accompanying
+        recommendation information is available via
+        :attr:`last_recommendations` or :meth:`recommendations`.
+        """
+        self._require_active()
+        payload: Dict[str, Any] = {"keyword": keyword}
+        if category is not None:
+            payload["category"] = category
+        if marketplaces is not None:
+            payload["marketplaces"] = marketplaces
+        reply = self._request(MessageKinds.QUERY, **payload)
+        self.last_query_results = [
+            QueryResult(
+                item=entry["item"],
+                price=float(entry.get("price", entry["item"].price)),
+                marketplace=entry.get("marketplace", ""),
+                stock=int(entry.get("stock", 0)),
+            )
+            for entry in reply.value("results", [])
+        ]
+        self.last_recommendations = list(reply.value("recommendations", []))
+        return self.last_query_results
+
+    def buy(self, item: Item, marketplace: Optional[str] = None) -> TradeResult:
+        """Figure 4.3: buy an item at list price."""
+        return self._trade(MessageKinds.BUY, item, marketplace=marketplace)
+
+    def join_auction(
+        self, item: Item, max_price: float, marketplace: Optional[str] = None
+    ) -> TradeResult:
+        """Figure 4.3: join the auction for an item, bidding up to ``max_price``."""
+        return self._trade(
+            MessageKinds.AUCTION_JOIN, item, marketplace=marketplace, max_price=max_price
+        )
+
+    def negotiate(
+        self, item: Item, max_price: float, marketplace: Optional[str] = None
+    ) -> TradeResult:
+        """Figure 4.3 variant: bargain for the item up to ``max_price``."""
+        return self._trade(
+            MessageKinds.NEGOTIATE, item, marketplace=marketplace, max_price=max_price
+        )
+
+    def recommendations(
+        self, k: int = 10, category: Optional[str] = None
+    ) -> List[Recommendation]:
+        """Stand-alone recommendation request (no marketplace round trip)."""
+        self._require_active()
+        reply = self._request(MessageKinds.RECOMMENDATIONS, k=k, category=category)
+        self.last_recommendations = list(reply.value("recommendations", []))
+        return self.last_recommendations
+
+    def rate(self, item: Item, rating: float) -> float:
+        """Explicitly rate merchandise on a 0-5 scale; updates the profile."""
+        self._require_active()
+        reply = self._request(MessageKinds.RATE, item=item, rating=rating)
+        return float(reply.value("rating", rating))
+
+    def weekly_hottest(
+        self, k: int = 10, category: Optional[str] = None
+    ) -> List[Recommendation]:
+        """The community-wide weekly hottest merchandise (§5.2 extension)."""
+        self._require_active()
+        reply = self._request(MessageKinds.HOTTEST, k=k, category=category)
+        return list(reply.value("recommendations", []))
+
+    def cross_sell(
+        self,
+        k: int = 5,
+        category: Optional[str] = None,
+        basket: Optional[List[str]] = None,
+    ) -> List[Recommendation]:
+        """Tied-sale suggestions for a basket of item ids or past purchases."""
+        self._require_active()
+        payload: Dict[str, Any] = {"k": k}
+        if category is not None:
+            payload["category"] = category
+        if basket is not None:
+            payload["basket"] = list(basket)
+        reply = self._request(MessageKinds.CROSS_SELL, **payload)
+        return list(reply.value("recommendations", []))
+
+    # -- internals --------------------------------------------------------------------
+
+    def _trade(
+        self,
+        kind: str,
+        item: Item,
+        marketplace: Optional[str] = None,
+        max_price: Optional[float] = None,
+    ) -> TradeResult:
+        self._require_active()
+        payload: Dict[str, Any] = {"item": item}
+        if marketplace is not None:
+            payload["marketplace"] = marketplace
+        if max_price is not None:
+            payload["max_price"] = max_price
+        reply = self._request(kind, **payload)
+        result = TradeResult(
+            succeeded=bool(reply.value("succeeded", False)),
+            transaction=reply.value("transaction"),
+            outcome=dict(reply.value("outcome", {})),
+            recommendations=list(reply.value("recommendations", [])),
+        )
+        self.last_recommendations = result.recommendations
+        return result
+
+    def _request(self, kind: str, **payload: Any):
+        reply = self._server.http_proxy().request(
+            kind, sender=f"browser:{self.user_id}", user_id=self.user_id, **payload
+        )
+        if not reply.ok:
+            raise SessionError(reply.error)
+        return reply
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise SessionError(
+                f"session for {self.user_id!r} is not active; call login() first"
+            )

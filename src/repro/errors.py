@@ -1,0 +1,162 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class at the public API boundary.  The hierarchy
+mirrors the subsystems: platform errors (simulation substrate), agent errors
+(Aglet runtime), e-commerce errors (servers and trading protocols) and
+recommendation errors (profiles, similarity, engines).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Platform / simulation substrate
+# ---------------------------------------------------------------------------
+
+
+class PlatformError(ReproError):
+    """Base class for errors in the simulated platform layer."""
+
+
+class ClockError(PlatformError):
+    """Raised when the simulation clock is driven backwards or misused."""
+
+
+class NetworkError(PlatformError):
+    """Raised when a network transfer cannot be completed."""
+
+
+class HostUnreachableError(NetworkError):
+    """Raised when the destination host is unknown, down or partitioned."""
+
+
+class LinkDownError(NetworkError):
+    """Raised when the link between two hosts has been administratively cut."""
+
+
+class TransferDroppedError(NetworkError):
+    """Raised when a transfer is dropped by the loss model."""
+
+
+class HostError(PlatformError):
+    """Raised for invalid host operations (double start, crash while down...)."""
+
+
+# ---------------------------------------------------------------------------
+# Agent runtime
+# ---------------------------------------------------------------------------
+
+
+class AgentError(ReproError):
+    """Base class for errors in the Aglet-style agent runtime."""
+
+
+class AgentLifecycleError(AgentError):
+    """Raised when an operation is illegal for the agent's current state."""
+
+
+class AgentNotFoundError(AgentError):
+    """Raised when an agent id cannot be resolved in a context or directory."""
+
+
+class DispatchError(AgentError):
+    """Raised when an agent cannot be dispatched to the requested host."""
+
+
+class RetractionError(AgentError):
+    """Raised when a remote agent cannot be retracted to its origin."""
+
+
+class MessageDeliveryError(AgentError):
+    """Raised when a message cannot be delivered to its destination agent."""
+
+
+class MessageTimeoutError(MessageDeliveryError):
+    """Raised when a request does not receive a reply within its deadline."""
+
+
+class SerializationError(AgentError):
+    """Raised when agent state cannot be captured or restored for migration."""
+
+
+class AuthenticationError(AgentError):
+    """Raised when a returning mobile agent fails authentication (§4.1-2)."""
+
+
+# ---------------------------------------------------------------------------
+# E-commerce platform
+# ---------------------------------------------------------------------------
+
+
+class ECommerceError(ReproError):
+    """Base class for errors raised by the e-commerce platform layer."""
+
+
+class RegistrationError(ECommerceError):
+    """Raised when a server cannot register with the coordinator (Fig. 4.1)."""
+
+
+class UnknownUserError(ECommerceError):
+    """Raised when an operation references a consumer that never registered."""
+
+
+class LoginError(ECommerceError):
+    """Raised for login/logout protocol violations (duplicate login, bad password)."""
+
+
+class CatalogError(ECommerceError):
+    """Raised for invalid catalogue operations (unknown item, bad price)."""
+
+
+class MarketplaceError(ECommerceError):
+    """Raised when a marketplace cannot satisfy a trading request."""
+
+
+class AuctionError(MarketplaceError):
+    """Raised for invalid auction operations (bid below reserve, closed auction)."""
+
+
+class NegotiationError(MarketplaceError):
+    """Raised when a negotiation protocol step is invalid."""
+
+
+class TransactionError(ECommerceError):
+    """Raised when a purchase cannot be completed (no stock, no funds)."""
+
+
+class SessionError(ECommerceError):
+    """Raised when a consumer session is used after logout or before login."""
+
+
+# ---------------------------------------------------------------------------
+# Recommendation core
+# ---------------------------------------------------------------------------
+
+
+class RecommendationError(ReproError):
+    """Base class for errors in the recommendation core."""
+
+
+class ProfileError(RecommendationError):
+    """Raised for structurally invalid profiles or profile updates."""
+
+
+class SimilarityError(RecommendationError):
+    """Raised when similarity cannot be computed (empty profiles, bad config)."""
+
+
+class ColdStartError(RecommendationError):
+    """Raised when a recommender has no data at all for the requested user."""
+
+
+class WorkloadError(ReproError):
+    """Raised by the synthetic workload generators for invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for mis-configured experiments."""

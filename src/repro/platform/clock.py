@@ -1,0 +1,174 @@
+"""Simulation clock and cooperative event scheduler.
+
+The entire platform shares one :class:`SimulationClock`.  Network transfers,
+agent hand-offs and timed work advance the clock; wall-clock time never leaks
+into the simulation, which keeps every test and benchmark deterministic.
+
+The :class:`Scheduler` is a thin priority-queue driver over the clock.  It is
+intentionally simple: callbacks scheduled at a simulated time, executed in
+timestamp order (FIFO among equal timestamps).  The agent runtime builds its
+request/response semantics on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+import heapq
+import itertools
+
+from repro.errors import ClockError
+
+__all__ = ["SimulationClock", "Scheduler", "ScheduledCallback"]
+
+
+class SimulationClock:
+    """Monotonic simulated clock measured in (fractional) milliseconds.
+
+    The unit choice matches the paper's setting: network hops between agent
+    servers are milliseconds-scale, so latencies read naturally.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError("clock cannot start at a negative time")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp``.
+
+        Moving backwards is a programming error and raises :class:`ClockError`.
+        Advancing to the current time is a no-op and is allowed, because many
+        events legitimately share a timestamp.
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: now={self._now}, target={timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def advance_by(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` milliseconds."""
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by a negative delta: {delta}")
+        return self.advance_to(self._now + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulationClock(now={self._now:.3f}ms)"
+
+
+@dataclass(order=True)
+class ScheduledCallback:
+    """A callback queued for execution at a simulated timestamp."""
+
+    timestamp: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the callback so the scheduler skips it when it fires."""
+        self.cancelled = True
+
+
+class Scheduler:
+    """Priority-queue driver executing callbacks in simulated-time order."""
+
+    def __init__(self, clock: Optional[SimulationClock] = None) -> None:
+        self.clock = clock if clock is not None else SimulationClock()
+        self._queue: List[ScheduledCallback] = []
+        self._sequence = itertools.count()
+        self._executed = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def call_at(
+        self, timestamp: float, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledCallback:
+        """Schedule ``callback`` to run at absolute simulated ``timestamp``.
+
+        Timestamps in the past are clamped to *now*: the event still runs, in
+        submission order, which mirrors how a real runtime handles work that
+        was already due.
+        """
+        when = max(timestamp, self.clock.now)
+        entry = ScheduledCallback(when, next(self._sequence), callback, label)
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def call_after(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledCallback:
+        """Schedule ``callback`` to run ``delay`` milliseconds from now."""
+        if delay < 0:
+            raise ClockError(f"cannot schedule an event with negative delay: {delay}")
+        return self.call_at(self.clock.now + delay, callback, label)
+
+    # -- execution ----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of callbacks still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def executed(self) -> int:
+        """Number of callbacks executed since construction."""
+        return self._executed
+
+    def step(self) -> bool:
+        """Run the next queued callback; return ``False`` when queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self.clock.advance_to(entry.timestamp)
+            entry.callback()
+            self._executed += 1
+            return True
+        return False
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run callbacks until the queue drains; return how many executed.
+
+        ``max_events`` guards against accidental infinite event loops in tests;
+        exceeding it raises :class:`ClockError`.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise ClockError(
+                    f"scheduler exceeded {max_events} events; likely an event loop"
+                )
+        return executed
+
+    def run_until(self, timestamp: float, max_events: int = 1_000_000) -> int:
+        """Run callbacks whose timestamp is <= ``timestamp``; advance the clock.
+
+        The clock always ends at ``timestamp`` even if fewer events were due.
+        """
+        executed = 0
+        while self._queue:
+            entry = self._queue[0]
+            if entry.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if entry.timestamp > timestamp:
+                break
+            self.step()
+            executed += 1
+            if executed > max_events:
+                raise ClockError(
+                    f"scheduler exceeded {max_events} events; likely an event loop"
+                )
+        if timestamp > self.clock.now:
+            self.clock.advance_to(timestamp)
+        return executed

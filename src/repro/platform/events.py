@@ -1,0 +1,125 @@
+"""Event records and an inspectable event queue.
+
+The scheduler in :mod:`repro.platform.clock` executes callbacks; the classes
+here provide a *recorded* view of what happened so that the workflow
+benchmarks (Figures 4.2 and 4.3 of the paper) can assert the exact message
+sequence between agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+import heapq
+import itertools
+
+__all__ = ["Event", "EventQueue", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable record of something that happened in the simulation."""
+
+    timestamp: float
+    category: str
+    source: str
+    target: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable one-line description used by example scripts."""
+        return (
+            f"[{self.timestamp:10.3f}ms] {self.category:<22s} "
+            f"{self.source} -> {self.target}"
+        )
+
+
+class EventQueue:
+    """A small priority queue of :class:`Event` ordered by timestamp.
+
+    Used by workload generators to feed behaviour traces into the platform in
+    simulated-time order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Any] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, (event.timestamp, next(self._counter), event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> Optional[Event]:
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Drain the queue in timestamp order."""
+        while self._heap:
+            yield self.pop()
+
+
+class EventLog:
+    """Append-only log of events with simple query helpers.
+
+    The buyer agent server and the marketplaces record every protocol step
+    here; integration tests assert the numbered sequences from Figures 4.1,
+    4.2 and 4.3 against it.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def record(
+        self,
+        timestamp: float,
+        category: str,
+        source: str,
+        target: str,
+        **payload: Any,
+    ) -> Event:
+        event = Event(timestamp, category, source, target, dict(payload))
+        self._events.append(event)
+        return event
+
+    def append(self, event: Event) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def by_category(self, category: str) -> List[Event]:
+        return [e for e in self._events if e.category == category]
+
+    def involving(self, participant: str) -> List[Event]:
+        return [
+            e for e in self._events if participant in (e.source, e.target)
+        ]
+
+    def categories(self) -> List[str]:
+        """The sequence of event categories in record order."""
+        return [e.category for e in self._events]
+
+    def between(self, start: float, end: float) -> List[Event]:
+        return [e for e in self._events if start <= e.timestamp <= end]
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,110 @@
+"""Failure injection for the simulated platform.
+
+The paper motivates mobile agents with robustness and fault tolerance (§1).
+This module lets tests and benchmarks script failures against the simulated
+platform: host crashes and recoveries, link cuts and partitions, either
+immediately or at scheduled simulated times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import PlatformError
+from repro.platform.clock import Scheduler
+from repro.platform.host import Host
+from repro.platform.network import SimulatedNetwork
+
+__all__ = ["FailureAction", "FailurePlan", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureAction:
+    """One scripted failure (or repair) at a simulated time."""
+
+    at_ms: float
+    kind: str  # "crash-host" | "recover-host" | "cut-link" | "restore-link"
+    target: Tuple[str, ...]
+
+
+@dataclass
+class FailurePlan:
+    """An ordered list of scripted failures."""
+
+    actions: List[FailureAction] = field(default_factory=list)
+
+    def crash_host(self, at_ms: float, host: str) -> "FailurePlan":
+        self.actions.append(FailureAction(at_ms, "crash-host", (host,)))
+        return self
+
+    def recover_host(self, at_ms: float, host: str) -> "FailurePlan":
+        self.actions.append(FailureAction(at_ms, "recover-host", (host,)))
+        return self
+
+    def cut_link(self, at_ms: float, source: str, destination: str) -> "FailurePlan":
+        self.actions.append(FailureAction(at_ms, "cut-link", (source, destination)))
+        return self
+
+    def restore_link(self, at_ms: float, source: str, destination: str) -> "FailurePlan":
+        self.actions.append(FailureAction(at_ms, "restore-link", (source, destination)))
+        return self
+
+
+class FailureInjector:
+    """Applies immediate or scheduled failures to hosts and the network."""
+
+    def __init__(self, network: SimulatedNetwork, scheduler: Scheduler) -> None:
+        self.network = network
+        self.scheduler = scheduler
+        self._hosts: dict[str, Host] = {}
+
+    def register_host(self, host: Host) -> None:
+        self._hosts[host.name] = host
+
+    # -- immediate actions --------------------------------------------------
+
+    def crash_host(self, name: str) -> None:
+        host = self._lookup(name)
+        host.crash()
+
+    def recover_host(self, name: str) -> None:
+        host = self._lookup(name)
+        host.recover()
+
+    def cut_link(self, source: str, destination: str) -> None:
+        self.network.cut_link(source, destination)
+
+    def restore_link(self, source: str, destination: str) -> None:
+        self.network.restore_link(source, destination)
+
+    def partition(self, group_a: List[str], group_b: List[str]) -> None:
+        self.network.partition(group_a, group_b)
+
+    def heal(self) -> None:
+        self.network.heal_partitions()
+
+    # -- scheduled plans ----------------------------------------------------
+
+    def apply_plan(self, plan: FailurePlan) -> None:
+        """Schedule every action of ``plan`` on the simulation scheduler."""
+        for action in plan.actions:
+            self._schedule(action)
+
+    def _schedule(self, action: FailureAction) -> None:
+        if action.kind == "crash-host":
+            callback = lambda name=action.target[0]: self.crash_host(name)
+        elif action.kind == "recover-host":
+            callback = lambda name=action.target[0]: self.recover_host(name)
+        elif action.kind == "cut-link":
+            callback = lambda pair=action.target: self.cut_link(pair[0], pair[1])
+        elif action.kind == "restore-link":
+            callback = lambda pair=action.target: self.restore_link(pair[0], pair[1])
+        else:
+            raise PlatformError(f"unknown failure action kind {action.kind!r}")
+        self.scheduler.call_at(action.at_ms, callback, label=f"failure.{action.kind}")
+
+    def _lookup(self, name: str) -> Host:
+        if name not in self._hosts:
+            raise PlatformError(f"host {name!r} is not registered with the failure injector")
+        return self._hosts[name]

@@ -1,0 +1,97 @@
+"""Simulated hosts (machines) of the platform.
+
+A :class:`Host` stands for one machine of the paper's testbed: the coordinator
+server, a marketplace, a buyer agent server or a seller server.  A host owns a
+name on the network, a lifecycle state and a bag of named services (the agent
+context, databases, catalogues ... are attached by the layers above so the
+platform layer stays free of upward dependencies).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional
+
+from repro.errors import HostError
+from repro.platform.clock import Scheduler
+from repro.platform.network import SimulatedNetwork
+
+__all__ = ["HostState", "Host"]
+
+
+class HostState(enum.Enum):
+    """Lifecycle of a simulated machine."""
+
+    STOPPED = "stopped"
+    RUNNING = "running"
+    CRASHED = "crashed"
+
+
+class Host:
+    """A simulated machine attached to the shared network and scheduler."""
+
+    def __init__(self, name: str, network: SimulatedNetwork, scheduler: Scheduler) -> None:
+        if not name:
+            raise HostError("host name must be non-empty")
+        self.name = name
+        self.network = network
+        self.scheduler = scheduler
+        self.state = HostState.STOPPED
+        self._services: Dict[str, Any] = {}
+        network.register_host(name)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bring the host online (idempotent for already-running hosts)."""
+        if self.state is HostState.RUNNING:
+            return
+        self.state = HostState.RUNNING
+        self.network.bring_host_up(self.name)
+
+    def stop(self) -> None:
+        """Graceful shutdown: the host leaves the network cleanly."""
+        if self.state is not HostState.RUNNING:
+            raise HostError(f"cannot stop host {self.name!r} in state {self.state.value}")
+        self.state = HostState.STOPPED
+        self.network.take_host_down(self.name)
+
+    def crash(self) -> None:
+        """Abrupt failure used by the failure-injection tests."""
+        if self.state is not HostState.RUNNING:
+            raise HostError(f"cannot crash host {self.name!r} in state {self.state.value}")
+        self.state = HostState.CRASHED
+        self.network.take_host_down(self.name)
+
+    def recover(self) -> None:
+        """Bring a crashed or stopped host back online."""
+        if self.state is HostState.RUNNING:
+            raise HostError(f"host {self.name!r} is already running")
+        self.state = HostState.RUNNING
+        self.network.bring_host_up(self.name)
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is HostState.RUNNING
+
+    # -- services -----------------------------------------------------------
+
+    def attach_service(self, name: str, service: Any) -> None:
+        """Attach a named service (agent context, database, catalogue ...)."""
+        if name in self._services:
+            raise HostError(f"service {name!r} already attached to host {self.name!r}")
+        self._services[name] = service
+
+    def service(self, name: str) -> Any:
+        if name not in self._services:
+            raise HostError(f"host {self.name!r} has no service {name!r}")
+        return self._services[name]
+
+    def has_service(self, name: str) -> bool:
+        return name in self._services
+
+    def services(self) -> Dict[str, Any]:
+        return dict(self._services)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name!r}, state={self.state.value})"

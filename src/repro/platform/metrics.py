@@ -1,0 +1,145 @@
+"""Lightweight metrics used by the platform, servers and benchmarks.
+
+The benchmark harness needs to report latencies and throughput per workflow
+step (Figures 4.2/4.3) and per subsystem.  Rather than pulling in an external
+metrics library, this module provides the three primitives the harness needs:
+counters, gauges and timers with percentile summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+import math
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "summarize"]
+
+
+def summarize(samples: List[float]) -> Dict[str, float]:
+    """Return count/mean/min/max/p50/p95/p99 for a list of samples."""
+    if not samples:
+        return {
+            "count": 0.0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+    ordered = sorted(samples)
+
+    def percentile(fraction: float) -> float:
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = fraction * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        weight = rank - low
+        value = ordered[low] * (1.0 - weight) + ordered[high] * weight
+        # Interpolation can drift past the extremes by a rounding error; clamp.
+        return min(max(value, ordered[0]), ordered[-1])
+
+    return {
+        "count": float(len(ordered)),
+        "mean": sum(ordered) / len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p50": percentile(0.50),
+        "p95": percentile(0.95),
+        "p99": percentile(0.99),
+    }
+
+
+@dataclass
+class Counter:
+    """Monotonic counter."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise ValueError("counters only move forward; use a Gauge instead")
+        self.value += amount
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """A value that can move in both directions (e.g. active sessions)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+    def adjust(self, delta: float) -> float:
+        self.value += delta
+        return self.value
+
+
+@dataclass
+class Timer:
+    """Collects duration samples (simulated milliseconds)."""
+
+    name: str
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, duration_ms: float) -> None:
+        if duration_ms < 0:
+            raise ValueError("durations must be non-negative")
+        self.samples.append(float(duration_ms))
+
+    def summary(self) -> Dict[str, float]:
+        return summarize(self.samples)
+
+
+class MetricsRegistry:
+    """Registry keyed by metric name; shared per platform instance."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def timer(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def counters(self) -> Dict[str, float]:
+        return {name: counter.value for name, counter in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, float]:
+        return {name: gauge.value for name, gauge in sorted(self._gauges.items())}
+
+    def timer_summaries(self) -> Dict[str, Dict[str, float]]:
+        return {name: timer.summary() for name, timer in sorted(self._timers.items())}
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full snapshot used by the experiment harness reports."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "timers": self.timer_summaries(),
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()

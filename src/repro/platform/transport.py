@@ -1,0 +1,107 @@
+"""Transport layer: moving bytes between hosts on the simulated clock.
+
+Both agent messages and agent migrations (dispatch/retract) ultimately become
+payload transfers between two hosts.  The :class:`Transport` charges the
+network model for each transfer, advances the shared clock and records the
+transfer in the platform event log so the workflow figures can be replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import NetworkError
+from repro.platform.clock import Scheduler
+from repro.platform.events import EventLog
+from repro.platform.metrics import MetricsRegistry
+from repro.platform.network import SimulatedNetwork, TransferOutcome
+
+__all__ = ["TransferReceipt", "Transport"]
+
+
+@dataclass(frozen=True)
+class TransferReceipt:
+    """Receipt returned for a completed transfer."""
+
+    source: str
+    destination: str
+    kind: str
+    payload_bytes: int
+    departed_at: float
+    arrived_at: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.arrived_at - self.departed_at
+
+
+class Transport:
+    """Moves messages and migrating agents between hosts.
+
+    The transport is synchronous from the caller's perspective — the calling
+    workflow step blocks while simulated time advances by the transfer's
+    latency — which matches how every numbered step of Figures 4.2/4.3 is a
+    blocking hop in the paper's workflow.
+    """
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        scheduler: Scheduler,
+        event_log: Optional[EventLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.network = network
+        self.scheduler = scheduler
+        self.event_log = event_log if event_log is not None else EventLog()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def deliver(
+        self,
+        source: str,
+        destination: str,
+        kind: str,
+        payload_bytes: int = 256,
+        retries: int = 0,
+    ) -> TransferReceipt:
+        """Transfer ``payload_bytes`` from ``source`` to ``destination``.
+
+        ``kind`` labels the transfer for the event log (``"message"``,
+        ``"agent-dispatch"``, ``"agent-retract"`` ...).  Transfers dropped by
+        the loss model are retried up to ``retries`` times before the error
+        propagates to the caller.
+        """
+        departed_at = self.scheduler.clock.now
+        attempts = 0
+        while True:
+            try:
+                outcome = self.network.transfer_latency(source, destination, payload_bytes)
+                break
+            except NetworkError:
+                attempts += 1
+                if attempts > retries:
+                    self.metrics.counter("transport.failures").increment()
+                    raise
+                self.metrics.counter("transport.retries").increment()
+
+        arrived_at = self.scheduler.clock.advance_by(outcome.latency_ms)
+        receipt = TransferReceipt(
+            source=source,
+            destination=destination,
+            kind=kind,
+            payload_bytes=payload_bytes,
+            departed_at=departed_at,
+            arrived_at=arrived_at,
+        )
+        self.event_log.record(
+            arrived_at,
+            f"transfer.{kind}",
+            source,
+            destination,
+            payload_bytes=payload_bytes,
+            latency_ms=receipt.latency_ms,
+        )
+        self.metrics.counter(f"transport.{kind}.count").increment()
+        self.metrics.timer(f"transport.{kind}.latency_ms").record(receipt.latency_ms)
+        return receipt

@@ -1,0 +1,34 @@
+"""Synthetic workloads: merchandise, consumers and behaviour traces.
+
+The paper evaluates its mechanism qualitatively on a departmental testbed and
+publishes no dataset, so every experiment in this reproduction runs on
+synthetic workloads built here:
+
+- :mod:`repro.workload.products` — a merchandise taxonomy (categories,
+  sub-categories, descriptive terms) and a deterministic product generator.
+- :mod:`repro.workload.consumers` — consumers with latent taste vectors,
+  clustered into taste groups so collaborative filtering has structure to
+  find; each consumer knows which items it *truly* finds relevant, which is
+  what the quality metrics are computed against.
+- :mod:`repro.workload.generator` — offline interaction datasets (train/test
+  splits of feedback events) for the algorithm-level benchmarks.
+- :mod:`repro.workload.scenarios` — drivers that replay consumer behaviour
+  against a live :class:`~repro.ecommerce.platform_builder.ECommercePlatform`
+  for the workflow-level benchmarks.
+"""
+
+from repro.workload.products import ProductGenerator, TAXONOMY
+from repro.workload.consumers import SyntheticConsumer, ConsumerPopulation
+from repro.workload.generator import InteractionDataset, InteractionGenerator
+from repro.workload.scenarios import ScenarioRunner, ScenarioReport
+
+__all__ = [
+    "ProductGenerator",
+    "TAXONOMY",
+    "SyntheticConsumer",
+    "ConsumerPopulation",
+    "InteractionDataset",
+    "InteractionGenerator",
+    "ScenarioRunner",
+    "ScenarioReport",
+]

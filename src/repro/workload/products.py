@@ -1,0 +1,132 @@
+"""Synthetic merchandise generation.
+
+The taxonomy mirrors the kinds of goods the paper's motivating scenarios and
+its cited recommender-systems work mention (books, electronics, groceries,
+entertainment ...).  Categories and sub-categories line up with the profile
+hierarchy of Figure 4.4, and every item carries a handful of weighted
+descriptive terms drawn from its sub-category's term pool so the
+information-filtering recommender and the profile learner have content to work
+with.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.core.items import Item
+
+__all__ = ["TAXONOMY", "ProductGenerator"]
+
+
+#: category -> sub-category -> descriptive term pool
+TAXONOMY: Dict[str, Dict[str, List[str]]] = {
+    "books": {
+        "fiction": ["novel", "mystery", "thriller", "romance", "classic", "fantasy"],
+        "technical": ["programming", "networks", "databases", "algorithms", "java", "python"],
+        "business": ["management", "marketing", "finance", "strategy", "startup"],
+    },
+    "electronics": {
+        "computers": ["laptop", "desktop", "monitor", "keyboard", "ssd", "memory"],
+        "phones": ["smartphone", "android", "battery", "camera", "charger"],
+        "audio": ["headphones", "speaker", "wireless", "bass", "noise-cancelling"],
+    },
+    "entertainment": {
+        "movies": ["dvd", "action", "comedy", "drama", "director", "subtitle"],
+        "music": ["album", "jazz", "rock", "pop", "vinyl", "concert"],
+        "games": ["console", "rpg", "strategy-game", "multiplayer", "puzzle"],
+    },
+    "groceries": {
+        "beverages": ["coffee", "tea", "juice", "sparkling", "organic"],
+        "snacks": ["chocolate", "chips", "cookies", "nuts", "candy"],
+        "produce": ["fruit", "vegetable", "fresh", "salad", "seasonal"],
+    },
+    "fashion": {
+        "clothing": ["shirt", "jacket", "jeans", "cotton", "casual", "formal"],
+        "shoes": ["sneakers", "boots", "running", "leather", "comfort"],
+        "accessories": ["watch", "bag", "belt", "scarf", "sunglasses"],
+    },
+}
+
+#: Typical price ranges per category (low, high).
+PRICE_RANGES: Dict[str, tuple] = {
+    "books": (8.0, 60.0),
+    "electronics": (30.0, 1500.0),
+    "entertainment": (10.0, 90.0),
+    "groceries": (2.0, 25.0),
+    "fashion": (15.0, 250.0),
+}
+
+
+class ProductGenerator:
+    """Deterministic generator of synthetic merchandise items."""
+
+    def __init__(self, seed: int = 0, taxonomy: Optional[Dict[str, Dict[str, List[str]]]] = None):
+        self._rng = random.Random(seed)
+        self.taxonomy = taxonomy if taxonomy is not None else TAXONOMY
+        if not self.taxonomy:
+            raise WorkloadError("the product taxonomy cannot be empty")
+        self._serial = 0
+
+    def categories(self) -> List[str]:
+        return sorted(self.taxonomy)
+
+    def subcategories(self, category: str) -> List[str]:
+        if category not in self.taxonomy:
+            raise WorkloadError(f"unknown category {category!r}")
+        return sorted(self.taxonomy[category])
+
+    def _next_id(self, seller: str) -> str:
+        self._serial += 1
+        prefix = seller or "item"
+        return f"{prefix}-{self._serial:05d}"
+
+    def generate_item(
+        self,
+        seller: str = "",
+        category: Optional[str] = None,
+        subcategory: Optional[str] = None,
+    ) -> Item:
+        """Generate one item, optionally pinned to a category/sub-category."""
+        rng = self._rng
+        category = category or rng.choice(self.categories())
+        subcategory = subcategory or rng.choice(self.subcategories(category))
+        pool = self.taxonomy[category][subcategory]
+
+        term_count = min(len(pool), rng.randint(2, 4))
+        chosen = rng.sample(pool, term_count)
+        terms = {term: round(rng.uniform(0.4, 1.0), 3) for term in chosen}
+
+        low, high = PRICE_RANGES.get(category, (5.0, 100.0))
+        price = round(rng.uniform(low, high), 2)
+        item_id = self._next_id(seller)
+        name = f"{subcategory.title()} {chosen[0].title()} #{self._serial}"
+        return Item.build(
+            item_id=item_id,
+            name=name,
+            category=category,
+            subcategory=subcategory,
+            terms=terms,
+            price=price,
+            seller=seller,
+        )
+
+    def generate(
+        self,
+        count: int,
+        seller: str = "",
+        categories: Optional[Sequence[str]] = None,
+    ) -> List[Item]:
+        """Generate ``count`` items, cycling over ``categories`` when given."""
+        if count <= 0:
+            raise WorkloadError("item count must be positive")
+        allowed = list(categories) if categories else self.categories()
+        for category in allowed:
+            if category not in self.taxonomy:
+                raise WorkloadError(f"unknown category {category!r}")
+        items = []
+        for index in range(count):
+            category = allowed[index % len(allowed)]
+            items.append(self.generate_item(seller=seller, category=category))
+        return items

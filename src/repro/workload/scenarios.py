@@ -1,0 +1,161 @@
+"""Scenario drivers: replay consumer behaviour against a live platform.
+
+The workflow-level experiments (Figures 3.1, 3.2, 4.2, 4.3 in DESIGN.md) need
+consumers actually using the agent platform — logging in, querying, buying,
+joining auctions — rather than an offline dataset.  :class:`ScenarioRunner`
+drives a :class:`~repro.ecommerce.platform_builder.ECommercePlatform` with the
+synthetic population and reports what happened.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SessionError, WorkloadError
+from repro.ecommerce.platform_builder import ECommercePlatform
+from repro.workload.consumers import ConsumerPopulation, SyntheticConsumer
+
+__all__ = ["ScenarioReport", "ScenarioRunner"]
+
+
+@dataclass
+class ScenarioReport:
+    """What a scenario run did and how long (in simulated time) it took."""
+
+    consumers: int = 0
+    sessions: int = 0
+    queries: int = 0
+    purchases: int = 0
+    auctions: int = 0
+    negotiations: int = 0
+    recommendations_requested: int = 0
+    failed_operations: int = 0
+    started_at_ms: float = 0.0
+    finished_at_ms: float = 0.0
+
+    @property
+    def simulated_duration_ms(self) -> float:
+        return self.finished_at_ms - self.started_at_ms
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "consumers": self.consumers,
+            "sessions": self.sessions,
+            "queries": self.queries,
+            "purchases": self.purchases,
+            "auctions": self.auctions,
+            "negotiations": self.negotiations,
+            "recommendations_requested": self.recommendations_requested,
+            "failed_operations": self.failed_operations,
+            "simulated_duration_ms": self.simulated_duration_ms,
+        }
+
+
+class ScenarioRunner:
+    """Drives consumer sessions against a live platform."""
+
+    def __init__(
+        self,
+        platform: ECommercePlatform,
+        population: ConsumerPopulation,
+        seed: int = 0,
+    ) -> None:
+        self.platform = platform
+        self.population = population
+        self._rng = random.Random(seed)
+
+    # -- building blocks ----------------------------------------------------------
+
+    def run_session(
+        self,
+        consumer: SyntheticConsumer,
+        queries: int = 2,
+        buy_probability: float = 0.5,
+        auction_probability: float = 0.15,
+        negotiate_probability: float = 0.15,
+        ask_recommendations: bool = True,
+        report: Optional[ScenarioReport] = None,
+    ) -> ScenarioReport:
+        """One consumer session: login, a few queries, maybe trades, logout."""
+        report = report if report is not None else ScenarioReport()
+        session = self.platform.login(consumer.user_id)
+        report.sessions += 1
+        try:
+            for _ in range(queries):
+                keyword = consumer.preferred_keyword(self._rng)
+                try:
+                    results = session.query(keyword)
+                except SessionError:
+                    report.failed_operations += 1
+                    continue
+                report.queries += 1
+                if not results:
+                    continue
+
+                ranked = sorted(
+                    results, key=lambda hit: (-consumer.utility(hit.item), hit.item_id)
+                )
+                best = ranked[0]
+                if consumer.finds_relevant(best.item):
+                    roll = self._rng.random()
+                    try:
+                        if roll < auction_probability:
+                            session.join_auction(
+                                best.item, max_price=best.price * 1.2,
+                                marketplace=best.marketplace,
+                            )
+                            report.auctions += 1
+                        elif roll < auction_probability + negotiate_probability:
+                            session.negotiate(
+                                best.item, max_price=best.price * 0.95,
+                                marketplace=best.marketplace,
+                            )
+                            report.negotiations += 1
+                        elif roll < auction_probability + negotiate_probability + buy_probability:
+                            session.buy(best.item, marketplace=best.marketplace)
+                            report.purchases += 1
+                    except SessionError:
+                        report.failed_operations += 1
+
+            if ask_recommendations:
+                try:
+                    session.recommendations(k=10)
+                    report.recommendations_requested += 1
+                except SessionError:
+                    report.failed_operations += 1
+        finally:
+            session.logout()
+        return report
+
+    # -- whole-population scenarios ---------------------------------------------------
+
+    def warm_up(
+        self,
+        sessions_per_consumer: int = 1,
+        queries_per_session: int = 2,
+        consumers: Optional[int] = None,
+    ) -> ScenarioReport:
+        """Run sessions for (a prefix of) the population to populate UserDB."""
+        if sessions_per_consumer <= 0:
+            raise WorkloadError("sessions_per_consumer must be positive")
+        selected = self.population.consumers()
+        if consumers is not None:
+            selected = selected[:consumers]
+        report = ScenarioReport(started_at_ms=self.platform.now)
+        report.consumers = len(selected)
+        for _ in range(sessions_per_consumer):
+            for consumer in selected:
+                self.run_session(
+                    consumer, queries=queries_per_session, report=report
+                )
+        report.finished_at_ms = self.platform.now
+        return report
+
+    def single_consumer_day(self, consumer: SyntheticConsumer, queries: int = 5) -> ScenarioReport:
+        """A busier single-consumer scenario used by the examples."""
+        report = ScenarioReport(started_at_ms=self.platform.now, consumers=1)
+        self.run_session(consumer, queries=queries, report=report)
+        report.finished_at_ms = self.platform.now
+        return report

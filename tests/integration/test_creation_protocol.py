@@ -1,0 +1,70 @@
+"""Integration tests for the Figure 4.1 creation protocol (experiment FIG-4.1)."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.ecommerce.platform_builder import build_platform
+
+
+@pytest.fixture(scope="module")
+def built_platform():
+    return build_platform(num_marketplaces=2, num_sellers=2, items_per_seller=10, seed=41)
+
+
+class TestCreationProtocol:
+    def test_bootstrap_creates_all_functional_agents(self, built_platform):
+        server = built_platform.buyer_server
+        assert server.is_ready
+        context = server.context
+        assert context.active_count("BSMA") == 1
+        assert context.active_count("PA") == 1
+        assert context.active_count("HttpA") == 1
+
+    def test_bsma_was_created_on_coordinator_and_dispatched_here(self, built_platform):
+        bsma = built_platform.buyer_server.bsma
+        assert bsma.aglet_id.endswith("@coordinator")
+        assert bsma.location == "buyer-agent-server"
+        assert bsma.info.hops == 1
+
+    def test_protocol_steps_recorded_in_order(self, built_platform):
+        categories = [
+            event.category
+            for event in built_platform.event_log
+            if event.category.startswith("creation.")
+        ]
+        # Step 1: the request; steps 2-3: BSMA created and dispatched;
+        # steps 4-6 happen on arrival (databases, PA, HttpA).
+        assert categories.index("creation.request-buyer-server") < categories.index(
+            "creation.bsma-created"
+        )
+        assert categories.index("creation.bsma-created") < categories.index(
+            "creation.databases-initialized"
+        )
+        assert categories.index("creation.pa-created") < categories.index(
+            "creation.httpa-created"
+        )
+        assert "creation.buyer-server-ready" in categories
+
+    def test_databases_initialised_and_topology_recorded(self, built_platform):
+        bsmdb = built_platform.buyer_server.bsmdb
+        assert bsmdb.coordinator == "coordinator"
+        assert bsmdb.marketplaces == ["marketplace-1", "marketplace-2"]
+        assert bsmdb.seller_servers == ["seller-1", "seller-2"]
+
+    def test_coordinator_registry_knows_every_server(self, built_platform):
+        topology = built_platform.coordinator.topology()
+        assert topology["marketplaces"] == ["marketplace-1", "marketplace-2"]
+        assert topology["seller_servers"] == ["seller-1", "seller-2"]
+        assert topology["buyer_servers"] == ["buyer-agent-server"]
+
+    def test_double_bootstrap_rejected(self, built_platform):
+        with pytest.raises(RegistrationError):
+            built_platform.buyer_server.bootstrap()
+
+    def test_coordinator_rejects_unknown_role(self, built_platform):
+        with pytest.raises(RegistrationError):
+            built_platform.coordinator.register_server("warehouse", "somewhere")
+
+    def test_bootstrap_costs_network_time(self, built_platform):
+        # The BSMA dispatch and the topology query must have advanced the clock.
+        assert built_platform.now > 0.0

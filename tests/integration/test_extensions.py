@@ -1,0 +1,144 @@
+"""Integration tests for the §5.2 future-work extensions exposed end-to-end:
+explicit ratings, weekly hottest merchandise and tied-sale (cross-sell)
+suggestions, plus the experiment runner CLI."""
+
+import pytest
+
+from repro.core.ratings import InteractionKind
+from repro.errors import SessionError
+from repro.experiments.__main__ import main as experiments_main
+
+
+@pytest.fixture
+def shopper(platform):
+    session = platform.login("alice")
+    results = session.query("books")
+    assert results
+    yield platform, session, results
+    if session.is_active:
+        session.logout()
+
+
+class TestExplicitRatings:
+    def test_rate_updates_profile_and_ratings_store(self, shopper):
+        platform, session, results = shopper
+        item = results[0].item
+        events_before = platform.buyer_server.user_db.profile("alice").feedback_events
+        returned = session.rate(item, 4.5)
+        assert returned == 4.5
+        user_db = platform.buyer_server.user_db
+        assert user_db.profile("alice").feedback_events == events_before + 1
+        interactions = user_db.ratings.interactions_of("alice")
+        assert any(i.kind is InteractionKind.RATE and i.value == 4.5 for i in interactions)
+
+    def test_out_of_range_rating_rejected(self, shopper):
+        _, session, results = shopper
+        with pytest.raises(SessionError):
+            session.rate(results[0].item, 7.0)
+
+    def test_higher_ratings_teach_more(self, platform):
+        low = platform.login("low-rater")
+        high = platform.login("high-rater")
+        item = low.query("books")[0].item
+        high.query("books")
+        low.rate(item, 1.0)
+        high.rate(item, 5.0)
+        user_db = platform.buyer_server.user_db
+        low_weight = user_db.profile("low-rater").category(item.category).preference
+        high_weight = user_db.profile("high-rater").category(item.category).preference
+        assert high_weight > low_weight
+        low.logout()
+        high.logout()
+
+
+class TestWeeklyHottest:
+    def test_hottest_reflects_recent_purchases(self, shopper):
+        platform, session, results = shopper
+        hit = results[0]
+        session.buy(hit.item, marketplace=hit.marketplace)
+        hottest = session.weekly_hottest(k=5)
+        assert hottest
+        assert hottest[0].item_id == hit.item.item_id
+        assert hottest[0].source == "weekly-hottest"
+
+    def test_hottest_empty_before_any_purchase(self, shopper):
+        _, session, _ = shopper
+        assert session.weekly_hottest(k=5) == []
+
+    def test_hottest_category_filter(self, shopper):
+        platform, session, results = shopper
+        hit = results[0]
+        session.buy(hit.item, marketplace=hit.marketplace)
+        assert session.weekly_hottest(k=5, category="electronics") == []
+        assert session.weekly_hottest(k=5, category=hit.item.category)
+
+
+class TestCrossSell:
+    def test_basket_suggestions_come_from_co_purchases(self, platform):
+        # Two consumers buy the same pair of items; a third with one of them
+        # in the basket should be offered the other.
+        first_pair = None
+        for name in ("buyer-1", "buyer-2"):
+            session = platform.login(name)
+            hits = session.query("books")
+            pair = hits[:2]
+            if first_pair is None:
+                first_pair = pair
+            for hit in pair:
+                session.buy(hit.item, marketplace=hit.marketplace)
+            session.logout()
+
+        shopper = platform.login("buyer-3")
+        shopper.query("books")
+        suggestions = shopper.cross_sell(basket=[first_pair[0].item.item_id])
+        assert suggestions
+        assert suggestions[0].item_id == first_pair[1].item.item_id
+        shopper.logout()
+
+    def test_history_based_cross_sell(self, platform):
+        # buyer-1 and buyer-2 share purchases, so buyer-1's history yields
+        # suggestions drawn from the co-purchase matrix.
+        sessions = {}
+        for name in ("buyer-1", "buyer-2"):
+            session = platform.login(name)
+            hits = session.query("books")
+            for hit in hits[:2]:
+                session.buy(hit.item, marketplace=hit.marketplace)
+            sessions[name] = session
+        extra = sessions["buyer-2"].query("books")
+        bought_extra = [h for h in extra if h.item.item_id not in {
+            t.item_id for t in platform.buyer_server.user_db.transactions_of("buyer-2")
+        }]
+        if bought_extra:
+            sessions["buyer-2"].buy(bought_extra[0].item, marketplace=bought_extra[0].marketplace)
+        suggestions = sessions["buyer-1"].cross_sell(k=5)
+        # buyer-1 already owns the shared pair, so only genuinely new items appear.
+        owned = {t.item_id for t in platform.buyer_server.user_db.transactions_of("buyer-1")}
+        assert all(rec.item_id not in owned for rec in suggestions)
+        for session in sessions.values():
+            session.logout()
+
+    def test_cross_sell_requires_login(self, platform):
+        from repro.ecommerce.session import ConsumerSession
+
+        platform.register_consumer("stranger")
+        session = ConsumerSession(platform.buyer_server, "stranger")
+        with pytest.raises(SessionError):
+            session.cross_sell()
+
+
+class TestExperimentRunnerCLI:
+    def test_list_mode(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig42" in out and "cap4-quality" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["--only", "not-an-experiment"])
+
+    def test_quick_single_experiment_runs(self, capsys):
+        assert experiments_main(["--quick", "--only", "fig41"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG-4.1" in out
+        assert "bootstrap_latency_ms" in out

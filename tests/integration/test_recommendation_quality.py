@@ -1,0 +1,159 @@
+"""Integration tests for the recommendation-quality experiments (CAP-4).
+
+These tests assert the *shape* of the paper's claims rather than absolute
+numbers: the agent mechanism beats the individual baselines, cold-start hurts
+pure collaborative filtering more than the hybrid, and profile learning
+converges towards the consumers' true tastes.
+"""
+
+import pytest
+
+from repro.core import metrics as quality_metrics
+from repro.core.profile_learning import LearningConfig, ProfileLearner
+from repro.core.similarity import SimilarityConfig, find_similar_users
+from repro.experiments.harness import (
+    build_standard_dataset,
+    build_standard_recommenders,
+    evaluate_recommenders,
+)
+
+
+@pytest.fixture(scope="module")
+def standard_dataset():
+    return build_standard_dataset(num_consumers=40, num_items=120, events_per_user=35, seed=51)
+
+
+@pytest.fixture(scope="module")
+def quality_rows(standard_dataset):
+    recommenders = build_standard_recommenders(standard_dataset)
+    rows = evaluate_recommenders(standard_dataset, recommenders, k=10)
+    return {row["recommender"]: row for row in rows}
+
+
+class TestQualityShape:
+    def test_every_engine_evaluated_on_the_same_users(self, quality_rows):
+        counts = {row["users"] for row in quality_rows.values()}
+        assert len(counts) == 1
+        assert counts.pop() > 0
+
+    def test_hybrid_beats_pure_collaborative_filtering(self, quality_rows):
+        assert (
+            quality_rows["agent-hybrid"]["f1@10"]
+            > quality_rows["collaborative-filtering"]["f1@10"]
+        )
+
+    def test_hybrid_beats_pure_information_filtering(self, quality_rows):
+        assert (
+            quality_rows["agent-hybrid"]["f1@10"]
+            > quality_rows["information-filtering"]["f1@10"]
+        )
+
+    def test_hybrid_beats_popularity(self, quality_rows):
+        assert quality_rows["agent-hybrid"]["precision@10"] > quality_rows["popularity"]["precision@10"]
+
+    def test_popularity_has_poor_coverage(self, quality_rows):
+        assert quality_rows["popularity"]["coverage"] < quality_rows["agent-hybrid"]["coverage"]
+        assert quality_rows["popularity"]["coverage"] < quality_rows["information-filtering"]["coverage"]
+
+    def test_all_metrics_in_valid_ranges(self, quality_rows):
+        for row in quality_rows.values():
+            for key, value in row.items():
+                if key in ("recommender", "users"):
+                    continue
+                assert 0.0 <= value <= 1.0, f"{key}={value} out of range"
+
+
+class TestColdStartShape:
+    def test_sparsity_hurts_cf_more_than_the_hybrid(self):
+        sparse = build_standard_dataset(num_consumers=30, events_per_user=3, seed=61)
+        dense = build_standard_dataset(num_consumers=30, events_per_user=40, seed=61)
+
+        def f1_of(dataset, name):
+            recommenders = build_standard_recommenders(dataset)
+            rows = evaluate_recommenders(dataset, {name: recommenders[name]}, k=10)
+            return rows[0]["f1@10"]
+
+        cf_drop = f1_of(dense, "collaborative-filtering") - f1_of(sparse, "collaborative-filtering")
+        hybrid_sparse = f1_of(sparse, "agent-hybrid")
+        cf_sparse = f1_of(sparse, "collaborative-filtering")
+        # Under sparsity the hybrid must stay usable and ahead of pure CF.
+        assert hybrid_sparse > cf_sparse
+        assert cf_drop > 0
+
+    def test_sparsity_measurement_increases_with_fewer_events(self):
+        sparse = build_standard_dataset(num_consumers=30, events_per_user=3, seed=61)
+        dense = build_standard_dataset(num_consumers=30, events_per_user=40, seed=61)
+        assert sparse.build_ratings().sparsity() > dense.build_ratings().sparsity()
+
+
+class TestProfileLearningConvergence:
+    def test_more_events_improve_taste_recovery(self, standard_dataset):
+        population = standard_dataset.population
+        catalog = list(standard_dataset.catalog)
+        consumer = population.consumers()[0]
+        liked_first = sorted(catalog, key=lambda item: -consumer.utility(item))
+
+        def correlation_after(count):
+            from repro.core.profile import Profile
+            from repro.core.profile_learning import FeedbackEvent
+            from repro.core.ratings import InteractionKind
+
+            learner = ProfileLearner(LearningConfig(learning_rate=0.3))
+            profile = Profile(consumer.user_id)
+            for index, item in enumerate(liked_first[:count]):
+                kind = (
+                    InteractionKind.BUY
+                    if consumer.finds_relevant(item)
+                    else InteractionKind.QUERY
+                )
+                learner.apply(profile, FeedbackEvent(consumer.user_id, item, kind,
+                                                     timestamp=float(index)))
+            return quality_metrics.spearman_rank_correlation(
+                profile.preference_vector(), consumer.category_weights
+            )
+
+        assert correlation_after(60) >= correlation_after(4)
+        assert correlation_after(60) > 0.0
+
+    def test_similar_users_come_from_the_same_taste_group(self, standard_dataset):
+        profiles = standard_dataset.build_profiles()
+        population = standard_dataset.population
+        target_id = standard_dataset.users[0]
+        target_group = population.consumer(target_id).group
+        neighbours = find_similar_users(
+            profiles[target_id], profiles.values(), SimilarityConfig(top_k=5)
+        )
+        assert neighbours
+        same_group = sum(
+            1 for user, _ in neighbours if population.consumer(user).group == target_group
+        )
+        assert same_group >= len(neighbours) / 2
+
+
+class TestSimilarityAblationShape:
+    def test_mixed_similarity_not_worse_than_preference_only(self):
+        dataset = build_standard_dataset(num_consumers=30, events_per_user=30, seed=71)
+
+        def f1_with(config):
+            recommenders = build_standard_recommenders(dataset, similarity_config=config)
+            rows = evaluate_recommenders(
+                dataset, {"agent-hybrid": recommenders["agent-hybrid"]}, k=10
+            )
+            return rows[0]["f1@10"]
+
+        mixed = f1_with(SimilarityConfig(preference_weight=0.6, term_weight=0.4))
+        preference_only = f1_with(SimilarityConfig(preference_weight=1.0, term_weight=0.0))
+        assert mixed >= preference_only * 0.9  # mixed must not collapse
+
+    def test_overly_tight_discard_tolerance_does_not_help(self):
+        dataset = build_standard_dataset(num_consumers=30, events_per_user=30, seed=73)
+
+        def recall_with(tolerance):
+            config = SimilarityConfig(discard_tolerance=tolerance)
+            recommenders = build_standard_recommenders(dataset, similarity_config=config)
+            rows = evaluate_recommenders(
+                dataset, {"agent-hybrid": recommenders["agent-hybrid"]}, k=10
+            )
+            return rows[0]["recall@10"]
+
+        assert recall_with(3.0) >= recall_with(0.05)

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the platform and trading substrates."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.items import Item
+from repro.ecommerce.auction import AuctionHouse
+from repro.ecommerce.negotiation import NegotiationService
+from repro.platform.clock import Scheduler
+from repro.platform.metrics import summarize
+from repro.platform.network import NetworkConfig, SimulatedNetwork
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=40))
+    def test_callbacks_execute_in_nondecreasing_time_order(self, delays):
+        scheduler = Scheduler()
+        seen = []
+        for delay in delays:
+            scheduler.call_after(delay, lambda: seen.append(scheduler.clock.now))
+        scheduler.run_until_idle()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=40))
+    def test_clock_ends_at_latest_event(self, delays):
+        scheduler = Scheduler()
+        for delay in delays:
+            scheduler.call_after(delay, lambda: None)
+        scheduler.run_until_idle()
+        assert math.isclose(scheduler.clock.now, max(delays), rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestNetworkProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=20.0),
+        st.integers(min_value=0, max_value=10_000_000),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_latency_at_least_base_latency(self, base, jitter, payload, seed):
+        network = SimulatedNetwork(NetworkConfig(base_latency_ms=base, jitter_ms=jitter, seed=seed))
+        network.register_host("a")
+        network.register_host("b")
+        outcome = network.transfer_latency("a", "b", payload_bytes=payload)
+        assert outcome.latency_ms >= base - 1e-9
+        assert outcome.latency_ms <= base + jitter + payload / 1024.0 / network.config.bandwidth_kb_per_ms + 1e-6
+
+
+class TestMetricsSummaryProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=100))
+    def test_summary_orderings(self, samples):
+        summary = summarize(samples)
+        assert summary["min"] <= summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+        if samples:
+            # Summation error can push the mean a few ULPs past the extremes.
+            slack = 1e-9 * max(1.0, abs(summary["max"]))
+            assert summary["min"] - slack <= summary["mean"] <= summary["max"] + slack
+            assert summary["count"] == len(samples)
+
+
+AUCTION_ITEM = Item.build("lot", "Lot", "books", terms={"novel": 0.5}, price=100.0)
+
+
+class TestAuctionProperties:
+    @given(
+        st.floats(min_value=1.0, max_value=500.0),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60)
+    def test_winner_never_pays_more_than_their_limit(self, max_price, competitors, seed):
+        house = AuctionHouse("m", seed=seed, competitor_count=competitors)
+        result = house.run_auction(AUCTION_ITEM, bidder="consumer", max_price=max_price)
+        assert result.rounds >= 0
+        assert result.bids >= 0
+        if result.winner == "consumer":
+            assert result.winning_bid <= max_price + 1e-9
+        if result.winner is not None:
+            assert result.reserve_met
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30)
+    def test_auctions_are_deterministic_per_seed(self, seed):
+        first = AuctionHouse("m", seed=seed).run_auction(AUCTION_ITEM, "c", max_price=130.0)
+        second = AuctionHouse("m", seed=seed).run_auction(AUCTION_ITEM, "c", max_price=130.0)
+        assert first.winner == second.winner
+        assert first.winning_bid == second.winning_bid
+
+
+class TestNegotiationProperties:
+    @given(
+        st.floats(min_value=1.0, max_value=300.0),
+        st.floats(min_value=0.0, max_value=150.0),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=80)
+    def test_agreed_price_respects_both_parties(self, buyer_max, reserve, buyer_rate, seller_rate):
+        service = NegotiationService("m", max_rounds=12)
+        outcome = service.negotiate(
+            AUCTION_ITEM, buyer_max=buyer_max, seller_reserve=reserve,
+            buyer_concession=buyer_rate, seller_concession=seller_rate,
+        )
+        assert outcome.rounds <= 12
+        if outcome.agreed:
+            # Prices are rounded to cents, so allow half-a-cent slack per bound.
+            assert outcome.final_price <= max(buyer_max, AUCTION_ITEM.price) + 0.005
+            assert outcome.final_price >= min(reserve, buyer_max) - 0.005
+        if buyer_max < reserve:
+            assert not outcome.agreed

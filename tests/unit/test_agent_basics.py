@@ -1,0 +1,194 @@
+"""Unit tests for agent lifecycle states, messages, serialization and security."""
+
+import pytest
+
+from repro.errors import AgentLifecycleError, AuthenticationError, SerializationError
+from repro.agents.lifecycle import AgletInfo, AgletState, check_transition
+from repro.agents.messages import Message, MessageKinds, Reply
+from repro.agents.security import AuthenticationService
+from repro.agents.serialization import capture_state, estimate_payload_bytes, restore_state
+
+
+class TestLifecycle:
+    @pytest.mark.parametrize(
+        "current, target",
+        [
+            (AgletState.ACTIVE, AgletState.DEACTIVATED),
+            (AgletState.ACTIVE, AgletState.IN_TRANSIT),
+            (AgletState.ACTIVE, AgletState.DISPOSED),
+            (AgletState.DEACTIVATED, AgletState.ACTIVE),
+            (AgletState.IN_TRANSIT, AgletState.ACTIVE),
+        ],
+    )
+    def test_legal_transitions(self, current, target):
+        check_transition(current, target)
+
+    @pytest.mark.parametrize(
+        "current, target",
+        [
+            (AgletState.DEACTIVATED, AgletState.IN_TRANSIT),
+            (AgletState.DISPOSED, AgletState.ACTIVE),
+            (AgletState.DISPOSED, AgletState.DEACTIVATED),
+            (AgletState.IN_TRANSIT, AgletState.DEACTIVATED),
+        ],
+    )
+    def test_illegal_transitions_rejected(self, current, target):
+        with pytest.raises(AgentLifecycleError):
+            check_transition(current, target)
+
+    def test_info_transition_updates_state(self):
+        info = AgletInfo("a-1", "BRA", "alice", created_at=0.0)
+        info.transition(AgletState.DEACTIVATED)
+        assert info.state is AgletState.DEACTIVATED
+        with pytest.raises(AgentLifecycleError):
+            info.transition(AgletState.IN_TRANSIT)
+
+
+class TestMessages:
+    def test_correlation_ids_are_unique(self):
+        first = Message("x")
+        second = Message("x")
+        assert first.correlation_id != second.correlation_id
+
+    def test_argument_and_require(self):
+        message = Message("buyer.query", {"keyword": "laptop"})
+        assert message.argument("keyword") == "laptop"
+        assert message.argument("missing", 7) == 7
+        with pytest.raises(KeyError):
+            message.require("missing")
+
+    def test_reply_correlates_with_message(self):
+        message = Message("buyer.query", {"keyword": "laptop"})
+        reply = message.reply(results=[1, 2])
+        assert reply.correlation_id == message.correlation_id
+        assert reply.ok
+        assert reply.value("results") == [1, 2]
+
+    def test_failure_reply(self):
+        reply = Reply.failure("buyer.query", "boom", correlation_id=9)
+        assert not reply.ok
+        assert reply.error == "boom"
+        assert reply.correlation_id == 9
+
+    def test_reply_require(self):
+        reply = Reply("x", payload={"a": 1})
+        assert reply.require("a") == 1
+        with pytest.raises(KeyError):
+            reply.require("b")
+
+    def test_message_kind_constants_are_distinct(self):
+        kinds = [
+            value
+            for name, value in vars(MessageKinds).items()
+            if not name.startswith("_") and isinstance(value, str)
+        ]
+        assert len(kinds) == len(set(kinds))
+
+
+class _Dummy:
+    """A stand-in agent carrying a mix of attribute types."""
+
+    def __init__(self):
+        self._context = object()   # runtime binding: must not be captured
+        self._info = object()
+        self._proxy = object()
+        self.user_id = "alice"
+        self.results = [{"item": "x", "price": 3.5}]
+        self.counters = {"queries": 2}
+
+
+class TestSerialization:
+    def test_runtime_attributes_excluded(self):
+        snapshot = capture_state(_Dummy())
+        assert "_context" not in snapshot
+        assert "_info" not in snapshot
+        assert snapshot["user_id"] == "alice"
+
+    def test_capture_is_a_deep_copy(self):
+        agent = _Dummy()
+        snapshot = capture_state(agent)
+        agent.results[0]["price"] = 99.0
+        assert snapshot["results"][0]["price"] == 3.5
+
+    def test_restore_applies_values(self):
+        agent = _Dummy()
+        snapshot = capture_state(agent)
+        fresh = _Dummy()
+        fresh.user_id = "bob"
+        restore_state(fresh, snapshot)
+        assert fresh.user_id == "alice"
+        assert fresh.results == agent.results
+
+    def test_restore_rejects_non_dict(self):
+        with pytest.raises(SerializationError):
+            restore_state(_Dummy(), "not-a-dict")
+
+    def test_payload_estimate_grows_with_content(self):
+        small = estimate_payload_bytes({"a": 1})
+        large = estimate_payload_bytes({"a": "x" * 10_000})
+        assert large > small > 0
+
+    def test_snapshot_reports_payload_bytes(self):
+        snapshot = capture_state(_Dummy())
+        assert snapshot.payload_bytes > 0
+
+
+class TestAuthenticationService:
+    def test_issue_and_verify(self):
+        service = AuthenticationService("buyer-server")
+        credential = service.issue("MBA-1", owner="alice", now=100.0)
+        assert service.verify(credential, now=200.0)
+        assert service.verified_count == 1
+
+    def test_expired_credential_rejected(self):
+        service = AuthenticationService("buyer-server", credential_lifetime_ms=50.0)
+        credential = service.issue("MBA-1", owner="alice", now=0.0)
+        with pytest.raises(AuthenticationError):
+            service.verify(credential, now=100.0)
+        assert service.rejected_count == 1
+
+    def test_tampered_credential_rejected(self):
+        service = AuthenticationService("buyer-server")
+        credential = service.issue("MBA-1", owner="alice", now=0.0)
+        forged = type(credential)(
+            agent_id=credential.agent_id,
+            owner="mallory",
+            issued_at=credential.issued_at,
+            expires_at=credential.expires_at,
+            session_key=credential.session_key,
+            signature=credential.signature,
+        )
+        with pytest.raises(AuthenticationError):
+            service.verify(forged, now=1.0)
+
+    def test_revoked_credential_rejected(self):
+        service = AuthenticationService("buyer-server")
+        credential = service.issue("MBA-1", owner="alice", now=0.0)
+        service.revoke("MBA-1")
+        with pytest.raises(AuthenticationError):
+            service.verify(credential, now=1.0)
+
+    def test_credential_from_other_server_rejected(self):
+        ours = AuthenticationService("buyer-server")
+        theirs = AuthenticationService("rogue-server")
+        credential = theirs.issue("MBA-1", owner="alice", now=0.0)
+        with pytest.raises(AuthenticationError):
+            ours.verify(credential, now=1.0)
+
+    def test_challenge_response_roundtrip(self):
+        service = AuthenticationService("buyer-server")
+        credential = service.issue("MBA-1", owner="alice", now=0.0)
+        challenge = service.challenge()
+        response = AuthenticationService.respond(credential, challenge)
+        assert service.verify_response(credential, challenge, response, now=1.0)
+
+    def test_wrong_response_rejected(self):
+        service = AuthenticationService("buyer-server")
+        credential = service.issue("MBA-1", owner="alice", now=0.0)
+        challenge = service.challenge()
+        with pytest.raises(AuthenticationError):
+            service.verify_response(credential, challenge, "bogus", now=1.0)
+
+    def test_challenges_are_unique(self):
+        service = AuthenticationService("buyer-server")
+        assert service.challenge() != service.challenge()

@@ -1,0 +1,138 @@
+"""Unit tests for the simulation clock and scheduler."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.platform.clock import Scheduler, SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulationClock(10.5).now == 10.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimulationClock(-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = SimulationClock()
+        assert clock.advance_to(12.0) == 12.0
+        assert clock.now == 12.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimulationClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimulationClock(5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.999)
+
+    def test_advance_by_accumulates(self):
+        clock = SimulationClock()
+        clock.advance_by(3.0)
+        clock.advance_by(2.5)
+        assert clock.now == pytest.approx(5.5)
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ClockError):
+            SimulationClock().advance_by(-0.1)
+
+
+class TestScheduler:
+    def test_call_after_executes_in_order(self):
+        scheduler = Scheduler()
+        order = []
+        scheduler.call_after(10, lambda: order.append("b"))
+        scheduler.call_after(5, lambda: order.append("a"))
+        scheduler.call_after(20, lambda: order.append("c"))
+        scheduler.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self):
+        scheduler = Scheduler()
+        seen = []
+        scheduler.call_after(7.5, lambda: seen.append(scheduler.clock.now))
+        scheduler.run_until_idle()
+        assert seen == [7.5]
+
+    def test_equal_timestamps_preserve_submission_order(self):
+        scheduler = Scheduler()
+        order = []
+        for label in ("first", "second", "third"):
+            scheduler.call_at(3.0, lambda label=label: order.append(label))
+        scheduler.run_until_idle()
+        assert order == ["first", "second", "third"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ClockError):
+            Scheduler().call_after(-1.0, lambda: None)
+
+    def test_call_at_in_the_past_clamps_to_now(self):
+        scheduler = Scheduler()
+        scheduler.clock.advance_to(50.0)
+        fired = []
+        scheduler.call_at(10.0, lambda: fired.append(scheduler.clock.now))
+        scheduler.run_until_idle()
+        assert fired == [50.0]
+
+    def test_cancelled_callback_does_not_run(self):
+        scheduler = Scheduler()
+        fired = []
+        entry = scheduler.call_after(5, lambda: fired.append("x"))
+        entry.cancel()
+        scheduler.run_until_idle()
+        assert fired == []
+
+    def test_step_returns_false_when_empty(self):
+        assert Scheduler().step() is False
+
+    def test_run_until_only_runs_due_events(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.call_after(5, lambda: fired.append("early"))
+        scheduler.call_after(50, lambda: fired.append("late"))
+        executed = scheduler.run_until(10.0)
+        assert executed == 1
+        assert fired == ["early"]
+        assert scheduler.clock.now == 10.0
+        scheduler.run_until_idle()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        scheduler = Scheduler()
+        scheduler.run_until(25.0)
+        assert scheduler.clock.now == 25.0
+
+    def test_executed_counter(self):
+        scheduler = Scheduler()
+        for _ in range(4):
+            scheduler.call_after(1, lambda: None)
+        scheduler.run_until_idle()
+        assert scheduler.executed == 4
+
+    def test_event_loop_guard(self):
+        scheduler = Scheduler()
+
+        def reschedule():
+            scheduler.call_after(1, reschedule)
+
+        scheduler.call_after(1, reschedule)
+        with pytest.raises(ClockError):
+            scheduler.run_until_idle(max_events=100)
+
+    def test_events_scheduled_during_run_are_processed(self):
+        scheduler = Scheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.call_after(5, lambda: fired.append("nested"))
+
+        scheduler.call_after(1, first)
+        scheduler.run_until_idle()
+        assert fired == ["first", "nested"]

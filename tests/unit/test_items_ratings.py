@@ -1,0 +1,172 @@
+"""Unit tests for merchandise items and the observational ratings store."""
+
+import pytest
+
+from repro.errors import CatalogError, RecommendationError
+from repro.core.items import Item, ItemCatalogView
+from repro.core.ratings import IMPLICIT_WEIGHTS, Interaction, InteractionKind, RatingsStore
+
+from tests.conftest import make_item
+
+
+class TestItem:
+    def test_build_sorts_terms(self):
+        item = Item.build("i1", "Thing", "books", terms={"b": 0.2, "a": 0.4})
+        assert item.terms == (("a", 0.4), ("b", 0.2))
+        assert item.term_weights == {"a": 0.4, "b": 0.2}
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(CatalogError):
+            Item.build("", "Thing", "books")
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(CatalogError):
+            Item.build("i1", "Thing", "books", price=-1.0)
+
+    def test_negative_term_weight_rejected(self):
+        with pytest.raises(CatalogError):
+            Item.build("i1", "Thing", "books", terms={"x": -0.5})
+
+    @pytest.mark.parametrize(
+        "keyword, expected",
+        [
+            ("books", True),        # category
+            ("fiction", True),      # subcategory
+            ("novel", True),        # term
+            ("Test", True),         # part of the name
+            ("electronics", False),
+            ("", False),
+        ],
+    )
+    def test_matches_keyword(self, keyword, expected):
+        assert make_item().matches_keyword(keyword) is expected
+
+
+class TestItemCatalogView:
+    def test_duplicate_item_rejected(self):
+        item = make_item("dup")
+        with pytest.raises(CatalogError):
+            ItemCatalogView([item, item])
+
+    def test_lookup_and_contains(self):
+        view = ItemCatalogView([make_item("a"), make_item("b")])
+        assert "a" in view and "missing" not in view
+        assert view.get("a").item_id == "a"
+        with pytest.raises(CatalogError):
+            view.get("missing")
+
+    def test_in_category_and_categories(self):
+        view = ItemCatalogView([
+            make_item("a", category="books"),
+            make_item("b", category="electronics", terms={"laptop": 1.0}),
+        ])
+        assert [item.item_id for item in view.in_category("books")] == ["a"]
+        assert view.categories() == ["books", "electronics"]
+
+    def test_search_by_term(self):
+        view = ItemCatalogView([
+            make_item("a", terms={"novel": 1.0}),
+            make_item("b", terms={"laptop": 1.0}, category="electronics"),
+        ])
+        assert [item.item_id for item in view.search("laptop")] == ["b"]
+
+    def test_len_iter_and_item_ids(self, catalog_view, sample_items):
+        assert len(catalog_view) == len(sample_items)
+        assert sorted(item.item_id for item in catalog_view) == catalog_view.item_ids
+
+
+class TestInteraction:
+    def test_implicit_weights_ordering(self):
+        assert (
+            IMPLICIT_WEIGHTS[InteractionKind.BUY]
+            > IMPLICIT_WEIGHTS[InteractionKind.AUCTION_BID]
+            > IMPLICIT_WEIGHTS[InteractionKind.QUERY]
+        )
+
+    def test_explicit_rating_uses_value(self):
+        interaction = Interaction("u", "i", InteractionKind.RATE, value=4.5)
+        assert interaction.implicit_value() == 4.5
+
+    def test_buy_uses_table_weight(self):
+        interaction = Interaction("u", "i", InteractionKind.BUY)
+        assert interaction.implicit_value() == IMPLICIT_WEIGHTS[InteractionKind.BUY]
+
+
+class TestRatingsStore:
+    def test_add_accumulates_values(self):
+        store = RatingsStore()
+        store.add(Interaction("u", "i", InteractionKind.QUERY))
+        value = store.add(Interaction("u", "i", InteractionKind.BUY))
+        assert value == pytest.approx(6.0)
+        assert store.value("u", "i") == pytest.approx(6.0)
+
+    def test_value_capped_at_max(self):
+        store = RatingsStore(max_value=8.0)
+        for _ in range(5):
+            store.add(Interaction("u", "i", InteractionKind.BUY))
+        assert store.value("u", "i") == 8.0
+
+    def test_invalid_max_value(self):
+        with pytest.raises(RecommendationError):
+            RatingsStore(max_value=0)
+
+    def test_missing_user_or_item_rejected(self):
+        store = RatingsStore()
+        with pytest.raises(RecommendationError):
+            store.add(Interaction("", "i", InteractionKind.BUY))
+        with pytest.raises(RecommendationError):
+            store.add(Interaction("u", "", InteractionKind.BUY))
+
+    def test_users_items_and_vectors(self):
+        store = RatingsStore()
+        store.add(Interaction("u1", "a", InteractionKind.BUY))
+        store.add(Interaction("u1", "b", InteractionKind.QUERY))
+        store.add(Interaction("u2", "a", InteractionKind.VIEW))
+        assert store.users == ["u1", "u2"]
+        assert store.items == ["a", "b"]
+        assert store.items_of("u1") == ["a", "b"]
+        assert store.users_of("a") == ["u1", "u2"]
+        vector = store.user_vector("u1")
+        vector["a"] = 0.0
+        assert store.value("u1", "a") > 0  # copy, not the live dict
+
+    def test_unknown_user_vector_is_empty(self):
+        assert RatingsStore().user_vector("ghost") == {}
+
+    def test_purchase_counters(self):
+        store = RatingsStore()
+        store.add(Interaction("u1", "a", InteractionKind.BUY, timestamp=10.0))
+        store.add(Interaction("u2", "a", InteractionKind.BUY, timestamp=20.0))
+        store.add(Interaction("u1", "b", InteractionKind.QUERY, timestamp=30.0))
+        assert store.purchase_count("a") == 2
+        assert store.purchase_count("b") == 0
+        assert store.purchases() == {"a": 2}
+
+    def test_purchases_between_window(self):
+        store = RatingsStore()
+        store.add(Interaction("u1", "a", InteractionKind.BUY, timestamp=10.0))
+        store.add(Interaction("u2", "a", InteractionKind.BUY, timestamp=200.0))
+        assert store.purchases_between(0.0, 100.0) == {"a": 1}
+
+    def test_co_purchases(self):
+        store = RatingsStore()
+        for user, item in [("u1", "a"), ("u1", "b"), ("u2", "a"), ("u2", "b"), ("u3", "a")]:
+            store.add(Interaction(user, item, InteractionKind.BUY))
+        assert store.co_purchases() == {("a", "b"): 2}
+
+    def test_interactions_of_and_last_timestamp(self):
+        store = RatingsStore()
+        store.add(Interaction("u1", "a", InteractionKind.QUERY, timestamp=5.0))
+        store.add(Interaction("u1", "a", InteractionKind.BUY, timestamp=9.0))
+        assert len(store.interactions_of("u1")) == 2
+        assert store.last_interaction_at("u1", "a") == 9.0
+        assert store.last_interaction_at("u1", "zzz") is None
+
+    def test_density_and_sparsity(self):
+        store = RatingsStore()
+        assert store.density() == 0.0
+        store.add(Interaction("u1", "a", InteractionKind.BUY))
+        store.add(Interaction("u2", "b", InteractionKind.BUY))
+        # 2 users x 2 items, 2 cells filled -> density 0.5
+        assert store.density() == pytest.approx(0.5)
+        assert store.sparsity() == pytest.approx(0.5)

@@ -1,0 +1,88 @@
+"""Unit tests for the platform metrics primitives."""
+
+import pytest
+
+from repro.platform.metrics import Counter, Gauge, MetricsRegistry, Timer, summarize
+
+
+class TestSummarize:
+    def test_empty_samples(self):
+        summary = summarize([])
+        assert summary["count"] == 0.0
+        assert summary["mean"] == 0.0
+
+    def test_single_sample(self):
+        summary = summarize([4.0])
+        assert summary["p50"] == 4.0
+        assert summary["p95"] == 4.0
+        assert summary["min"] == summary["max"] == 4.0
+
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary["count"] == 5.0
+        assert summary["mean"] == pytest.approx(3.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 5.0
+        assert summary["p50"] == pytest.approx(3.0)
+
+    def test_percentiles_interpolate(self):
+        summary = summarize([0.0, 10.0])
+        assert summary["p50"] == pytest.approx(5.0)
+        assert summary["p95"] == pytest.approx(9.5)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("x")
+        counter.increment()
+        counter.increment(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        gauge = Gauge("sessions")
+        gauge.set(5)
+        gauge.adjust(-2)
+        assert gauge.value == 3.0
+
+
+class TestTimer:
+    def test_records_and_summarizes(self):
+        timer = Timer("latency")
+        for value in (1.0, 2.0, 3.0):
+            timer.record(value)
+        assert timer.summary()["count"] == 3.0
+        assert timer.summary()["mean"] == pytest.approx(2.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timer("latency").record(-1.0)
+
+
+class TestMetricsRegistry:
+    def test_same_name_returns_same_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").increment()
+        registry.counter("hits").increment()
+        assert registry.counters()["hits"] == 2.0
+
+    def test_snapshot_contains_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment()
+        registry.gauge("g").set(7)
+        registry.timer("t").record(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["c"] == 1.0
+        assert snapshot["gauges"]["g"] == 7.0
+        assert snapshot["timers"]["t"]["count"] == 1.0
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment()
+        registry.reset()
+        assert registry.counters() == {}

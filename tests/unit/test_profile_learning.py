@@ -1,0 +1,172 @@
+"""Unit tests for the Figure 4.5 profile learning rule."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.core.profile import Profile
+from repro.core.profile_learning import (
+    FEEDBACK_QUALITY,
+    FeedbackEvent,
+    LearningConfig,
+    ProfileLearner,
+)
+from repro.core.ratings import InteractionKind
+
+from tests.conftest import make_item
+
+
+def buy_event(user="alice", item=None, **kwargs):
+    return FeedbackEvent(
+        user_id=user, item=item or make_item(), kind=InteractionKind.BUY, **kwargs
+    )
+
+
+class TestLearningConfig:
+    def test_defaults_valid(self):
+        LearningConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("learning_rate", 0.0),
+            ("learning_rate", 1.5),
+            ("preference_rate", 0.0),
+            ("decay_factor", 0.0),
+            ("decay_factor", 1.2),
+            ("max_preference", 0.0),
+            ("prune_below", -0.1),
+        ],
+    )
+    def test_invalid_config_rejected(self, field, value):
+        config = LearningConfig()
+        setattr(config, field, value)
+        with pytest.raises(ProfileError):
+            config.validate()
+
+
+class TestFeedbackQuality:
+    def test_buy_is_strongest(self):
+        assert FEEDBACK_QUALITY[InteractionKind.BUY] == max(FEEDBACK_QUALITY.values())
+
+    def test_query_is_weakest_behaviour(self):
+        behavioural = {
+            kind: value for kind, value in FEEDBACK_QUALITY.items()
+            if kind is not InteractionKind.RATE
+        }
+        assert FEEDBACK_QUALITY[InteractionKind.QUERY] == min(behavioural.values())
+
+    def test_explicit_rating_scales_quality(self):
+        low = FeedbackEvent("u", make_item(), InteractionKind.RATE, rating=1.0)
+        high = FeedbackEvent("u", make_item(), InteractionKind.RATE, rating=5.0)
+        assert high.quality() > low.quality()
+        assert high.quality() == pytest.approx(FEEDBACK_QUALITY[InteractionKind.RATE])
+
+    def test_rating_clamped_to_range(self):
+        event = FeedbackEvent("u", make_item(), InteractionKind.RATE, rating=99.0)
+        assert event.quality() <= FEEDBACK_QUALITY[InteractionKind.RATE]
+
+
+class TestProfileLearner:
+    def test_single_event_updates_terms_and_preference(self):
+        learner = ProfileLearner(LearningConfig(learning_rate=0.5, preference_rate=0.5))
+        profile = Profile("alice")
+        item = make_item(terms={"novel": 0.8})
+        learner.apply(profile, buy_event(item=item))
+
+        category = profile.category("books", create=False)
+        # W = 0 + alpha(0.5) * w_ji(0.8) * quality(1.0) = 0.4
+        assert category.terms.get("novel") == pytest.approx(0.4)
+        assert category.preference == pytest.approx(0.5)
+        assert profile.feedback_events == 1
+
+    def test_update_formula_matches_paper(self):
+        alpha = 0.3
+        learner = ProfileLearner(LearningConfig(learning_rate=alpha))
+        profile = Profile("alice")
+        item = make_item(terms={"novel": 0.6, "classic": 0.2})
+        learner.apply(profile, buy_event(item=item))
+        learner.apply(
+            profile,
+            FeedbackEvent("alice", item, InteractionKind.QUERY),
+        )
+        quality_buy = FEEDBACK_QUALITY[InteractionKind.BUY]
+        quality_query = FEEDBACK_QUALITY[InteractionKind.QUERY]
+        expected = alpha * 0.6 * quality_buy + alpha * 0.6 * quality_query
+        assert profile.category("books").terms.get("novel") == pytest.approx(expected)
+
+    def test_subcategory_also_learns(self):
+        learner = ProfileLearner()
+        profile = Profile("alice")
+        learner.apply(profile, buy_event(item=make_item(subcategory="fiction")))
+        sub = profile.category("books").subcategory("fiction", create=False)
+        assert sub.terms.get("novel") > 0
+        assert sub.preference > 0
+
+    def test_item_without_subcategory(self):
+        learner = ProfileLearner()
+        profile = Profile("alice")
+        item = make_item(item_id="plain", subcategory="")
+        learner.apply(profile, buy_event(item=item))
+        assert profile.category("books").subcategories == {}
+
+    def test_stronger_feedback_teaches_more(self):
+        item = make_item()
+        weak = ProfileLearner().build_profile(
+            "alice", [FeedbackEvent("alice", item, InteractionKind.QUERY)]
+        )
+        strong = ProfileLearner().build_profile(
+            "alice", [FeedbackEvent("alice", item, InteractionKind.BUY)]
+        )
+        assert (
+            strong.category("books").terms.get("novel")
+            > weak.category("books").terms.get("novel")
+        )
+
+    def test_preference_capped_at_max(self):
+        learner = ProfileLearner(LearningConfig(max_preference=2.0, preference_rate=1.0))
+        profile = Profile("alice")
+        for _ in range(10):
+            learner.apply(profile, buy_event())
+        assert profile.category("books").preference == 2.0
+
+    def test_decay_ages_old_interests(self):
+        learner = ProfileLearner(LearningConfig(decay_factor=0.5))
+        profile = Profile("alice")
+        old_item = make_item(item_id="old", terms={"classic": 1.0})
+        new_item = make_item(item_id="new", terms={"thriller": 1.0})
+        learner.apply(profile, buy_event(item=old_item))
+        weight_before = profile.category("books").terms.get("classic")
+        learner.apply(profile, buy_event(item=new_item))
+        assert profile.category("books").terms.get("classic") < weight_before
+
+    def test_user_mismatch_rejected(self):
+        learner = ProfileLearner()
+        with pytest.raises(ProfileError):
+            learner.apply(Profile("bob"), buy_event(user="alice"))
+
+    def test_apply_all_and_build_profile(self):
+        events = [buy_event(item=make_item(item_id=f"i{i}")) for i in range(5)]
+        learner = ProfileLearner()
+        profile = learner.build_profile("alice", events)
+        assert profile.feedback_events == 5
+        assert learner.events_applied == 5
+
+    def test_timestamps_track_latest(self):
+        learner = ProfileLearner()
+        profile = Profile("alice")
+        learner.apply(profile, buy_event(timestamp=10.0))
+        learner.apply(profile, buy_event(timestamp=5.0))
+        assert profile.updated_at == 10.0
+
+    def test_learning_rate_controls_speed(self):
+        item = make_item()
+        slow = ProfileLearner(LearningConfig(learning_rate=0.1)).build_profile(
+            "alice", [buy_event(item=item)]
+        )
+        fast = ProfileLearner(LearningConfig(learning_rate=0.9)).build_profile(
+            "alice", [buy_event(item=item)]
+        )
+        assert (
+            fast.category("books").terms.get("novel")
+            > slow.category("books").terms.get("novel")
+        )

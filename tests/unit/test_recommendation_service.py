@@ -1,0 +1,79 @@
+"""Unit tests for the buyer server's RecommendationService facade."""
+
+import pytest
+
+from repro.core.items import ItemCatalogView
+from repro.core.ratings import Interaction, InteractionKind
+from repro.ecommerce.buyer_server import RecommendationService
+from repro.ecommerce.databases import UserDB
+
+from tests.conftest import make_item
+
+ITEMS = [
+    make_item(f"book-{i}", category="books", terms={"novel": 0.8}) for i in range(3)
+] + [
+    make_item(f"tech-{i}", category="electronics", terms={"laptop": 0.9}) for i in range(3)
+]
+
+
+@pytest.fixture
+def service():
+    user_db = UserDB()
+    for name in ("alice", "bob"):
+        user_db.register(name)
+    clock = {"now": 0.0}
+    service = RecommendationService(
+        user_db, ItemCatalogView(ITEMS), now=lambda: clock["now"]
+    )
+    return user_db, service, clock
+
+
+def _buy(user_db, user, item_id, timestamp=0.0):
+    user_db.record_interaction(
+        Interaction(user, item_id, InteractionKind.BUY, timestamp=timestamp)
+    )
+
+
+class TestRecommendationService:
+    def test_cold_user_falls_back_to_popularity(self, service):
+        user_db, svc, _ = service
+        _buy(user_db, "bob", "book-0")
+        recommended = svc.recommend("alice", k=3)
+        assert recommended
+        assert recommended[0].source == "popularity"
+
+    def test_weekly_hottest_uses_simulated_clock(self, service):
+        user_db, svc, clock = service
+        _buy(user_db, "bob", "book-0", timestamp=0.0)
+        clock["now"] = 1_000.0
+        assert [rec.item_id for rec in svc.weekly_hottest_list(k=3)] == ["book-0"]
+        # Eight simulated days later the purchase has left the window.
+        clock["now"] = 8 * 24 * 60 * 60 * 1000.0
+        assert svc.weekly_hottest_list(k=3) == []
+
+    def test_cross_sell_for_basket_and_history(self, service):
+        user_db, svc, _ = service
+        for user in ("alice", "bob"):
+            _buy(user_db, user, "book-0")
+            _buy(user_db, user, "book-1")
+        by_basket = svc.cross_sell_for("carol", basket=["book-0"])
+        assert [rec.item_id for rec in by_basket] == ["book-1"]
+        by_history = svc.cross_sell_for("alice")
+        # alice already owns both co-purchased items, so nothing new remains.
+        assert all(rec.item_id not in ("book-0",) for rec in by_history)
+
+    def test_recommend_for_query_adds_unknown_items_to_catalog(self, service):
+        user_db, svc, _ = service
+        _buy(user_db, "alice", "book-0")
+        discovered = make_item("book-new", category="books", terms={"novel": 0.9})
+        assert "book-new" not in svc.catalog
+        svc.recommend_for_query("alice", [discovered], k=3)
+        assert "book-new" in svc.catalog
+
+    def test_recommend_excludes_purchases(self, service):
+        user_db, svc, _ = service
+        _buy(user_db, "alice", "book-0")
+        _buy(user_db, "bob", "book-0")
+        _buy(user_db, "bob", "book-1")
+        recommended = [rec.item_id for rec in svc.recommend("alice", k=5)]
+        assert "book-0" not in recommended

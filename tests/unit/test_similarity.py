@@ -1,0 +1,170 @@
+"""Unit tests for the similarity algorithm (Figure 4.5)."""
+
+import pytest
+
+from repro.errors import SimilarityError
+from repro.core.profile import Profile
+from repro.core.similarity import (
+    SimilarityConfig,
+    cosine_similarity,
+    find_similar_users,
+    pearson_correlation,
+    profile_similarity,
+)
+
+
+def build_profile(user_id, preferences, terms=None):
+    """Profile with given category preference values and optional terms."""
+    profile = Profile(user_id)
+    for category, value in preferences.items():
+        profile.category(category).preference = value
+    for category, term_weights in (terms or {}).items():
+        for term, weight in term_weights.items():
+            profile.category(category).terms.set(term, weight)
+    return profile
+
+
+class TestVectorSimilarities:
+    def test_cosine_identical_vectors(self):
+        assert cosine_similarity({"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 2.0}) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal_vectors(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_cosine_empty_vectors(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+        assert cosine_similarity({}, {}) == 0.0
+
+    def test_cosine_is_symmetric(self):
+        left = {"a": 1.0, "b": 0.5}
+        right = {"a": 0.2, "c": 0.9}
+        assert cosine_similarity(left, right) == pytest.approx(cosine_similarity(right, left))
+
+    def test_pearson_perfect_positive(self):
+        left = {"a": 1.0, "b": 2.0, "c": 3.0}
+        right = {"a": 2.0, "b": 4.0, "c": 6.0}
+        assert pearson_correlation(left, right) == pytest.approx(1.0)
+
+    def test_pearson_perfect_negative(self):
+        left = {"a": 1.0, "b": 2.0, "c": 3.0}
+        right = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert pearson_correlation(left, right) == pytest.approx(-1.0)
+
+    def test_pearson_insufficient_overlap(self):
+        assert pearson_correlation({"a": 1.0}, {"a": 1.0}) == 0.0
+        assert pearson_correlation({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_pearson_zero_variance(self):
+        assert pearson_correlation({"a": 1.0, "b": 1.0}, {"a": 2.0, "b": 5.0}) == 0.0
+
+
+class TestSimilarityConfig:
+    def test_defaults_valid(self):
+        SimilarityConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"preference_weight": -0.1},
+            {"term_weight": -0.1},
+            {"preference_weight": 0.0, "term_weight": 0.0},
+            {"discard_tolerance": -1.0},
+            {"min_similarity": 1.5},
+            {"top_k": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(SimilarityError):
+            SimilarityConfig(**kwargs).validate()
+
+
+class TestProfileSimilarity:
+    def test_identical_profiles_score_one(self):
+        profile = build_profile("a", {"books": 3.0}, {"books": {"novel": 0.5}})
+        other = build_profile("b", {"books": 3.0}, {"books": {"novel": 0.5}})
+        assert profile_similarity(profile, other) == pytest.approx(1.0)
+
+    def test_disjoint_profiles_score_zero(self):
+        left = build_profile("a", {"books": 3.0}, {"books": {"novel": 0.5}})
+        right = build_profile("b", {"fashion": 3.0}, {"fashion": {"boots": 0.5}})
+        assert profile_similarity(left, right) == 0.0
+
+    def test_empty_profiles_score_zero(self):
+        assert profile_similarity(Profile("a"), Profile("b")) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        left = build_profile("a", {"books": 3.0, "fashion": 1.0})
+        right = build_profile("b", {"books": 3.0, "groceries": 2.0})
+        assert 0.0 < profile_similarity(left, right) < 1.0
+
+    def test_weights_change_the_blend(self):
+        left = build_profile("a", {"books": 3.0}, {"books": {"novel": 1.0}})
+        right = build_profile("b", {"books": 3.0}, {"books": {"thriller": 1.0}})
+        preference_only = profile_similarity(
+            left, right, SimilarityConfig(preference_weight=1.0, term_weight=0.0)
+        )
+        term_only = profile_similarity(
+            left, right, SimilarityConfig(preference_weight=0.0, term_weight=1.0)
+        )
+        assert preference_only == pytest.approx(1.0)
+        assert term_only == 0.0
+
+
+class TestFindSimilarUsers:
+    def test_excludes_the_target_itself(self):
+        target = build_profile("me", {"books": 3.0})
+        others = [target, build_profile("friend", {"books": 3.0})]
+        neighbours = find_similar_users(target, others)
+        assert [user for user, _ in neighbours] == ["friend"]
+
+    def test_ranks_by_similarity(self):
+        target = build_profile("me", {"books": 3.0, "fashion": 1.0})
+        close = build_profile("close", {"books": 3.0, "fashion": 1.0})
+        far = build_profile("far", {"books": 0.5, "groceries": 3.0})
+        neighbours = find_similar_users(target, [far, close])
+        assert neighbours[0][0] == "close"
+        assert neighbours[0][1] > neighbours[-1][1]
+
+    def test_discard_rule_drops_divergent_category_preferences(self):
+        # Same overall shape, but wildly different preference value for "books".
+        target = build_profile("me", {"books": 1.0, "fashion": 1.0})
+        divergent = build_profile("divergent", {"books": 9.0, "fashion": 1.0})
+        kept = find_similar_users(
+            target, [divergent], SimilarityConfig(discard_tolerance=10.0), category="books"
+        )
+        dropped = find_similar_users(
+            target, [divergent], SimilarityConfig(discard_tolerance=3.0), category="books"
+        )
+        assert [user for user, _ in kept] == ["divergent"]
+        assert dropped == []
+
+    def test_discard_rule_only_applies_when_category_given(self):
+        target = build_profile("me", {"books": 1.0})
+        divergent = build_profile("divergent", {"books": 9.0})
+        neighbours = find_similar_users(
+            target, [divergent], SimilarityConfig(discard_tolerance=3.0)
+        )
+        assert [user for user, _ in neighbours] == ["divergent"]
+
+    def test_min_similarity_filters_weak_matches(self):
+        target = build_profile("me", {"books": 3.0})
+        weak = build_profile("weak", {"books": 0.1, "fashion": 5.0, "groceries": 5.0})
+        neighbours = find_similar_users(
+            target, [weak], SimilarityConfig(min_similarity=0.9)
+        )
+        assert neighbours == []
+
+    def test_top_k_limits_results(self):
+        target = build_profile("me", {"books": 3.0})
+        candidates = [build_profile(f"user-{i}", {"books": 3.0}) for i in range(10)]
+        neighbours = find_similar_users(target, candidates, SimilarityConfig(top_k=4))
+        assert len(neighbours) == 4
+
+    def test_deterministic_tie_break_by_user_id(self):
+        target = build_profile("me", {"books": 3.0})
+        candidates = [build_profile(name, {"books": 3.0}) for name in ("zoe", "amy", "bob")]
+        neighbours = find_similar_users(target, candidates)
+        assert [user for user, _ in neighbours] == ["amy", "bob", "zoe"]
+
+    def test_empty_candidate_list(self):
+        assert find_similar_users(build_profile("me", {"books": 1.0}), []) == []

@@ -1,0 +1,164 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.core.items import ItemCatalogView
+from repro.core.ratings import InteractionKind
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.generator import InteractionGenerator
+from repro.workload.products import PRICE_RANGES, TAXONOMY, ProductGenerator
+
+
+class TestProductGenerator:
+    def test_generates_requested_count_with_unique_ids(self):
+        items = ProductGenerator(seed=1).generate(50, seller="s1")
+        assert len(items) == 50
+        assert len({item.item_id for item in items}) == 50
+
+    def test_items_conform_to_taxonomy(self):
+        for item in ProductGenerator(seed=2).generate(40):
+            assert item.category in TAXONOMY
+            assert item.subcategory in TAXONOMY[item.category]
+            pool = TAXONOMY[item.category][item.subcategory]
+            for term, weight in item.terms:
+                assert term in pool
+                assert 0.0 < weight <= 1.0
+
+    def test_prices_within_category_range(self):
+        for item in ProductGenerator(seed=3).generate(40):
+            low, high = PRICE_RANGES[item.category]
+            assert low <= item.price <= high
+
+    def test_deterministic_given_seed(self):
+        first = ProductGenerator(seed=5).generate(10)
+        second = ProductGenerator(seed=5).generate(10)
+        assert [item.item_id for item in first] == [item.item_id for item in second]
+        assert [item.price for item in first] == [item.price for item in second]
+
+    def test_category_pinning(self):
+        items = ProductGenerator(seed=4).generate(9, categories=["books"])
+        assert all(item.category == "books" for item in items)
+
+    def test_invalid_parameters(self):
+        generator = ProductGenerator(seed=1)
+        with pytest.raises(WorkloadError):
+            generator.generate(0)
+        with pytest.raises(WorkloadError):
+            generator.generate(5, categories=["nonexistent"])
+        with pytest.raises(WorkloadError):
+            generator.subcategories("nonexistent")
+        with pytest.raises(WorkloadError):
+            ProductGenerator(taxonomy={})
+
+    def test_cycles_over_allowed_categories(self):
+        items = ProductGenerator(seed=6).generate(10, categories=["books", "fashion"])
+        assert {item.category for item in items} == {"books", "fashion"}
+
+
+class TestConsumerPopulation:
+    def test_population_size_and_ids(self, population):
+        assert len(population) == 20
+        ids = [consumer.user_id for consumer in population]
+        assert len(set(ids)) == 20
+
+    def test_groups_share_taste_structure(self):
+        population = ConsumerPopulation(12, groups=3, seed=2)
+        for group in range(3):
+            members = population.by_group(group)
+            assert len(members) == 4
+            top_sets = [tuple(member.top_categories(2)) for member in members]
+            # Same prototype (plus small noise) -> same favourite categories.
+            assert len(set(top_sets)) <= 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            ConsumerPopulation(0)
+        with pytest.raises(WorkloadError):
+            ConsumerPopulation(5, groups=0)
+
+    def test_unknown_consumer_lookup(self, population):
+        with pytest.raises(WorkloadError):
+            population.consumer("nobody")
+
+    def test_utility_in_unit_interval(self, population, sample_items):
+        for consumer in population:
+            for item in sample_items[:20]:
+                assert 0.0 <= consumer.utility(item) <= 1.0
+
+    def test_relevance_ties_to_utility_threshold(self, population, sample_items):
+        consumer = population.consumers()[0]
+        for item in sample_items:
+            assert consumer.finds_relevant(item) == (
+                consumer.utility(item) >= consumer.relevance_threshold
+            )
+
+    def test_preferred_keyword_comes_from_taxonomy(self, population):
+        rng = population.rng()
+        keyword = population.consumers()[0].preferred_keyword(rng)
+        all_terms = {
+            term
+            for subcategories in TAXONOMY.values()
+            for pool in subcategories.values()
+            for term in pool
+        }
+        assert keyword in all_terms or keyword in TAXONOMY
+
+    def test_deterministic_given_seed(self):
+        first = ConsumerPopulation(8, seed=9)
+        second = ConsumerPopulation(8, seed=9)
+        for left, right in zip(first, second):
+            assert left.category_weights == right.category_weights
+            assert left.favourite_subcategories == right.favourite_subcategories
+
+
+class TestInteractionGenerator:
+    def test_dataset_shape(self, dataset, population):
+        assert len(dataset.train_events) == len(population) * 25
+        assert set(dataset.test_relevance) == {c.user_id for c in population}
+        assert dataset.duration_ms > 0
+
+    def test_events_reference_catalog_items(self, dataset, catalog_view):
+        for event in dataset.train_events[:200]:
+            assert event.item.item_id in catalog_view
+
+    def test_held_out_items_not_trained_on(self, dataset):
+        for user_id, held_out in dataset.test_relevance.items():
+            trained_items = {
+                event.item.item_id
+                for event in dataset.train_events
+                if event.user_id == user_id
+            }
+            assert not trained_items & set(held_out)
+
+    def test_build_profiles_covers_every_consumer(self, dataset, population):
+        profiles = dataset.build_profiles()
+        assert set(profiles) == {consumer.user_id for consumer in population}
+        assert any(not profile.is_empty() for profile in profiles.values())
+
+    def test_build_ratings_matches_events(self, dataset):
+        ratings = dataset.build_ratings()
+        assert ratings.interaction_count == len(dataset.train_events)
+
+    def test_behaviour_mix_contains_purchases_and_queries(self, dataset):
+        kinds = {event.kind for event in dataset.train_events}
+        assert InteractionKind.BUY in kinds
+        assert InteractionKind.QUERY in kinds
+
+    def test_invalid_parameters(self, population, catalog_view):
+        generator = InteractionGenerator(seed=1)
+        with pytest.raises(WorkloadError):
+            generator.generate(population, catalog_view, events_per_user=0)
+        with pytest.raises(WorkloadError):
+            generator.generate(population, catalog_view, exploration=1.5)
+        with pytest.raises(WorkloadError):
+            generator.generate(population, catalog_view, test_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            generator.generate(population, ItemCatalogView([]))
+
+    def test_deterministic_given_seed(self, population, catalog_view):
+        first = InteractionGenerator(seed=3).generate(population, catalog_view, events_per_user=5)
+        second = InteractionGenerator(seed=3).generate(population, catalog_view, events_per_user=5)
+        assert [e.item.item_id for e in first.train_events] == [
+            e.item.item_id for e in second.train_events
+        ]
