@@ -1,0 +1,148 @@
+"""Benchmark: brute-force vs indexed similar-user search across populations.
+
+The Figure 4.5 similarity search is the mechanism's hot path; this benchmark
+measures how the :class:`~repro.core.neighbors.ProfileNeighborIndex` scales
+against the brute-force scan as the consumer community grows, verifying at
+every size that the two return identical ranked neighbor lists.
+
+Two modes, both pytest-runnable:
+
+- **smoke** (default): small populations, finishes in a few seconds, suitable
+  for tier-1 CI (``scripts/ci_check.sh`` runs it).
+- **full**: set ``REPRO_BENCH_FULL=1`` to scale to 5000 consumers, where the
+  indexed path is required to be at least 5x faster than brute force.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.neighbors import ProfileNeighborIndex
+from repro.core.similarity import SimilarityConfig, find_similar_users
+from repro.experiments.harness import ExperimentResult, build_standard_dataset
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL") == "1"
+POPULATION_SIZES = (1000, 2500, 5000) if FULL_MODE else (150, 400)
+#: Minimum indexed-vs-brute speedup demanded at the largest population.
+#: Enforced only in full mode: wall-clock assertions on a loaded CI runner
+#: would flake, so the smoke run asserts equivalence and merely reports
+#: timings (typically ~20x even at smoke sizes).
+REQUIRED_SPEEDUP = 5.0
+#: How many (target, category) queries are averaged per measurement.
+QUERIES = 6
+
+
+def _build_profiles(consumers: int):
+    dataset = build_standard_dataset(
+        num_consumers=consumers,
+        num_items=120,
+        events_per_user=8,
+        seed=37,
+    )
+    profiles = dataset.build_profiles()
+    return dataset, profiles
+
+
+def _query_plan(dataset, profiles):
+    """A deterministic mix of open and category-filtered searches."""
+    targets = [profiles[user_id] for user_id in dataset.users[:QUERIES]]
+    plan = []
+    for position, target in enumerate(targets):
+        if position % 2 == 0:
+            plan.append((target, None))
+        else:
+            names = target.category_names()
+            plan.append((target, names[0] if names else None))
+    return plan
+
+
+def _timed(callable_):
+    started = time.perf_counter()
+    result = callable_()
+    return result, (time.perf_counter() - started) * 1000.0
+
+
+def run_scaling_experiment(population_sizes=POPULATION_SIZES) -> ExperimentResult:
+    """Brute vs indexed latency per population size (medians over the plan)."""
+    result = ExperimentResult(
+        name="neighbor-index-scaling",
+        description="brute-force vs indexed similar-user search latency",
+    )
+    config = SimilarityConfig(top_k=10)
+    for consumers in population_sizes:
+        dataset, profiles = _build_profiles(consumers)
+        plan = _query_plan(dataset, profiles)
+
+        brute_ms = 0.0
+        brute_results = []
+        for target, category in plan:
+            neighbours, elapsed = _timed(
+                lambda t=target, c=category: find_similar_users(
+                    t, profiles.values(), config, category=c
+                )
+            )
+            brute_results.append(neighbours)
+            brute_ms += elapsed
+
+        index = ProfileNeighborIndex(provider=profiles.values, config=config)
+        _, build_ms = _timed(index.sync)
+        indexed_ms = 0.0
+        for position, (target, category) in enumerate(plan):
+            neighbours, elapsed = _timed(
+                lambda t=target, c=category: index.find_similar(t, category=c)
+            )
+            indexed_ms += elapsed
+            assert neighbours == brute_results[position], (
+                f"indexed search diverged from brute force at {consumers} "
+                f"consumers (target={target.user_id!r}, category={category!r})"
+            )
+
+        brute_avg = brute_ms / len(plan)
+        indexed_avg = indexed_ms / len(plan)
+        result.add_row(
+            consumers=consumers,
+            brute_ms=round(brute_avg, 3),
+            indexed_ms=round(indexed_avg, 3),
+            index_build_ms=round(build_ms, 3),
+            speedup=round(brute_avg / indexed_avg, 1) if indexed_avg > 0 else float("inf"),
+        )
+    result.add_note(
+        "speedup = per-query brute-force latency / indexed latency; the index "
+        "is built once and reused, matching how RecommendationService uses it"
+    )
+    result.add_note(f"mode: {'full' if FULL_MODE else 'smoke'} (REPRO_BENCH_FULL=1 for full)")
+    return result
+
+
+def test_neighbor_index_scaling(experiment_reporter):
+    result = run_scaling_experiment()
+    experiment_reporter(result)
+
+    speedups = result.column("speedup")
+    largest = result.rows[-1]
+    assert largest["consumers"] == POPULATION_SIZES[-1]
+    # Equivalence was asserted per query inside run_scaling_experiment; the
+    # timing bar only applies in full mode, where the populations are large
+    # enough for wall-clock measurements to be stable.
+    if FULL_MODE:
+        assert largest["speedup"] >= REQUIRED_SPEEDUP, (
+            f"indexed search must be ≥{REQUIRED_SPEEDUP}x faster than brute "
+            f"force at {largest['consumers']} consumers, measured "
+            f"{largest['speedup']}x"
+        )
+        # The advantage must not collapse as the population grows.
+        assert min(speedups) > 1.0
+
+
+@pytest.mark.parametrize("consumers", [POPULATION_SIZES[0]])
+def test_indexed_query_cost(benchmark, consumers):
+    """pytest-benchmark timing table for one indexed query at steady state."""
+    dataset, profiles = _build_profiles(consumers)
+    config = SimilarityConfig(top_k=10)
+    index = ProfileNeighborIndex(provider=profiles.values, config=config)
+    index.sync()
+    target = profiles[dataset.users[0]]
+
+    neighbours = benchmark(lambda: index.find_similar(target))
+    assert neighbours == find_similar_users(target, profiles.values(), config)

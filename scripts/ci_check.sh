@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: full test suite + the neighbor-index benchmark smoke run.
+#
+# Usage: scripts/ci_check.sh
+#
+# The benchmark runs in smoke mode (small populations, <10s) but still
+# asserts brute-force/indexed equivalence and a minimum speedup; export
+# REPRO_BENCH_FULL=1 to run the 5000-consumer scaling check instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: unit + property + integration tests =="
+python -m pytest -x -q tests
+
+echo "== tier-1: benchmark smoke (neighbor index scaling) =="
+python -m pytest -x -q benchmarks/bench_neighbors_scaling.py
+
+echo "ci_check: OK"

@@ -28,8 +28,20 @@ Quickstart::
     platform = build_platform(num_marketplaces=2, seed=7)
     session = platform.login("alice")
     results = session.query("laptop")
-    session.buy(results[0].item_id)
+    session.buy(results[0].item, marketplace=results[0].marketplace)
     recommendations = session.recommendations()
+
+Scaling — batch serving and the neighbor index::
+
+    # Similar-user search runs against a precomputed neighbor index
+    # (repro.core.neighbors) that is invalidated incrementally as consumers
+    # interact; it returns scores identical to the brute-force scan.
+    service = platform.buyer_server.recommendations
+    lists = service.recommend_many(["alice", "bob", "carol"], k=5)
+
+    # Periodic community-wide precomputation (e.g. from a scenario loop):
+    platform.buyer_server.refresh_recommendations(k=5)
+    cached = service.cached_recommendations("alice")
 """
 
 from repro.version import __version__
@@ -42,6 +54,7 @@ from repro.core.recommender import (
     Recommender,
 )
 from repro.core.similarity import profile_similarity, SimilarityConfig
+from repro.core.neighbors import ProfileNeighborIndex
 
 __all__ = [
     "__version__",
@@ -57,4 +70,5 @@ __all__ = [
     "Recommender",
     "profile_similarity",
     "SimilarityConfig",
+    "ProfileNeighborIndex",
 ]

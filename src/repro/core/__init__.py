@@ -20,6 +20,19 @@ Alongside the paper's mechanism the package implements the baselines the
 related-work section discusses (pure collaborative filtering, pure information
 filtering, popularity), the future-work extensions (weekly hottest, tied-sale
 cross-selling) and the evaluation metrics used by the benchmark harness.
+
+**Scaling architecture.**  The similarity search is the mechanism's hot path,
+so it exists in two score-identical forms: the brute-force reference scan
+(:func:`repro.core.similarity.find_similar_users`) and the indexed path
+(:mod:`repro.core.neighbors`), which precomputes per-profile norms and
+flattened term vectors, prunes discard-rule failures with per-category sorted
+preference windows before scoring, and is invalidated incrementally by
+:class:`~repro.core.profile_learning.ProfileLearner` update hooks.  Batch
+serving rides on top: :meth:`RecommendationEngine.recommend_many` serves every
+consumer through the unchanged single-user path, so batch output always
+equals per-user output; shared state (the neighbor index, the collaborative
+filtering user-vector cache) is stamp-cached, warmed once by the first
+consumer and reused across the batch.
 """
 
 from repro.core.items import Item, ItemCatalogView
@@ -33,6 +46,7 @@ from repro.core.similarity import (
     pearson_correlation,
     find_similar_users,
 )
+from repro.core.neighbors import ProfileNeighborIndex, find_similar_users_indexed
 from repro.core.recommender import Recommendation, Recommender, RecommendationEngine
 from repro.core.collaborative import CollaborativeFilteringRecommender
 from repro.core.information_filtering import InformationFilteringRecommender
@@ -60,6 +74,8 @@ __all__ = [
     "cosine_similarity",
     "pearson_correlation",
     "find_similar_users",
+    "ProfileNeighborIndex",
+    "find_similar_users_indexed",
     "Recommendation",
     "Recommender",
     "RecommendationEngine",

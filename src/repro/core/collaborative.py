@@ -52,6 +52,10 @@ class CollaborativeFilteringRecommender(Recommender):
         self.neighbours = neighbours
         self.similarity = similarity
         self.min_overlap = min_overlap
+        # Both caches are stamped with ratings.interaction_count: any new
+        # interaction bumps the stamp, so stale entries are never served.
+        self._vector_cache: Optional[Tuple[int, Dict[str, Dict[str, float]]]] = None
+        self._neighbourhood_cache: Dict[str, Tuple[int, List[Tuple[str, float]]]] = {}
 
     # -- neighbourhood ---------------------------------------------------------
 
@@ -60,16 +64,31 @@ class CollaborativeFilteringRecommender(Recommender):
             return pearson_correlation(left, right)
         return cosine_similarity(left, right)
 
+    def _vectors(self) -> Dict[str, Dict[str, float]]:
+        """All user vectors, copied out of the store once per ratings state."""
+        stamp = self.ratings.interaction_count
+        if self._vector_cache is None or self._vector_cache[0] != stamp:
+            self._vector_cache = (
+                stamp,
+                {user: self.ratings.user_vector(user) for user in self.ratings.users},
+            )
+        return self._vector_cache[1]
+
     def neighbourhood(self, user_id: str) -> List[Tuple[str, float]]:
         """The ``neighbours`` most similar users with positive similarity."""
-        target_vector = self.ratings.user_vector(user_id)
+        stamp = self.ratings.interaction_count
+        cached = self._neighbourhood_cache.get(user_id)
+        if cached is not None and cached[0] == stamp:
+            return list(cached[1])
+        vectors = self._vectors()
+        target_vector = vectors.get(user_id) or self.ratings.user_vector(user_id)
         if not target_vector:
+            self._neighbourhood_cache[user_id] = (stamp, [])
             return []
         scored: List[Tuple[str, float]] = []
-        for other in self.ratings.users:
+        for other, other_vector in vectors.items():
             if other == user_id:
                 continue
-            other_vector = self.ratings.user_vector(other)
             overlap = sum(1 for item in target_vector if item in other_vector)
             if overlap < self.min_overlap:
                 continue
@@ -77,7 +96,9 @@ class CollaborativeFilteringRecommender(Recommender):
             if score > 0:
                 scored.append((other, score))
         scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored[: self.neighbours]
+        result = scored[: self.neighbours]
+        self._neighbourhood_cache[user_id] = (stamp, result)
+        return list(result)
 
     # -- prediction -------------------------------------------------------------
 

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import RecommendationError
 from repro.core.items import Item, ItemCatalogView
 from repro.core.information_filtering import InformationFilteringRecommender
+from repro.core.neighbors import ProfileNeighborIndex
 from repro.core.profile import Profile
 from repro.core.ratings import RatingsStore
 from repro.core.recommender import Recommendation, Recommender
@@ -56,6 +57,7 @@ class AgentHybridRecommender(Recommender):
         similarity_config: Optional[SimilarityConfig] = None,
         collaborative_weight: float = 0.6,
         content_weight: float = 0.4,
+        neighbor_index: Optional[ProfileNeighborIndex] = None,
     ) -> None:
         if collaborative_weight < 0 or content_weight < 0:
             raise RecommendationError("mixing weights cannot be negative")
@@ -68,6 +70,7 @@ class AgentHybridRecommender(Recommender):
         self.similarity_config = similarity_config or SimilarityConfig()
         self.collaborative_weight = collaborative_weight
         self.content_weight = content_weight
+        self.neighbor_index = neighbor_index
         self._content = InformationFilteringRecommender(catalog, profile_of)
 
     # -- similar users ----------------------------------------------------------
@@ -75,10 +78,19 @@ class AgentHybridRecommender(Recommender):
     def similar_users(
         self, user_id: str, category: Optional[str] = None
     ) -> List[Tuple[str, float]]:
-        """The similar-consumer list the mechanism bases recommendations on."""
+        """The similar-consumer list the mechanism bases recommendations on.
+
+        Uses the precomputed :class:`ProfileNeighborIndex` when one is wired
+        in (score-identical to the brute-force scan, just faster) and falls
+        back to scanning ``all_profiles()`` otherwise.
+        """
         target = self.profile_of(user_id)
         if target is None or target.is_empty():
             return []
+        if self.neighbor_index is not None:
+            return self.neighbor_index.find_similar(
+                target, category=category, config=self.similarity_config
+            )
         return find_similar_users(
             target, self.all_profiles(), self.similarity_config, category=category
         )

@@ -1,0 +1,426 @@
+"""Precomputed neighbor index for the similarity algorithm (Figure 4.5).
+
+:func:`repro.core.similarity.find_similar_users` compares the active profile
+against *every* stored profile and re-flattens both hierarchical profiles for
+every pair, which makes one similar-user search O(users × profile size).  That
+is the hot path of the whole mechanism — the BRA runs it for every
+recommendation request — so the index here restructures it:
+
+- **Per-profile caches.**  For every consumer the index keeps the category
+  preference vector, the flattened term vector and both vector norms, built
+  once and reused across queries instead of recomputed per pair.
+- **Category windows.**  Per category, candidates are kept sorted by their
+  scalar preference value, so the Figure 4.5 discard rule ("if Consumer X's
+  preference merchandise item value Tx [is] different from ... Ty, the
+  similarity result will be discarded") prunes candidates with a binary
+  search *before* any scoring happens rather than after a full comparison.
+- **Incremental invalidation.**  :class:`~repro.core.profile_learning.ProfileLearner`
+  fires an update hook per feedback event; the index marks exactly that
+  consumer dirty and lazily rebuilds its caches on the next query.  A version
+  stamp (``feedback_events`` / ``updated_at``) is checked as a second line of
+  defence so profiles replaced wholesale in UserDB are also picked up.
+
+The indexed search is score-identical to the brute-force one: it replicates
+the same cosine formulas over the same dictionaries (see the property suite in
+``tests/property/test_neighbor_index.py``), so it can be swapped in anywhere
+:func:`find_similar_users` is used today.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.profile import Profile
+from repro.core.profile_learning import FeedbackEvent
+from repro.core.similarity import SimilarityConfig
+
+__all__ = ["ProfileNeighborIndex", "find_similar_users_indexed"]
+
+ProfilesProvider = Callable[[], Iterable[Profile]]
+
+
+def _norm(vector: Dict[str, float]) -> float:
+    """Euclidean norm, summed in the same order ``cosine_similarity`` uses."""
+    return math.sqrt(sum(value * value for value in vector.values()))
+
+
+def _cached_cosine(
+    left: Dict[str, float],
+    left_norm: float,
+    right: Dict[str, float],
+    right_norm: float,
+) -> float:
+    """Cosine over cached vectors, bit-identical to ``cosine_similarity``.
+
+    The brute-force helper iterates the smaller dict for the dot product and
+    divides by ``norm(smaller) * norm(larger)``; the same swap and the same
+    operand pairing are reproduced here so scores match exactly.
+    """
+    if not left or not right:
+        return 0.0
+    if len(left) > len(right):
+        left, left_norm, right, right_norm = right, right_norm, left, left_norm
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    dot = sum(value * right.get(key, 0.0) for key, value in left.items())
+    return dot / (left_norm * right_norm)
+
+
+@dataclass
+class _ProfileEntry:
+    """Cached similarity inputs of one indexed consumer."""
+
+    user_id: str
+    profile: Profile
+    prefs: Dict[str, float]
+    pref_norm: float
+    terms: Dict[str, float]
+    term_norm: float
+    version: Tuple[int, int, float, int]
+
+
+def _version_of(profile: Profile) -> Tuple[int, int, float, int]:
+    """Cheap change stamp: object identity plus the learner's counters."""
+    return (
+        id(profile),
+        profile.feedback_events,
+        profile.updated_at,
+        len(profile.categories),
+    )
+
+
+class ProfileNeighborIndex:
+    """Precomputed per-profile caches + category windows for neighbor search.
+
+    The index can be fed two ways:
+
+    - with a ``provider`` callable returning the current profiles (the way
+      the recommendation service wires it to UserDB): every :meth:`sync`
+      reconciles against the provider, picking up registrations, removals and
+      version changes;
+    - explicitly through :meth:`build` / :meth:`add` for offline datasets.
+
+    Invalidation is incremental: :meth:`on_profile_update` (the hook handed to
+    :meth:`~repro.core.profile_learning.ProfileLearner.add_update_hook` via
+    :meth:`attach_to`) marks only the touched consumer dirty; everyone else's
+    caches survive untouched.
+    """
+
+    def __init__(
+        self,
+        profiles: Optional[Iterable[Profile]] = None,
+        provider: Optional[ProfilesProvider] = None,
+        config: Optional[SimilarityConfig] = None,
+        provider_version: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.config = config or SimilarityConfig()
+        self.config.validate()
+        self._provider = provider
+        # When every profile mutation is reported through learner hooks
+        # (attach_to) AND the provider exposes a membership version stamp,
+        # sync() can skip the full per-profile reconcile entirely.
+        self._provider_version = provider_version
+        self._last_provider_stamp: Optional[int] = None
+        self._hooked = False
+        self._entries: Dict[str, _ProfileEntry] = {}
+        self._profiles_by_id: Dict[str, Profile] = {}
+        self._dirty: Set[str] = set()
+        # category → user → scalar preference value, and the lazily sorted
+        # (value, user) window used by the discard-rule pruning.
+        self._category_values: Dict[str, Dict[str, float]] = {}
+        self._sorted_windows: Dict[str, Tuple[List[float], List[str]]] = {}
+        self.rebuilds = 0
+        self.queries = 0
+        if profiles is not None:
+            self.build(profiles)
+
+    # -- population ----------------------------------------------------------
+
+    def build(self, profiles: Iterable[Profile]) -> None:
+        """Index ``profiles`` from scratch, discarding any previous state."""
+        self._entries.clear()
+        self._profiles_by_id.clear()
+        self._dirty.clear()
+        self._category_values.clear()
+        self._sorted_windows.clear()
+        for profile in profiles:
+            self.add(profile)
+
+    def add(self, profile: Profile) -> None:
+        """Index (or re-index) one consumer's profile immediately."""
+        self._profiles_by_id[profile.user_id] = profile
+        self._index_profile(profile)
+        self._dirty.discard(profile.user_id)
+
+    def remove(self, user_id: str) -> None:
+        """Forget a consumer entirely."""
+        self._profiles_by_id.pop(user_id, None)
+        self._dirty.discard(user_id)
+        self._drop_entry(user_id)
+
+    # -- invalidation ---------------------------------------------------------
+
+    def invalidate(self, user_id: str) -> None:
+        """Mark one consumer's caches stale; rebuilt lazily on next query."""
+        if user_id in self._profiles_by_id:
+            self._dirty.add(user_id)
+
+    def on_profile_update(
+        self, profile: Profile, event: Optional[FeedbackEvent] = None
+    ) -> None:
+        """ProfileLearner update hook: invalidate exactly this consumer."""
+        self._profiles_by_id[profile.user_id] = profile
+        self._dirty.add(profile.user_id)
+
+    def attach_to(self, learner) -> None:
+        """Register the invalidation hook on a :class:`ProfileLearner`."""
+        learner.add_update_hook(self.on_profile_update)
+        self._hooked = True
+
+    def dirty_users(self) -> Set[str]:
+        """The consumers whose caches are currently stale (for tests)."""
+        return set(self._dirty)
+
+    def cached_entry(self, user_id: str) -> Optional[_ProfileEntry]:
+        """The raw cached entry of one consumer (for tests/diagnostics)."""
+        return self._entries.get(user_id)
+
+    # -- synchronisation ------------------------------------------------------
+
+    def sync(self) -> int:
+        """Reconcile caches with the profile source; return rebuild count.
+
+        Normally a full reconcile against the provider (O(community), cheap
+        per profile but linear).  When learner hooks are attached and the
+        provider supplies a membership version stamp, an unchanged stamp
+        proves the profile set did not change, so only hook-flagged dirty
+        consumers are rebuilt — the common per-query case becomes O(dirty).
+        """
+        if (
+            self._provider is not None
+            and self._hooked
+            and self._provider_version is not None
+            and self._last_provider_stamp is not None
+            and self._provider_version() == self._last_provider_stamp
+        ):
+            return self._rebuild_dirty()
+        rebuilt = 0
+        if self._provider is not None:
+            if self._provider_version is not None:
+                self._last_provider_stamp = self._provider_version()
+            current: Dict[str, Profile] = {}
+            for profile in self._provider():
+                current[profile.user_id] = profile
+            for user_id in list(self._entries):
+                if user_id not in current:
+                    self.remove(user_id)
+            for user_id, profile in current.items():
+                self._profiles_by_id[user_id] = profile
+                entry = self._entries.get(user_id)
+                if (
+                    entry is None
+                    or user_id in self._dirty
+                    or entry.version != _version_of(profile)
+                ):
+                    self._index_profile(profile)
+                    rebuilt += 1
+        else:
+            return self._rebuild_dirty()
+        self._dirty.clear()
+        return rebuilt
+
+    def _rebuild_dirty(self) -> int:
+        """Rebuild only hook-flagged consumers (no provider reconcile)."""
+        rebuilt = 0
+        for user_id in list(self._dirty):
+            profile = self._profiles_by_id.get(user_id)
+            if profile is None:
+                self._drop_entry(user_id)
+                continue
+            self._index_profile(profile)
+            rebuilt += 1
+        self._dirty.clear()
+        return rebuilt
+
+    # -- queries --------------------------------------------------------------
+
+    def find_similar(
+        self,
+        target: Profile,
+        category: Optional[str] = None,
+        config: Optional[SimilarityConfig] = None,
+    ) -> List[Tuple[str, float]]:
+        """Indexed equivalent of :func:`repro.core.similarity.find_similar_users`.
+
+        Returns the same ranked ``(user_id, similarity)`` list the brute-force
+        search would: same scores, same discard-rule filtering, same
+        deterministic tie-breaking.  The target itself is never included and
+        does not need to be indexed.
+        """
+        config = config or self.config
+        config.validate()
+        self.sync()
+        self.queries += 1
+
+        # The target side is computed fresh from the profile that was passed
+        # in (exactly what the brute-force path sees), so a caller holding a
+        # detached copy still gets correct scores.
+        target_prefs = target.preference_vector()
+        target_pref_norm = _norm(target_prefs)
+        target_terms = target.flattened_terms().as_dict()
+        target_term_norm = _norm(target_terms)
+
+        candidates = self._candidate_ids(target_prefs, category, config)
+
+        preference_weight = config.preference_weight
+        term_weight = config.term_weight
+        total_weight = preference_weight + term_weight
+        minimum = config.min_similarity
+
+        scored: List[Tuple[str, float]] = []
+        for user_id in candidates:
+            if user_id == target.user_id:
+                continue
+            entry = self._entries[user_id]
+            preference_part = _cached_cosine(
+                target_prefs, target_pref_norm, entry.prefs, entry.pref_norm
+            )
+            term_part = _cached_cosine(
+                target_terms, target_term_norm, entry.terms, entry.term_norm
+            )
+            score = (
+                preference_weight * preference_part + term_weight * term_part
+            ) / total_weight
+            score = max(0.0, min(1.0, score))
+            if score >= minimum:
+                scored.append((user_id, score))
+
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[: config.top_k]
+
+    # -- internals ------------------------------------------------------------
+
+    def _candidate_ids(
+        self,
+        target_prefs: Dict[str, float],
+        category: Optional[str],
+        config: SimilarityConfig,
+    ) -> Iterable[str]:
+        """Candidates surviving the discard rule, pruned before scoring."""
+        if category is None:
+            return list(self._entries)
+
+        tolerance = config.discard_tolerance
+        target_value = target_prefs.get(category, 0.0)
+        members = self._category_values.get(category, {})
+
+        candidates: List[str] = []
+        if members:
+            values, user_ids = self._window(category)
+            # Widen the bisect bounds by one ulp each way, then re-apply the
+            # exact brute-force predicate: the window is a fast pre-filter,
+            # |Tx - Ty| <= tolerance stays the single source of truth.
+            low = math.nextafter(target_value - tolerance, -math.inf)
+            high = math.nextafter(target_value + tolerance, math.inf)
+            start = bisect_left(values, low)
+            stop = bisect_right(values, high)
+            for position in range(start, stop):
+                if abs(target_value - values[position]) <= tolerance:
+                    candidates.append(user_ids[position])
+        if abs(target_value - 0.0) <= tolerance and len(members) < len(self._entries):
+            # Consumers without the category have an implicit preference of
+            # 0.0 and pass the discard rule whenever the target's own value
+            # is within tolerance of zero.
+            candidates.extend(
+                user_id for user_id in self._entries if user_id not in members
+            )
+        return candidates
+
+    def _window(self, category: str) -> Tuple[List[float], List[str]]:
+        cached = self._sorted_windows.get(category)
+        if cached is None:
+            pairs = sorted(
+                (value, user_id)
+                for user_id, value in self._category_values[category].items()
+            )
+            cached = ([pair[0] for pair in pairs], [pair[1] for pair in pairs])
+            self._sorted_windows[category] = cached
+        return cached
+
+    def _index_profile(self, profile: Profile) -> None:
+        user_id = profile.user_id
+        old = self._entries.get(user_id)
+        if old is not None:
+            self._unlink_categories(old)
+        prefs = profile.preference_vector()
+        terms = profile.flattened_terms().as_dict()
+        entry = _ProfileEntry(
+            user_id=user_id,
+            profile=profile,
+            prefs=prefs,
+            pref_norm=_norm(prefs),
+            terms=terms,
+            term_norm=_norm(terms),
+            version=_version_of(profile),
+        )
+        self._entries[user_id] = entry
+        for name, value in prefs.items():
+            self._category_values.setdefault(name, {})[user_id] = value
+            self._sorted_windows.pop(name, None)
+        self.rebuilds += 1
+
+    def _drop_entry(self, user_id: str) -> None:
+        entry = self._entries.pop(user_id, None)
+        if entry is not None:
+            self._unlink_categories(entry)
+
+    def _unlink_categories(self, entry: _ProfileEntry) -> None:
+        for name in entry.prefs:
+            bucket = self._category_values.get(name)
+            if bucket is not None:
+                bucket.pop(entry.user_id, None)
+                if not bucket:
+                    del self._category_values[name]
+                self._sorted_windows.pop(name, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProfileNeighborIndex(entries={len(self._entries)}, "
+            f"dirty={len(self._dirty)}, rebuilds={self.rebuilds})"
+        )
+
+
+def find_similar_users_indexed(
+    target: Profile,
+    candidates: Iterable[Profile],
+    config: Optional[SimilarityConfig] = None,
+    category: Optional[str] = None,
+    index: Optional[ProfileNeighborIndex] = None,
+) -> List[Tuple[str, float]]:
+    """Drop-in indexed replacement for :func:`find_similar_users`.
+
+    When ``index`` is omitted a transient index is built over ``candidates``
+    (useful for one-off equivalence checks); pass a long-lived
+    :class:`ProfileNeighborIndex` to amortise the precomputation across
+    queries, which is where the speedup comes from.
+    """
+    if index is None:
+        index = ProfileNeighborIndex(profiles=candidates, config=config)
+    return index.find_similar(target, category=category, config=config)

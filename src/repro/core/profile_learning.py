@@ -19,14 +19,20 @@ algorithm compares.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import ProfileError
 from repro.core.items import Item
 from repro.core.profile import Profile
 from repro.core.ratings import InteractionKind
 
-__all__ = ["FeedbackEvent", "LearningConfig", "ProfileLearner", "FEEDBACK_QUALITY"]
+__all__ = [
+    "FeedbackEvent",
+    "LearningConfig",
+    "ProfileLearner",
+    "FEEDBACK_QUALITY",
+    "UpdateHook",
+]
 
 
 #: Quality-of-feedback factor per behaviour kind.  Purchases are the strongest
@@ -95,13 +101,38 @@ class LearningConfig:
             raise ProfileError("prune threshold cannot be negative")
 
 
+#: Signature of a post-update hook: called with the profile that changed and
+#: the event that changed it, after the learning rule has been applied.
+UpdateHook = Callable[[Profile, "FeedbackEvent"], None]
+
+
 class ProfileLearner:
-    """Applies the Figure 4.5 learning rule to consumer profiles."""
+    """Applies the Figure 4.5 learning rule to consumer profiles.
+
+    Downstream caches (notably the
+    :class:`~repro.core.neighbors.ProfileNeighborIndex`) can register update
+    hooks; every applied event fires them once, which is what makes
+    incremental cache invalidation precise — only the consumer whose profile
+    actually changed is reported.
+    """
 
     def __init__(self, config: Optional[LearningConfig] = None) -> None:
         self.config = config or LearningConfig()
         self.config.validate()
         self.events_applied = 0
+        self._update_hooks: List[UpdateHook] = []
+
+    # -- update hooks ----------------------------------------------------------
+
+    def add_update_hook(self, hook: UpdateHook) -> None:
+        """Register a callable fired after every applied feedback event."""
+        if hook not in self._update_hooks:
+            self._update_hooks.append(hook)
+
+    def remove_update_hook(self, hook: UpdateHook) -> None:
+        """Unregister a previously added hook (missing hooks are ignored)."""
+        if hook in self._update_hooks:
+            self._update_hooks.remove(hook)
 
     # -- single event ---------------------------------------------------------
 
@@ -146,6 +177,8 @@ class ProfileLearner:
         profile.updated_at = max(profile.updated_at, event.timestamp)
         profile.feedback_events += 1
         self.events_applied += 1
+        for hook in self._update_hooks:
+            hook(profile, event)
         return profile
 
     # -- batches ---------------------------------------------------------------

@@ -70,6 +70,18 @@ class Recommender(abc.ABC):
         """
         return True
 
+    def prepare_batch(self, user_ids: Sequence[str]) -> None:
+        """Hook called once before a batch of ``recommend`` calls.
+
+        The built-in strategies need no override: their derived state (the
+        hybrid recommender's neighbor index, the collaborative recommender's
+        user-vector cache) is stamp-cached lazily, so the first per-user call
+        warms it for the whole batch.  The hook exists for strategies whose
+        warm-up is *not* self-caching (e.g. one that fetches remote state per
+        request).  Must not change what ``recommend`` returns — batching is a
+        performance hint, not a semantic switch.  The default is a no-op.
+        """
+
 
 def _sorted_and_trimmed(
     recommendations: List[Recommendation], k: int
@@ -135,3 +147,31 @@ class RecommendationEngine:
             if rec.item_id not in deduplicated or rec.score > deduplicated[rec.item_id].score:
                 deduplicated[rec.item_id] = rec
         return _sorted_and_trimmed(list(deduplicated.values()), k)
+
+    def recommend_many(
+        self,
+        user_ids: Iterable[str],
+        k: int = 10,
+        category: Optional[str] = None,
+        exclude: Iterable[str] = (),
+    ) -> Dict[str, List[Recommendation]]:
+        """Recommendation lists for a batch of consumers at once.
+
+        Output is guaranteed identical to calling :meth:`recommend` per user
+        (including cold-start fallbacks): each user is served from the same
+        code path as the single-user API.  Shared work is amortised by the
+        strategies' stamp-cached derived state (warmed by the first user and
+        reused for the rest) plus the ``prepare_batch`` hooks, which run
+        exactly once per batch.  Duplicate user ids collapse to one entry.
+        """
+        if k <= 0:
+            raise RecommendationError("k must be positive")
+        ids = list(dict.fromkeys(user_ids))
+        excluded = tuple(exclude)
+        self.primary.prepare_batch(ids)
+        if self.fallback is not None:
+            self.fallback.prepare_batch(ids)
+        return {
+            user_id: self.recommend(user_id, k=k, category=category, exclude=excluded)
+            for user_id in ids
+        }

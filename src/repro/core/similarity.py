@@ -15,6 +15,11 @@ The similarity value itself combines the cosine similarity of the two
 category-preference vectors with the cosine similarity of the flattened term
 vectors; the mix is configurable through :class:`SimilarityConfig` so the
 ablation benchmark can study either extreme.
+
+:func:`find_similar_users` is the brute-force reference implementation — it
+rescans and re-flattens every stored profile per query.  The production path
+is :mod:`repro.core.neighbors`, which serves the same ranked list (score
+identical) from precomputed caches with discard-rule pruning up front.
 """
 
 from __future__ import annotations
@@ -41,7 +46,17 @@ __all__ = [
 
 
 def cosine_similarity(left: Mapping[str, float], right: Mapping[str, float]) -> float:
-    """Cosine similarity between two sparse vectors given as dicts."""
+    """Cosine similarity between two sparse vectors given as dicts.
+
+    The function is symmetric: ``cosine_similarity(a, b)`` equals
+    ``cosine_similarity(b, a)`` exactly.  Internally the smaller dict is
+    iterated for the dot product — the ``left``/``right`` swap below — which
+    is purely an efficiency choice: the dot product pairs the same terms
+    either way and the norm product is commutative, so the swap never changes
+    the result (``tests/unit/test_similarity.py`` pins this down).  The
+    indexed search in :mod:`repro.core.neighbors` replicates this exact
+    evaluation order over cached vectors to stay bit-identical.
+    """
     if not left or not right:
         return 0.0
     if len(left) > len(right):
@@ -76,7 +91,14 @@ def pearson_correlation(left: Mapping[str, float], right: Mapping[str, float]) -
     var_right = sum((b - mean_right) ** 2 for b in right_values)
     if var_left == 0.0 or var_right == 0.0:
         return 0.0
-    return numerator / math.sqrt(var_left * var_right)
+    # Take the roots before multiplying: var_left * var_right can underflow
+    # to 0.0 for tiny but nonzero variances (weights around 1e-107), which
+    # would turn the division into a ZeroDivisionError.  The product of the
+    # roots can still underflow for truly degenerate inputs, so guard it.
+    denominator = math.sqrt(var_left) * math.sqrt(var_right)
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
 
 
 # ---------------------------------------------------------------------------

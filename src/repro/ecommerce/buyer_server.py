@@ -14,7 +14,7 @@ recommendation service) and exposes the handles the consumer-facing
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ECommerceError, RegistrationError
 from repro.agents.context import AgletContext
@@ -24,6 +24,7 @@ from repro.core.cross_sell import CrossSellRecommender
 from repro.core.hybrid import AgentHybridRecommender
 from repro.core.information_filtering import InformationFilteringRecommender
 from repro.core.items import Item, ItemCatalogView
+from repro.core.neighbors import ProfileNeighborIndex
 from repro.core.popularity import PopularityRecommender, WeeklyHottestRecommender
 from repro.core.profile import Profile
 from repro.core.profile_learning import LearningConfig, ProfileLearner
@@ -49,6 +50,7 @@ class RecommendationService:
         catalog: ItemCatalogView,
         similarity_config: Optional[SimilarityConfig] = None,
         now: Optional[callable] = None,
+        profile_learner: Optional[ProfileLearner] = None,
     ) -> None:
         self.user_db = user_db
         self.catalog = catalog
@@ -60,12 +62,24 @@ class RecommendationService:
                 return None
             return user_db.profile(user_id)
 
+        # Neighbor search runs against the precomputed index, kept in sync
+        # with UserDB by provider reconciliation and, when the learner is
+        # known, by precise per-consumer invalidation hooks.
+        self.neighbor_index = ProfileNeighborIndex(
+            provider=user_db.profiles,
+            config=self.similarity_config,
+            provider_version=user_db.profiles_version,
+        )
+        if profile_learner is not None:
+            self.neighbor_index.attach_to(profile_learner)
+
         self.hybrid = AgentHybridRecommender(
             ratings=user_db.ratings,
             catalog=catalog,
             profile_of=profile_of,
             all_profiles=user_db.profiles,
             similarity_config=self.similarity_config,
+            neighbor_index=self.neighbor_index,
         )
         self.information_filtering = InformationFilteringRecommender(catalog, profile_of)
         self.popularity = PopularityRecommender(user_db.ratings, catalog)
@@ -84,12 +98,42 @@ class RecommendationService:
             ratings=user_db.ratings,
             fallback=self.popularity,
         )
+        self._batch_cache: Dict[str, List[Recommendation]] = {}
+        self.last_batch_refresh_at: Optional[float] = None
 
     def recommend(
         self, user_id: str, k: int = 10, category: Optional[str] = None
     ) -> List[Recommendation]:
         """Recommendations for ``user_id`` (hybrid with popularity fallback)."""
         return self.engine.recommend(user_id, k=k, category=category)
+
+    def recommend_many(
+        self, user_ids: Iterable[str], k: int = 10, category: Optional[str] = None
+    ) -> Dict[str, List[Recommendation]]:
+        """Batch recommendations — identical output to per-user ``recommend``."""
+        return self.engine.recommend_many(user_ids, k=k, category=category)
+
+    def batch_refresh(
+        self, user_ids: Iterable[str], k: int = 10
+    ) -> Dict[str, List[Recommendation]]:
+        """Recompute and cache recommendation lists for a set of consumers.
+
+        The cache feeds :meth:`cached_recommendations` (e.g. instant lists on
+        login); on-demand :meth:`recommend` calls always compute fresh.
+        """
+        results = self.recommend_many(user_ids, k=k)
+        # Cache copies: callers may reorder/extend the returned lists freely
+        # without corrupting what cached_recommendations serves later.
+        self._batch_cache.update(
+            {user_id: list(recs) for user_id, recs in results.items()}
+        )
+        self.last_batch_refresh_at = self.now()
+        return results
+
+    def cached_recommendations(self, user_id: str) -> Optional[List[Recommendation]]:
+        """The last batch-refreshed list for ``user_id`` (None when absent)."""
+        cached = self._batch_cache.get(user_id)
+        return list(cached) if cached is not None else None
 
     def weekly_hottest_list(
         self, k: int = 10, category: Optional[str] = None
@@ -152,11 +196,13 @@ class BuyerAgentServer:
         self.recommendations = RecommendationService(
             self.user_db, catalog if catalog is not None else ItemCatalogView([]),
             similarity_config, now=lambda: context.now,
+            profile_learner=self.profile_learner,
         )
         context.host.attach_service("recommendation-service", self.recommendations)
 
         self.bsma: Optional[BuyerServerManagementAgent] = None
         self.httpa: Optional[HttpAgent] = None
+        self.batch_refreshes = 0
 
     # -- Figure 4.1 bootstrap -------------------------------------------------------
 
@@ -201,6 +247,38 @@ class BuyerAgentServer:
         )
         if not reply.ok:
             raise ECommerceError(reply.error)
+
+    # -- periodic batch refresh ----------------------------------------------------
+
+    def refresh_recommendations(self, k: int = 10) -> Dict[str, List[Recommendation]]:
+        """Batch-recompute recommendation lists for the current community.
+
+        Refreshes every online consumer (falling back to every registered
+        consumer while nobody is logged in) through the shared
+        :meth:`RecommendationService.batch_refresh`, so the next login can be
+        served a precomputed list instantly.
+        """
+        users = self.bsmdb.online_user_ids() or self.user_db.user_ids
+        results = self.recommendations.batch_refresh(users, k=k)
+        self.batch_refreshes += 1
+        return results
+
+    def maybe_refresh_recommendations(
+        self, interval_ms: float, k: int = 10
+    ) -> bool:
+        """Run :meth:`refresh_recommendations` when the interval has elapsed.
+
+        This is the periodic driver: scenario loops (and any external ticker)
+        call it once per step and the refresh fires at most every
+        ``interval_ms`` of simulated time.  Returns True when a refresh ran.
+        """
+        if interval_ms < 0:
+            raise ECommerceError("refresh interval cannot be negative")
+        last = self.recommendations.last_batch_refresh_at
+        if last is not None and self.context.now - last < interval_ms:
+            return False
+        self.refresh_recommendations(k=k)
+        return True
 
 
 def _creation_request(host: str):

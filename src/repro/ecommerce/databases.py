@@ -46,6 +46,7 @@ class UserDB:
         self._profiles: Dict[str, Profile] = {}
         self._transactions: Dict[str, List[TransactionRecord]] = {}
         self.ratings = RatingsStore()
+        self._profiles_version = 0
 
     # -- registration -----------------------------------------------------------
 
@@ -58,6 +59,7 @@ class UserDB:
         self._users[user_id] = record
         self._profiles[user_id] = Profile(user_id)
         self._transactions[user_id] = []
+        self._profiles_version += 1
         return record
 
     def is_registered(self, user_id: str) -> bool:
@@ -88,9 +90,17 @@ class UserDB:
     def store_profile(self, profile: Profile) -> None:
         self._require(profile.user_id)
         self._profiles[profile.user_id] = profile
+        self._profiles_version += 1
 
     def profiles(self) -> List[Profile]:
         return [self._profiles[user_id] for user_id in sorted(self._profiles)]
+
+    def profiles_version(self) -> int:
+        """Counter bumped whenever the profile *set* changes (registration or
+        wholesale replacement).  In-place learning updates do not bump it —
+        those are reported per consumer by ProfileLearner hooks — so the
+        neighbor index can use this stamp to skip full reconciles."""
+        return self._profiles_version
 
     # -- transactions --------------------------------------------------------------
 

@@ -1,0 +1,251 @@
+"""Unit tests for the profile neighbor index (repro.core.neighbors).
+
+The property suite (``tests/property/test_neighbor_index.py``) proves the
+indexed search equals brute force; the tests here pin down the *mechanics*:
+exact incremental invalidation through ProfileLearner hooks, the stale-cache
+regression the hooks exist to prevent, discard-rule candidate pruning, and
+cache reuse across queries.
+"""
+
+import pytest
+
+from repro.core.neighbors import ProfileNeighborIndex, find_similar_users_indexed
+from repro.core.profile import Profile
+from repro.core.profile_learning import FeedbackEvent, ProfileLearner
+from repro.core.ratings import InteractionKind
+from repro.core.similarity import SimilarityConfig, find_similar_users
+
+from tests.conftest import make_item
+
+
+def build_profile(user_id, preferences, terms=None):
+    profile = Profile(user_id)
+    for category, value in preferences.items():
+        profile.category(category).preference = value
+    for category, term_weights in (terms or {}).items():
+        for term, weight in term_weights.items():
+            profile.category(category).terms.set(term, weight)
+    return profile
+
+
+def community():
+    """Three consumers with overlapping tastes, keyed by user id."""
+    return {
+        "alice": build_profile("alice", {"books": 5.0}, {"books": {"novel": 1.0}}),
+        "bob": build_profile("bob", {"books": 4.5}, {"books": {"novel": 0.8}}),
+        "carol": build_profile(
+            "carol", {"electronics": 6.0}, {"electronics": {"laptop": 1.0}}
+        ),
+    }
+
+
+class TestIncrementalInvalidation:
+    def test_learner_hook_invalidates_exactly_the_affected_consumer(self):
+        profiles = community()
+        index = ProfileNeighborIndex(profiles=profiles.values())
+        learner = ProfileLearner()
+        index.attach_to(learner)
+        entries_before = {name: index.cached_entry(name) for name in profiles}
+
+        event = FeedbackEvent(
+            "bob", make_item("item-x", category="books"), InteractionKind.BUY
+        )
+        learner.apply(profiles["bob"], event)
+
+        assert index.dirty_users() == {"bob"}
+        index.sync()
+        assert index.dirty_users() == set()
+        # Only bob's caches were rebuilt; alice and carol kept the same entry
+        # objects, norms and vectors.
+        assert index.cached_entry("alice") is entries_before["alice"]
+        assert index.cached_entry("carol") is entries_before["carol"]
+        assert index.cached_entry("bob") is not entries_before["bob"]
+        assert index.cached_entry("bob").prefs["books"] > entries_before["bob"].prefs["books"]
+
+    def test_stale_cache_regression_update_visible_in_next_query(self):
+        """A feedback event must be reflected by the very next query."""
+        profiles = community()
+        index = ProfileNeighborIndex(profiles=profiles.values())
+        learner = ProfileLearner()
+        index.attach_to(learner)
+        config = SimilarityConfig()
+
+        target = profiles["alice"]
+        before = index.find_similar(target)
+
+        # Carol suddenly develops alice's taste in books.
+        for _ in range(5):
+            learner.apply(
+                profiles["carol"],
+                FeedbackEvent(
+                    "carol",
+                    make_item("item-y", category="books", terms={"novel": 1.0}),
+                    InteractionKind.BUY,
+                ),
+            )
+
+        after = index.find_similar(target)
+        brute = find_similar_users(target, profiles.values(), config)
+        assert after == brute
+        assert after != before
+        assert "carol" in [user_id for user_id, _ in after]
+
+    def test_version_stamp_catches_updates_without_hooks(self):
+        """Provider-backed indexes self-heal even if no hook was registered."""
+        profiles = community()
+        index = ProfileNeighborIndex(provider=lambda: profiles.values())
+        target = profiles["alice"]
+        index.find_similar(target)  # warm caches
+
+        learner = ProfileLearner()  # deliberately NOT attached
+        learner.apply(
+            profiles["carol"],
+            FeedbackEvent(
+                "carol",
+                make_item("item-z", category="books", terms={"novel": 1.0}),
+                InteractionKind.BUY,
+            ),
+        )
+        assert index.dirty_users() == set()
+
+        brute = find_similar_users(target, profiles.values(), SimilarityConfig())
+        assert index.find_similar(target) == brute
+
+    def test_explicit_invalidate_rebuilds_after_direct_mutation(self):
+        profiles = community()
+        index = ProfileNeighborIndex(profiles=profiles.values())
+        profiles["bob"].category("books").preference = 9.0
+        index.invalidate("bob")
+        assert index.dirty_users() == {"bob"}
+        index.sync()
+        assert index.cached_entry("bob").prefs["books"] == 9.0
+
+    def test_invalidate_unknown_user_is_ignored(self):
+        index = ProfileNeighborIndex(profiles=community().values())
+        index.invalidate("nobody")
+        assert index.dirty_users() == set()
+
+    def test_remove_and_re_add(self):
+        profiles = community()
+        index = ProfileNeighborIndex(profiles=profiles.values())
+        target = profiles["alice"]
+        assert "bob" in [user_id for user_id, _ in index.find_similar(target)]
+
+        index.remove("bob")
+        assert "bob" not in index
+        assert "bob" not in [user_id for user_id, _ in index.find_similar(target)]
+
+        index.add(profiles["bob"])
+        assert "bob" in [user_id for user_id, _ in index.find_similar(target)]
+
+    def test_queries_without_changes_rebuild_nothing(self):
+        profiles = community()
+        index = ProfileNeighborIndex(provider=lambda: profiles.values())
+        index.find_similar(profiles["alice"])
+        rebuilds = index.rebuilds
+        index.find_similar(profiles["alice"])
+        index.find_similar(profiles["bob"])
+        assert index.rebuilds == rebuilds
+
+    def test_provider_version_fast_path_skips_reconcile_but_stays_correct(self):
+        profiles = community()
+        version = {"n": 0}
+        index = ProfileNeighborIndex(
+            provider=lambda: profiles.values(),
+            provider_version=lambda: version["n"],
+        )
+        learner = ProfileLearner()
+        index.attach_to(learner)
+        index.find_similar(profiles["alice"])  # full reconcile, stamp recorded
+
+        # Unchanged stamp + no dirty consumers: sync is a no-op.
+        assert index.sync() == 0
+
+        # A hooked learner update rebuilds only that consumer.
+        learner.apply(
+            profiles["carol"],
+            FeedbackEvent(
+                "carol",
+                make_item("item-n", category="books", terms={"novel": 1.0}),
+                InteractionKind.BUY,
+            ),
+        )
+        assert index.sync() == 1
+
+        # A membership change (new registration) bumps the stamp and is
+        # picked up by the next query even though no hook fired for it.
+        profiles["erin"] = build_profile(
+            "erin", {"books": 5.0}, {"books": {"novel": 1.0}}
+        )
+        version["n"] += 1
+        neighbours = index.find_similar(profiles["alice"])
+        assert "erin" in [user_id for user_id, _ in neighbours]
+        brute = find_similar_users(
+            profiles["alice"], profiles.values(), SimilarityConfig()
+        )
+        assert neighbours == brute
+
+
+class TestCandidatePruning:
+    def test_discard_rule_prunes_before_scoring(self):
+        target = build_profile("me", {"books": 5.0}, {"books": {"novel": 1.0}})
+        near = build_profile("near", {"books": 4.0}, {"books": {"novel": 1.0}})
+        far = build_profile("far", {"books": 9.5}, {"books": {"novel": 1.0}})
+        index = ProfileNeighborIndex(profiles=[target, near, far])
+
+        config = SimilarityConfig(discard_tolerance=2.0)
+        neighbours = index.find_similar(target, category="books", config=config)
+        assert [user_id for user_id, _ in neighbours] == ["near"]
+
+    def test_consumers_without_the_category_pass_when_target_is_near_zero(self):
+        # Target preference 1.0, tolerance 3.0: consumers with no "books"
+        # category at all (implicit value 0.0) must still be candidates.
+        target = build_profile("me", {"books": 1.0}, {"books": {"novel": 1.0}})
+        other = build_profile("other", {}, {"electronics": {"novel": 1.0}})
+        index = ProfileNeighborIndex(profiles=[target, other])
+
+        config = SimilarityConfig(discard_tolerance=3.0, min_similarity=0.0)
+        brute = find_similar_users(target, [target, other], config, category="books")
+        indexed = index.find_similar(target, category="books", config=config)
+        assert indexed == brute
+        assert [user_id for user_id, _ in indexed] == ["other"]
+
+    def test_consumers_without_the_category_drop_when_target_is_far(self):
+        target = build_profile("me", {"books": 8.0}, {"books": {"novel": 1.0}})
+        other = build_profile("other", {}, {"electronics": {"novel": 1.0}})
+        index = ProfileNeighborIndex(profiles=[target, other])
+
+        config = SimilarityConfig(discard_tolerance=3.0, min_similarity=0.0)
+        assert index.find_similar(target, category="books", config=config) == []
+
+    def test_target_never_included_in_its_own_neighbours(self):
+        profiles = community()
+        index = ProfileNeighborIndex(profiles=profiles.values())
+        for name, profile in profiles.items():
+            assert name not in [
+                user_id for user_id, _ in index.find_similar(profile)
+            ]
+
+    def test_empty_index_returns_nothing(self):
+        index = ProfileNeighborIndex()
+        target = build_profile("me", {"books": 1.0})
+        assert index.find_similar(target) == []
+
+
+class TestHelperFunction:
+    def test_transient_helper_matches_brute_force(self):
+        profiles = community()
+        config = SimilarityConfig()
+        target = profiles["alice"]
+        assert find_similar_users_indexed(
+            target, profiles.values(), config
+        ) == find_similar_users(target, profiles.values(), config)
+
+    def test_helper_reuses_supplied_index(self):
+        profiles = community()
+        index = ProfileNeighborIndex(profiles=profiles.values())
+        queries_before = index.queries
+        find_similar_users_indexed(
+            profiles["alice"], profiles.values(), index=index
+        )
+        assert index.queries == queries_before + 1

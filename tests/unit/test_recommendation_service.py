@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.errors import RecommendationError
 from repro.core.items import ItemCatalogView
+from repro.core.profile_learning import FeedbackEvent, ProfileLearner
 from repro.core.ratings import Interaction, InteractionKind
 from repro.ecommerce.buyer_server import RecommendationService
 from repro.ecommerce.databases import UserDB
@@ -77,3 +79,121 @@ class TestRecommendationService:
         _buy(user_db, "bob", "book-1")
         recommended = [rec.item_id for rec in svc.recommend("alice", k=5)]
         assert "book-0" not in recommended
+
+
+def _teach(user_db, learner, user, item, kind=InteractionKind.BUY, timestamp=0.0):
+    """Route one behaviour through the learning rule + ratings store."""
+    learner.apply(
+        user_db.profile(user), FeedbackEvent(user, item, kind, timestamp=timestamp)
+    )
+    user_db.record_interaction(
+        Interaction(user, item.item_id, kind, timestamp=timestamp, category=item.category)
+    )
+
+
+@pytest.fixture
+def learning_service():
+    """Service with the learner wired in, plus a warm/cold consumer mix."""
+    user_db = UserDB()
+    learner = ProfileLearner()
+    for name in ("alice", "bob", "carol", "dave"):
+        user_db.register(name)
+    service = RecommendationService(
+        user_db, ItemCatalogView(ITEMS), profile_learner=learner
+    )
+    # alice and bob are warm book readers; carol bought one gadget;
+    # dave never did anything (cold start).
+    for item_id in ("book-0", "book-1"):
+        item = next(item for item in ITEMS if item.item_id == item_id)
+        _teach(user_db, learner, "alice", item)
+        _teach(user_db, learner, "bob", item)
+    _teach(user_db, learner, "bob", next(i for i in ITEMS if i.item_id == "book-2"))
+    _teach(user_db, learner, "carol", next(i for i in ITEMS if i.item_id == "tech-0"))
+    return user_db, learner, service
+
+
+class TestRecommendMany:
+    def test_batch_equals_per_user_for_every_user(self, learning_service):
+        user_db, _, svc = learning_service
+        users = user_db.user_ids
+        batch = svc.recommend_many(users, k=5)
+        assert sorted(batch) == sorted(users)
+        for user_id in users:
+            assert batch[user_id] == svc.recommend(user_id, k=5)
+
+    def test_cold_start_users_degrade_identically(self, learning_service):
+        _, _, svc = learning_service
+        batch = svc.recommend_many(["dave"], k=4)
+        single = svc.recommend("dave", k=4)
+        assert batch["dave"] == single
+        # dave has no profile signal, so the popularity fallback serves him.
+        assert all(rec.source == "popularity" for rec in batch["dave"])
+
+    def test_batch_equals_per_user_with_category_filter(self, learning_service):
+        user_db, _, svc = learning_service
+        users = user_db.user_ids
+        batch = svc.recommend_many(users, k=5, category="books")
+        for user_id in users:
+            assert batch[user_id] == svc.recommend(user_id, k=5, category="books")
+
+    def test_batch_equals_per_user_after_more_feedback(self, learning_service):
+        user_db, learner, svc = learning_service
+        svc.recommend_many(user_db.user_ids, k=5)  # warm the index
+        _teach(user_db, learner, "dave", next(i for i in ITEMS if i.item_id == "tech-1"))
+        batch = svc.recommend_many(user_db.user_ids, k=5)
+        for user_id in user_db.user_ids:
+            assert batch[user_id] == svc.recommend(user_id, k=5)
+
+    def test_duplicate_user_ids_collapse(self, learning_service):
+        _, _, svc = learning_service
+        batch = svc.recommend_many(["alice", "alice", "bob"], k=3)
+        assert sorted(batch) == ["alice", "bob"]
+
+    def test_invalid_k_raises(self, learning_service):
+        _, _, svc = learning_service
+        with pytest.raises(RecommendationError):
+            svc.recommend_many(["alice"], k=0)
+
+
+class TestBatchRefresh:
+    def test_batch_refresh_populates_cache(self, learning_service):
+        user_db, _, svc = learning_service
+        assert svc.cached_recommendations("alice") is None
+        results = svc.batch_refresh(user_db.user_ids, k=5)
+        assert svc.last_batch_refresh_at is not None
+        for user_id in user_db.user_ids:
+            assert svc.cached_recommendations(user_id) == results[user_id]
+
+    def test_cached_lists_are_copies(self, learning_service):
+        user_db, _, svc = learning_service
+        svc.batch_refresh(user_db.user_ids, k=5)
+        first = svc.cached_recommendations("alice")
+        first.append("sentinel")
+        assert svc.cached_recommendations("alice") != first
+
+    def test_mutating_batch_refresh_result_does_not_corrupt_cache(self, learning_service):
+        user_db, _, svc = learning_service
+        results = svc.batch_refresh(user_db.user_ids, k=5)
+        pristine = list(results["alice"])
+        results["alice"].reverse()
+        results["alice"].append("sentinel")
+        assert svc.cached_recommendations("alice") == pristine
+
+    def test_new_registration_visible_after_batch_warm(self, learning_service):
+        user_db, _, svc = learning_service
+        svc.recommend_many(user_db.user_ids, k=5)  # warm index + fast path
+        user_db.register("erin")
+        batch = svc.recommend_many(user_db.user_ids, k=5)
+        assert "erin" in batch
+        assert batch["erin"] == svc.recommend("erin", k=5)
+
+    def test_unknown_user_has_no_cache_entry(self, learning_service):
+        _, _, svc = learning_service
+        assert svc.cached_recommendations("nobody") is None
+
+    def test_on_demand_recommend_stays_fresh_after_refresh(self, learning_service):
+        user_db, learner, svc = learning_service
+        svc.batch_refresh(user_db.user_ids, k=5)
+        _teach(user_db, learner, "dave", next(i for i in ITEMS if i.item_id == "tech-2"))
+        # The cache still holds the snapshot; recommend() reflects the event.
+        assert svc.recommend("dave", k=5) == svc.engine.recommend("dave", k=5)

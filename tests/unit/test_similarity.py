@@ -40,6 +40,24 @@ class TestVectorSimilarities:
         right = {"a": 0.2, "c": 0.9}
         assert cosine_similarity(left, right) == pytest.approx(cosine_similarity(right, left))
 
+    def test_cosine_swap_is_exactly_symmetric(self):
+        # The implementation iterates the smaller dict for the dot product
+        # (an internal left/right swap).  That swap is an efficiency detail
+        # and must never change the value: both call orders exercise both
+        # branches and must return the identical float.
+        small = {"a": 0.3, "b": 0.7}
+        large = {"a": 1.1, "b": 0.2, "c": 0.5, "d": 0.9}
+        assert cosine_similarity(small, large) == cosine_similarity(large, small)
+        same_size_left = {"a": 0.25, "c": 4.0}
+        same_size_right = {"a": 3.5, "b": 0.125}
+        assert cosine_similarity(same_size_left, same_size_right) == cosine_similarity(
+            same_size_right, same_size_left
+        )
+
+    def test_cosine_zero_weight_vector(self):
+        # All-zero weights give a zero norm, not a division error.
+        assert cosine_similarity({"a": 0.0}, {"a": 1.0}) == 0.0
+
     def test_pearson_perfect_positive(self):
         left = {"a": 1.0, "b": 2.0, "c": 3.0}
         right = {"a": 2.0, "b": 4.0, "c": 6.0}
@@ -56,6 +74,40 @@ class TestVectorSimilarities:
 
     def test_pearson_zero_variance(self):
         assert pearson_correlation({"a": 1.0, "b": 1.0}, {"a": 2.0, "b": 5.0}) == 0.0
+
+    def test_pearson_empty_vectors(self):
+        assert pearson_correlation({}, {}) == 0.0
+        assert pearson_correlation({}, {"a": 1.0}) == 0.0
+        assert pearson_correlation({"a": 1.0}, {}) == 0.0
+
+    def test_pearson_singleton_overlap_is_zero(self):
+        # One shared key can never yield a meaningful correlation — the
+        # implementation returns 0 rather than dividing by zero variance.
+        left = {"a": 3.0, "x": 1.0, "y": 2.0}
+        right = {"a": 3.0, "z": 5.0}
+        assert pearson_correlation(left, right) == 0.0
+
+    def test_pearson_zero_valued_vectors(self):
+        # Overlapping keys whose values are all zero have zero variance.
+        assert pearson_correlation({"a": 0.0, "b": 0.0}, {"a": 0.0, "b": 0.0}) == 0.0
+        assert pearson_correlation({"a": 0.0, "b": 0.0}, {"a": 1.0, "b": 4.0}) == 0.0
+
+    def test_pearson_tiny_variance_does_not_underflow(self):
+        # var_left * var_right underflows to 0.0 for weights ~1e-107; the
+        # implementation must not divide by that underflowed product.
+        tiny = {"a": 0.0, "b": 7.38e-107}
+        assert pearson_correlation(tiny, tiny) == pytest.approx(1.0)
+        # Even when the product of the two standard deviations underflows,
+        # the result is a clean 0.0 rather than a ZeroDivisionError.
+        tinier = {"a": 0.0, "b": 1e-300}
+        assert pearson_correlation(tinier, tinier) in (0.0, pytest.approx(1.0))
+
+    def test_pearson_is_symmetric(self):
+        left = {"a": 1.0, "b": 2.0, "c": 4.0}
+        right = {"a": 3.0, "b": 1.5, "c": 2.5}
+        assert pearson_correlation(left, right) == pytest.approx(
+            pearson_correlation(right, left)
+        )
 
 
 class TestSimilarityConfig:
