@@ -1,0 +1,94 @@
+"""Sharded similar-user search and the multi-server buyer agent fleet.
+
+Two demos of the PR-2 scaling architecture:
+
+1. **Core index sharding** — a :class:`~repro.core.sharding.ShardedNeighborIndex`
+   partitions a consumer community over N shards (consumer-hash or by-category
+   routing), answers similar-user queries by fan-out + exact top-k merge, and
+   is checked live against the brute-force reference — identical ids, scores
+   and order, while the Cauchy-Schwarz norm bound skips dot products inside
+   every shard.
+
+2. **Fleet serving** — a platform built with ``num_buyer_servers=3`` routes
+   consumers to shard-owning buyer agent servers, fans similar-user queries
+   out across the fleet, and drives the periodic recommendation refresh from
+   a real scheduled platform event instead of a polling loop.
+
+Run with::
+
+    python examples/sharded_neighbors.py
+"""
+
+from __future__ import annotations
+
+from repro import build_platform
+from repro.core.sharding import ShardedNeighborIndex
+from repro.core.similarity import SimilarityConfig, find_similar_users
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.scenarios import ScenarioRunner
+
+
+def core_sharding_demo() -> None:
+    """Shard an offline community and verify the merge is exact."""
+    from repro.experiments import build_standard_dataset
+
+    dataset = build_standard_dataset(num_consumers=300, num_items=80,
+                                     events_per_user=6, seed=23)
+    profiles = dataset.build_profiles()
+    config = SimilarityConfig(top_k=5)
+
+    print("Sharding a 300-consumer community ...")
+    for routing in ("hash", "category"):
+        index = ShardedNeighborIndex(
+            profiles=profiles.values(), config=config,
+            num_shards=4, routing=routing,
+        )
+        target = profiles[dataset.users[0]]
+        sharded = index.find_similar(target)
+        brute = find_similar_users(target, profiles.values(), config)
+        assert sharded == brute, "sharded search must equal brute force"
+        print(f"  routing={routing:<8s} shard sizes={index.shard_sizes()} "
+              f"norm-bound skips={index.bound_skips}")
+        print(f"    top neighbours of {target.user_id}: "
+              + ", ".join(f"{uid} ({score:.3f})" for uid, score in sharded[:3]))
+    print("  sharded results identical to brute force: yes")
+    print()
+
+
+def fleet_demo() -> None:
+    """Run a consumer community against a three-server fleet."""
+    platform = build_platform(num_marketplaces=2, num_sellers=2,
+                              items_per_seller=20, seed=29,
+                              num_buyer_servers=3, neighbor_shards=2)
+    population = ConsumerPopulation(15, groups=3, seed=30)
+    runner = ScenarioRunner(platform, population, seed=31)
+
+    print("Fleet mode: 15 consumers routed across 3 buyer agent servers ...")
+    runner.warm_up(sessions_per_consumer=1, queries_per_session=2)
+    print(f"  consumers per server: {platform.stats()['buyer_servers']}")
+
+    report = runner.sharded_stress_day(sessions=40, refresh_interval_ms=600.0,
+                                       recommendation_probability=0.4)
+    print(f"  stress day: sessions={report.sessions} queries={report.queries} "
+          f"scheduled refreshes={report.batch_refreshes}")
+
+    target = population.consumers()[0]
+    neighbours = platform.fleet.find_similar(target.user_id)
+    print(f"  fleet-wide neighbours of {target.user_id}: "
+          + (", ".join(f"{uid} ({score:.3f})" for uid, score in neighbours[:3])
+             or "(none yet)"))
+
+    # Failure handling: drain a crashed server and keep serving.
+    victim = platform.fleet.servers[1]
+    platform.failures.crash_host(victim.context.host.name)
+    moved = platform.fleet.handle_server_failure(1)
+    print(f"  {victim.name} crashed; {moved} consumers migrated; "
+          f"shard sizes now {platform.fleet.shard_sizes()}")
+    neighbours_after = platform.fleet.find_similar(target.user_id)
+    print(f"  queries still answered by the surviving servers: "
+          f"{len(neighbours_after)} neighbours returned")
+
+
+if __name__ == "__main__":
+    core_sharding_demo()
+    fleet_demo()

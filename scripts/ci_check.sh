@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: full test suite + the neighbor-index benchmark smoke run.
+# Tier-1 CI gate: full test suite + the neighbor-index benchmark smoke runs.
 #
 # Usage: scripts/ci_check.sh
 #
-# The benchmark runs in smoke mode (small populations, <10s) but still
-# asserts brute-force/indexed equivalence and a minimum speedup; export
-# REPRO_BENCH_FULL=1 to run the 5000-consumer scaling check instead.
+# The benchmarks run in smoke mode (small populations, <10s total) but still
+# assert brute-force equivalence for the indexed AND sharded paths plus a
+# minimum sharded-vs-brute speedup; export REPRO_BENCH_FULL=1 to run the
+# 5000-consumer scaling + shard-sweep check instead (where at least one
+# sharded configuration must also beat the single-index path).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1: unit + property + integration tests =="
-python -m pytest -x -q tests
+python -m pytest -x -q tests --ignore=tests/property/test_sharding.py
 
-echo "== tier-1: benchmark smoke (neighbor index scaling) =="
+echo "== tier-1: sharding equivalence property suite =="
+python -m pytest -x -q tests/property/test_sharding.py
+
+echo "== tier-1: benchmark smoke (neighbor index scaling + shard sweep) =="
 python -m pytest -x -q benchmarks/bench_neighbors_scaling.py
 
 echo "ci_check: OK"

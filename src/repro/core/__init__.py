@@ -32,7 +32,11 @@ serving rides on top: :meth:`RecommendationEngine.recommend_many` serves every
 consumer through the unchanged single-user path, so batch output always
 equals per-user output; shared state (the neighbor index, the collaborative
 filtering user-vector cache) is stamp-cached, warmed once by the first
-consumer and reused across the batch.
+consumer and reused across the batch.  :mod:`repro.core.sharding` partitions
+the index itself: consumers are routed to one of N shards (consumer hash or
+dominant category), each shard prunes with the Cauchy-Schwarz norm bound, and
+per-shard top-k lists merge into the exact global ranking — the foundation of
+the multi-server buyer agent fleet.
 """
 
 from repro.core.items import Item, ItemCatalogView
@@ -47,6 +51,12 @@ from repro.core.similarity import (
     find_similar_users,
 )
 from repro.core.neighbors import ProfileNeighborIndex, find_similar_users_indexed
+from repro.core.sharding import (
+    ShardRouter,
+    ShardedNeighborIndex,
+    find_similar_users_sharded,
+    merge_topk,
+)
 from repro.core.recommender import Recommendation, Recommender, RecommendationEngine
 from repro.core.collaborative import CollaborativeFilteringRecommender
 from repro.core.information_filtering import InformationFilteringRecommender
@@ -76,6 +86,10 @@ __all__ = [
     "find_similar_users",
     "ProfileNeighborIndex",
     "find_similar_users_indexed",
+    "ShardRouter",
+    "ShardedNeighborIndex",
+    "find_similar_users_sharded",
+    "merge_topk",
     "Recommendation",
     "Recommender",
     "RecommendationEngine",

@@ -52,8 +52,8 @@ class CollaborativeFilteringRecommender(Recommender):
         self.neighbours = neighbours
         self.similarity = similarity
         self.min_overlap = min_overlap
-        # Both caches are stamped with ratings.interaction_count: any new
-        # interaction bumps the stamp, so stale entries are never served.
+        # Both caches are stamped with ratings.revision: any interaction
+        # added or removed bumps the stamp, so stale entries are never served.
         self._vector_cache: Optional[Tuple[int, Dict[str, Dict[str, float]]]] = None
         self._neighbourhood_cache: Dict[str, Tuple[int, List[Tuple[str, float]]]] = {}
 
@@ -66,7 +66,7 @@ class CollaborativeFilteringRecommender(Recommender):
 
     def _vectors(self) -> Dict[str, Dict[str, float]]:
         """All user vectors, copied out of the store once per ratings state."""
-        stamp = self.ratings.interaction_count
+        stamp = self.ratings.revision
         if self._vector_cache is None or self._vector_cache[0] != stamp:
             self._vector_cache = (
                 stamp,
@@ -76,7 +76,7 @@ class CollaborativeFilteringRecommender(Recommender):
 
     def neighbourhood(self, user_id: str) -> List[Tuple[str, float]]:
         """The ``neighbours`` most similar users with positive similarity."""
-        stamp = self.ratings.interaction_count
+        stamp = self.ratings.revision
         cached = self._neighbourhood_cache.get(user_id)
         if cached is not None and cached[0] == stamp:
             return list(cached[1])

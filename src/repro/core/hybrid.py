@@ -35,7 +35,12 @@ from repro.core.neighbors import ProfileNeighborIndex
 from repro.core.profile import Profile
 from repro.core.ratings import RatingsStore
 from repro.core.recommender import Recommendation, Recommender
-from repro.core.similarity import SimilarityConfig, cosine_similarity, find_similar_users
+from repro.core.similarity import (
+    SimilarityConfig,
+    cosine_similarity_cached,
+    find_similar_users,
+    vector_norm,
+)
 
 __all__ = ["AgentHybridRecommender"]
 
@@ -206,26 +211,46 @@ class AgentHybridRecommender(Recommender):
                 beyond the query results (serendipitous discoveries).
         """
         profile = self.profile_of(user_id)
-        categories = {item.category for item in query_items}
-        category = categories.pop() if len(categories) == 1 else None
+        query_categories = {item.category for item in query_items}
+        category = (
+            next(iter(query_categories)) if len(query_categories) == 1 else None
+        )
+        # ONE neighbour lookup serves the whole batch of query items (through
+        # the index when wired in), and the per-(neighbour, category) term
+        # vectors below are extracted and normed once rather than once per
+        # item — the work shared across query items.  Scores are bit-identical
+        # to evaluating each item on its own against the same neighbour list.
         neighbours = self.similar_users(user_id, category=category)
         neighbour_profiles = [
             self.profile_of(neighbour) for neighbour, _ in neighbours
         ]
+        neighbour_terms: Dict[Tuple[str, str], Tuple[Dict[str, float], float]] = {}
+        for (neighbour_id, _), neighbour_profile in zip(neighbours, neighbour_profiles):
+            if neighbour_profile is None:
+                continue
+            for item_category in query_categories:
+                if neighbour_profile.has_category(item_category):
+                    terms = neighbour_profile.category(
+                        item_category, create=False
+                    ).terms.as_dict()
+                    neighbour_terms[(neighbour_id, item_category)] = (
+                        terms,
+                        vector_norm(terms),
+                    )
 
         ranked: List[Recommendation] = []
         for item in query_items:
             own_match = self._content.score_item(profile, item) if profile else 0.0
+            item_weights = item.term_weights
+            item_norm = vector_norm(item_weights)
             neighbour_match = 0.0
             weight_total = 0.0
-            for (neighbour_id, similarity), neighbour_profile in zip(
-                neighbours, neighbour_profiles
-            ):
-                if neighbour_profile is None or not neighbour_profile.has_category(item.category):
+            for neighbour_id, similarity in neighbours:
+                cached = neighbour_terms.get((neighbour_id, item.category))
+                if cached is None:
                     continue
-                neighbour_category = neighbour_profile.category(item.category, create=False)
-                match = cosine_similarity(
-                    neighbour_category.terms.as_dict(), item.term_weights
+                match = cosine_similarity_cached(
+                    cached[0], cached[1], item_weights, item_norm
                 )
                 neighbour_match += similarity * match
                 weight_total += similarity

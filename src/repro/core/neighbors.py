@@ -28,6 +28,7 @@ the same cosine formulas over the same dictionaries (see the property suite in
 
 from __future__ import annotations
 
+import heapq
 import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
@@ -43,38 +44,15 @@ from typing import (
 
 from repro.core.profile import Profile
 from repro.core.profile_learning import FeedbackEvent
-from repro.core.similarity import SimilarityConfig
+from repro.core.similarity import (
+    SimilarityConfig,
+    cosine_similarity_cached as _cached_cosine,
+    vector_norm as _norm,
+)
 
 __all__ = ["ProfileNeighborIndex", "find_similar_users_indexed"]
 
 ProfilesProvider = Callable[[], Iterable[Profile]]
-
-
-def _norm(vector: Dict[str, float]) -> float:
-    """Euclidean norm, summed in the same order ``cosine_similarity`` uses."""
-    return math.sqrt(sum(value * value for value in vector.values()))
-
-
-def _cached_cosine(
-    left: Dict[str, float],
-    left_norm: float,
-    right: Dict[str, float],
-    right_norm: float,
-) -> float:
-    """Cosine over cached vectors, bit-identical to ``cosine_similarity``.
-
-    The brute-force helper iterates the smaller dict for the dot product and
-    divides by ``norm(smaller) * norm(larger)``; the same swap and the same
-    operand pairing are reproduced here so scores match exactly.
-    """
-    if not left or not right:
-        return 0.0
-    if len(left) > len(right):
-        left, left_norm, right, right_norm = right, right_norm, left, left_norm
-    if left_norm == 0.0 or right_norm == 0.0:
-        return 0.0
-    dot = sum(value * right.get(key, 0.0) for key, value in left.items())
-    return dot / (left_norm * right_norm)
 
 
 @dataclass
@@ -123,9 +101,15 @@ class ProfileNeighborIndex:
         provider: Optional[ProfilesProvider] = None,
         config: Optional[SimilarityConfig] = None,
         provider_version: Optional[Callable[[], int]] = None,
+        early_termination: bool = False,
     ) -> None:
         self.config = config or SimilarityConfig()
         self.config.validate()
+        # Cauchy-Schwarz norm-bound candidate skipping (see find_similar).
+        # Off by default so the index stays a drop-in reference implementation;
+        # the sharded index turns it on inside every shard.
+        self.early_termination = early_termination
+        self.bound_skips = 0
         self._provider = provider
         # When every profile mutation is reported through learner hooks
         # (attach_to) AND the provider exposes a membership version stamp,
@@ -192,9 +176,26 @@ class ProfileNeighborIndex:
         """The consumers whose caches are currently stale (for tests)."""
         return set(self._dirty)
 
+    def indexed_profiles(self) -> List[Profile]:
+        """The authoritative profile objects currently held by this index."""
+        return list(self._profiles_by_id.values())
+
     def cached_entry(self, user_id: str) -> Optional[_ProfileEntry]:
         """The raw cached entry of one consumer (for tests/diagnostics)."""
         return self._entries.get(user_id)
+
+    def is_stale(self, profile: Profile) -> bool:
+        """Whether ``profile`` needs re-indexing (absent, dirty or changed).
+
+        Used by reconciling owners (the sharded index) that manage membership
+        themselves instead of handing this index a provider.
+        """
+        entry = self._entries.get(profile.user_id)
+        return (
+            entry is None
+            or profile.user_id in self._dirty
+            or entry.version != _version_of(profile)
+        )
 
     # -- synchronisation ------------------------------------------------------
 
@@ -267,6 +268,16 @@ class ProfileNeighborIndex:
         search would: same scores, same discard-rule filtering, same
         deterministic tie-breaking.  The target itself is never included and
         does not need to be indexed.
+
+        With ``early_termination`` enabled the expensive flattened-term dot
+        product is skipped for candidates that provably cannot reach the
+        current k-th best score.  The preference cosine (a handful of
+        categories) is computed exactly first; the term cosine is bounded by
+        Cauchy-Schwarz — ``dot(t, e) <= ||t||·||e||`` so the term part is at
+        most 1, and exactly 0 when either cached norm is 0.  A candidate is
+        skipped only when its bound is *strictly* below the k-th best score
+        seen so far, so ties (broken by user id) are never affected and the
+        returned list is identical either way.
         """
         config = config or self.config
         config.validate()
@@ -287,6 +298,11 @@ class ProfileNeighborIndex:
         term_weight = config.term_weight
         total_weight = preference_weight + term_weight
         minimum = config.min_similarity
+        use_bound = self.early_termination
+        top_k = config.top_k
+        # Min-heap of the k best scores seen so far; its root is the score a
+        # candidate must reach to possibly make the final top-k list.
+        best_scores: List[float] = []
 
         scored: List[Tuple[str, float]] = []
         for user_id in candidates:
@@ -296,6 +312,20 @@ class ProfileNeighborIndex:
             preference_part = _cached_cosine(
                 target_prefs, target_pref_norm, entry.prefs, entry.pref_norm
             )
+            if use_bound:
+                term_bound = (
+                    1.0 if target_term_norm > 0.0 and entry.term_norm > 0.0 else 0.0
+                )
+                bound = (
+                    preference_weight * preference_part + term_weight * term_bound
+                ) / total_weight
+                if len(best_scores) == top_k and bound < best_scores[0]:
+                    # Even a perfectly aligned term vector cannot lift this
+                    # candidate past the current k-th score: the final sort
+                    # would rank at least k candidates strictly above it (or
+                    # it falls below min_similarity along with the k-th).
+                    self.bound_skips += 1
+                    continue
             term_part = _cached_cosine(
                 target_terms, target_term_norm, entry.terms, entry.term_norm
             )
@@ -303,6 +333,11 @@ class ProfileNeighborIndex:
                 preference_weight * preference_part + term_weight * term_part
             ) / total_weight
             score = max(0.0, min(1.0, score))
+            if use_bound:
+                if len(best_scores) < top_k:
+                    heapq.heappush(best_scores, score)
+                elif score > best_scores[0]:
+                    heapq.heapreplace(best_scores, score)
             if score >= minimum:
                 scored.append((user_id, score))
 

@@ -80,6 +80,7 @@ class RatingsStore:
         self._item_users: Dict[str, Set[str]] = {}
         self._purchases: Dict[str, int] = {}
         self._purchase_log: List[Interaction] = []
+        self._revision = 0
 
     # -- ingestion -----------------------------------------------------------
 
@@ -97,7 +98,39 @@ class RatingsStore:
         if interaction.kind is InteractionKind.BUY:
             self._purchases[interaction.item_id] = self._purchases.get(interaction.item_id, 0) + 1
             self._purchase_log.append(interaction)
+        self._revision += 1
         return updated
+
+    def remove_user(self, user_id: str) -> int:
+        """Forget a user's interactions entirely; return how many were dropped.
+
+        Used when a consumer is handed over to another buyer agent server:
+        the source store must not keep scoring the departed consumer as a
+        collaborative neighbour (or double-count them if they ever return).
+        Unknown users are a no-op returning 0.
+        """
+        if user_id not in self._values and not any(
+            interaction.user_id == user_id for interaction in self._interactions
+        ):
+            return 0
+        self._values.pop(user_id, None)
+        removed = [i for i in self._interactions if i.user_id == user_id]
+        self._interactions = [i for i in self._interactions if i.user_id != user_id]
+        self._purchase_log = [i for i in self._purchase_log if i.user_id != user_id]
+        for interaction in removed:
+            self._timestamps.pop((user_id, interaction.item_id), None)
+            if interaction.kind is InteractionKind.BUY:
+                remaining = self._purchases.get(interaction.item_id, 0) - 1
+                if remaining > 0:
+                    self._purchases[interaction.item_id] = remaining
+                else:
+                    self._purchases.pop(interaction.item_id, None)
+        for item_id in list(self._item_users):
+            self._item_users[item_id].discard(user_id)
+            if not self._item_users[item_id]:
+                del self._item_users[item_id]
+        self._revision += 1
+        return len(removed)
 
     def add_all(self, interactions: Iterable[Interaction]) -> int:
         count = 0
@@ -119,6 +152,16 @@ class RatingsStore:
     @property
     def interaction_count(self) -> int:
         return len(self._interactions)
+
+    @property
+    def revision(self) -> int:
+        """Monotonic change stamp: bumped by every add *and* removal.
+
+        Cache owners must stamp with this rather than ``interaction_count`` —
+        removing K interactions and adding K new ones leaves the count
+        unchanged but not the content.
+        """
+        return self._revision
 
     def value(self, user_id: str, item_id: str) -> float:
         return self._values.get(user_id, {}).get(item_id, 0.0)

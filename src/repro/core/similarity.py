@@ -34,6 +34,8 @@ from repro.core.profile import Profile
 __all__ = [
     "SimilarityConfig",
     "cosine_similarity",
+    "cosine_similarity_cached",
+    "vector_norm",
     "pearson_correlation",
     "profile_similarity",
     "find_similar_users",
@@ -67,6 +69,36 @@ def cosine_similarity(left: Mapping[str, float], right: Mapping[str, float]) -> 
     if norm_left == 0.0 or norm_right == 0.0:
         return 0.0
     return dot / (norm_left * norm_right)
+
+
+def vector_norm(vector: Mapping[str, float]) -> float:
+    """Euclidean norm, summed in the same order :func:`cosine_similarity` uses."""
+    return math.sqrt(sum(value * value for value in vector.values()))
+
+
+def cosine_similarity_cached(
+    left: Mapping[str, float],
+    left_norm: float,
+    right: Mapping[str, float],
+    right_norm: float,
+) -> float:
+    """Cosine over vectors with precomputed norms, bit-identical to
+    :func:`cosine_similarity`.
+
+    The plain helper iterates the smaller dict for the dot product and divides
+    by ``norm(smaller) * norm(larger)``; the same swap and the same operand
+    pairing are reproduced here so scores match exactly.  Callers that hold a
+    vector across many comparisons (the neighbor index, the query re-ranking
+    path) pay for each norm once instead of once per pair.
+    """
+    if not left or not right:
+        return 0.0
+    if len(left) > len(right):
+        left, left_norm, right, right_norm = right, right_norm, left, left_norm
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    dot = sum(value * right.get(key, 0.0) for key, value in left.items())
+    return dot / (left_norm * right_norm)
 
 
 def pearson_correlation(left: Mapping[str, float], right: Mapping[str, float]) -> float:

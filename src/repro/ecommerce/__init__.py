@@ -27,7 +27,7 @@ from repro.ecommerce.negotiation import NegotiationService, NegotiationOutcome
 from repro.ecommerce.marketplace import MarketplaceServer
 from repro.ecommerce.seller import SellerServer
 from repro.ecommerce.coordinator import CoordinatorServer
-from repro.ecommerce.buyer_server import BuyerAgentServer
+from repro.ecommerce.buyer_server import BuyerAgentServer, BuyerServerFleet
 from repro.ecommerce.session import ConsumerSession, QueryResult
 from repro.ecommerce.platform_builder import ECommercePlatform, PlatformConfig, build_platform
 
@@ -49,6 +49,7 @@ __all__ = [
     "SellerServer",
     "CoordinatorServer",
     "BuyerAgentServer",
+    "BuyerServerFleet",
     "ConsumerSession",
     "QueryResult",
     "ECommercePlatform",

@@ -14,7 +14,7 @@ recommendation service) and exposes the handles the consumer-facing
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ECommerceError, RegistrationError
 from repro.agents.context import AgletContext
@@ -29,11 +29,13 @@ from repro.core.popularity import PopularityRecommender, WeeklyHottestRecommende
 from repro.core.profile import Profile
 from repro.core.profile_learning import LearningConfig, ProfileLearner
 from repro.core.recommender import Recommendation, RecommendationEngine
+from repro.core.sharding import ShardRouter, ShardedNeighborIndex, merge_topk
 from repro.core.similarity import SimilarityConfig
 from repro.ecommerce.buyer_agents import BuyerServerManagementAgent, HttpAgent
 from repro.ecommerce.databases import BSMDB, UserDB
+from repro.platform.clock import RecurringCallback
 
-__all__ = ["RecommendationService", "BuyerAgentServer"]
+__all__ = ["RecommendationService", "BuyerAgentServer", "BuyerServerFleet"]
 
 
 class RecommendationService:
@@ -51,6 +53,8 @@ class RecommendationService:
         similarity_config: Optional[SimilarityConfig] = None,
         now: Optional[callable] = None,
         profile_learner: Optional[ProfileLearner] = None,
+        neighbor_shards: int = 1,
+        shard_routing: str = "hash",
     ) -> None:
         self.user_db = user_db
         self.catalog = catalog
@@ -64,12 +68,24 @@ class RecommendationService:
 
         # Neighbor search runs against the precomputed index, kept in sync
         # with UserDB by provider reconciliation and, when the learner is
-        # known, by precise per-consumer invalidation hooks.
-        self.neighbor_index = ProfileNeighborIndex(
-            provider=user_db.profiles,
-            config=self.similarity_config,
-            provider_version=user_db.profiles_version,
-        )
+        # known, by precise per-consumer invalidation hooks.  With
+        # ``neighbor_shards > 1`` the index is partitioned: every shard owns
+        # an independent sub-index with norm-bound early termination, and
+        # queries fan out and merge — score-identical to the single index.
+        if neighbor_shards > 1:
+            self.neighbor_index = ShardedNeighborIndex(
+                provider=user_db.profiles,
+                config=self.similarity_config,
+                num_shards=neighbor_shards,
+                routing=shard_routing,
+                provider_version=user_db.profiles_version,
+            )
+        else:
+            self.neighbor_index = ProfileNeighborIndex(
+                provider=user_db.profiles,
+                config=self.similarity_config,
+                provider_version=user_db.profiles_version,
+            )
         if profile_learner is not None:
             self.neighbor_index.attach_to(profile_learner)
 
@@ -179,6 +195,8 @@ class BuyerAgentServer:
         catalog: Optional[ItemCatalogView] = None,
         learning_config: Optional[LearningConfig] = None,
         similarity_config: Optional[SimilarityConfig] = None,
+        neighbor_shards: int = 1,
+        shard_routing: str = "hash",
     ) -> None:
         self.context = context
         self.name = context.host_name
@@ -197,12 +215,16 @@ class BuyerAgentServer:
             self.user_db, catalog if catalog is not None else ItemCatalogView([]),
             similarity_config, now=lambda: context.now,
             profile_learner=self.profile_learner,
+            neighbor_shards=neighbor_shards,
+            shard_routing=shard_routing,
         )
         context.host.attach_service("recommendation-service", self.recommendations)
 
         self.bsma: Optional[BuyerServerManagementAgent] = None
         self.httpa: Optional[HttpAgent] = None
         self.batch_refreshes = 0
+        self.refresh_skips = 0
+        self._refresh_task: Optional[RecurringCallback] = None
 
     # -- Figure 4.1 bootstrap -------------------------------------------------------
 
@@ -279,6 +301,304 @@ class BuyerAgentServer:
             return False
         self.refresh_recommendations(k=k)
         return True
+
+    # -- scheduler-driven refresh ---------------------------------------------------
+
+    @property
+    def refresh_scheduled(self) -> bool:
+        """Whether a scheduled periodic refresh is currently armed."""
+        return self._refresh_task is not None and not self._refresh_task.cancelled
+
+    def start_periodic_refresh(self, interval_ms: float, k: int = 10) -> RecurringCallback:
+        """Drive :meth:`refresh_recommendations` from the platform scheduler.
+
+        Unlike :meth:`maybe_refresh_recommendations` — which relies on a
+        scenario loop polling it — this registers a real recurring simulated
+        event that fires every ``interval_ms``, re-arms itself, and records a
+        ``recommendation.scheduled-refresh`` event per firing.  While the
+        host is crashed the tick is skipped (recorded as
+        ``recommendation.refresh-skipped``) but the recurrence stays armed,
+        so refreshes resume by themselves after recovery.
+        """
+        if interval_ms <= 0:
+            raise ECommerceError("refresh interval must be positive")
+        if self.refresh_scheduled:
+            raise ECommerceError(
+                f"buyer agent server {self.name!r} already has a scheduled refresh"
+            )
+        log = self.context.transport.event_log
+
+        def fire() -> None:
+            if not self.context.host.is_running:
+                self.refresh_skips += 1
+                log.record(
+                    self.context.now, "recommendation.refresh-skipped",
+                    self.name, self.name, reason="host-down",
+                )
+                return
+            results = self.refresh_recommendations(k=k)
+            log.record(
+                self.context.now, "recommendation.scheduled-refresh",
+                self.name, self.name,
+                consumers=len(results), user_ids=sorted(results),
+            )
+
+        self._refresh_task = self.context.host.scheduler.call_every(
+            interval_ms, fire, label=f"refresh.{self.name}"
+        )
+        return self._refresh_task
+
+    def stop_periodic_refresh(self) -> None:
+        """Cancel the scheduled periodic refresh (no-op when none is armed)."""
+        if self._refresh_task is not None:
+            self._refresh_task.cancel()
+            self._refresh_task = None
+
+
+class BuyerServerFleet:
+    """N buyer agent servers each owning a shard of the consumer community.
+
+    The paper's architecture has many buyer agent servers, each "servicing a
+    consumer community" (§3.2).  The fleet is the coordinator-side view of
+    that: consumers are routed to exactly one server at registration (stable
+    consumer-hash placement), similar-user queries fan out to every live
+    server's neighbor index and merge with :func:`repro.core.sharding.merge_topk`
+    (score-identical to one server holding everyone), and the periodic
+    recommendation refresh is one scheduled event that refreshes each
+    server's *currently assigned* consumers — so a consumer that migrated
+    servers mid-interval is refreshed exactly once, by its new owner.
+
+    Failure handling is explicit hand-off: :meth:`handle_server_failure`
+    migrates the failed shard's consumers (profile, registration, ratings,
+    transactions) to the surviving servers, after which queries and refreshes
+    flow around the dead host; a recovered server simply starts receiving new
+    registrations again.
+
+    Placement is always the stable consumer hash: category routing cannot
+    apply here because consumers are placed at registration, before their
+    profile has any categories, and the fleet deliberately never moves a
+    consumer just because their tastes drifted (server-level migration hands
+    off databases, far too heavy for a learning tick — see ROADMAP).
+    Category routing remains available *inside* each server's
+    :class:`~repro.core.sharding.ShardedNeighborIndex`, where migration is a
+    cheap re-index.
+    """
+
+    def __init__(self, servers: List[BuyerAgentServer]) -> None:
+        if not servers:
+            raise ECommerceError("a buyer server fleet needs at least one server")
+        self.servers = list(servers)
+        self.router = ShardRouter(len(self.servers), "hash")
+        self._assignment: Dict[str, int] = {}
+        self._refresh_task: Optional[RecurringCallback] = None
+        self.scheduled_refreshes = 0
+        self.migrated_consumers = 0
+
+    # -- routing --------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.servers)
+
+    def shard_of(self, user_id: str) -> int:
+        """The shard owning ``user_id``, routing it first if never seen."""
+        if user_id not in self._assignment:
+            self._assignment[user_id] = self._route(user_id)
+        return self._assignment[user_id]
+
+    def _route(self, user_id: str) -> int:
+        """Initial placement: stable consumer hash over the live servers."""
+        shard = self.router.shard_for_user(user_id)
+        if self._is_live(shard):
+            return shard
+        return self._fallback_shard(user_id, excluding=shard)
+
+    def _fallback_shard(self, user_id: str, excluding: int) -> int:
+        live = [
+            index for index in range(self.num_shards)
+            if index != excluding and self._is_live(index)
+        ]
+        if not live:
+            raise ECommerceError("no live buyer agent server to route consumer to")
+        return live[self.router.shard_for_user(user_id) % len(live)]
+
+    def _is_live(self, shard: int) -> bool:
+        return self.servers[shard].context.host.is_running
+
+    def server_for(self, user_id: str) -> BuyerAgentServer:
+        """The buyer agent server currently owning ``user_id``."""
+        return self.servers[self.shard_of(user_id)]
+
+    def consumers_of(self, shard: int) -> List[str]:
+        """The consumers currently assigned to ``shard`` (sorted)."""
+        return sorted(
+            user_id for user_id, owner in self._assignment.items() if owner == shard
+        )
+
+    def shard_sizes(self) -> List[int]:
+        sizes = [0] * self.num_shards
+        for owner in self._assignment.values():
+            sizes[owner] += 1
+        return sizes
+
+    # -- consumer entry points ------------------------------------------------------
+
+    def register_consumer(self, user_id: str, display_name: str = "") -> BuyerAgentServer:
+        """Register ``user_id`` with its routed server and return that server."""
+        server = self.server_for(user_id)
+        server.register_consumer(user_id, display_name)
+        return server
+
+    def is_registered(self, user_id: str) -> bool:
+        shard = self._assignment.get(user_id)
+        if shard is None:
+            return False
+        return self.servers[shard].user_db.is_registered(user_id)
+
+    # -- fan-out query --------------------------------------------------------------
+
+    def find_similar(
+        self,
+        user_id: str,
+        category: Optional[str] = None,
+        config: Optional[SimilarityConfig] = None,
+    ) -> List[Tuple[str, float]]:
+        """Similar consumers across the whole fleet, exactly merged.
+
+        The target profile is loaded from its owning server; every live
+        server scores the target against its own shard of the community and
+        the per-server top-k lists merge with the global sort key.  With all
+        servers live this equals one index over the union of all UserDBs.
+        """
+        owner = self.server_for(user_id)
+        config = config or owner.recommendations.similarity_config
+        target = owner.user_db.profile(user_id)
+        per_server = [
+            server.recommendations.neighbor_index.find_similar(
+                target, category=category, config=config
+            )
+            for server in self.servers
+            if server.context.host.is_running
+        ]
+        return merge_topk(per_server, config.top_k)
+
+    # -- scheduled fleet-wide refresh -----------------------------------------------
+
+    def refresh_all(self, k: int = 10) -> Dict[str, List[Recommendation]]:
+        """Refresh every assigned consumer once, each on its owning server."""
+        results: Dict[str, List[Recommendation]] = {}
+        for shard, server in enumerate(self.servers):
+            if not server.context.host.is_running:
+                continue
+            users = [
+                user_id for user_id in self.consumers_of(shard)
+                if server.user_db.is_registered(user_id)
+            ]
+            if users:
+                results.update(server.recommendations.batch_refresh(users, k=k))
+                server.batch_refreshes += 1
+        return results
+
+    def start_periodic_refresh(self, interval_ms: float, k: int = 10) -> RecurringCallback:
+        """One scheduled recurring event refreshing the whole fleet.
+
+        The assignment map is read at fire time, so consumers that migrated
+        shards since the last tick are refreshed exactly once, by their
+        current owner; each firing records one
+        ``recommendation.scheduled-refresh`` event per live server with the
+        user ids it refreshed.
+        """
+        if interval_ms <= 0:
+            raise ECommerceError("refresh interval must be positive")
+        if self._refresh_task is not None and not self._refresh_task.cancelled:
+            raise ECommerceError("the fleet already has a scheduled refresh")
+        scheduler = self.servers[0].context.host.scheduler
+        log = self.servers[0].context.transport.event_log
+
+        def fire() -> None:
+            self.scheduled_refreshes += 1
+            for shard, server in enumerate(self.servers):
+                now = server.context.now
+                if not server.context.host.is_running:
+                    server.refresh_skips += 1
+                    log.record(
+                        now, "recommendation.refresh-skipped",
+                        server.name, server.name, reason="host-down",
+                    )
+                    continue
+                users = [
+                    user_id for user_id in self.consumers_of(shard)
+                    if server.user_db.is_registered(user_id)
+                ]
+                server.recommendations.batch_refresh(users, k=k)
+                server.batch_refreshes += 1
+                log.record(
+                    now, "recommendation.scheduled-refresh",
+                    server.name, server.name,
+                    consumers=len(users), user_ids=users,
+                )
+
+        self._refresh_task = scheduler.call_every(
+            interval_ms, fire, label="refresh.fleet"
+        )
+        return self._refresh_task
+
+    def stop_periodic_refresh(self) -> None:
+        if self._refresh_task is not None:
+            self._refresh_task.cancel()
+            self._refresh_task = None
+
+    # -- failure handling / rebalancing ---------------------------------------------
+
+    def migrate_consumer(self, user_id: str, target_shard: int) -> None:
+        """Hand one consumer over to ``target_shard`` (profile + ratings).
+
+        The source server's record is dropped (its provider-backed neighbor
+        index forgets the consumer on next sync), so at any instant exactly
+        one server owns the consumer — the invariant that makes fan-out
+        merging and the no-double-refresh guarantee hold.
+        """
+        source_shard = self.shard_of(user_id)
+        if source_shard == target_shard:
+            return
+        source = self.servers[source_shard]
+        target = self.servers[target_shard]
+        if not source.user_db.is_registered(user_id):
+            raise ECommerceError(f"consumer {user_id!r} is not registered with its shard")
+        record = source.user_db.user(user_id)
+        profile = source.user_db.profile(user_id)
+        interactions = source.user_db.ratings.interactions_of(user_id)
+        transactions = source.user_db.transactions_of(user_id)
+
+        target.user_db.register(
+            user_id, record.display_name, timestamp=record.registered_at
+        )
+        target.user_db.store_profile(profile.copy())
+        for interaction in interactions:
+            target.user_db.ratings.add(interaction)
+        for transaction in transactions:
+            target.user_db.record_transaction(transaction)
+        source.user_db.unregister(user_id)
+        self._assignment[user_id] = target_shard
+        self.migrated_consumers += 1
+
+    def handle_server_failure(self, shard: int) -> int:
+        """Migrate a failed shard's consumers to the surviving servers.
+
+        Returns how many consumers moved.  Placement is the stable consumer
+        hash over the remaining live servers, so repeated failures keep the
+        distribution even and deterministic.
+        """
+        if self._is_live(shard):
+            raise ECommerceError(
+                f"server {self.servers[shard].name!r} is still running; refusing to drain it"
+            )
+        moved = 0
+        for user_id in self.consumers_of(shard):
+            target = self._fallback_shard(user_id, excluding=shard)
+            self.migrate_consumer(user_id, target)
+            moved += 1
+        return moved
 
 
 def _creation_request(host: str):

@@ -12,7 +12,7 @@ buyer agent server host.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import RegistrationError
 from repro.agents.aglet import Aglet
@@ -31,6 +31,9 @@ class CoordinatorAgent(Aglet):
         self.marketplaces: List[str] = []
         self.seller_servers: List[str] = []
         self.buyer_servers: List[str] = []
+        # host → shard id, for buyer servers that own a partition of the
+        # consumer community (multi-server mode).
+        self.shard_map: Dict[str, int] = {}
 
     def handle_message(self, message: Message) -> Reply:
         if message.kind == MessageKinds.SERVER_REGISTER:
@@ -42,6 +45,7 @@ class CoordinatorAgent(Aglet):
                 marketplaces=list(self.marketplaces),
                 seller_servers=list(self.seller_servers),
                 buyer_servers=list(self.buyer_servers),
+                shard_map=dict(self.shard_map),
                 coordinator=self.location,
             )
         return super().handle_message(message)
@@ -58,8 +62,19 @@ class CoordinatorAgent(Aglet):
             return Reply.failure(
                 message.kind, f"unknown server role {role!r}", message.correlation_id
             )
+        shard_id = message.payload.get("shard_id")
+        if shard_id is not None and role != "buyer-server":
+            # Validate before touching the registry so a refused registration
+            # leaves no trace in the domain state.
+            return Reply.failure(
+                message.kind,
+                f"only buyer servers own shards, not {role!r}",
+                message.correlation_id,
+            )
         if host not in registry:
             registry.append(host)
+        if shard_id is not None:
+            self.shard_map[host] = int(shard_id)
         self.context.transport.event_log.record(
             self.now, "coordinator.server-registered", host, self.location, role=role,
         )
@@ -105,11 +120,19 @@ class CoordinatorServer:
         context.host.attach_service("coordinator-server", self)
         self.agent = context.create(CoordinatorAgent, owner=self.name)
 
-    def register_server(self, role: str, host: str) -> None:
-        """Register a marketplace / seller / buyer server with the CA."""
-        reply = self.agent.proxy.request(
-            MessageKinds.SERVER_REGISTER, role=role, host=host, sender=self.name
-        )
+    def register_server(
+        self, role: str, host: str, shard_id: Optional[int] = None
+    ) -> None:
+        """Register a marketplace / seller / buyer server with the CA.
+
+        Buyer servers running in multi-server (fleet) mode pass their
+        ``shard_id`` so the CA's domain registry records which partition of
+        the consumer community each server owns.
+        """
+        payload = {"role": role, "host": host, "sender": self.name}
+        if shard_id is not None:
+            payload["shard_id"] = shard_id
+        reply = self.agent.proxy.request(MessageKinds.SERVER_REGISTER, **payload)
         if not reply.ok:
             raise RegistrationError(reply.error)
 

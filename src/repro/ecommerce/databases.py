@@ -62,6 +62,23 @@ class UserDB:
         self._profiles_version += 1
         return record
 
+    def unregister(self, user_id: str) -> None:
+        """Remove a consumer entirely (e.g. after migration to another server).
+
+        Profile, transactions AND observational ratings go: a departed
+        consumer must not linger as a collaborative neighbour or double-count
+        if they are ever migrated back.  The profile set changes, so the
+        membership version is bumped and any provider-backed neighbor index
+        drops the consumer on its next sync.  Unknown consumers raise,
+        mirroring the other accessors.
+        """
+        self._require(user_id)
+        del self._users[user_id]
+        del self._profiles[user_id]
+        del self._transactions[user_id]
+        self.ratings.remove_user(user_id)
+        self._profiles_version += 1
+
     def is_registered(self, user_id: str) -> bool:
         return user_id in self._users
 

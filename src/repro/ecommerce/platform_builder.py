@@ -26,7 +26,8 @@ from repro.platform.host import Host
 from repro.platform.metrics import MetricsRegistry
 from repro.platform.network import NetworkConfig, SimulatedNetwork
 from repro.platform.transport import Transport
-from repro.ecommerce.buyer_server import BuyerAgentServer
+from repro.core.sharding import ROUTING_STRATEGIES
+from repro.ecommerce.buyer_server import BuyerAgentServer, BuyerServerFleet
 from repro.ecommerce.coordinator import CoordinatorServer
 from repro.ecommerce.marketplace import MarketplaceServer
 from repro.ecommerce.seller import SellerServer
@@ -52,6 +53,17 @@ class PlatformConfig:
         network: network latency/loss parameters.
         learning: profile-learning parameters of the mechanism.
         similarity: similarity-algorithm parameters of the mechanism.
+        num_buyer_servers: how many buyer agent servers to run.  With more
+            than one the platform runs in multi-server (fleet) mode: each
+            server owns a shard of the consumer community, consumers are
+            routed at registration and similar-user queries fan out/merge
+            (see :class:`~repro.ecommerce.buyer_server.BuyerServerFleet`).
+        neighbor_shards: partitions of each server's own neighbor index
+            (1 = the monolithic PR-1 index).
+        shard_routing: routing strategy for the in-server neighbor-index
+            shards ("hash" or "category").  Fleet-level placement is always
+            the stable consumer hash — consumers are routed at registration,
+            before their profile has any categories to route by.
     """
 
     num_marketplaces: int = 2
@@ -63,6 +75,9 @@ class PlatformConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     learning: LearningConfig = field(default_factory=LearningConfig)
     similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
+    num_buyer_servers: int = 1
+    neighbor_shards: int = 1
+    shard_routing: str = "hash"
 
     def validate(self) -> None:
         if self.num_marketplaces <= 0:
@@ -73,6 +88,15 @@ class PlatformConfig:
             raise ECommerceError("items_per_seller must be positive")
         if self.stock_per_item <= 0:
             raise ECommerceError("stock_per_item must be positive")
+        if self.num_buyer_servers <= 0:
+            raise ECommerceError("the platform needs at least one buyer agent server")
+        if self.neighbor_shards <= 0:
+            raise ECommerceError("neighbor_shards must be positive")
+        if self.shard_routing not in ROUTING_STRATEGIES:
+            raise ECommerceError(
+                f"unknown shard routing {self.shard_routing!r}; "
+                f"expected one of {ROUTING_STRATEGIES}"
+            )
 
 
 class ECommercePlatform:
@@ -109,7 +133,16 @@ class ECommercePlatform:
             self._build_seller(index) for index in range(config.num_sellers)
         ]
         self._stock_sellers_and_marketplaces()
-        self.buyer_server = self._build_buyer_server()
+        self.buyer_servers: List[BuyerAgentServer] = [
+            self._build_buyer_server(index) for index in range(config.num_buyer_servers)
+        ]
+        self.buyer_server = self.buyer_servers[0]
+        # Multi-server mode: the fleet routes consumers and fans out queries.
+        self.fleet: Optional[BuyerServerFleet] = (
+            BuyerServerFleet(self.buyer_servers)
+            if config.num_buyer_servers > 1
+            else None
+        )
 
         self._sessions: Dict[str, ConsumerSession] = {}
 
@@ -161,8 +194,9 @@ class ECommercePlatform:
             for target in targets:
                 seller.list_on_marketplace(target)
 
-    def _build_buyer_server(self) -> BuyerAgentServer:
-        host = self._new_host("buyer-agent-server")
+    def _build_buyer_server(self, index: int) -> BuyerAgentServer:
+        name = "buyer-agent-server" if index == 0 else f"buyer-agent-server-{index + 1}"
+        host = self._new_host(name)
         context = self._new_context(host)
         server = BuyerAgentServer(
             context,
@@ -170,26 +204,40 @@ class ECommercePlatform:
             catalog=self.catalog_view(),
             learning_config=self.config.learning,
             similarity_config=self.config.similarity,
+            neighbor_shards=self.config.neighbor_shards,
+            shard_routing=self.config.shard_routing,
         )
-        self.coordinator.register_server("buyer-server", host.name)
+        shard_id = index if self.config.num_buyer_servers > 1 else None
+        self.coordinator.register_server("buyer-server", host.name, shard_id=shard_id)
         server.bootstrap()
         return server
 
     # -- consumer entry points -----------------------------------------------------------
 
+    def buyer_server_for(self, user_id: str) -> BuyerAgentServer:
+        """The buyer agent server serving ``user_id`` (fleet-routed when sharded)."""
+        if self.fleet is not None:
+            return self.fleet.server_for(user_id)
+        return self.buyer_server
+
     def register_consumer(self, user_id: str, display_name: str = "") -> None:
         """Register a consumer with the recommendation mechanism."""
-        self.buyer_server.register_consumer(user_id, display_name)
+        if self.fleet is not None:
+            self.fleet.register_consumer(user_id, display_name)
+        else:
+            self.buyer_server.register_consumer(user_id, display_name)
 
     def login(self, user_id: str, register: bool = True) -> ConsumerSession:
         """Log a consumer in and return their session.
 
         With ``register=True`` (the default) unknown consumers are registered
-        first, which is what the examples and most tests want.
+        first, which is what the examples and most tests want.  In fleet mode
+        the session talks to the server owning the consumer's shard.
         """
-        if register and not self.buyer_server.user_db.is_registered(user_id):
+        server = self.buyer_server_for(user_id)
+        if register and not server.user_db.is_registered(user_id):
             self.register_consumer(user_id)
-        session = ConsumerSession(self.buyer_server, user_id)
+        session = ConsumerSession(server, user_id)
         session.login()
         self._sessions[user_id] = session
         return session
@@ -222,8 +270,15 @@ class ECommercePlatform:
             "network": self.network.stats(),
             "metrics": self.metrics.snapshot(),
             "marketplaces": {m.name: m.stats() for m in self.marketplaces},
-            "consumers": len(self.buyer_server.user_db),
-            "online": self.buyer_server.online_users(),
+            "consumers": sum(len(server.user_db) for server in self.buyer_servers),
+            "online": sorted(
+                user_id
+                for server in self.buyer_servers
+                for user_id in server.online_users()
+            ),
+            "buyer_servers": {
+                server.name: len(server.user_db) for server in self.buyer_servers
+            },
         }
 
 

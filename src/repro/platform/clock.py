@@ -19,7 +19,7 @@ import itertools
 
 from repro.errors import ClockError
 
-__all__ = ["SimulationClock", "Scheduler", "ScheduledCallback"]
+__all__ = ["SimulationClock", "Scheduler", "ScheduledCallback", "RecurringCallback"]
 
 
 class SimulationClock:
@@ -78,6 +78,36 @@ class ScheduledCallback:
         self.cancelled = True
 
 
+@dataclass
+class RecurringCallback:
+    """Handle for a self-re-arming periodic callback (see :meth:`Scheduler.call_every`).
+
+    The task re-arms itself *before* invoking the callback, so the cadence is
+    anchored at ``start + n * interval`` and a callback that raises (and is
+    handled upstream) does not silently stop the recurrence.  :meth:`cancel`
+    stops it for good.
+    """
+
+    interval: float
+    label: str = ""
+    fires: int = 0
+    cancelled: bool = False
+    _entry: Optional[ScheduledCallback] = field(default=None, repr=False)
+
+    @property
+    def next_at(self) -> Optional[float]:
+        """Simulated timestamp of the next firing (None once cancelled)."""
+        if self.cancelled or self._entry is None:
+            return None
+        return self._entry.timestamp
+
+    def cancel(self) -> None:
+        """Stop the recurrence; the already-queued firing is skipped too."""
+        self.cancelled = True
+        if self._entry is not None:
+            self._entry.cancel()
+
+
 class Scheduler:
     """Priority-queue driver executing callbacks in simulated-time order."""
 
@@ -111,6 +141,41 @@ class Scheduler:
             raise ClockError(f"cannot schedule an event with negative delay: {delay}")
         return self.call_at(self.clock.now + delay, callback, label)
 
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        label: str = "",
+        first_delay: Optional[float] = None,
+    ) -> RecurringCallback:
+        """Schedule ``callback`` every ``interval`` ms of simulated time.
+
+        Returns a :class:`RecurringCallback` handle; the recurrence runs until
+        its :meth:`~RecurringCallback.cancel` is called.  ``first_delay``
+        overrides the delay before the first firing (default: one interval).
+        This is what moves periodic platform work — notably the buyer agent
+        server's recommendation refresh — off ad-hoc polling loops and onto
+        real scheduled events.
+        """
+        if interval <= 0:
+            raise ClockError(f"recurring interval must be positive: {interval}")
+        task = RecurringCallback(interval=interval, label=label)
+
+        def fire() -> None:
+            if task.cancelled:
+                return
+            # Re-arm first: the cadence stays fixed even if the callback is
+            # slow or raises an exception that a caller catches upstream.
+            task._entry = self.call_after(interval, fire, label)
+            task.fires += 1
+            callback()
+
+        initial = interval if first_delay is None else first_delay
+        if initial < 0:
+            raise ClockError(f"first_delay cannot be negative: {first_delay}")
+        task._entry = self.call_after(initial, fire, label)
+        return task
+
     # -- execution ----------------------------------------------------------
 
     @property
@@ -124,12 +189,18 @@ class Scheduler:
         return self._executed
 
     def step(self) -> bool:
-        """Run the next queued callback; return ``False`` when queue is empty."""
+        """Run the next queued callback; return ``False`` when queue is empty.
+
+        A callback whose timestamp was overtaken by the clock (simulated time
+        also advances through the transport, outside the scheduler) runs
+        late, at the current time — the clock never moves backwards.
+        """
         while self._queue:
             entry = heapq.heappop(self._queue)
             if entry.cancelled:
                 continue
-            self.clock.advance_to(entry.timestamp)
+            if entry.timestamp > self.clock.now:
+                self.clock.advance_to(entry.timestamp)
             entry.callback()
             self._executed += 1
             return True

@@ -109,6 +109,17 @@ class EventLog:
     def by_category(self, category: str) -> List[Event]:
         return [e for e in self._events if e.category == category]
 
+    def count(self, category: str) -> int:
+        """How many events of ``category`` were recorded."""
+        return sum(1 for e in self._events if e.category == category)
+
+    def latest(self, category: str) -> Optional[Event]:
+        """The most recently recorded event of ``category`` (None when absent)."""
+        for event in reversed(self._events):
+            if event.category == category:
+                return event
+        return None
+
     def involving(self, participant: str) -> List[Event]:
         return [
             e for e in self._events if participant in (e.source, e.target)

@@ -38,9 +38,13 @@ def summarize(samples: List[float]) -> Dict[str, float]:
         if low == high:
             return ordered[low]
         weight = rank - low
-        value = ordered[low] * (1.0 - weight) + ordered[high] * weight
-        # Interpolation can drift past the extremes by a rounding error; clamp.
-        return min(max(value, ordered[0]), ordered[-1])
+        # lerp as low + span*weight: unlike a*(1-w) + b*w, this form is
+        # monotone in `weight` under float rounding (multiplication and
+        # addition round monotonically), so p50 <= p95 <= p99 always holds
+        # even when two percentiles interpolate inside the same bracket.
+        value = ordered[low] + (ordered[high] - ordered[low]) * weight
+        # Rounding can still drift one ulp past the bracket ends; clamp.
+        return min(max(value, ordered[low]), ordered[high])
 
     return {
         "count": float(len(ordered)),

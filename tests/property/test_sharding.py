@@ -1,0 +1,328 @@
+"""Property tests: the sharded neighbor index is equivalent to brute force.
+
+The :class:`~repro.core.sharding.ShardedNeighborIndex` partitions the
+community but is never allowed to change a single result: for random profile
+populations, shard counts 1-8 and both routing strategies, the fan-out/merge
+must return *exactly* the ranked list brute-force
+:func:`~repro.core.similarity.find_similar_users` and the single
+:class:`~repro.core.neighbors.ProfileNeighborIndex` return — same user ids,
+same scores, same deterministic tie-break order — and the Cauchy-Schwarz
+norm-bound early termination must be invisible in the output whether it is on
+or off.  Incremental learner updates (which can migrate consumers between
+shards under category routing) must preserve all of that too.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.neighbors import ProfileNeighborIndex
+from repro.core.items import Item
+from repro.core.profile import Profile
+from repro.core.profile_learning import FeedbackEvent, ProfileLearner
+from repro.core.ratings import InteractionKind
+from repro.core.sharding import (
+    ROUTING_STRATEGIES,
+    ShardedNeighborIndex,
+    find_similar_users_sharded,
+)
+from repro.core.similarity import SimilarityConfig, find_similar_users
+
+
+# ---------------------------------------------------------------------------
+# Strategies (mirroring tests/property/test_neighbor_index.py)
+# ---------------------------------------------------------------------------
+
+CATEGORIES = ["books", "electronics", "fashion", "groceries", "toys"]
+
+term_names = st.text(alphabet="abcdefgh", min_size=1, max_size=5)
+weights = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+preferences = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+shard_counts = st.integers(min_value=1, max_value=8)
+routings = st.sampled_from(ROUTING_STRATEGIES)
+categories_or_none = st.one_of(st.none(), st.sampled_from(CATEGORIES))
+
+
+@st.composite
+def populations(draw, min_size=2, max_size=14):
+    """A dict user_id → Profile with random hierarchical content."""
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    population = {}
+    for index in range(size):
+        profile = Profile(f"user-{index}")
+        for category in draw(
+            st.lists(st.sampled_from(CATEGORIES), max_size=4, unique=True)
+        ):
+            entry = profile.category(category)
+            entry.preference = draw(preferences)
+            for term, weight in draw(
+                st.dictionaries(term_names, weights, max_size=5)
+            ).items():
+                if weight > 0:
+                    entry.terms.set(term, weight)
+        population[profile.user_id] = profile
+    return population
+
+
+@st.composite
+def similarity_configs(draw):
+    return SimilarityConfig(
+        preference_weight=draw(st.floats(min_value=0.1, max_value=1.0)),
+        term_weight=draw(st.floats(min_value=0.0, max_value=1.0)),
+        discard_tolerance=draw(st.floats(min_value=0.0, max_value=6.0)),
+        min_similarity=draw(st.floats(min_value=0.0, max_value=0.4)),
+        top_k=draw(st.integers(min_value=1, max_value=8)),
+    )
+
+
+@st.composite
+def feedback_events(draw, user_ids):
+    terms = draw(
+        st.dictionaries(
+            term_names,
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    item = Item.build(
+        item_id=draw(st.text(alphabet="xyz0123456789", min_size=1, max_size=8)),
+        name="generated",
+        category=draw(st.sampled_from(CATEGORIES)),
+        subcategory=draw(st.sampled_from(["", "sub-a"])),
+        terms=terms,
+        price=draw(st.floats(min_value=0.0, max_value=500.0)),
+    )
+    return FeedbackEvent(
+        user_id=draw(st.sampled_from(user_ids)),
+        item=item,
+        kind=draw(st.sampled_from(list(InteractionKind))),
+        timestamp=draw(st.floats(min_value=0.0, max_value=1e6)),
+    )
+
+
+def assert_exact_match(expected, actual, context=""):
+    """Byte-for-byte: same ids, same order, *equal* scores (no tolerance)."""
+    assert actual == expected, (
+        f"sharded result diverged {context}: {actual!r} != {expected!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Equivalence on static populations
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    population=populations(),
+    config=similarity_configs(),
+    category=categories_or_none,
+    num_shards=shard_counts,
+    routing=routings,
+)
+def test_sharded_equals_brute_force_and_single_index(
+    population, config, category, num_shards, routing
+):
+    single = ProfileNeighborIndex(profiles=population.values(), config=config)
+    sharded = ShardedNeighborIndex(
+        profiles=population.values(),
+        config=config,
+        num_shards=num_shards,
+        routing=routing,
+    )
+    for target in population.values():
+        brute = find_similar_users(target, population.values(), config, category=category)
+        assert_exact_match(
+            brute,
+            single.find_similar(target, category=category),
+            context=f"(single index, category={category!r})",
+        )
+        assert_exact_match(
+            brute,
+            sharded.find_similar(target, category=category),
+            context=(
+                f"(shards={num_shards}, routing={routing!r}, category={category!r})"
+            ),
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    population=populations(),
+    config=similarity_configs(),
+    category=categories_or_none,
+    num_shards=shard_counts,
+    routing=routings,
+)
+def test_early_termination_is_invisible(
+    population, config, category, num_shards, routing
+):
+    """Norm-bound candidate skipping never changes a score, id or rank."""
+    with_bound = ShardedNeighborIndex(
+        profiles=population.values(),
+        config=config,
+        num_shards=num_shards,
+        routing=routing,
+        early_termination=True,
+    )
+    without_bound = ShardedNeighborIndex(
+        profiles=population.values(),
+        config=config,
+        num_shards=num_shards,
+        routing=routing,
+        early_termination=False,
+    )
+    for target in population.values():
+        assert_exact_match(
+            without_bound.find_similar(target, category=category),
+            with_bound.find_similar(target, category=category),
+            context=f"(early termination, shards={num_shards}, routing={routing!r})",
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    population=populations(),
+    config=similarity_configs(),
+    num_shards=shard_counts,
+    routing=routings,
+)
+def test_transient_sharded_helper_equals_brute_force(
+    population, config, num_shards, routing
+):
+    target = next(iter(population.values()))
+    brute = find_similar_users(target, population.values(), config)
+    sharded = find_similar_users_sharded(
+        target,
+        population.values(),
+        config,
+        num_shards=num_shards,
+        routing=routing,
+    )
+    assert_exact_match(brute, sharded)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    population=populations(min_size=3),
+    config=similarity_configs(),
+    num_shards=shard_counts,
+    routing=routings,
+)
+def test_every_consumer_lives_in_exactly_one_shard(
+    population, config, num_shards, routing
+):
+    """The disjoint-membership invariant behind the exact merge."""
+    sharded = ShardedNeighborIndex(
+        profiles=population.values(),
+        config=config,
+        num_shards=num_shards,
+        routing=routing,
+    )
+    assert sum(sharded.shard_sizes()) == len(population)
+    for user_id in population:
+        owner = sharded.shard_of(user_id)
+        assert owner is not None
+        for index, shard in enumerate(sharded.shards):
+            assert (user_id in shard) == (index == owner)
+
+
+# ---------------------------------------------------------------------------
+# Equivalence across incremental updates (including shard migration)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.data(),
+    population=populations(),
+    config=similarity_configs(),
+    category=categories_or_none,
+    num_shards=shard_counts,
+    routing=routings,
+)
+def test_sharded_tracks_learner_updates(
+    data, population, config, category, num_shards, routing
+):
+    """Learner hooks invalidate (and under category routing, migrate)
+    exactly the touched consumer; results never go stale."""
+    user_ids = sorted(population)
+    sharded = ShardedNeighborIndex(
+        profiles=population.values(),
+        config=config,
+        num_shards=num_shards,
+        routing=routing,
+    )
+    learner = ProfileLearner()
+    sharded.attach_to(learner)
+
+    # Warm every shard first so updates hit populated caches.
+    sharded.find_similar(population[user_ids[0]], category=category)
+
+    events = data.draw(st.lists(feedback_events(user_ids), min_size=1, max_size=6))
+    for event in events:
+        learner.apply(population[event.user_id], event)
+
+    # Membership stays disjoint even after migrations...
+    assert sum(sharded.shard_sizes()) == len(population)
+    # ...and every query still matches brute force exactly.
+    for target_id in user_ids[:3]:
+        target = population[target_id]
+        brute = find_similar_users(target, population.values(), config, category=category)
+        assert_exact_match(
+            brute,
+            sharded.find_similar(target, category=category),
+            context=f"(after updates, shards={num_shards}, routing={routing!r})",
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=st.data(),
+    population=populations(min_size=3),
+    config=similarity_configs(),
+    num_shards=shard_counts,
+    routing=routings,
+)
+def test_registration_removal_and_rebalance_track_provider(
+    data, population, config, num_shards, routing
+):
+    """Provider-backed sharded indexes reconcile membership on sync, and an
+    explicit rebalance to a new shard count keeps results identical."""
+    live = dict(population)
+    sharded = ShardedNeighborIndex(
+        provider=lambda: live.values(),
+        config=config,
+        num_shards=num_shards,
+        routing=routing,
+    )
+    target = next(iter(live.values()))
+    assert_exact_match(
+        find_similar_users(target, live.values(), config),
+        sharded.find_similar(target),
+    )
+
+    # A newcomer registers...
+    newcomer = Profile("newcomer")
+    newcomer.category(data.draw(st.sampled_from(CATEGORIES))).preference = data.draw(
+        preferences
+    )
+    live[newcomer.user_id] = newcomer
+    # ...and an existing consumer leaves.
+    departed = sorted(live)[1]
+    if departed != target.user_id:
+        del live[departed]
+
+    assert_exact_match(
+        find_similar_users(target, live.values(), config),
+        sharded.find_similar(target),
+    )
+
+    # Rebalancing to a different shard count changes placement only.
+    new_count = data.draw(shard_counts)
+    sharded.rebalance(num_shards=new_count)
+    assert sum(sharded.shard_sizes()) == len(live)
+    assert_exact_match(
+        find_similar_users(target, live.values(), config),
+        sharded.find_similar(target),
+    )

@@ -136,3 +136,80 @@ class TestScheduler:
         scheduler.call_after(1, first)
         scheduler.run_until_idle()
         assert fired == ["first", "nested"]
+
+
+class TestRecurringCallbacks:
+    def test_call_every_fires_on_a_fixed_cadence(self):
+        scheduler = Scheduler()
+        fired = []
+        task = scheduler.call_every(10.0, lambda: fired.append(scheduler.clock.now))
+        scheduler.run_until(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+        assert task.fires == 3
+        assert task.next_at == 40.0
+
+    def test_call_every_first_delay_override(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.call_every(10.0, lambda: fired.append(scheduler.clock.now), first_delay=2.0)
+        scheduler.run_until(25.0)
+        assert fired == [2.0, 12.0, 22.0]
+
+    def test_cancel_stops_the_recurrence(self):
+        scheduler = Scheduler()
+        fired = []
+        task = scheduler.call_every(5.0, lambda: fired.append(scheduler.clock.now))
+        scheduler.run_until(12.0)
+        task.cancel()
+        scheduler.run_until(40.0)
+        assert fired == [5.0, 10.0]
+        assert task.next_at is None
+        assert scheduler.run_until_idle() == 0
+
+    def test_cancel_from_inside_the_callback(self):
+        scheduler = Scheduler()
+        fired = []
+
+        def fire():
+            fired.append(scheduler.clock.now)
+            if len(fired) == 2:
+                task.cancel()
+
+        task = scheduler.call_every(5.0, fire)
+        scheduler.run_until_idle()
+        assert fired == [5.0, 10.0]
+
+    def test_non_positive_interval_rejected(self):
+        scheduler = Scheduler()
+        with pytest.raises(ClockError):
+            scheduler.call_every(0.0, lambda: None)
+        with pytest.raises(ClockError):
+            scheduler.call_every(-3.0, lambda: None)
+
+    def test_cadence_survives_a_callback_exception(self):
+        """The recurrence re-arms before invoking, so a raising callback that
+        the driver catches does not silently stop future firings."""
+        scheduler = Scheduler()
+        fired = []
+
+        def fire():
+            fired.append(scheduler.clock.now)
+            if len(fired) == 1:
+                raise RuntimeError("transient")
+
+        scheduler.call_every(5.0, fire)
+        with pytest.raises(RuntimeError):
+            scheduler.run_until(30.0)
+        scheduler.run_until(30.0)
+        assert fired == [5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+
+    def test_overtaken_callback_runs_late_at_current_time(self):
+        """Simulated time also advances outside the scheduler (the transport
+        drives the clock directly); a callback whose timestamp was overtaken
+        runs at the current time instead of crashing the queue."""
+        scheduler = Scheduler()
+        fired = []
+        scheduler.call_after(5.0, lambda: fired.append(scheduler.clock.now))
+        scheduler.clock.advance_to(50.0)
+        scheduler.run_until(50.0)
+        assert fired == [50.0]

@@ -197,3 +197,45 @@ class TestBatchRefresh:
         _teach(user_db, learner, "dave", next(i for i in ITEMS if i.item_id == "tech-2"))
         # The cache still holds the snapshot; recommend() reflects the event.
         assert svc.recommend("dave", k=5) == svc.engine.recommend("dave", k=5)
+
+
+class TestRecommendForQueryBatching:
+    """The batched query re-ranking shares neighbour work across query items
+    but must stay score-identical to evaluating each item on its own."""
+
+    def _query_items(self, category="books"):
+        prefix = "book" if category == "books" else "tech"
+        return [item for item in ITEMS if item.item_id.startswith(prefix)]
+
+    def test_batched_path_equals_per_item_path(self, learning_service):
+        user_db, _, svc = learning_service
+        items = self._query_items()
+        batched = svc.recommend_for_query("alice", items, k=len(items), extra=0)
+        assert len(batched) == len(items)
+        per_item = {}
+        for item in items:
+            (only,) = svc.recommend_for_query("alice", [item], k=1, extra=0)
+            per_item[item.item_id] = only.score
+        for rec in batched:
+            assert rec.score == per_item[rec.item_id]
+
+    def test_batched_path_equals_per_item_after_more_feedback(self, learning_service):
+        user_db, learner, svc = learning_service
+        _teach(user_db, learner, "carol", next(i for i in ITEMS if i.item_id == "tech-1"))
+        items = self._query_items(category="electronics")
+        batched = svc.recommend_for_query("carol", items, k=len(items), extra=0)
+        for rec in batched:
+            (only,) = svc.recommend_for_query(
+                "carol", [next(i for i in items if i.item_id == rec.item_id)],
+                k=1, extra=0,
+            )
+            assert rec.score == only.score
+
+    def test_mixed_category_query_still_ranks_all_items(self, learning_service):
+        _, _, svc = learning_service
+        items = self._query_items() + self._query_items(category="electronics")
+        ranked = svc.recommend_for_query("bob", items, k=len(items), extra=0)
+        assert sorted(rec.item_id for rec in ranked) == sorted(
+            item.item_id for item in items
+        )
+        assert ranked == sorted(ranked, key=lambda rec: (-rec.score, rec.item_id))
