@@ -22,4 +22,26 @@ python -m pytest -x -q tests/property/test_sharding.py
 echo "== tier-1: benchmark smoke (neighbor index scaling + shard sweep) =="
 python -m pytest -x -q benchmarks/bench_neighbors_scaling.py
 
+echo "== tier-1: example smoke runs =="
+for example in examples/*.py; do
+  echo "-- ${example}"
+  python "${example}" >/dev/null
+done
+
+echo "== tier-1: replicated failover scenario smoke =="
+python - <<'PY'
+from repro import build_platform
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.scenarios import ScenarioRunner
+
+platform = build_platform(seed=5, num_buyer_servers=3, replication_factor=1)
+runner = ScenarioRunner(platform, ConsumerPopulation(12, groups=3, seed=5), seed=5)
+report = runner.replicated_failover_day(sessions=24, refresh_interval_ms=1500.0)
+assert report.sessions == 24, report.as_dict()
+assert report.lost_consumers == 0, report.as_dict()
+assert report.recovered_purged == report.drained_consumers, report.as_dict()
+assert platform.metrics.counter("replication.entries_shipped").value > 0
+print("replicated_failover_day: OK", report.as_dict())
+PY
+
 echo "ci_check: OK"

@@ -43,8 +43,6 @@ MESSAGE_PAYLOAD_BYTES = 256
 class AgletContext:
     """Runtime hosting aglets on one simulated host."""
 
-    _id_counter = itertools.count(1)
-
     def __init__(
         self,
         host: Host,
@@ -58,6 +56,12 @@ class AgletContext:
         self.auth = auth if auth is not None else AuthenticationService(host.name)
         self._active: Dict[str, Aglet] = {}
         self._storage: Dict[str, Tuple[Type[Aglet], Dict[str, Any], AgletInfo, AgletProxy]] = {}
+        # Per-context sequence: aglet ids embed the host name, so a local
+        # counter still yields platform-unique ids while keeping whole runs
+        # reproducible — a process-global counter would leak state between
+        # same-seed platforms (id string lengths feed payload-size estimates,
+        # and therefore the simulated clock).
+        self._id_counter = itertools.count(1)
         directory.register_context(self)
         host.attach_service("aglet-context", self)
 
@@ -72,7 +76,7 @@ class AgletContext:
         return self.transport.scheduler.clock.now
 
     def _new_id(self, agent_type: str) -> str:
-        return f"{agent_type}-{next(AgletContext._id_counter)}@{self.host_name}"
+        return f"{agent_type}-{next(self._id_counter)}@{self.host_name}"
 
     # -- creation / cloning / disposal ----------------------------------------
 

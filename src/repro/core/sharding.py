@@ -29,6 +29,21 @@ lists therefore contains the global top-k, and re-sorting with the same
 brute-force) result byte for byte — the property suite in
 ``tests/property/test_sharding.py`` pins this down across shard counts and
 both routing strategies.
+
+**Replication semantics.**  Shard membership here is *derived* state: every
+indexed profile is owned by exactly one durable store (a
+:class:`~repro.ecommerce.databases.UserDB`), and the index reconciles against
+it via providers, version stamps and learner hooks.  Nothing in this module
+is itself replicated or durable — after a crash an index is rebuilt from
+whichever UserDB (primary or replica-restored, see
+:mod:`repro.ecommerce.replication`) survives, and because scores depend only
+on profile contents the rebuilt index answers byte-identically.  The
+*single-owner* invariant is what keeps :func:`merge_topk` exact across
+failovers: a consumer drained to a new server disappears from the old
+shard's provider before appearing in the new one, so no fan-out ever scores
+them twice.  During a degraded fan-out (a shard unreachable mid-query) the
+merge runs over the responses that arrived — ``None`` entries are skipped,
+and the caller reports the gap instead of raising.
 """
 
 from __future__ import annotations
@@ -103,7 +118,7 @@ class ShardRouter:
 
 
 def merge_topk(
-    ranked_lists: Sequence[List[Tuple[str, float]]],
+    ranked_lists: Sequence[Optional[List[Tuple[str, float]]]],
     top_k: int,
 ) -> List[Tuple[str, float]]:
     """Fold per-shard ranked ``(user_id, score)`` lists into the global top-k.
@@ -112,9 +127,16 @@ def merge_topk(
     (score descending, user id ascending), so as long as the input lists
     cover disjoint consumer sets and each is its shard's top-k, the result is
     identical to ranking all consumers in one index.
+
+    ``None`` entries — shards that timed out or were unreachable during a
+    fleet fan-out — are tolerated and skipped, so a degraded query merges
+    what it has instead of raising; callers report the gap via
+    :class:`~repro.ecommerce.buyer_server.FleetQueryResult`.
     """
     merged: List[Tuple[str, float]] = []
     for ranked in ranked_lists:
+        if ranked is None:
+            continue
         merged.extend(ranked)
     merged.sort(key=lambda pair: (-pair[1], pair[0]))
     return merged[:top_k]

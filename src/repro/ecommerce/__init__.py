@@ -27,7 +27,17 @@ from repro.ecommerce.negotiation import NegotiationService, NegotiationOutcome
 from repro.ecommerce.marketplace import MarketplaceServer
 from repro.ecommerce.seller import SellerServer
 from repro.ecommerce.coordinator import CoordinatorServer
-from repro.ecommerce.buyer_server import BuyerAgentServer, BuyerServerFleet
+from repro.ecommerce.buyer_server import (
+    BuyerAgentServer,
+    BuyerServerFleet,
+    FleetQueryResult,
+)
+from repro.ecommerce.replication import (
+    ReplicaState,
+    ReplicationLog,
+    ReplicationLogEntry,
+    ReplicationManager,
+)
 from repro.ecommerce.session import ConsumerSession, QueryResult
 from repro.ecommerce.platform_builder import ECommercePlatform, PlatformConfig, build_platform
 
@@ -50,6 +60,11 @@ __all__ = [
     "CoordinatorServer",
     "BuyerAgentServer",
     "BuyerServerFleet",
+    "FleetQueryResult",
+    "ReplicaState",
+    "ReplicationLog",
+    "ReplicationLogEntry",
+    "ReplicationManager",
     "ConsumerSession",
     "QueryResult",
     "ECommercePlatform",

@@ -10,13 +10,32 @@ bootstrap against the coordinator (which dispatches the BSMA here), attaches
 the shared services (UserDB, BSMDB, the profile learner and the
 recommendation service) and exposes the handles the consumer-facing
 :class:`~repro.ecommerce.session.ConsumerSession` needs.
+
+**Replication semantics** (when :meth:`BuyerAgentServer.enable_replication`
+is wired, normally via ``PlatformConfig.replication_factor``):
+
+- *Durable:* everything in UserDB — registrations, the full learned profile
+  (every learning update streams a post-update snapshot), observational
+  ratings in arrival order, transaction records and login stamps.  All of it
+  reaches the server's replica peers as write-ahead-log entries over the
+  simulated network, so a crash loses at most the unshipped tail
+  (:meth:`~repro.ecommerce.replication.ReplicationManager.lag_of` makes that
+  tail visible, and the ``replication.lag.*`` gauges mirror it in metrics).
+- *Lost on crash:* soft state only — BSMDB online-session records, live
+  agent instances and the batch recommendation cache.  All of it is rebuilt
+  on the consumer's next login at the surviving server.
+- *Failover:* :meth:`BuyerServerFleet.handle_server_failure` restores a
+  crashed server's consumers on the survivors **from replicas alone** —
+  zero reads against the dead host's memory; consumers whose registration
+  never reached a replica are reported as lost, not resurrected empty.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ECommerceError, RegistrationError
+from repro.errors import ECommerceError, NetworkError, RegistrationError
 from repro.agents.context import AgletContext
 from repro.agents.messages import MessageKinds
 from repro.core.cold_start import ColdStartPolicy, ColdStartStrategy
@@ -33,9 +52,22 @@ from repro.core.sharding import ShardRouter, ShardedNeighborIndex, merge_topk
 from repro.core.similarity import SimilarityConfig
 from repro.ecommerce.buyer_agents import BuyerServerManagementAgent, HttpAgent
 from repro.ecommerce.databases import BSMDB, UserDB
+from repro.ecommerce.replication import ReplicaState, ReplicationManager
 from repro.platform.clock import RecurringCallback
 
-__all__ = ["RecommendationService", "BuyerAgentServer", "BuyerServerFleet"]
+__all__ = [
+    "RecommendationService",
+    "BuyerAgentServer",
+    "BuyerServerFleet",
+    "FleetQueryResult",
+]
+
+#: Estimated wire size of one fan-out query request (target profile summary).
+FANOUT_REQUEST_BYTES = 512
+#: Estimated wire size of one ``(user_id, score)`` pair in a shard response.
+FANOUT_BYTES_PER_RESULT = 48
+#: Simulated cost of merging one candidate during fan-out result merge.
+FANOUT_MERGE_COST_PER_CANDIDATE_MS = 0.001
 
 
 class RecommendationService:
@@ -225,6 +257,25 @@ class BuyerAgentServer:
         self.batch_refreshes = 0
         self.refresh_skips = 0
         self._refresh_task: Optional[RecurringCallback] = None
+        self.replication: Optional[ReplicationManager] = None
+
+    # -- replication ----------------------------------------------------------------
+
+    def enable_replication(self) -> ReplicationManager:
+        """Attach a :class:`~repro.ecommerce.replication.ReplicationManager`.
+
+        From this point every durable UserDB mutation (and every in-place
+        profile learning update) is appended to this server's write-ahead
+        log; wire actual peers with
+        :meth:`~repro.ecommerce.replication.ReplicationManager.replicate_to`.
+        Idempotent in effect but calling twice is a programming error.
+        """
+        if self.replication is not None:
+            raise ECommerceError(
+                f"buyer agent server {self.name!r} already has replication enabled"
+            )
+        self.replication = ReplicationManager(self)
+        return self.replication
 
     # -- Figure 4.1 bootstrap -------------------------------------------------------
 
@@ -355,6 +406,34 @@ class BuyerAgentServer:
             self._refresh_task = None
 
 
+@dataclass(frozen=True)
+class FleetQueryResult:
+    """One fleet-wide similar-consumer query with its fan-out accounting.
+
+    ``neighbors`` is the exactly-merged top-k over every shard that
+    responded.  ``unreachable_shards`` names the servers that could not be
+    reached (crashed host, partition, cut link or dropped transfer) — a
+    non-empty tuple means the answer is :attr:`degraded`: correct for the
+    reachable community, silent about the rest.
+    """
+
+    neighbors: List[Tuple[str, float]]
+    shard_latencies_ms: Dict[str, float] = field(default_factory=dict)
+    unreachable_shards: Tuple[str, ...] = ()
+    latency_ms: float = 0.0
+    merge_ms: float = 0.0
+
+    @property
+    def unreachable_count(self) -> int:
+        """How many shards could not be reached for this query."""
+        return len(self.unreachable_shards)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one shard did not contribute to the merge."""
+        return bool(self.unreachable_shards)
+
+
 class BuyerServerFleet:
     """N buyer agent servers each owning a shard of the consumer community.
 
@@ -369,10 +448,16 @@ class BuyerServerFleet:
     servers mid-interval is refreshed exactly once, by its new owner.
 
     Failure handling is explicit hand-off: :meth:`handle_server_failure`
-    migrates the failed shard's consumers (profile, registration, ratings,
-    transactions) to the surviving servers, after which queries and refreshes
-    flow around the dead host; a recovered server simply starts receiving new
-    registrations again.
+    restores the failed shard's consumers (profile, registration, ratings,
+    transactions) on the surviving servers, after which queries and refreshes
+    flow around the dead host.  With replication enabled the drain reads
+    **only the replicas hosted by surviving servers** — never the dead
+    host's memory — and reports consumers whose state never reached a
+    replica as lost; without replication it falls back to the legacy
+    direct-memory hand-off.  A recovered server should be reconciled with
+    :meth:`handle_server_recovery`, which purges the stale copies of the
+    consumers that were drained away while it was down (their current owners
+    keep them; at any instant exactly one server owns a consumer).
 
     Placement is always the stable consumer hash: category routing cannot
     apply here because consumers are placed at registration, before their
@@ -393,6 +478,7 @@ class BuyerServerFleet:
         self._refresh_task: Optional[RecurringCallback] = None
         self.scheduled_refreshes = 0
         self.migrated_consumers = 0
+        self.lost_consumers = 0
 
     # -- routing --------------------------------------------------------------------
 
@@ -465,22 +551,102 @@ class BuyerServerFleet:
     ) -> List[Tuple[str, float]]:
         """Similar consumers across the whole fleet, exactly merged.
 
-        The target profile is loaded from its owning server; every live
-        server scores the target against its own shard of the community and
-        the per-server top-k lists merge with the global sort key.  With all
-        servers live this equals one index over the union of all UserDBs.
+        Thin wrapper over :meth:`query_similar` returning just the merged
+        neighbour list; use :meth:`query_similar` when you need the
+        per-shard timings or the degraded-mode report.
+        """
+        return self.query_similar(user_id, category=category, config=config).neighbors
+
+    def query_similar(
+        self,
+        user_id: str,
+        category: Optional[str] = None,
+        config: Optional[SimilarityConfig] = None,
+    ) -> "FleetQueryResult":
+        """Asynchronous fan-out: all shard RPCs dispatched at once.
+
+        The target profile is loaded from its owning server, which then
+        issues one RPC *per live server concurrently*: the simulated clock is
+        charged ``max`` of the per-shard round-trip latencies (request leg +
+        response leg through the network model) plus a small merge cost —
+        not the sum a sequential visit would pay.  Per-shard timings land in
+        ``platform.metrics`` (``fleet.fanout.shard.<server>.latency_ms``
+        timers plus the ``fleet.fanout.latency_ms`` total).
+
+        Shards that cannot answer — crashed hosts, partitioned or cut links,
+        transfers dropped by the loss model — are *reported*, not silently
+        skipped: they appear in :attr:`FleetQueryResult.unreachable_shards`
+        (and the ``fleet.fanout.unreachable_shards`` counter), the response
+        is marked :attr:`~FleetQueryResult.degraded`, and the merge runs over
+        the shards that did answer.  With every server reachable the merged
+        list equals one index over the union of all UserDBs, byte for byte.
         """
         owner = self.server_for(user_id)
         config = config or owner.recommendations.similarity_config
         target = owner.user_db.profile(user_id)
-        per_server = [
-            server.recommendations.neighbor_index.find_similar(
+        transport = owner.context.transport
+        network = transport.network
+        clock = transport.scheduler.clock
+
+        per_shard: List[Optional[List[Tuple[str, float]]]] = []
+        shard_latencies: Dict[str, float] = {}
+        unreachable: List[str] = []
+        for server in self.servers:
+            if not server.context.host.is_running:
+                unreachable.append(server.name)
+                per_shard.append(None)
+                continue
+            ranked = server.recommendations.neighbor_index.find_similar(
                 target, category=category, config=config
             )
-            for server in self.servers
-            if server.context.host.is_running
-        ]
-        return merge_topk(per_server, config.top_k)
+            try:
+                latency = network.round_trip_latency(
+                    owner.name,
+                    server.name,
+                    FANOUT_REQUEST_BYTES,
+                    FANOUT_BYTES_PER_RESULT * len(ranked),
+                )
+            except NetworkError:
+                # Down link, partition or dropped transfer: the shard did the
+                # work but the response never arrived — a timeout, not a crash.
+                unreachable.append(server.name)
+                per_shard.append(None)
+                continue
+            shard_latencies[server.name] = latency
+            per_shard.append(ranked)
+            transport.metrics.timer(
+                f"fleet.fanout.shard.{server.name}.latency_ms"
+            ).record(latency)
+
+        merge_ms = FANOUT_MERGE_COST_PER_CANDIDATE_MS * sum(
+            len(ranked) for ranked in per_shard if ranked is not None
+        )
+        total_ms = max(shard_latencies.values(), default=0.0) + merge_ms
+        clock.advance_by(total_ms)
+
+        transport.metrics.counter("fleet.fanout.queries").increment()
+        transport.metrics.timer("fleet.fanout.latency_ms").record(total_ms)
+        if unreachable:
+            transport.metrics.counter("fleet.fanout.unreachable_shards").increment(
+                len(unreachable)
+            )
+        transport.event_log.record(
+            clock.now,
+            "fleet.fanout-query",
+            owner.name,
+            owner.name,
+            user_id=user_id,
+            shard_latencies=dict(shard_latencies),
+            unreachable=list(unreachable),
+            latency_ms=total_ms,
+        )
+        return FleetQueryResult(
+            neighbors=merge_topk(per_shard, config.top_k),
+            shard_latencies_ms=shard_latencies,
+            unreachable_shards=tuple(unreachable),
+            latency_ms=total_ms,
+            merge_ms=merge_ms,
+        )
 
     # -- scheduled fleet-wide refresh -----------------------------------------------
 
@@ -570,35 +736,199 @@ class BuyerServerFleet:
         interactions = source.user_db.ratings.interactions_of(user_id)
         transactions = source.user_db.transactions_of(user_id)
 
-        target.user_db.register(
-            user_id, record.display_name, timestamp=record.registered_at
+        self._install_consumer(
+            target_shard,
+            record.display_name,
+            record.registered_at,
+            user_id,
+            profile,
+            interactions,
+            transactions,
         )
+        source.user_db.unregister(user_id)
+
+    def _install_consumer(
+        self,
+        target_shard: int,
+        display_name: str,
+        registered_at: float,
+        user_id: str,
+        profile: Profile,
+        interactions: Iterable,
+        transactions: Iterable,
+    ) -> None:
+        """Write one consumer's durable state onto ``target_shard``.
+
+        Writes go through the notifying UserDB methods, so when the target
+        itself replicates, the adopted consumer's history streams onward to
+        the target's own replica peers.
+        """
+        target = self.servers[target_shard]
+        target.user_db.register(user_id, display_name, timestamp=registered_at)
         target.user_db.store_profile(profile.copy())
         for interaction in interactions:
-            target.user_db.ratings.add(interaction)
+            target.user_db.record_interaction(interaction)
         for transaction in transactions:
             target.user_db.record_transaction(transaction)
-        source.user_db.unregister(user_id)
         self._assignment[user_id] = target_shard
         self.migrated_consumers += 1
 
-    def handle_server_failure(self, shard: int) -> int:
-        """Migrate a failed shard's consumers to the surviving servers.
+    # -- replica lookup ---------------------------------------------------------------
+
+    def _replica_holders(self, dead: BuyerAgentServer) -> List[Tuple[BuyerAgentServer, ReplicaState]]:
+        """Live servers hosting a replica of ``dead``, freshest first.
+
+        This scans the *survivors* only: the dead server object is never
+        dereferenced beyond its name, which is the whole point of the
+        replica-based drain.  Replicas are exact prefixes of the primary's
+        history, so ordering by ``applied_seq`` (descending; server order
+        breaks ties) makes the first holder that knows a consumer also the
+        one with that consumer's freshest state — with ``factor >= 2`` a
+        lagging replica must never shadow a caught-up one.
+        """
+        holders: List[Tuple[BuyerAgentServer, ReplicaState]] = []
+        for server in self.servers:
+            if server is dead or not server.context.host.is_running:
+                continue
+            if server.replication is None:
+                continue
+            state = server.replication.hosted.get(dead.name)
+            if state is not None:
+                holders.append((server, state))
+        return sorted(holders, key=lambda pair: -pair[1].applied_seq)
+
+    def handle_server_failure(
+        self, shard: int, use_replicas: Optional[bool] = None
+    ) -> int:
+        """Restore a failed shard's consumers on the surviving servers.
 
         Returns how many consumers moved.  Placement is the stable consumer
         hash over the remaining live servers, so repeated failures keep the
         distribution even and deterministic.
+
+        When any survivor hosts a replica of the dead server (the default
+        when replication is wired), the drain reads **replicas only**: each
+        consumer's registration record, profile, ratings and transactions
+        come from a live peer's shadow copy, one ``failover-drain`` transfer
+        per consumer is charged from the replica holder to the new owner,
+        and the dead host's in-memory stores are never touched.  Consumers
+        absent from every live replica (registered during a replication
+        outage) are counted in :attr:`lost_consumers`, recorded as
+        ``fleet.consumer-lost`` events and unassigned so they can register
+        afresh.  ``use_replicas=False`` forces the legacy direct-memory
+        hand-off; ``use_replicas=True`` raises when no live replica exists.
         """
+        dead = self.servers[shard]
         if self._is_live(shard):
             raise ECommerceError(
-                f"server {self.servers[shard].name!r} is still running; refusing to drain it"
+                f"server {dead.name!r} is still running; refusing to drain it"
             )
+        holders = self._replica_holders(dead)
+        if use_replicas is None:
+            use_replicas = bool(holders)
+        if not use_replicas:
+            moved = 0
+            for user_id in self.consumers_of(shard):
+                target = self._fallback_shard(user_id, excluding=shard)
+                self.migrate_consumer(user_id, target)
+                moved += 1
+            return moved
+
+        if not holders:
+            raise ECommerceError(
+                f"no live replica of {dead.name!r} to drain from"
+            )
+        transport = holders[0][0].context.transport
         moved = 0
+        lost: List[str] = []
         for user_id in self.consumers_of(shard):
-            target = self._fallback_shard(user_id, excluding=shard)
-            self.migrate_consumer(user_id, target)
+            source = next(
+                (
+                    (server, state)
+                    for server, state in holders
+                    if state.db.is_registered(user_id)
+                ),
+                None,
+            )
+            if source is None:
+                # The consumer's registration never reached a live replica
+                # (replication outage tail): their state died with the host.
+                lost.append(user_id)
+                self.lost_consumers += 1
+                del self._assignment[user_id]
+                transport.event_log.record(
+                    transport.scheduler.clock.now,
+                    "fleet.consumer-lost",
+                    dead.name,
+                    dead.name,
+                    user_id=user_id,
+                )
+                continue
+            holder, state = source
+            target_shard = self._fallback_shard(user_id, excluding=shard)
+            record = state.db.user(user_id)
+            transport.deliver(
+                holder.name,
+                self.servers[target_shard].name,
+                "failover-drain",
+                payload_bytes=FANOUT_REQUEST_BYTES,
+            )
+            self._install_consumer(
+                target_shard,
+                record.display_name,
+                record.registered_at,
+                user_id,
+                state.db.profile(user_id),
+                state.db.ratings.interactions_of(user_id),
+                state.db.transactions_of(user_id),
+            )
             moved += 1
+        transport.event_log.record(
+            transport.scheduler.clock.now,
+            "fleet.failover-drain",
+            dead.name,
+            dead.name,
+            moved=moved,
+            lost=lost,
+        )
+        transport.metrics.counter("fleet.failover.drained").increment(moved)
+        if lost:
+            transport.metrics.counter("fleet.failover.lost").increment(len(lost))
         return moved
+
+    def handle_server_recovery(self, shard: int) -> int:
+        """Reconcile a recovered server with the post-failover assignment.
+
+        While the server was down its consumers were drained to the
+        survivors, but the drain never touched the dead host's memory — so
+        on recovery the host still holds stale copies.  This purges every
+        consumer the fleet no longer assigns to ``shard`` (via the notifying
+        ``UserDB.unregister``, so the recovered server's own replicas drop
+        them too) and returns how many were purged.  The host must be
+        running again; new registrations start flowing to it immediately.
+        """
+        server = self.servers[shard]
+        if not self._is_live(shard):
+            raise ECommerceError(
+                f"server {server.name!r} is not running; recover the host first"
+            )
+        stale = [
+            user_id
+            for user_id in server.user_db.user_ids
+            if self._assignment.get(user_id) != shard
+        ]
+        for user_id in stale:
+            server.user_db.unregister(user_id)
+        if stale:
+            transport = server.context.transport
+            transport.event_log.record(
+                transport.scheduler.clock.now,
+                "fleet.recovery-purge",
+                server.name,
+                server.name,
+                purged=stale,
+            )
+        return len(stale)
 
 
 def _creation_request(host: str):

@@ -34,21 +34,52 @@ class CoordinatorAgent(Aglet):
         # host → shard id, for buyer servers that own a partition of the
         # consumer community (multi-server mode).
         self.shard_map: Dict[str, int] = {}
+        # primary host → replica hosts, for buyer servers that stream their
+        # UserDB mutations to peers (replication mode).  The CA records the
+        # topology so the domain registry knows where a crashed server's
+        # consumers can be recovered from.
+        self.replica_map: Dict[str, List[str]] = {}
 
     def handle_message(self, message: Message) -> Reply:
         if message.kind == MessageKinds.SERVER_REGISTER:
             return self._handle_register(message)
         if message.kind == MessageKinds.CREATE_BUYER_SERVER:
             return self._handle_create_buyer_server(message)
+        if message.kind == "platform.register-replication":
+            return self._handle_register_replication(message)
         if message.kind == "platform.topology":
             return message.reply(
                 marketplaces=list(self.marketplaces),
                 seller_servers=list(self.seller_servers),
                 buyer_servers=list(self.buyer_servers),
                 shard_map=dict(self.shard_map),
+                replica_map={k: list(v) for k, v in self.replica_map.items()},
                 coordinator=self.location,
             )
         return super().handle_message(message)
+
+    def _handle_register_replication(self, message: Message) -> Reply:
+        primary = message.require("primary")
+        replicas = list(message.require("replicas"))
+        if primary not in self.buyer_servers:
+            return Reply.failure(
+                message.kind,
+                f"unknown buyer server {primary!r} cannot register replication",
+                message.correlation_id,
+            )
+        unknown = [host for host in replicas if host not in self.buyer_servers]
+        if unknown:
+            return Reply.failure(
+                message.kind,
+                f"replica hosts {unknown!r} are not registered buyer servers",
+                message.correlation_id,
+            )
+        self.replica_map[primary] = replicas
+        self.context.transport.event_log.record(
+            self.now, "coordinator.replication-registered", primary, self.location,
+            replicas=replicas,
+        )
+        return message.reply(registered=True, primary=primary, replicas=replicas)
 
     def _handle_register(self, message: Message) -> Reply:
         role = message.require("role")
@@ -133,6 +164,23 @@ class CoordinatorServer:
         if shard_id is not None:
             payload["shard_id"] = shard_id
         reply = self.agent.proxy.request(MessageKinds.SERVER_REGISTER, **payload)
+        if not reply.ok:
+            raise RegistrationError(reply.error)
+
+    def register_replication(self, primary: str, replicas: List[str]) -> None:
+        """Record that ``primary`` streams its UserDB mutations to ``replicas``.
+
+        Every named host must already be a registered buyer server; the CA's
+        topology answer then carries the ``replica_map`` alongside the shard
+        map, so any domain participant can learn where a crashed server's
+        consumers are recoverable from.
+        """
+        reply = self.agent.proxy.request(
+            "platform.register-replication",
+            sender=self.name,
+            primary=primary,
+            replicas=list(replicas),
+        )
         if not reply.ok:
             raise RegistrationError(reply.error)
 

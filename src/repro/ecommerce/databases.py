@@ -17,14 +17,22 @@ agent state stays serialisable for deactivation and migration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.errors import LoginError, UnknownUserError
 from repro.core.profile import Profile
 from repro.core.ratings import Interaction, RatingsStore
 from repro.ecommerce.transactions import TransactionRecord
 
-__all__ = ["UserRecord", "UserDB", "BSMDB"]
+__all__ = ["UserRecord", "UserDB", "BSMDB", "MutationListener"]
+
+#: Signature of a UserDB mutation listener: called with the operation name and
+#: a payload dict *after* the mutation has been applied locally.  This is the
+#: capture point of the replication write-ahead log (see
+#: :mod:`repro.ecommerce.replication`): every durable consumer-state change —
+#: registration, profile replacement, observational rating, transaction,
+#: login, unregistration — flows through exactly one notifying method here.
+MutationListener = Callable[[str, Dict[str, Any]], None]
 
 
 @dataclass
@@ -47,6 +55,30 @@ class UserDB:
         self._transactions: Dict[str, List[TransactionRecord]] = {}
         self.ratings = RatingsStore()
         self._profiles_version = 0
+        self._mutation_listeners: List[MutationListener] = []
+
+    # -- mutation listeners ------------------------------------------------------
+
+    def add_mutation_listener(self, listener: MutationListener) -> None:
+        """Register a callable fired after every durable mutation.
+
+        Listeners receive ``(op, payload)`` where ``op`` is one of
+        ``"register"``, ``"unregister"``, ``"store-profile"``,
+        ``"transaction"``, ``"interaction"`` or ``"login"``.  The replication
+        subsystem uses this to append every local write to its write-ahead
+        log; adding the same listener twice is a no-op.
+        """
+        if listener not in self._mutation_listeners:
+            self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        """Unregister a previously added listener (missing ones are ignored)."""
+        if listener in self._mutation_listeners:
+            self._mutation_listeners.remove(listener)
+
+    def _notify(self, op: str, **payload: Any) -> None:
+        for listener in self._mutation_listeners:
+            listener(op, payload)
 
     # -- registration -----------------------------------------------------------
 
@@ -60,6 +92,12 @@ class UserDB:
         self._profiles[user_id] = Profile(user_id)
         self._transactions[user_id] = []
         self._profiles_version += 1
+        self._notify(
+            "register",
+            user_id=user_id,
+            display_name=record.display_name,
+            timestamp=timestamp,
+        )
         return record
 
     def unregister(self, user_id: str) -> None:
@@ -78,6 +116,7 @@ class UserDB:
         del self._transactions[user_id]
         self.ratings.remove_user(user_id)
         self._profiles_version += 1
+        self._notify("unregister", user_id=user_id)
 
     def is_registered(self, user_id: str) -> bool:
         return user_id in self._users
@@ -90,6 +129,7 @@ class UserDB:
         record = self.user(user_id)
         record.logins += 1
         record.last_login_at = timestamp
+        self._notify("login", user_id=user_id, timestamp=timestamp)
 
     @property
     def user_ids(self) -> List[str]:
@@ -108,6 +148,7 @@ class UserDB:
         self._require(profile.user_id)
         self._profiles[profile.user_id] = profile
         self._profiles_version += 1
+        self._notify("store-profile", profile=profile.to_dict())
 
     def profiles(self) -> List[Profile]:
         return [self._profiles[user_id] for user_id in sorted(self._profiles)]
@@ -124,6 +165,7 @@ class UserDB:
     def record_transaction(self, transaction: TransactionRecord) -> None:
         self._require(transaction.user_id)
         self._transactions[transaction.user_id].append(transaction)
+        self._notify("transaction", transaction=transaction)
 
     def transactions_of(self, user_id: str) -> List[TransactionRecord]:
         self._require(user_id)
@@ -137,7 +179,9 @@ class UserDB:
     def record_interaction(self, interaction: Interaction) -> float:
         """Record an observational rating; returns the accumulated value."""
         self._require(interaction.user_id)
-        return self.ratings.add(interaction)
+        value = self.ratings.add(interaction)
+        self._notify("interaction", interaction=interaction)
+        return value
 
     def _require(self, user_id: str) -> None:
         if user_id not in self._users:

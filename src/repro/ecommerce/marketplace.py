@@ -12,6 +12,8 @@ while visiting the marketplace host.
 
 from __future__ import annotations
 
+import itertools
+
 from typing import Dict, List, Optional
 
 from repro.errors import CatalogError, MarketplaceError, TransactionError
@@ -138,9 +140,17 @@ class MarketplaceServer:
         self.auction_house = AuctionHouse(self.name, seed=seed)
         self.negotiations = NegotiationService(self.name)
         self.transactions: List[TransactionRecord] = []
+        # Per-marketplace id sequence: two same-seed platforms built in the
+        # same process mint identical transaction ids (the process-global
+        # fallback in TransactionRecord.create would not), which keeps whole
+        # runs — including replication payload sizes — reproducible.
+        self._transaction_seq = itertools.count(1)
         context.host.attach_service("marketplace-server", self)
         self.agent = context.create(MarketplaceAgent, owner=self.name,
                                     marketplace_name=self.name)
+
+    def _next_transaction_id(self) -> str:
+        return f"txn-{self.name}-{next(self._transaction_seq)}"
 
     # -- querying -----------------------------------------------------------------
 
@@ -169,6 +179,7 @@ class MarketplaceServer:
             list_price=item.price,
             timestamp=timestamp,
             seller=item.seller,
+            transaction_id=self._next_transaction_id(),
         )
         self.transactions.append(transaction)
         return transaction
@@ -195,6 +206,7 @@ class MarketplaceServer:
                 list_price=listing.item.price,
                 timestamp=timestamp,
                 seller=listing.item.seller,
+                transaction_id=self._next_transaction_id(),
             )
             self.transactions.append(transaction)
         return outcome, transaction
@@ -222,6 +234,7 @@ class MarketplaceServer:
                 list_price=listing.item.price,
                 timestamp=timestamp,
                 seller=listing.item.seller,
+                transaction_id=self._next_transaction_id(),
             )
             self.transactions.append(transaction)
         return result, transaction

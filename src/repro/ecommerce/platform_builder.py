@@ -64,6 +64,17 @@ class PlatformConfig:
             shards ("hash" or "category").  Fleet-level placement is always
             the stable consumer hash — consumers are routed at registration,
             before their profile has any categories to route by.
+        replication_factor: how many replica peers each buyer agent server
+            streams its UserDB mutations to (0 = no replication, the
+            single-copy PR-2 behaviour).  With ``f >= 1`` server *i*
+            replicates to servers ``i+1 .. i+f`` (mod N), the coordinator
+            records the replica map, and
+            :meth:`~repro.ecommerce.buyer_server.BuyerServerFleet.handle_server_failure`
+            drains crashed servers from replicas instead of their memory.
+            Requires ``num_buyer_servers > replication_factor``.
+        replication_anti_entropy_interval_ms: cadence of each server's
+            scheduled anti-entropy catch-up task (re-ships whatever lagging
+            replicas missed while down or partitioned).
     """
 
     num_marketplaces: int = 2
@@ -78,6 +89,8 @@ class PlatformConfig:
     num_buyer_servers: int = 1
     neighbor_shards: int = 1
     shard_routing: str = "hash"
+    replication_factor: int = 0
+    replication_anti_entropy_interval_ms: float = 200.0
 
     def validate(self) -> None:
         if self.num_marketplaces <= 0:
@@ -97,6 +110,16 @@ class PlatformConfig:
                 f"unknown shard routing {self.shard_routing!r}; "
                 f"expected one of {ROUTING_STRATEGIES}"
             )
+        if self.replication_factor < 0:
+            raise ECommerceError("replication_factor cannot be negative")
+        if self.replication_factor >= max(self.num_buyer_servers, 1) and self.replication_factor > 0:
+            raise ECommerceError(
+                f"replication_factor={self.replication_factor} needs at least "
+                f"{self.replication_factor + 1} buyer servers "
+                f"(got {self.num_buyer_servers})"
+            )
+        if self.replication_anti_entropy_interval_ms <= 0:
+            raise ECommerceError("replication anti-entropy interval must be positive")
 
 
 class ECommercePlatform:
@@ -143,8 +166,33 @@ class ECommercePlatform:
             if config.num_buyer_servers > 1
             else None
         )
+        if config.replication_factor > 0:
+            self._wire_replication()
 
         self._sessions: Dict[str, ConsumerSession] = {}
+
+    def _wire_replication(self) -> None:
+        """Stream every buyer server's WAL to its ring successors.
+
+        Server *i* replicates to servers ``i+1 .. i+replication_factor``
+        (mod N): simple, deterministic, and guarantees that any single crash
+        leaves at least ``replication_factor`` live replicas.  The CA records
+        the replica map, and each server's anti-entropy catch-up task is
+        armed on the shared scheduler.
+        """
+        servers = self.buyer_servers
+        for server in servers:
+            server.enable_replication()
+        for index, server in enumerate(servers):
+            replica_names = []
+            for offset in range(1, self.config.replication_factor + 1):
+                peer = servers[(index + offset) % len(servers)]
+                server.replication.replicate_to(peer)
+                replica_names.append(peer.name)
+            self.coordinator.register_replication(server.name, replica_names)
+            server.replication.start_anti_entropy(
+                self.config.replication_anti_entropy_interval_ms
+            )
 
     # -- construction helpers -------------------------------------------------------
 

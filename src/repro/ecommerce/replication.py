@@ -1,0 +1,364 @@
+"""Cross-server replication of buyer agent server state.
+
+The paper's platform assumes buyer agent servers that keep "servicing a
+consumer community" as hosts come and go (§3.2, §1 fault tolerance).  PR 2's
+failover drain cheated: it read the crashed server's in-memory UserDB
+directly.  This module makes the fleet an honest distributed system: every
+buyer agent server streams its durable mutations to one or more replica peers
+over the simulated network, and a crashed server's consumers are restored
+from those replicas — without a single read against the dead host's memory.
+
+**Design.**  Three pieces:
+
+- :class:`ReplicationLog` — the primary's write-ahead log.  Every durable
+  UserDB mutation (registration, profile snapshot, observational rating,
+  transaction, login, unregistration) becomes a :class:`ReplicationLogEntry`
+  with a monotonic sequence number.  In-place profile *learning* updates —
+  which never pass through ``UserDB.store_profile`` — are captured through a
+  :class:`~repro.core.profile_learning.ProfileLearner` update hook that
+  snapshots the changed profile.
+- :class:`ReplicaState` — one primary's mirror hosted on a peer server: a
+  shadow :class:`~repro.ecommerce.databases.UserDB` plus the sequence number
+  of the last applied entry.  Entries apply strictly in sequence order;
+  duplicates are skipped, gaps stall the replica until anti-entropy fills
+  them, so a replica is always a *prefix* of the primary's history.
+- :class:`ReplicationManager` — one per participating server.  It owns the
+  local WAL, the list of replica peers, and the replicas this server hosts
+  for *other* primaries.  Writes stream synchronously when the network
+  allows (each shipment is charged to the
+  :class:`~repro.platform.network.SimulatedNetwork` via the transport, so
+  replication traffic costs simulated time and bytes like any other
+  transfer); when a peer is down, partitioned or the transfer is dropped,
+  the entries stay in the log and a periodic anti-entropy task
+  (:meth:`~repro.platform.clock.Scheduler.call_every`) re-ships everything
+  the peer has not acknowledged once connectivity returns.
+
+**Replication semantics — what is durable, what is lost.**
+
+- *Durable (replicated):* consumer registrations, full profile state
+  (including every learning update, as post-update snapshots), observational
+  ratings in arrival order (so accumulated values replay identically),
+  transaction records, login stamps and unregistrations.  A consumer whose
+  entries reached at least one live replica survives a primary crash with
+  byte-identical profile, ratings and transactions.
+- *Lost on crash:* entries appended after the last successful shipment to
+  every replica (the replication lag tail), and the primary's soft state —
+  BSMDB session records, agent instances, recommendation caches — which is
+  rebuilt on the consumer's next login.  A consumer *registered* during a
+  replication outage is reported as lost by the failover drain rather than
+  silently resurrected empty.
+- *Lag visibility:* :meth:`ReplicationManager.lag_of` reports the per-peer
+  unacknowledged-entry count, mirrored into platform metrics as
+  ``replication.lag.<primary>-><peer>`` gauges; anti-entropy catch-ups are
+  recorded as ``replication.catch-up`` events in the platform event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import NetworkError, ReplicationError
+from repro.core.profile import Profile
+from repro.core.profile_learning import FeedbackEvent
+from repro.ecommerce.databases import UserDB
+from repro.platform.clock import RecurringCallback
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ecommerce.buyer_server import BuyerAgentServer
+
+__all__ = [
+    "ReplicationLogEntry",
+    "ReplicationLog",
+    "ReplicaState",
+    "ReplicationManager",
+]
+
+#: Fixed per-entry framing overhead charged to the network, on top of the
+#: payload's own (repr-estimated) size.
+ENTRY_OVERHEAD_BYTES = 48
+
+
+@dataclass(frozen=True)
+class ReplicationLogEntry:
+    """One write-ahead-log entry: a durable mutation with a sequence number."""
+
+    seq: int
+    op: str
+    payload: Dict[str, Any]
+    timestamp: float
+
+    def payload_bytes(self) -> int:
+        """Deterministic wire-size estimate used to charge the network."""
+        return ENTRY_OVERHEAD_BYTES + len(repr(self.payload))
+
+
+class ReplicationLog:
+    """The primary's append-only write-ahead log with monotonic sequence numbers."""
+
+    def __init__(self) -> None:
+        self._entries: List[ReplicationLogEntry] = []
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest entry (0 when the log is empty)."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, op: str, payload: Dict[str, Any], timestamp: float) -> ReplicationLogEntry:
+        """Append one mutation; sequence numbers start at 1 and never skip."""
+        entry = ReplicationLogEntry(
+            seq=self.last_seq + 1, op=op, payload=dict(payload), timestamp=timestamp
+        )
+        self._entries.append(entry)
+        return entry
+
+    def entries_since(self, seq: int) -> List[ReplicationLogEntry]:
+        """Every entry with a sequence number strictly greater than ``seq``."""
+        if seq < 0:
+            raise ReplicationError(f"sequence numbers are non-negative, got {seq}")
+        return list(self._entries[seq:])
+
+
+class ReplicaState:
+    """One primary's replicated state, hosted on a peer server.
+
+    The shadow :class:`UserDB` is rebuilt purely from log entries, applied
+    strictly in sequence order: :meth:`apply_entries` skips entries at or
+    below ``applied_seq`` (duplicate shipments are idempotent) and stops at
+    the first gap (anti-entropy re-ships the full missing suffix later), so
+    the shadow is always an exact prefix of the primary's mutation history.
+    """
+
+    def __init__(self, primary: str) -> None:
+        self.primary = primary
+        self.applied_seq = 0
+        self.db = UserDB()
+
+    def apply_entries(self, entries: List[ReplicationLogEntry]) -> int:
+        """Apply an ordered batch; return how many entries were applied."""
+        applied = 0
+        for entry in entries:
+            if entry.seq <= self.applied_seq:
+                continue  # duplicate shipment — already applied
+            if entry.seq != self.applied_seq + 1:
+                break  # gap — wait for anti-entropy to ship the full suffix
+            self._apply(entry)
+            self.applied_seq = entry.seq
+            applied += 1
+        return applied
+
+    def _apply(self, entry: ReplicationLogEntry) -> None:
+        payload = entry.payload
+        if entry.op == "register":
+            self.db.register(
+                payload["user_id"],
+                payload.get("display_name", ""),
+                timestamp=payload.get("timestamp", 0.0),
+            )
+        elif entry.op == "unregister":
+            self.db.unregister(payload["user_id"])
+        elif entry.op == "store-profile":
+            self.db.store_profile(Profile.from_dict(payload["profile"]))
+        elif entry.op == "interaction":
+            self.db.record_interaction(payload["interaction"])
+        elif entry.op == "transaction":
+            self.db.record_transaction(payload["transaction"])
+        elif entry.op == "login":
+            self.db.record_login(payload["user_id"], payload.get("timestamp", 0.0))
+        else:
+            raise ReplicationError(f"unknown replication op {entry.op!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicaState(primary={self.primary!r}, applied_seq={self.applied_seq}, "
+            f"consumers={len(self.db)})"
+        )
+
+
+class ReplicationManager:
+    """Streams one buyer agent server's mutations to its replica peers.
+
+    Attach with :meth:`BuyerAgentServer.enable_replication`; wire peers with
+    :meth:`replicate_to`.  The manager hooks the server's UserDB mutation
+    listener and the profile learner's update hook, so every durable write is
+    logged and (network permitting) shipped immediately; the scheduled
+    anti-entropy task re-ships anything a peer missed.
+    """
+
+    def __init__(self, server: "BuyerAgentServer") -> None:
+        self.server = server
+        self.name = server.name
+        self.log = ReplicationLog()
+        self.peers: List["BuyerAgentServer"] = []
+        #: Highest sequence number each peer has acknowledged applying.
+        self._acked: Dict[str, int] = {}
+        #: Replicas this server hosts for *other* primaries (name → state).
+        self.hosted: Dict[str, ReplicaState] = {}
+        self._anti_entropy_task: Optional[RecurringCallback] = None
+        server.user_db.add_mutation_listener(self._on_mutation)
+        server.profile_learner.add_update_hook(self._on_profile_update)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def replicate_to(self, peer: "BuyerAgentServer") -> ReplicaState:
+        """Start streaming this server's WAL to ``peer``.
+
+        The peer must have replication enabled too (it hosts the
+        :class:`ReplicaState`).  Returns the replica state, which lives on
+        the peer — exactly where the failover drain will look for it.
+        """
+        if peer is self.server:
+            raise ReplicationError(f"server {self.name!r} cannot replicate to itself")
+        if peer.replication is None:
+            raise ReplicationError(
+                f"peer {peer.name!r} must enable replication before hosting a replica"
+            )
+        if any(existing is peer for existing in self.peers):
+            raise ReplicationError(
+                f"server {self.name!r} already replicates to {peer.name!r}"
+            )
+        state = peer.replication.host_replica(self.name)
+        self.peers.append(peer)
+        self._acked[peer.name] = 0
+        return state
+
+    def host_replica(self, primary: str) -> ReplicaState:
+        """Create (or return) the replica this server hosts for ``primary``."""
+        if primary not in self.hosted:
+            self.hosted[primary] = ReplicaState(primary)
+        return self.hosted[primary]
+
+    # -- capture hooks --------------------------------------------------------
+
+    def _on_mutation(self, op: str, payload: Dict[str, Any]) -> None:
+        self._append_and_stream(op, payload)
+
+    def _on_profile_update(
+        self, profile: Profile, event: Optional[FeedbackEvent] = None
+    ) -> None:
+        # In-place learning updates never pass through store_profile; snapshot
+        # the whole profile so replicas converge to the exact post-update state.
+        self._append_and_stream("store-profile", {"profile": profile.to_dict()})
+
+    def _append_and_stream(self, op: str, payload: Dict[str, Any]) -> None:
+        entry = self.log.append(op, payload, timestamp=self.server.context.now)
+        if not self.server.context.host.is_running:
+            return  # crashed primaries cannot ship; the tail is the lag
+        for peer in self.peers:
+            self._ship(peer, [entry])
+
+    # -- shipping -------------------------------------------------------------
+
+    def _ship(self, peer: "BuyerAgentServer", entries: List[ReplicationLogEntry]) -> int:
+        """Ship ``entries`` to ``peer``; return how many it applied.
+
+        A peer that missed earlier entries is sent the full unacknowledged
+        suffix instead (replicas apply strictly in order).  Network failures
+        — peer down, partition, dropped transfer — leave the entries in the
+        log for the next anti-entropy pass and are counted in
+        ``replication.deferred``.
+        """
+        acked = self._acked[peer.name]
+        if not entries or entries[0].seq > acked + 1:
+            entries = self.log.entries_since(acked)
+        if not entries:
+            return 0
+        transport = self.server.context.transport
+        payload_bytes = sum(entry.payload_bytes() for entry in entries)
+        try:
+            transport.deliver(self.name, peer.name, "replication", payload_bytes)
+        except NetworkError:
+            transport.metrics.counter("replication.deferred").increment()
+            return 0
+        state = peer.replication.hosted[self.name]
+        applied = state.apply_entries(entries)
+        self._acked[peer.name] = state.applied_seq
+        transport.metrics.counter("replication.entries_shipped").increment(applied)
+        self._record_lag(peer)
+        return applied
+
+    def _record_lag(self, peer: "BuyerAgentServer") -> None:
+        metrics = self.server.context.transport.metrics
+        metrics.gauge(f"replication.lag.{self.name}->{peer.name}").set(
+            self.lag_of(peer.name)
+        )
+
+    def lag_of(self, peer_name: str) -> int:
+        """Unacknowledged entries for ``peer_name`` (replication lag in ops)."""
+        if peer_name not in self._acked:
+            raise ReplicationError(f"{self.name!r} does not replicate to {peer_name!r}")
+        return self.log.last_seq - self._acked[peer_name]
+
+    def acked_seq(self, peer_name: str) -> int:
+        """Highest sequence number ``peer_name`` has acknowledged."""
+        if peer_name not in self._acked:
+            raise ReplicationError(f"{self.name!r} does not replicate to {peer_name!r}")
+        return self._acked[peer_name]
+
+    # -- anti-entropy ---------------------------------------------------------
+
+    def anti_entropy_tick(self) -> int:
+        """Re-ship every unacknowledged entry to every peer; return shipped count.
+
+        Skips entirely while the primary host is down (a crashed server
+        cannot send), and records a ``replication.catch-up`` event whenever a
+        lagging peer was actually caught up.
+        """
+        if not self.server.context.host.is_running:
+            return 0
+        transport = self.server.context.transport
+        shipped = 0
+        for peer in self.peers:
+            lag = self.lag_of(peer.name)
+            if lag == 0:
+                self._record_lag(peer)
+                continue
+            applied = self._ship(peer, self.log.entries_since(self._acked[peer.name]))
+            shipped += applied
+            if applied:
+                transport.event_log.record(
+                    self.server.context.now,
+                    "replication.catch-up",
+                    self.name,
+                    peer.name,
+                    entries=applied,
+                    remaining_lag=self.lag_of(peer.name),
+                )
+            self._record_lag(peer)
+        return shipped
+
+    @property
+    def anti_entropy_scheduled(self) -> bool:
+        return (
+            self._anti_entropy_task is not None
+            and not self._anti_entropy_task.cancelled
+        )
+
+    def start_anti_entropy(self, interval_ms: float) -> RecurringCallback:
+        """Run :meth:`anti_entropy_tick` every ``interval_ms`` of simulated time."""
+        if interval_ms <= 0:
+            raise ReplicationError("anti-entropy interval must be positive")
+        if self.anti_entropy_scheduled:
+            raise ReplicationError(
+                f"server {self.name!r} already has a scheduled anti-entropy task"
+            )
+        self._anti_entropy_task = self.server.context.host.scheduler.call_every(
+            interval_ms, self.anti_entropy_tick, label=f"replication.{self.name}"
+        )
+        return self._anti_entropy_task
+
+    def stop_anti_entropy(self) -> None:
+        """Cancel the scheduled anti-entropy task (no-op when none is armed)."""
+        if self._anti_entropy_task is not None:
+            self._anti_entropy_task.cancel()
+            self._anti_entropy_task = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicationManager({self.name!r}, wal={self.log.last_seq}, "
+            f"peers={[peer.name for peer in self.peers]}, "
+            f"hosts={sorted(self.hosted)})"
+        )

@@ -58,10 +58,18 @@ class TransactionRecord:
         list_price: float,
         timestamp: float,
         seller: str = "",
+        transaction_id: Optional[str] = None,
     ) -> "TransactionRecord":
-        """Build a record with a fresh transaction id."""
+        """Build a record, minting a process-global id when none is given.
+
+        Callers that need *run-deterministic* ids (two same-seed platforms in
+        one process must produce identical records — replication payload
+        sizes, and therefore simulated clocks, depend on them) should pass
+        their own ``transaction_id``; the marketplaces mint
+        ``txn-<marketplace>-<n>`` from a per-marketplace sequence.
+        """
         return cls(
-            transaction_id=f"txn-{next(_transaction_ids)}",
+            transaction_id=transaction_id or f"txn-{next(_transaction_ids)}",
             user_id=user_id,
             item_id=item_id,
             marketplace=marketplace,

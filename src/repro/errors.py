@@ -133,6 +133,10 @@ class SessionError(ECommerceError):
     """Raised when a consumer session is used after logout or before login."""
 
 
+class ReplicationError(ECommerceError):
+    """Raised when the cross-server replication protocol is misused."""
+
+
 # ---------------------------------------------------------------------------
 # Recommendation core
 # ---------------------------------------------------------------------------

@@ -243,3 +243,14 @@ class Scheduler:
         if timestamp > self.clock.now:
             self.clock.advance_to(timestamp)
         return executed
+
+    def run_for(self, duration: float, max_events: int = 1_000_000) -> int:
+        """Run callbacks due within the next ``duration`` ms; advance the clock.
+
+        Convenience over :meth:`run_until` for scenario drivers that think in
+        "let the platform idle for X ms" terms (e.g. letting anti-entropy
+        catch a lagging replica up after a partition heals).
+        """
+        if duration < 0:
+            raise ClockError(f"cannot run for a negative duration: {duration}")
+        return self.run_until(self.clock.now + duration, max_events)

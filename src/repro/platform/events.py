@@ -120,6 +120,11 @@ class EventLog:
                 return event
         return None
 
+    def last_payload(self, category: str) -> Optional[Dict[str, Any]]:
+        """Payload of the most recent ``category`` event (None when absent)."""
+        event = self.latest(category)
+        return dict(event.payload) if event is not None else None
+
     def involving(self, participant: str) -> List[Event]:
         return [
             e for e in self._events if participant in (e.source, e.target)

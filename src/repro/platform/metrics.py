@@ -99,6 +99,11 @@ class Timer:
             raise ValueError("durations must be non-negative")
         self.samples.append(float(duration_ms))
 
+    @property
+    def latest(self) -> Optional[float]:
+        """The most recently recorded sample (None when empty)."""
+        return self.samples[-1] if self.samples else None
+
     def summary(self) -> Dict[str, float]:
         return summarize(self.samples)
 

@@ -230,6 +230,28 @@ class SimulatedNetwork:
         self.total_bytes += payload_bytes
         return TransferOutcome(latency, payload_bytes, source, destination)
 
+    def round_trip_latency(
+        self,
+        source: str,
+        destination: str,
+        request_bytes: int = 0,
+        response_bytes: int = 0,
+    ) -> float:
+        """Charge one request/response round trip; return its total latency.
+
+        Two directed transfers (``source → destination`` carrying the
+        request, ``destination → source`` carrying the response) are charged
+        to the model; the caller decides what to do with the summed latency
+        — notably the fleet fan-out charges the *maximum* round trip across
+        all shards to the clock instead of letting each transfer advance it
+        sequentially.  Any failure (down host, partition, cut link, loss)
+        raises like :meth:`transfer_latency`; a response-leg failure after a
+        successful request leg is exactly a timed-out RPC.
+        """
+        request = self.transfer_latency(source, destination, request_bytes)
+        response = self.transfer_latency(destination, source, response_bytes)
+        return request.latency_ms + response.latency_ms
+
     # -- reporting ----------------------------------------------------------
 
     def stats(self) -> Dict[str, float]:

@@ -33,6 +33,9 @@ class ScenarioReport:
     recommendations_requested: int = 0
     failed_operations: int = 0
     batch_refreshes: int = 0
+    drained_consumers: int = 0
+    lost_consumers: int = 0
+    recovered_purged: int = 0
     started_at_ms: float = 0.0
     finished_at_ms: float = 0.0
 
@@ -51,6 +54,9 @@ class ScenarioReport:
             "recommendations_requested": self.recommendations_requested,
             "failed_operations": self.failed_operations,
             "batch_refreshes": self.batch_refreshes,
+            "drained_consumers": self.drained_consumers,
+            "lost_consumers": self.lost_consumers,
+            "recovered_purged": self.recovered_purged,
             "simulated_duration_ms": self.simulated_duration_ms,
         }
 
@@ -271,6 +277,114 @@ class ScenarioRunner:
                 platform.scheduler.run_until(platform.now)
         finally:
             refresh_owner.stop_periodic_refresh()
+        report.finished_at_ms = platform.now
+        report.batch_refreshes = (
+            log.count("recommendation.scheduled-refresh") - refreshes_before
+        )
+        return report
+
+    def replicated_failover_day(
+        self,
+        sessions: int = 240,
+        queries_per_session: int = 1,
+        crash_shard: int = 0,
+        buy_probability: float = 0.35,
+        auction_probability: float = 0.2,
+        negotiate_probability: float = 0.1,
+        recommendation_probability: float = 0.3,
+        refresh_interval_ms: float = 2000.0,
+        batch_k: int = 5,
+        recover: bool = True,
+    ) -> ScenarioReport:
+        """A trafficked day where a buyer agent server crashes and recovers.
+
+        Requires a multi-server platform with replication wired
+        (``PlatformConfig.num_buyer_servers > 1`` and
+        ``replication_factor >= 1``).  The day runs in three phases:
+
+        1. normal traffic while every server's write-ahead log streams to
+           its replica peers;
+        2. the ``crash_shard`` server is crashed mid-traffic and its
+           consumers are drained **from replicas** onto the survivors
+           (``report.drained_consumers`` / ``report.lost_consumers``);
+           traffic continues around the dead host;
+        3. (with ``recover=True``) the host comes back, its stale consumer
+           copies are purged (``report.recovered_purged``) and it starts
+           taking new registrations again.
+
+        Throughout, the fleet-wide scheduled recommendation refresh keeps
+        firing (skipping the dead host) and anti-entropy keeps replicas
+        converged; the scenario loop pumps the scheduler after every session
+        so both stay honest with simulated time.
+        """
+        if sessions <= 0:
+            raise WorkloadError("replicated failover day needs at least one session")
+        if refresh_interval_ms <= 0:
+            raise WorkloadError("refresh interval must be positive")
+        platform = self.platform
+        fleet = platform.fleet
+        if fleet is None:
+            raise WorkloadError(
+                "replicated failover day needs a multi-server fleet "
+                "(PlatformConfig.num_buyer_servers > 1)"
+            )
+        if not 0 <= crash_shard < fleet.num_shards:
+            raise WorkloadError(f"crash_shard {crash_shard} is not a fleet shard")
+        victim = fleet.servers[crash_shard]
+        if victim.replication is None or not victim.replication.peers:
+            raise WorkloadError(
+                "replicated failover day needs replication wired "
+                "(PlatformConfig.replication_factor >= 1)"
+            )
+        pool = self.population.consumers()
+        if not pool:
+            raise WorkloadError("replicated failover day needs a non-empty population")
+
+        log = platform.event_log
+        refreshes_before = log.count("recommendation.scheduled-refresh")
+        fleet.start_periodic_refresh(refresh_interval_ms, k=batch_k)
+        report = ScenarioReport(started_at_ms=platform.now)
+        report.consumers = len(pool)
+        lost_before = fleet.lost_consumers
+
+        def run_phase(count: int) -> None:
+            for _ in range(count):
+                consumer = self._rng.choice(pool)
+                self.run_session(
+                    consumer,
+                    queries=queries_per_session,
+                    buy_probability=buy_probability,
+                    auction_probability=auction_probability,
+                    negotiate_probability=negotiate_probability,
+                    ask_recommendations=self._rng.random() < recommendation_probability,
+                    report=report,
+                )
+                if self._rng.random() < recommendation_probability:
+                    # Fleet-wide similar-consumer lookup: async fan-out over
+                    # every live shard; during the outage window the result
+                    # is degraded (the dead shard is reported unreachable).
+                    fleet.query_similar(consumer.user_id)
+                # Pump the scheduler so the scheduled refresh and the
+                # anti-entropy tasks fire as simulated time passes.
+                platform.scheduler.run_until(platform.now)
+
+        # Three phases totalling exactly ``sessions`` (later phases may be
+        # empty when the count is tiny, but the crash/recovery still happen).
+        first = max(1, sessions // 3)
+        second = min(first, sessions - first)
+        third = sessions - first - second
+        try:
+            run_phase(first)
+            platform.failures.crash_host(victim.name)
+            report.drained_consumers = fleet.handle_server_failure(crash_shard)
+            report.lost_consumers = fleet.lost_consumers - lost_before
+            run_phase(second)
+            if recover:
+                platform.failures.recover_host(victim.name)
+                report.recovered_purged = fleet.handle_server_recovery(crash_shard)
+            run_phase(third)
+        finally:
+            fleet.stop_periodic_refresh()
         report.finished_at_ms = platform.now
         report.batch_refreshes = (
             log.count("recommendation.scheduled-refresh") - refreshes_before

@@ -1,0 +1,348 @@
+"""Integration tests for replica-based failover of the buyer-server fleet.
+
+The PR-3 contract, pinned end to end:
+
+- the failover drain performs **zero reads** against the crashed host's
+  in-memory stores (enforced by poisoning every accessor of the dead
+  server's UserDB before draining);
+- post-failover recommendations are byte-identical — to the same platform's
+  no-failure (pre-crash) answers, to the legacy direct-memory drain, and to
+  a single server holding the whole community (the single-server reference);
+- consumers whose state never reached a replica are reported as lost, never
+  silently resurrected empty;
+- a recovered server is reconciled: stale copies purged, new registrations
+  flowing again, no consumer ever owned (or scored) twice.
+"""
+
+import pytest
+
+from repro.errors import ECommerceError, WorkloadError
+from repro.core.similarity import find_similar_users
+from repro.ecommerce.platform_builder import build_platform
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.scenarios import ScenarioRunner
+
+CONSUMERS = [f"consumer-{index}" for index in range(10)]
+
+
+def _build(num_buyer_servers=3, **overrides):
+    return build_platform(seed=11, num_buyer_servers=num_buyer_servers, **overrides)
+
+
+def _drive_workload(platform, consumers=CONSUMERS):
+    """A deterministic mixed workload giving every consumer a learned profile."""
+    keyword = next(iter(platform.catalog_view())).terms[0][0]
+    for index, user_id in enumerate(consumers):
+        session = platform.login(user_id)
+        results = session.query(keyword)
+        if results and index % 2 == 0:
+            session.buy(results[0].item, marketplace=results[0].marketplace)
+        session.logout()
+
+
+def _consumer_state(user_db, user_id):
+    """The durable per-consumer state the replication contract covers."""
+    return (
+        user_db.profile(user_id).to_dict(),
+        user_db.ratings.interactions_of(user_id),
+        user_db.transactions_of(user_id),
+    )
+
+
+def _poison(user_db):
+    """Make every UserDB (and ratings) accessor raise on touch."""
+
+    def boom(*args, **kwargs):
+        raise AssertionError("failover drain read the crashed server's memory")
+
+    for name in (
+        "register", "unregister", "is_registered", "user", "record_login",
+        "profile", "store_profile", "profiles", "profiles_version",
+        "record_transaction", "transactions_of", "all_transactions",
+        "record_interaction",
+    ):
+        setattr(user_db, name, boom)
+    for name in ("add", "remove_user", "interactions_of", "user_vector", "items_of"):
+        setattr(user_db.ratings, name, boom)
+
+
+def _victim_shard(fleet):
+    """A shard that owns at least one consumer (deterministic choice)."""
+    sizes = fleet.shard_sizes()
+    return max(range(len(sizes)), key=lambda shard: (sizes[shard], -shard))
+
+
+class TestReplicaOnlyDrain:
+    def test_drain_with_poisoned_dead_userdb_is_byte_identical(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        doomed = fleet.consumers_of(victim)
+        assert doomed, "the victim shard must own consumers for this test"
+
+        # The no-failure answers, captured on the same run before the crash.
+        reference_neighbors = {
+            user_id: fleet.find_similar(user_id) for user_id in CONSUMERS
+        }
+        reference_state = {
+            user_id: _consumer_state(dead.user_db, user_id) for user_id in doomed
+        }
+
+        platform.failures.crash_host(dead.name)
+        _poison(dead.user_db)
+
+        moved = fleet.handle_server_failure(victim)
+
+        assert moved == len(doomed)
+        assert fleet.lost_consumers == 0
+        for user_id in doomed:
+            owner = fleet.server_for(user_id)
+            assert owner is not dead
+            assert owner.user_db.is_registered(user_id)
+            # Durable state restored from replicas, byte for byte.
+            assert _consumer_state(owner.user_db, user_id) == reference_state[user_id]
+        # Post-failover similar-consumer recommendations are byte-identical
+        # to the no-failure run for every (non-lost) consumer.
+        for user_id in CONSUMERS:
+            assert fleet.find_similar(user_id) == reference_neighbors[user_id]
+
+    def test_replica_drain_equals_legacy_memory_drain(self):
+        """The replica path reconstructs exactly what reading the dead host's
+        memory would have produced — recommendations included."""
+        replica_run = _build(replication_factor=1)
+        memory_run = _build(replication_factor=1)
+        _drive_workload(replica_run)
+        _drive_workload(memory_run)
+
+        victim = _victim_shard(replica_run.fleet)
+        assert victim == _victim_shard(memory_run.fleet)
+        for platform, use_replicas in ((replica_run, True), (memory_run, False)):
+            platform.failures.crash_host(platform.fleet.servers[victim].name)
+            platform.fleet.handle_server_failure(victim, use_replicas=use_replicas)
+
+        for user_id in CONSUMERS:
+            replica_owner = replica_run.fleet.server_for(user_id)
+            memory_owner = memory_run.fleet.server_for(user_id)
+            assert replica_owner.name == memory_owner.name
+            assert (
+                replica_owner.user_db.profile(user_id).to_dict()
+                == memory_owner.user_db.profile(user_id).to_dict()
+            )
+            assert replica_owner.recommendations.recommend(
+                user_id, k=10
+            ) == memory_owner.recommendations.recommend(user_id, k=10)
+            assert replica_run.fleet.find_similar(user_id) == (
+                memory_run.fleet.find_similar(user_id)
+            )
+
+    def test_post_failover_matches_single_server_reference(self):
+        """After the drain the fleet still answers exactly like one server
+        holding the whole community (the PR-2 equivalence, now crash-proof)."""
+        fleet_run = _build(replication_factor=1)
+        reference = _build(num_buyer_servers=1)
+        _drive_workload(fleet_run)
+        _drive_workload(reference)
+
+        victim = _victim_shard(fleet_run.fleet)
+        fleet_run.failures.crash_host(fleet_run.fleet.servers[victim].name)
+        fleet_run.fleet.handle_server_failure(victim)
+
+        reference_db = reference.buyer_server.user_db
+        config = reference.buyer_server.recommendations.similarity_config
+        for user_id in CONSUMERS:
+            brute = find_similar_users(
+                reference_db.profile(user_id), reference_db.profiles(), config
+            )
+            assert fleet_run.fleet.find_similar(user_id) == brute
+
+    def test_drain_without_replicas_still_requires_explicit_memory_path(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        # Take down the replica holders too: no live replica remains.
+        platform.failures.crash_host(dead.name)
+        for server, state in (
+            (server, server.replication.hosted.get(dead.name))
+            for server in fleet.servers
+            if server is not dead
+        ):
+            if state is not None:
+                platform.failures.crash_host(server.name)
+        with pytest.raises(ECommerceError):
+            fleet.handle_server_failure(victim, use_replicas=True)
+
+
+class TestFreshestReplicaWins:
+    def test_drain_prefers_the_caught_up_replica_over_a_lagging_one(self):
+        """With factor >= 2 a lagging replica must never shadow a fresh one:
+        the drain restores from the holder with the longest applied prefix."""
+        platform = _build(replication_factor=2)
+        fleet = platform.fleet
+        _drive_workload(platform, CONSUMERS[:4])
+
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        # Lag the peer that comes FIRST in fleet server order — exactly the
+        # one a naive "first holder wins" drain would read from.
+        first_holder = next(
+            server for server in fleet.servers
+            if server is not dead and any(p is server for p in dead.replication.peers)
+        )
+
+        # Cut only the link to that peer: its replica lags while the other
+        # peer keeps acknowledging everything.  Re-driving every consumer
+        # gives the already-replicated ones fresh post-cut mutations that
+        # only the healthy replica sees.
+        platform.network.cut_link(dead.name, first_holder.name, both_ways=False)
+        _drive_workload(platform, CONSUMERS)
+        # Heal the link but do NOT pump the scheduler: anti-entropy never
+        # fires, so the lagging replica stays a stale prefix while the
+        # no-failure reference below sees the full (unpartitioned) fleet.
+        platform.network.restore_link(dead.name, first_holder.name, both_ways=False)
+        doomed = fleet.consumers_of(victim)
+        assert doomed
+        reference_neighbors = {
+            user_id: fleet.find_similar(user_id) for user_id in CONSUMERS
+        }
+        reference_state = {
+            user_id: _consumer_state(dead.user_db, user_id) for user_id in doomed
+        }
+        lagging = any(
+            dead.replication.lag_of(peer.name) > 0
+            for peer in dead.replication.peers
+        )
+
+        platform.failures.crash_host(dead.name)
+        _poison(dead.user_db)
+        moved = fleet.handle_server_failure(victim)
+
+        assert moved == len(doomed)
+        assert fleet.lost_consumers == 0
+        for user_id in doomed:
+            owner = fleet.server_for(user_id)
+            assert _consumer_state(owner.user_db, user_id) == reference_state[user_id]
+        for user_id in CONSUMERS:
+            assert fleet.find_similar(user_id) == reference_neighbors[user_id]
+        # The premise held: at least one replica really was lagging.
+        assert lagging or not doomed
+
+
+class TestLostConsumers:
+    def test_consumer_registered_during_replication_outage_is_reported_lost(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        peer = dead.replication.peers[0]
+        survivors_before = fleet.consumers_of(victim)
+
+        # Replication outage: the victim can no longer reach its replica.
+        platform.network.cut_link(dead.name, peer.name, both_ways=False)
+        orphan = next(
+            f"orphan-{index}"
+            for index in range(1000)
+            if fleet.router.shard_for_user(f"orphan-{index}") == victim
+        )
+        platform.login(orphan).logout()
+        assert fleet.shard_of(orphan) == victim
+        assert dead.replication.lag_of(peer.name) > 0
+
+        platform.failures.crash_host(dead.name)
+        _poison(dead.user_db)
+        moved = fleet.handle_server_failure(victim)
+
+        # Everyone whose state reached the replica survives; the orphan is
+        # reported lost, not resurrected empty.
+        assert moved == len(survivors_before)
+        assert fleet.lost_consumers == 1
+        assert not fleet.is_registered(orphan)
+        lost_events = platform.event_log.by_category("fleet.consumer-lost")
+        assert [event.payload["user_id"] for event in lost_events] == [orphan]
+        # The lost consumer can register afresh on a surviving server.
+        platform.login(orphan).logout()
+        assert fleet.server_for(orphan).context.host.is_running
+
+
+class TestRecovery:
+    def test_recovered_server_is_purged_and_rejoins(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        doomed = fleet.consumers_of(victim)
+        platform.failures.crash_host(dead.name)
+        fleet.handle_server_failure(victim)
+
+        platform.failures.recover_host(dead.name)
+        purged = fleet.handle_server_recovery(victim)
+
+        assert purged == len(doomed)
+        for user_id in doomed:
+            assert not dead.user_db.is_registered(user_id)
+        # Nobody is scored twice: every merged neighbour id is unique.
+        for user_id in CONSUMERS:
+            neighbors = fleet.find_similar(user_id)
+            ids = [uid for uid, _ in neighbors]
+            assert len(ids) == len(set(ids))
+        # The recovered server accepts new registrations again.
+        rejoiner = next(
+            f"rejoin-{index}"
+            for index in range(1000)
+            if fleet.router.shard_for_user(f"rejoin-{index}") == victim
+        )
+        platform.login(rejoiner).logout()
+        assert fleet.server_for(rejoiner) is dead
+
+    def test_recovery_of_a_down_host_is_refused(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        platform.failures.crash_host(fleet.servers[0].name)
+        with pytest.raises(ECommerceError):
+            fleet.handle_server_recovery(0)
+
+
+class TestFailoverScenario:
+    def test_replicated_failover_day_end_to_end(self):
+        platform = _build(replication_factor=1)
+        runner = ScenarioRunner(
+            platform, ConsumerPopulation(12, groups=3, seed=11), seed=11
+        )
+        report = runner.replicated_failover_day(
+            sessions=24, refresh_interval_ms=1000.0
+        )
+        assert report.sessions == 24
+        assert report.lost_consumers == 0
+        assert report.recovered_purged == report.drained_consumers
+        assert report.batch_refreshes > 0
+        metrics = platform.metrics
+        assert metrics.counter("replication.entries_shipped").value > 0
+        # The crash was handled through the replica drain (one drain event,
+        # nothing lost) and the victim is back in service afterwards.
+        drain = platform.event_log.by_category("fleet.failover-drain")
+        assert len(drain) == 1
+        assert drain[0].payload["moved"] == report.drained_consumers
+        assert drain[0].payload["lost"] == []
+        victim = platform.fleet.servers[0]
+        assert victim.context.host.is_running  # recovered by the scenario
+
+    def test_scenario_requires_fleet_and_replication(self):
+        single = build_platform(seed=3)
+        runner = ScenarioRunner(single, ConsumerPopulation(4, seed=3), seed=3)
+        with pytest.raises(WorkloadError):
+            runner.replicated_failover_day(sessions=3)
+
+        unreplicated = build_platform(seed=3, num_buyer_servers=2)
+        runner = ScenarioRunner(
+            unreplicated, ConsumerPopulation(4, seed=3), seed=3
+        )
+        with pytest.raises(WorkloadError):
+            runner.replicated_failover_day(sessions=3)

@@ -1,0 +1,151 @@
+"""Fleet fan-out accounting: max-of-shards clock charging and degraded mode.
+
+PR 2's fleet visited shards sequentially and charged the simulated network
+nothing for the fan-out; these tests pin the new contract: all shard RPCs are
+dispatched at once, the clock pays ``max`` of the per-shard round trips plus
+the merge cost (never the sum), per-shard timings land in platform metrics,
+and shards that cannot answer are *reported* — not silently skipped.
+"""
+
+import pytest
+
+from repro.core.sharding import merge_topk
+from repro.ecommerce.platform_builder import build_platform
+
+
+def _query_keyword(platform):
+    return next(iter(platform.catalog_view())).terms[0][0]
+
+
+def _warmed_fleet_platform(num_buyer_servers=3, seed=11):
+    """A fleet platform where several consumers have learned profiles."""
+    platform = build_platform(seed=seed, num_buyer_servers=num_buyer_servers)
+    keyword = _query_keyword(platform)
+    for index in range(8):
+        session = platform.login(f"consumer-{index}")
+        session.query(keyword)
+        session.logout()
+    return platform
+
+
+class TestMergeTopkToleratesNone:
+    def test_none_entries_are_skipped(self):
+        ranked = [[("a", 0.9), ("b", 0.5)], None, [("c", 0.7)]]
+        assert merge_topk(ranked, 2) == [("a", 0.9), ("c", 0.7)]
+
+    def test_all_none_merges_empty(self):
+        assert merge_topk([None, None], 5) == []
+
+
+class TestClockAccounting:
+    def test_charged_latency_is_max_of_shards_plus_merge_not_sum(self):
+        platform = _warmed_fleet_platform()
+        fleet = platform.fleet
+        owner = fleet.server_for("consumer-0")
+        peers = [server for server in fleet.servers if server is not owner]
+        # Distinct, asymmetric link latencies so max != mean != sum.
+        for latency, peer in zip((10.0, 40.0), peers):
+            platform.network.set_latency(owner.name, peer.name, latency)
+            platform.network.set_latency(peer.name, owner.name, latency)
+
+        before = platform.now
+        result = fleet.query_similar("consumer-0")
+        charged = platform.now - before
+
+        assert charged == pytest.approx(result.latency_ms)
+        assert len(result.shard_latencies_ms) == len(fleet.servers)
+        slowest = max(result.shard_latencies_ms.values())
+        assert result.latency_ms == pytest.approx(slowest + result.merge_ms)
+        # The slowest round trip rides on the 40ms links (2 x 40 + transfer).
+        assert slowest >= 80.0
+        # Emphatically NOT the sequential sum of all shard round trips.
+        assert charged < sum(result.shard_latencies_ms.values())
+
+    def test_per_shard_timings_are_in_platform_metrics(self):
+        platform = _warmed_fleet_platform()
+        fleet = platform.fleet
+        result = fleet.query_similar("consumer-0")
+        for server in fleet.servers:
+            timer = platform.metrics.timer(
+                f"fleet.fanout.shard.{server.name}.latency_ms"
+            )
+            assert timer.latest == pytest.approx(
+                result.shard_latencies_ms[server.name]
+            )
+        total = platform.metrics.timer("fleet.fanout.latency_ms")
+        assert total.latest == pytest.approx(result.latency_ms)
+        assert platform.metrics.counter("fleet.fanout.queries").value == 1.0
+
+    def test_fanout_event_records_per_shard_latencies(self):
+        platform = _warmed_fleet_platform()
+        fleet = platform.fleet
+        result = fleet.query_similar("consumer-0")
+        payload = platform.event_log.last_payload("fleet.fanout-query")
+        assert payload is not None
+        assert payload["user_id"] == "consumer-0"
+        assert payload["shard_latencies"] == result.shard_latencies_ms
+        assert payload["unreachable"] == []
+
+
+class TestDegradedMode:
+    def test_partitioned_shard_is_reported_not_silently_skipped(self):
+        platform = _warmed_fleet_platform()
+        fleet = platform.fleet
+        owner = fleet.server_for("consumer-0")
+        peer = next(server for server in fleet.servers if server is not owner)
+        full = fleet.query_similar("consumer-0")
+        assert not full.degraded
+
+        platform.failures.partition([owner.name], [peer.name])
+        result = fleet.query_similar("consumer-0")
+
+        assert result.degraded
+        assert result.unreachable_count == 1
+        assert result.unreachable_shards == (peer.name,)
+        # The merge ran over the reachable community only: no consumer owned
+        # by the partitioned server can appear in the answer.
+        partitioned_users = set(peer.user_db.user_ids)
+        assert not partitioned_users & {uid for uid, _ in result.neighbors}
+        assert (
+            platform.metrics.counter("fleet.fanout.unreachable_shards").value == 1.0
+        )
+
+        platform.failures.heal()
+        healed = fleet.query_similar("consumer-0")
+        assert not healed.degraded
+        assert healed.neighbors == full.neighbors
+
+    def test_crashed_shard_is_reported_unreachable(self):
+        platform = _warmed_fleet_platform()
+        fleet = platform.fleet
+        owner = fleet.server_for("consumer-0")
+        peer = next(server for server in fleet.servers if server is not owner)
+        platform.failures.crash_host(peer.name)
+
+        result = fleet.query_similar("consumer-0")
+        assert result.degraded
+        assert peer.name in result.unreachable_shards
+        assert peer.name not in result.shard_latencies_ms
+
+    def test_cut_response_link_counts_as_timeout(self):
+        """A shard whose response leg is down did the work but never answered."""
+        platform = _warmed_fleet_platform()
+        fleet = platform.fleet
+        owner = fleet.server_for("consumer-0")
+        peer = next(server for server in fleet.servers if server is not owner)
+        platform.network.cut_link(peer.name, owner.name, both_ways=False)
+
+        result = fleet.query_similar("consumer-0")
+        assert result.unreachable_shards == (peer.name,)
+
+    def test_degraded_query_never_raises_even_with_all_peers_gone(self):
+        platform = _warmed_fleet_platform()
+        fleet = platform.fleet
+        owner = fleet.server_for("consumer-0")
+        for server in fleet.servers:
+            if server is not owner:
+                platform.failures.crash_host(server.name)
+        result = fleet.query_similar("consumer-0")
+        assert result.unreachable_count == len(fleet.servers) - 1
+        # The owner's own shard still answers.
+        assert owner.name in result.shard_latencies_ms

@@ -1,0 +1,235 @@
+"""Unit tests for the cross-server replication subsystem.
+
+The write-ahead log, the replica state machine (strict sequence order,
+idempotent duplicates, gap stalls), streaming over the simulated network and
+the anti-entropy catch-up after outages.
+"""
+
+import pytest
+
+from repro.errors import ECommerceError, ReplicationError
+from repro.core.profile import Profile
+from repro.core.ratings import Interaction, InteractionKind
+from repro.ecommerce.platform_builder import PlatformConfig, build_platform
+from repro.ecommerce.replication import ReplicaState, ReplicationLog
+from repro.ecommerce.transactions import TransactionKind, TransactionRecord
+
+
+def _entry_payloads(user_id="ann"):
+    """An ordered, applicable mutation history for one consumer."""
+    profile = Profile(user_id)
+    profile.category("books").preference = 3.0
+    profile.category("books").terms.set("fantasy", 1.5)
+    interaction = Interaction(
+        user_id=user_id, item_id="item-1", kind=InteractionKind.BUY, timestamp=4.0
+    )
+    transaction = TransactionRecord.create(
+        user_id=user_id, item_id="item-1", marketplace="marketplace-1",
+        kind=TransactionKind.DIRECT_PURCHASE, price=9.0, list_price=10.0,
+        timestamp=5.0,
+    )
+    return [
+        ("register", {"user_id": user_id, "display_name": "Ann", "timestamp": 1.0}),
+        ("store-profile", {"profile": profile.to_dict()}),
+        ("interaction", {"interaction": interaction}),
+        ("transaction", {"transaction": transaction}),
+        ("login", {"user_id": user_id, "timestamp": 6.0}),
+    ]
+
+
+class TestReplicationLog:
+    def test_sequence_numbers_are_monotonic_from_one(self):
+        log = ReplicationLog()
+        entries = [
+            log.append(op, payload, timestamp=float(i))
+            for i, (op, payload) in enumerate(_entry_payloads())
+        ]
+        assert [entry.seq for entry in entries] == [1, 2, 3, 4, 5]
+        assert log.last_seq == 5
+
+    def test_entries_since_returns_the_suffix(self):
+        log = ReplicationLog()
+        for op, payload in _entry_payloads():
+            log.append(op, payload, timestamp=0.0)
+        assert [e.seq for e in log.entries_since(0)] == [1, 2, 3, 4, 5]
+        assert [e.seq for e in log.entries_since(3)] == [4, 5]
+        assert log.entries_since(5) == []
+        with pytest.raises(ReplicationError):
+            log.entries_since(-1)
+
+
+class TestReplicaState:
+    def _filled_log(self):
+        log = ReplicationLog()
+        for op, payload in _entry_payloads():
+            log.append(op, payload, timestamp=0.0)
+        return log
+
+    def test_applies_full_history_in_order(self):
+        log = self._filled_log()
+        state = ReplicaState("primary")
+        assert state.apply_entries(log.entries_since(0)) == 5
+        assert state.applied_seq == 5
+        assert state.db.is_registered("ann")
+        assert state.db.profile("ann").category("books", create=False).preference == 3.0
+        assert len(state.db.ratings.interactions_of("ann")) == 1
+        assert len(state.db.transactions_of("ann")) == 1
+        assert state.db.user("ann").logins == 1
+
+    def test_duplicate_entries_are_idempotent(self):
+        log = self._filled_log()
+        state = ReplicaState("primary")
+        state.apply_entries(log.entries_since(0))
+        assert state.apply_entries(log.entries_since(0)) == 0
+        assert state.applied_seq == 5
+        assert len(state.db.ratings.interactions_of("ann")) == 1
+
+    def test_gap_stalls_until_the_suffix_is_shipped(self):
+        log = self._filled_log()
+        state = ReplicaState("primary")
+        entries = log.entries_since(0)
+        state.apply_entries(entries[:1])
+        # Entries 3..5 without 2: nothing applies, the replica waits.
+        assert state.apply_entries(entries[2:]) == 0
+        assert state.applied_seq == 1
+        # Anti-entropy ships the full suffix: everything applies.
+        assert state.apply_entries(entries[1:]) == 4
+        assert state.applied_seq == 5
+
+    def test_unknown_op_is_rejected(self):
+        log = ReplicationLog()
+        log.append("format-disk", {}, timestamp=0.0)
+        state = ReplicaState("primary")
+        with pytest.raises(ReplicationError):
+            state.apply_entries(log.entries_since(0))
+
+    def test_unregister_round_trips(self):
+        log = self._filled_log()
+        log.append("unregister", {"user_id": "ann"}, timestamp=7.0)
+        state = ReplicaState("primary")
+        state.apply_entries(log.entries_since(0))
+        assert not state.db.is_registered("ann")
+        assert state.db.ratings.interactions_of("ann") == []
+
+
+@pytest.fixture
+def replicated_platform():
+    return build_platform(seed=11, num_buyer_servers=3, replication_factor=1)
+
+
+class TestStreamingReplication:
+    def test_mutations_stream_to_the_replica_synchronously(self, replicated_platform):
+        platform = replicated_platform
+        fleet = platform.fleet
+        session = platform.login("ann")
+        session.query("book")
+        session.logout()
+
+        owner = fleet.server_for("ann")
+        peer = owner.replication.peers[0]
+        replica = peer.replication.hosted[owner.name]
+        assert owner.replication.lag_of(peer.name) == 0
+        assert replica.db.is_registered("ann")
+        assert (
+            replica.db.profile("ann").to_dict()
+            == owner.user_db.profile("ann").to_dict()
+        )
+        assert (
+            replica.db.ratings.interactions_of("ann")
+            == owner.user_db.ratings.interactions_of("ann")
+        )
+
+    def test_replication_traffic_is_charged_to_the_network(self, replicated_platform):
+        platform = replicated_platform
+        before = platform.network.total_bytes
+        session = platform.login("ann")
+        session.logout()
+        replication_transfers = [
+            event for event in platform.event_log.by_category("transfer.replication")
+        ]
+        assert replication_transfers
+        assert platform.network.total_bytes > before
+
+    def test_partition_defers_then_anti_entropy_catches_up(self, replicated_platform):
+        platform = replicated_platform
+        fleet = platform.fleet
+        session = platform.login("ann")
+        session.logout()
+        owner = fleet.server_for("ann")
+        peer = owner.replication.peers[0]
+
+        platform.failures.partition([owner.name], [peer.name])
+        session = platform.login("ann")
+        session.query("book")
+        session.logout()
+        assert owner.replication.lag_of(peer.name) > 0
+        assert platform.metrics.counter("replication.deferred").value > 0
+
+        platform.failures.heal()
+        # One anti-entropy interval later the replica has converged.
+        platform.scheduler.run_for(
+            platform.config.replication_anti_entropy_interval_ms
+        )
+        assert owner.replication.lag_of(peer.name) == 0
+        replica = peer.replication.hosted[owner.name]
+        assert (
+            replica.db.profile("ann").to_dict()
+            == owner.user_db.profile("ann").to_dict()
+        )
+        assert platform.event_log.count("replication.catch-up") >= 1
+
+    def test_lag_is_visible_in_metrics(self, replicated_platform):
+        platform = replicated_platform
+        fleet = platform.fleet
+        session = platform.login("ann")
+        session.logout()
+        owner = fleet.server_for("ann")
+        peer = owner.replication.peers[0]
+        gauge = platform.metrics.gauge(
+            f"replication.lag.{owner.name}->{peer.name}"
+        )
+        assert gauge.value == 0.0
+
+        platform.failures.partition([owner.name], [peer.name])
+        session = platform.login("ann")
+        session.logout()
+        platform.failures.heal()
+        platform.scheduler.run_for(
+            platform.config.replication_anti_entropy_interval_ms
+        )
+        assert gauge.value == 0.0  # converged again, and the gauge says so
+
+    def test_wiring_misuse_raises(self, replicated_platform):
+        platform = replicated_platform
+        first, second = platform.buyer_servers[0], platform.buyer_servers[1]
+        with pytest.raises(ECommerceError):
+            first.enable_replication()  # already enabled by the builder
+        with pytest.raises(ReplicationError):
+            first.replication.replicate_to(first)  # self-replication
+        with pytest.raises(ReplicationError):
+            first.replication.replicate_to(second)  # already a peer
+        with pytest.raises(ReplicationError):
+            first.replication.lag_of("no-such-peer")
+        with pytest.raises(ReplicationError):
+            first.replication.start_anti_entropy(500.0)  # already scheduled
+
+
+class TestPlatformConfigValidation:
+    def test_replication_factor_needs_enough_servers(self):
+        config = PlatformConfig(num_buyer_servers=2, replication_factor=2)
+        with pytest.raises(ECommerceError):
+            config.validate()
+
+    def test_negative_factor_rejected(self):
+        config = PlatformConfig(replication_factor=-1)
+        with pytest.raises(ECommerceError):
+            config.validate()
+
+    def test_topology_reports_the_replica_map(self):
+        platform = build_platform(seed=3, num_buyer_servers=2, replication_factor=1)
+        topology = platform.coordinator.topology()
+        names = [server.name for server in platform.buyer_servers]
+        assert topology["replica_map"] == {
+            names[0]: [names[1]],
+            names[1]: [names[0]],
+        }
