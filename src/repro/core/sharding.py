@@ -124,21 +124,34 @@ def merge_topk(
     """Fold per-shard ranked ``(user_id, score)`` lists into the global top-k.
 
     Uses the exact sort key of the single-index and brute-force paths
-    (score descending, user id ascending), so as long as the input lists
-    cover disjoint consumer sets and each is its shard's top-k, the result is
-    identical to ranking all consumers in one index.
+    (score descending, user id ascending), so as long as each input list is
+    its shard's top-k, the result is identical to ranking all consumers in
+    one index.  The ``(-score, user_id)`` key is a strict total order over
+    distinct consumers, so equal-score candidates order deterministically by
+    user id **regardless of shard count or fan-out arrival order** — the
+    merge never leans on the enumeration order of the input lists.
+
+    Duplicate user ids across lists are collapsed to their best score before
+    ranking.  Disjointness is the steady-state single-owner invariant, but a
+    degraded fan-out can transiently break it: a stale replica answering for
+    an unreachable shard may still contain a consumer who migrated away (or
+    was drained to a survivor) before the crash, and scoring them twice must
+    not push a genuine neighbour out of the top-k.
 
     ``None`` entries — shards that timed out or were unreachable during a
     fleet fan-out — are tolerated and skipped, so a degraded query merges
     what it has instead of raising; callers report the gap via
     :class:`~repro.ecommerce.buyer_server.FleetQueryResult`.
     """
-    merged: List[Tuple[str, float]] = []
+    best: Dict[str, float] = {}
     for ranked in ranked_lists:
         if ranked is None:
             continue
-        merged.extend(ranked)
-    merged.sort(key=lambda pair: (-pair[1], pair[0]))
+        for user_id, score in ranked:
+            current = best.get(user_id)
+            if current is None or score > current:
+                best[user_id] = score
+    merged = sorted(best.items(), key=lambda pair: (-pair[1], pair[0]))
     return merged[:top_k]
 
 

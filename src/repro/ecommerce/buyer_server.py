@@ -25,9 +25,13 @@ is wired, normally via ``PlatformConfig.replication_factor``):
   agent instances and the batch recommendation cache.  All of it is rebuilt
   on the consumer's next login at the surviving server.
 - *Failover:* :meth:`BuyerServerFleet.handle_server_failure` restores a
-  crashed server's consumers on the survivors **from replicas alone** —
-  zero reads against the dead host's memory; consumers whose registration
-  never reached a replica are reported as lost, not resurrected empty.
+  crashed server's consumers **from replicas alone** — zero reads against
+  the dead host's memory.  By default the freshest replica holder is
+  *promoted* to primary for the dead server's shards (in-place shard-map
+  update, no re-registration, no state transfer — the replica already
+  lives there); ``strategy="drain"`` keeps the per-consumer hand-off onto
+  hash-placed survivors.  Consumers whose registration never reached a
+  replica are reported as lost, not resurrected empty.
 """
 
 from __future__ import annotations
@@ -35,7 +39,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ECommerceError, NetworkError, RegistrationError
+from repro.errors import (
+    ECommerceError,
+    FleetUnavailableError,
+    NetworkError,
+    RegistrationError,
+)
 from repro.agents.context import AgletContext
 from repro.agents.messages import MessageKinds
 from repro.core.cold_start import ColdStartPolicy, ColdStartStrategy
@@ -49,7 +58,7 @@ from repro.core.profile import Profile
 from repro.core.profile_learning import LearningConfig, ProfileLearner
 from repro.core.recommender import Recommendation, RecommendationEngine
 from repro.core.sharding import ShardRouter, ShardedNeighborIndex, merge_topk
-from repro.core.similarity import SimilarityConfig
+from repro.core.similarity import SimilarityConfig, find_similar_users
 from repro.ecommerce.buyer_agents import BuyerServerManagementAgent, HttpAgent
 from repro.ecommerce.databases import BSMDB, UserDB
 from repro.ecommerce.replication import ReplicaState, ReplicationManager
@@ -261,20 +270,28 @@ class BuyerAgentServer:
 
     # -- replication ----------------------------------------------------------------
 
-    def enable_replication(self) -> ReplicationManager:
+    def enable_replication(
+        self, wal_truncate_threshold: int = 0
+    ) -> ReplicationManager:
         """Attach a :class:`~repro.ecommerce.replication.ReplicationManager`.
 
         From this point every durable UserDB mutation (and every in-place
         profile learning update) is appended to this server's write-ahead
         log; wire actual peers with
         :meth:`~repro.ecommerce.replication.ReplicationManager.replicate_to`.
-        Idempotent in effect but calling twice is a programming error.
+        With a positive ``wal_truncate_threshold`` the log is bounded:
+        once every peer has acknowledged that many entries beyond the last
+        truncation point, the manager snapshots and truncates the
+        acknowledged prefix.  Idempotent in effect but calling twice is a
+        programming error.
         """
         if self.replication is not None:
             raise ECommerceError(
                 f"buyer agent server {self.name!r} already has replication enabled"
             )
-        self.replication = ReplicationManager(self)
+        self.replication = ReplicationManager(
+            self, truncate_threshold=wal_truncate_threshold
+        )
         return self.replication
 
     # -- Figure 4.1 bootstrap -------------------------------------------------------
@@ -412,26 +429,35 @@ class FleetQueryResult:
 
     ``neighbors`` is the exactly-merged top-k over every shard that
     responded.  ``unreachable_shards`` names the servers that could not be
-    reached (crashed host, partition, cut link or dropped transfer) — a
-    non-empty tuple means the answer is :attr:`degraded`: correct for the
-    reachable community, silent about the rest.
+    reached **and** had no live replica to answer for them; a shard whose
+    primary was unreachable but whose freshest live replica answered instead
+    appears in ``stale_shards`` (server name → replica lag in WAL entries,
+    relative to the primary's log when it is still running, else to the
+    freshest live replica).  Either kind of gap marks the answer
+    :attr:`degraded`: correct for the reachable community, possibly stale —
+    or silent — about the rest.
     """
 
     neighbors: List[Tuple[str, float]]
     shard_latencies_ms: Dict[str, float] = field(default_factory=dict)
     unreachable_shards: Tuple[str, ...] = ()
+    stale_shards: Dict[str, int] = field(default_factory=dict)
     latency_ms: float = 0.0
     merge_ms: float = 0.0
 
     @property
     def unreachable_count(self) -> int:
-        """How many shards could not be reached for this query."""
+        """How many shards could not be reached *and* had no replica answer.
+
+        Replica-answered shards are not counted here — they contributed to
+        the merge and are reported separately in :attr:`stale_shards`.
+        """
         return len(self.unreachable_shards)
 
     @property
     def degraded(self) -> bool:
-        """True when at least one shard did not contribute to the merge."""
-        return bool(self.unreachable_shards)
+        """True when at least one shard was answered from a replica or not at all."""
+        return bool(self.unreachable_shards or self.stale_shards)
 
 
 class BuyerServerFleet:
@@ -447,17 +473,39 @@ class BuyerServerFleet:
     server's *currently assigned* consumers — so a consumer that migrated
     servers mid-interval is refreshed exactly once, by its new owner.
 
-    Failure handling is explicit hand-off: :meth:`handle_server_failure`
-    restores the failed shard's consumers (profile, registration, ratings,
-    transactions) on the surviving servers, after which queries and refreshes
-    flow around the dead host.  With replication enabled the drain reads
-    **only the replicas hosted by surviving servers** — never the dead
-    host's memory — and reports consumers whose state never reached a
-    replica as lost; without replication it falls back to the legacy
-    direct-memory hand-off.  A recovered server should be reconciled with
-    :meth:`handle_server_recovery`, which purges the stale copies of the
-    consumers that were drained away while it was down (their current owners
-    keep them; at any instant exactly one server owns a consumer).
+    Failure handling has two strategies, both replica-honest (zero reads
+    against the dead host's memory):
+
+    - **promotion** (the default whenever a live replica exists): the
+      freshest replica holder is *promoted* to primary for every shard the
+      dead server owned.  It replays its replica — an exact prefix of the
+      dead primary's history — into its own live UserDB through the
+      notifying mutation methods (so its provider-backed neighbor index
+      picks the adopted consumers up, and its own WAL streams their history
+      onward to its replica peers), the fleet's shard→owner map is updated
+      in place (**no consumer re-registration, no assignment churn**), the
+      coordinator's shard map follows, survivors that replicated *to* the
+      dead host are retargeted to a new live ring successor (so the dead
+      peer's frozen acknowledgement stops blocking WAL truncation), and the
+      dead primary's retired ``replication.lag.*`` gauges are removed.
+      Since the freshest replica already lives on the promoted server, no
+      per-consumer state crosses the network — the cheap failover the
+      ROADMAP asked for.
+    - **drain** (``strategy="drain"``, or automatically when no live replica
+      exists): the PR-3 hand-off — each consumer is restored on a
+      hash-placed surviving server, from replicas when any survive
+      (``use_replicas`` keeps its PR-3 meaning), else from the dead host's
+      memory (legacy, explicit opt-in via ``use_replicas=False``).
+
+    Either way, consumers whose state never reached a live replica are
+    reported lost, never resurrected empty.  A recovered server should be
+    reconciled with :meth:`handle_server_recovery`, which purges the stale
+    copies of the consumers the fleet no longer maps to it (their current
+    owners keep them; at any instant exactly one server owns a consumer)
+    and discards replicas for primaries that no longer stream to it.  After
+    a promotion, shard ownership stays with the promoted server — the
+    recovered host rejoins as replica capacity (and as a promotion target
+    for future failures) rather than clawing its shard back.
 
     Placement is always the stable consumer hash: category routing cannot
     apply here because consumers are placed at registration, before their
@@ -469,16 +517,30 @@ class BuyerServerFleet:
     cheap re-index.
     """
 
-    def __init__(self, servers: List[BuyerAgentServer]) -> None:
+    def __init__(
+        self,
+        servers: List[BuyerAgentServer],
+        coordinator=None,
+    ) -> None:
         if not servers:
             raise ECommerceError("a buyer server fleet needs at least one server")
         self.servers = list(servers)
+        #: Optional :class:`~repro.ecommerce.coordinator.CoordinatorServer`
+        #: handle; when wired, promotions update the CA's shard map in place.
+        self.coordinator = coordinator
         self.router = ShardRouter(len(self.servers), "hash")
+        #: shard index → index (into ``servers``) of the server serving it.
+        #: Identity until a promotion failover moves a dead server's shards
+        #: to the freshest replica holder — after which one server can serve
+        #: several shards and a retired server none.
+        self._shard_owner: List[int] = list(range(len(self.servers)))
         self._assignment: Dict[str, int] = {}
         self._refresh_task: Optional[RecurringCallback] = None
         self.scheduled_refreshes = 0
         self.migrated_consumers = 0
         self.lost_consumers = 0
+        self.promotions = 0
+        self.promoted_consumers = 0
 
     # -- routing --------------------------------------------------------------------
 
@@ -492,33 +554,64 @@ class BuyerServerFleet:
             self._assignment[user_id] = self._route(user_id)
         return self._assignment[user_id]
 
+    def owner_of_shard(self, shard: int) -> BuyerAgentServer:
+        """The server currently serving ``shard`` (identity until a promotion)."""
+        return self.servers[self._shard_owner[shard]]
+
+    def shards_of(self, server: BuyerAgentServer) -> List[int]:
+        """Every shard ``server`` currently serves (empty for retired hosts)."""
+        index = self.servers.index(server)
+        return [
+            shard for shard, owner in enumerate(self._shard_owner) if owner == index
+        ]
+
     def _route(self, user_id: str) -> int:
-        """Initial placement: stable consumer hash over the live servers."""
+        """Initial placement: stable consumer hash over the live shards."""
         shard = self.router.shard_for_user(user_id)
         if self._is_live(shard):
             return shard
-        return self._fallback_shard(user_id, excluding=shard)
+        return self._fallback_shard(user_id, excluding=(shard,))
 
-    def _fallback_shard(self, user_id: str, excluding: int) -> int:
+    def _fallback_shard(self, user_id: str, excluding: Iterable[int]) -> int:
+        """A live shard for ``user_id``, skipping ``excluding``.
+
+        Raises :class:`~repro.errors.FleetUnavailableError` when every
+        candidate shard's owning server is down — the caller gets a clear
+        fleet-is-down signal instead of a request silently routed to (and
+        then mysteriously failing on) a dead host.
+        """
+        excluded = set(excluding)
         live = [
             index for index in range(self.num_shards)
-            if index != excluding and self._is_live(index)
+            if index not in excluded and self._is_live(index)
         ]
         if not live:
-            raise ECommerceError("no live buyer agent server to route consumer to")
+            raise FleetUnavailableError(
+                "every buyer agent server is down; no live shard can take the "
+                "consumer"
+            )
         return live[self.router.shard_for_user(user_id) % len(live)]
 
     def _is_live(self, shard: int) -> bool:
-        return self.servers[shard].context.host.is_running
+        return self.owner_of_shard(shard).context.host.is_running
 
     def server_for(self, user_id: str) -> BuyerAgentServer:
-        """The buyer agent server currently owning ``user_id``."""
-        return self.servers[self.shard_of(user_id)]
+        """The buyer agent server currently serving ``user_id``."""
+        return self.owner_of_shard(self.shard_of(user_id))
 
     def consumers_of(self, shard: int) -> List[str]:
         """The consumers currently assigned to ``shard`` (sorted)."""
         return sorted(
             user_id for user_id, owner in self._assignment.items() if owner == shard
+        )
+
+    def consumers_served_by(self, server: BuyerAgentServer) -> List[str]:
+        """The consumers across every shard ``server`` serves (sorted)."""
+        shards = set(self.shards_of(server))
+        return sorted(
+            user_id
+            for user_id, shard in self._assignment.items()
+            if shard in shards
         )
 
     def shard_sizes(self) -> List[int]:
@@ -536,10 +629,22 @@ class BuyerServerFleet:
         return server
 
     def is_registered(self, user_id: str) -> bool:
+        """Whether ``user_id`` is registered with its serving server.
+
+        When the serving server is crashed the answer comes from its live
+        replicas — never from the dead host's memory (the same rule every
+        failover and query path follows).
+        """
         shard = self._assignment.get(user_id)
         if shard is None:
             return False
-        return self.servers[shard].user_db.is_registered(user_id)
+        owner = self.owner_of_shard(shard)
+        if owner.context.host.is_running:
+            return owner.user_db.is_registered(user_id)
+        return any(
+            state.db.is_registered(user_id)
+            for _, state in self._replica_holders(owner)
+        )
 
     # -- fan-out query --------------------------------------------------------------
 
@@ -574,44 +679,83 @@ class BuyerServerFleet:
         timers plus the ``fleet.fanout.latency_ms`` total).
 
         Shards that cannot answer — crashed hosts, partitioned or cut links,
-        transfers dropped by the loss model — are *reported*, not silently
-        skipped: they appear in :attr:`FleetQueryResult.unreachable_shards`
-        (and the ``fleet.fanout.unreachable_shards`` counter), the response
-        is marked :attr:`~FleetQueryResult.degraded`, and the merge runs over
-        the shards that did answer.  With every server reachable the merged
-        list equals one index over the union of all UserDBs, byte for byte.
+        transfers dropped by the loss model — get **quorum-aware degraded
+        semantics**: when the unreachable primary has a live replica, its
+        shard is answered from the *freshest* replica holder (a brute-force
+        scan of the replica's shadow profiles — exact over the replicated
+        prefix) and reported in :attr:`FleetQueryResult.stale_shards` with
+        the replica's lag; only shards with no replica either end up in
+        :attr:`FleetQueryResult.unreachable_shards` (and the
+        ``fleet.fanout.unreachable_shards`` counter).  Either way the
+        response is marked :attr:`~FleetQueryResult.degraded` and the merge
+        runs over the answers that arrived.  With every server reachable the
+        merged list equals one index over the union of all UserDBs, byte for
+        byte.  A target consumer whose own server is crashed is resolved
+        from that server's freshest replica too — zero reads against dead
+        memory.
         """
         owner = self.server_for(user_id)
         config = config or owner.recommendations.similarity_config
-        target = owner.user_db.profile(user_id)
-        transport = owner.context.transport
+        # Resolve the target profile without touching crashed memory: a dead
+        # owner's consumer is read from the freshest live replica instead.
+        if owner.context.host.is_running:
+            origin = owner
+            target = owner.user_db.profile(user_id)
+        else:
+            holders = self._replica_holders(owner)
+            source = next(
+                (
+                    (server, state)
+                    for server, state in holders
+                    if state.db.is_registered(user_id)
+                ),
+                None,
+            )
+            if source is None:
+                raise ECommerceError(
+                    f"server {owner.name!r} is down and no live replica knows "
+                    f"consumer {user_id!r}"
+                )
+            origin = source[0]
+            target = source[1].db.profile(user_id)
+        transport = origin.context.transport
         network = transport.network
         clock = transport.scheduler.clock
 
         per_shard: List[Optional[List[Tuple[str, float]]]] = []
         shard_latencies: Dict[str, float] = {}
         unreachable: List[str] = []
-        for server in self.servers:
-            if not server.context.host.is_running:
-                unreachable.append(server.name)
-                per_shard.append(None)
-                continue
-            ranked = server.recommendations.neighbor_index.find_similar(
-                target, category=category, config=config
-            )
-            try:
-                latency = network.round_trip_latency(
-                    owner.name,
-                    server.name,
-                    FANOUT_REQUEST_BYTES,
-                    FANOUT_BYTES_PER_RESULT * len(ranked),
+        stale: Dict[str, int] = {}
+        for index in sorted(set(self._shard_owner)):
+            server = self.servers[index]
+            ranked: Optional[List[Tuple[str, float]]] = None
+            latency = 0.0
+            if server.context.host.is_running:
+                ranked = server.recommendations.neighbor_index.find_similar(
+                    target, category=category, config=config
                 )
-            except NetworkError:
-                # Down link, partition or dropped transfer: the shard did the
-                # work but the response never arrived — a timeout, not a crash.
-                unreachable.append(server.name)
-                per_shard.append(None)
-                continue
+                try:
+                    latency = network.round_trip_latency(
+                        origin.name,
+                        server.name,
+                        FANOUT_REQUEST_BYTES,
+                        FANOUT_BYTES_PER_RESULT * len(ranked),
+                    )
+                except NetworkError:
+                    # Down link, partition or dropped transfer: the shard did
+                    # the work but the response never arrived — a timeout,
+                    # not a crash.  Fall through to the replica answer.
+                    ranked = None
+            if ranked is None:
+                fallback = self._stale_shard_answer(
+                    server, target, category, config, origin
+                )
+                if fallback is None:
+                    unreachable.append(server.name)
+                    per_shard.append(None)
+                    continue
+                ranked, latency, lag = fallback
+                stale[server.name] = lag
             shard_latencies[server.name] = latency
             per_shard.append(ranked)
             transport.metrics.timer(
@@ -630,34 +774,90 @@ class BuyerServerFleet:
             transport.metrics.counter("fleet.fanout.unreachable_shards").increment(
                 len(unreachable)
             )
+        if stale:
+            transport.metrics.counter("fleet.fanout.stale_shards").increment(
+                len(stale)
+            )
         transport.event_log.record(
             clock.now,
             "fleet.fanout-query",
-            owner.name,
-            owner.name,
+            origin.name,
+            origin.name,
             user_id=user_id,
             shard_latencies=dict(shard_latencies),
             unreachable=list(unreachable),
+            stale=dict(stale),
             latency_ms=total_ms,
         )
         return FleetQueryResult(
             neighbors=merge_topk(per_shard, config.top_k),
             shard_latencies_ms=shard_latencies,
             unreachable_shards=tuple(unreachable),
+            stale_shards=stale,
             latency_ms=total_ms,
             merge_ms=merge_ms,
         )
 
+    def _stale_shard_answer(
+        self,
+        server: BuyerAgentServer,
+        target,
+        category: Optional[str],
+        config: SimilarityConfig,
+        origin: BuyerAgentServer,
+    ) -> Optional[Tuple[List[Tuple[str, float]], float, int]]:
+        """Answer an unreachable server's shard from its freshest live replica.
+
+        Returns ``(ranked, latency_ms, lag)`` or None when no live replica
+        can be reached either.  The ranking is a brute-force scan of the
+        replica's shadow profiles with the exact fan-out sort key, so for a
+        fully caught-up replica the answer is byte-identical to the
+        primary's.  ``lag`` is the replica's distance behind the primary's
+        WAL when the primary host is merely partitioned (its log is
+        readable), else behind the freshest live replica — the best
+        staleness bound reconstructable without touching dead memory.
+        """
+        if not self.consumers_served_by(server):
+            # Nothing is assigned to this server's shards any more — its
+            # community was drained to survivors, whose live shards already
+            # answer for every consumer.  Answering from the consumed
+            # replica would score the drained consumers twice, with frozen
+            # pre-drain state shadowing their live profiles.
+            return None
+        holders = self._replica_holders(server)
+        if not holders:
+            return None
+        holder, state = holders[0]
+        ranked = find_similar_users(
+            target, state.db.profiles(), config, category=category
+        )
+        try:
+            latency = origin.context.transport.network.round_trip_latency(
+                origin.name,
+                holder.name,
+                FANOUT_REQUEST_BYTES,
+                FANOUT_BYTES_PER_RESULT * len(ranked),
+            )
+        except NetworkError:
+            return None
+        if server.context.host.is_running and server.replication is not None:
+            lag = server.replication.log.last_seq - state.applied_seq
+        else:
+            lag = max(s.applied_seq for _, s in holders) - state.applied_seq
+        return ranked, latency, lag
+
     # -- scheduled fleet-wide refresh -----------------------------------------------
 
     def refresh_all(self, k: int = 10) -> Dict[str, List[Recommendation]]:
-        """Refresh every assigned consumer once, each on its owning server."""
+        """Refresh every assigned consumer once, each on its serving server."""
         results: Dict[str, List[Recommendation]] = {}
-        for shard, server in enumerate(self.servers):
+        for server in self.servers:
+            if not self.shards_of(server):
+                continue  # retired host (its shards were promoted away)
             if not server.context.host.is_running:
                 continue
             users = [
-                user_id for user_id in self.consumers_of(shard)
+                user_id for user_id in self.consumers_served_by(server)
                 if server.user_db.is_registered(user_id)
             ]
             if users:
@@ -668,11 +868,14 @@ class BuyerServerFleet:
     def start_periodic_refresh(self, interval_ms: float, k: int = 10) -> RecurringCallback:
         """One scheduled recurring event refreshing the whole fleet.
 
-        The assignment map is read at fire time, so consumers that migrated
-        shards since the last tick are refreshed exactly once, by their
-        current owner; each firing records one
-        ``recommendation.scheduled-refresh`` event per live server with the
-        user ids it refreshed.
+        The assignment and shard-ownership maps are read at fire time, so
+        consumers that migrated shards since the last tick are refreshed
+        exactly once, by their current owner — and consumers adopted by a
+        promotion failover are refreshed by the promoted server from the
+        next tick on, with no re-arming required.  Each firing records one
+        ``recommendation.scheduled-refresh`` event per live serving server
+        with the user ids it refreshed; a retired host (every shard promoted
+        away) is neither refreshed nor counted as skipped.
         """
         if interval_ms <= 0:
             raise ECommerceError("refresh interval must be positive")
@@ -683,8 +886,10 @@ class BuyerServerFleet:
 
         def fire() -> None:
             self.scheduled_refreshes += 1
-            for shard, server in enumerate(self.servers):
+            for server in self.servers:
                 now = server.context.now
+                if not self.shards_of(server):
+                    continue  # retired host: nothing assigned, nothing skipped
                 if not server.context.host.is_running:
                     server.refresh_skips += 1
                     log.record(
@@ -693,7 +898,7 @@ class BuyerServerFleet:
                     )
                     continue
                 users = [
-                    user_id for user_id in self.consumers_of(shard)
+                    user_id for user_id in self.consumers_served_by(server)
                     if server.user_db.is_registered(user_id)
                 ]
                 server.recommendations.batch_refresh(users, k=k)
@@ -727,8 +932,7 @@ class BuyerServerFleet:
         source_shard = self.shard_of(user_id)
         if source_shard == target_shard:
             return
-        source = self.servers[source_shard]
-        target = self.servers[target_shard]
+        source = self.owner_of_shard(source_shard)
         if not source.user_db.is_registered(user_id):
             raise ECommerceError(f"consumer {user_id!r} is not registered with its shard")
         record = source.user_db.user(user_id)
@@ -763,7 +967,7 @@ class BuyerServerFleet:
         itself replicates, the adopted consumer's history streams onward to
         the target's own replica peers.
         """
-        target = self.servers[target_shard]
+        target = self.owner_of_shard(target_shard)
         target.user_db.register(user_id, display_name, timestamp=registered_at)
         target.user_db.store_profile(profile.copy())
         for interaction in interactions:
@@ -798,91 +1002,115 @@ class BuyerServerFleet:
         return sorted(holders, key=lambda pair: -pair[1].applied_seq)
 
     def handle_server_failure(
-        self, shard: int, use_replicas: Optional[bool] = None
+        self,
+        shard: int,
+        use_replicas: Optional[bool] = None,
+        strategy: Optional[str] = None,
     ) -> int:
-        """Restore a failed shard's consumers on the surviving servers.
+        """Fail over the server serving ``shard``; return how many consumers moved.
 
-        Returns how many consumers moved.  Placement is the stable consumer
-        hash over the remaining live servers, so repeated failures keep the
-        distribution even and deterministic.
+        ``strategy`` picks the failover mode:
 
-        When any survivor hosts a replica of the dead server (the default
-        when replication is wired), the drain reads **replicas only**: each
-        consumer's registration record, profile, ratings and transactions
-        come from a live peer's shadow copy, one ``failover-drain`` transfer
-        per consumer is charged from the replica holder to the new owner,
-        and the dead host's in-memory stores are never touched.  Consumers
-        absent from every live replica (registered during a replication
-        outage) are counted in :attr:`lost_consumers`, recorded as
-        ``fleet.consumer-lost`` events and unassigned so they can register
-        afresh.  ``use_replicas=False`` forces the legacy direct-memory
-        hand-off; ``use_replicas=True`` raises when no live replica exists.
+        - ``"promote"`` (the default whenever a live replica exists): the
+          freshest replica holder adopts **every** shard the dead server
+          served — replica replayed into its live UserDB, shard→owner map
+          updated in place, zero per-consumer re-registration, zero network
+          transfers for consumer state (the replica already lives on the
+          promoted server).  See :meth:`_promote`.
+        - ``"drain"``: the PR-3 per-consumer hand-off onto hash-placed
+          survivors — from replicas when any survive, else (or with
+          ``use_replicas=False``) the legacy direct-memory path.
+
+        Consumers absent from every live replica (registered during a
+        replication outage) are counted in :attr:`lost_consumers`, recorded
+        as ``fleet.consumer-lost`` events and unassigned so they can
+        register afresh.  ``use_replicas=True`` raises when no live replica
+        exists; ``use_replicas=False`` forces the legacy memory drain.
         """
-        dead = self.servers[shard]
-        if self._is_live(shard):
+        if not 0 <= shard < self.num_shards:
+            raise ECommerceError(f"{shard} is not a fleet shard")
+        dead_index = self._shard_owner[shard]
+        dead = self.servers[dead_index]
+        if dead.context.host.is_running:
             raise ECommerceError(
                 f"server {dead.name!r} is still running; refusing to drain it"
             )
         holders = self._replica_holders(dead)
         if use_replicas is None:
             use_replicas = bool(holders)
-        if not use_replicas:
-            moved = 0
+        if use_replicas and not holders:
+            raise ECommerceError(f"no live replica of {dead.name!r} to drain from")
+        if strategy is None:
+            strategy = "promote" if use_replicas else "drain"
+        if strategy not in ("promote", "drain"):
+            raise ECommerceError(
+                f"unknown failover strategy {strategy!r}; expected 'promote' or 'drain'"
+            )
+        if strategy == "promote":
+            if not use_replicas:
+                raise ECommerceError(
+                    "promotion failover needs a live replica; use strategy='drain' "
+                    "for the direct-memory hand-off"
+                )
+            return self._promote(dead_index, holders)
+        if use_replicas:
+            return self._drain_from_replicas(dead_index, holders)
+        return self._drain_from_memory(dead_index)
+
+    def _drain_from_memory(self, dead_index: int) -> int:
+        """Legacy direct-memory hand-off (explicit ``use_replicas=False``)."""
+        shards = self.shards_of(self.servers[dead_index])
+        moved = 0
+        for shard in shards:
             for user_id in self.consumers_of(shard):
-                target = self._fallback_shard(user_id, excluding=shard)
+                target = self._fallback_shard(user_id, excluding=shards)
                 self.migrate_consumer(user_id, target)
                 moved += 1
-            return moved
+        return moved
 
-        if not holders:
-            raise ECommerceError(
-                f"no live replica of {dead.name!r} to drain from"
-            )
+    def _drain_from_replicas(
+        self,
+        dead_index: int,
+        holders: List[Tuple[BuyerAgentServer, ReplicaState]],
+    ) -> int:
+        """PR-3 replica drain: hash-place each consumer on a survivor."""
+        dead = self.servers[dead_index]
+        shards = self.shards_of(dead)
         transport = holders[0][0].context.transport
         moved = 0
         lost: List[str] = []
-        for user_id in self.consumers_of(shard):
-            source = next(
-                (
-                    (server, state)
-                    for server, state in holders
-                    if state.db.is_registered(user_id)
-                ),
-                None,
-            )
-            if source is None:
-                # The consumer's registration never reached a live replica
-                # (replication outage tail): their state died with the host.
-                lost.append(user_id)
-                self.lost_consumers += 1
-                del self._assignment[user_id]
-                transport.event_log.record(
-                    transport.scheduler.clock.now,
-                    "fleet.consumer-lost",
-                    dead.name,
-                    dead.name,
-                    user_id=user_id,
+        for shard in shards:
+            for user_id in self.consumers_of(shard):
+                source = next(
+                    (
+                        (server, state)
+                        for server, state in holders
+                        if state.db.is_registered(user_id)
+                    ),
+                    None,
                 )
-                continue
-            holder, state = source
-            target_shard = self._fallback_shard(user_id, excluding=shard)
-            record = state.db.user(user_id)
-            transport.deliver(
-                holder.name,
-                self.servers[target_shard].name,
-                "failover-drain",
-                payload_bytes=FANOUT_REQUEST_BYTES,
-            )
-            self._install_consumer(
-                target_shard,
-                record.display_name,
-                record.registered_at,
-                user_id,
-                state.db.profile(user_id),
-                state.db.ratings.interactions_of(user_id),
-                state.db.transactions_of(user_id),
-            )
-            moved += 1
+                if source is None:
+                    self._report_lost(dead, user_id, lost)
+                    continue
+                holder, state = source
+                target_shard = self._fallback_shard(user_id, excluding=shards)
+                record = state.db.user(user_id)
+                transport.deliver(
+                    holder.name,
+                    self.owner_of_shard(target_shard).name,
+                    "failover-drain",
+                    payload_bytes=FANOUT_REQUEST_BYTES,
+                )
+                self._install_consumer(
+                    target_shard,
+                    record.display_name,
+                    record.registered_at,
+                    user_id,
+                    state.db.profile(user_id),
+                    state.db.ratings.interactions_of(user_id),
+                    state.db.transactions_of(user_id),
+                )
+                moved += 1
         transport.event_log.record(
             transport.scheduler.clock.now,
             "fleet.failover-drain",
@@ -896,29 +1124,257 @@ class BuyerServerFleet:
             transport.metrics.counter("fleet.failover.lost").increment(len(lost))
         return moved
 
-    def handle_server_recovery(self, shard: int) -> int:
-        """Reconcile a recovered server with the post-failover assignment.
+    def _report_lost(
+        self, dead: BuyerAgentServer, user_id: str, lost: List[str]
+    ) -> None:
+        """One consumer whose state never reached a live replica: record loss.
 
-        While the server was down its consumers were drained to the
-        survivors, but the drain never touched the dead host's memory — so
-        on recovery the host still holds stale copies.  This purges every
-        consumer the fleet no longer assigns to ``shard`` (via the notifying
-        ``UserDB.unregister``, so the recovered server's own replicas drop
-        them too) and returns how many were purged.  The host must be
-        running again; new registrations start flowing to it immediately.
+        The consumer's registration died with the host (replication outage
+        tail); they are unassigned so a fresh registration can route them to
+        a live server rather than resurrecting them empty.
         """
+        transport = self.servers[0].context.transport
+        lost.append(user_id)
+        self.lost_consumers += 1
+        del self._assignment[user_id]
+        transport.event_log.record(
+            transport.scheduler.clock.now,
+            "fleet.consumer-lost",
+            dead.name,
+            dead.name,
+            user_id=user_id,
+        )
+
+    def _promote(
+        self,
+        dead_index: int,
+        holders: List[Tuple[BuyerAgentServer, ReplicaState]],
+    ) -> int:
+        """Promote the freshest replica holder to primary for the dead server.
+
+        The holder replays its replica — an exact prefix of the dead
+        primary's history — into its **own** live UserDB through the
+        notifying mutation methods, so its provider-backed neighbor index
+        picks the adopted consumers up on the next sync and its own WAL
+        streams their full history to its replica peers.  The shard→owner
+        map (and the coordinator's shard map, when wired) is updated in
+        place: assignments never change, nothing re-registers, and no
+        consumer state crosses the network — the freshest replica already
+        lives on the promoted server.  Afterwards the dead primary's
+        replication stream is retired: its consumed replica is discarded,
+        its frozen ``replication.lag.*`` gauges removed, and every survivor
+        that replicated *to* the dead host is retargeted to a new live ring
+        successor so the dead peer's acknowledgement stops blocking WAL
+        truncation.
+        """
+        dead = self.servers[dead_index]
+        promoted, state = holders[0]
+        promoted_index = self.servers.index(promoted)
+        transport = promoted.context.transport
+        shards = self.shards_of(dead)
+
+        adopted: List[str] = []
+        lost: List[str] = []
+        for shard in shards:
+            for user_id in self.consumers_of(shard):
+                if state.db.is_registered(user_id):
+                    adopted.append(user_id)
+                else:
+                    self._report_lost(dead, user_id, lost)
+        for user_id in adopted:
+            record = state.db.user(user_id)
+            promoted.user_db.register(
+                user_id, record.display_name, timestamp=record.registered_at
+            )
+            promoted.user_db.store_profile(state.db.profile(user_id).copy())
+            for interaction in state.db.ratings.interactions_of(user_id):
+                promoted.user_db.record_interaction(interaction)
+            for transaction in state.db.transactions_of(user_id):
+                promoted.user_db.record_transaction(transaction)
+            # Aggregate login history is durable replicated state too: restore
+            # it through the notifying method so the promoted server's own
+            # replication stream carries it onward.
+            promoted.user_db.restore_login_stats(
+                user_id, record.logins, record.last_login_at
+            )
+
+        for shard in shards:
+            self._shard_owner[shard] = promoted_index
+        if self.coordinator is not None:
+            self.coordinator.promote_shard(dead.name, promoted.name, shards)
+
+        # Retire the dead primary's replication stream: the consumed replica
+        # goes (its state now lives in the promoted server's own UserDB and
+        # streams through the promoted server's WAL), and the dead server's
+        # frozen lag gauges go with it.
+        if promoted.replication is not None:
+            promoted.replication.discard_replica(dead.name)
+        transport.metrics.remove_gauges_with_prefix(
+            f"replication.lag.{dead.name}->"
+        )
+        self._retarget_replication(dead)
+
+        self.promotions += 1
+        self.promoted_consumers += len(adopted)
+        transport.event_log.record(
+            transport.scheduler.clock.now,
+            "fleet.failover-promotion",
+            dead.name,
+            promoted.name,
+            shards=shards,
+            adopted=len(adopted),
+            lost=lost,
+        )
+        transport.metrics.counter("fleet.failover.promoted").increment(len(adopted))
+        if lost:
+            transport.metrics.counter("fleet.failover.lost").increment(len(lost))
+        return len(adopted)
+
+    def _retarget_replication(self, dead: BuyerAgentServer) -> None:
+        """Point survivors that replicated to ``dead`` at a new ring successor.
+
+        A dead peer never acknowledges again, so leaving it wired would both
+        freeze the survivor's WAL truncation (the truncation point is the
+        minimum acknowledged sequence number) and leave the survivor one
+        replica short.  Each affected survivor drops the dead peer and picks
+        the next live server in ring order that is not already a peer; the
+        new replica is bootstrapped from the survivor's snapshot (when its
+        log was truncated) or its full log, synchronously when the network
+        allows.  With no eligible replacement the survivor just drops the
+        dead peer (documented degraded redundancy).
+        """
+        total = len(self.servers)
+        for index, server in enumerate(self.servers):
+            if server is dead or not server.context.host.is_running:
+                continue
+            manager = server.replication
+            if manager is None or not any(peer is dead for peer in manager.peers):
+                continue
+            manager.remove_peer(dead.name)
+            peer_names = {peer.name for peer in manager.peers}
+            replacement = None
+            for offset in range(1, total):
+                candidate = self.servers[(index + offset) % total]
+                if candidate is server or candidate is dead:
+                    continue
+                if candidate.name in peer_names:
+                    continue
+                if not candidate.context.host.is_running:
+                    continue
+                if candidate.replication is None:
+                    continue
+                replacement = candidate
+                break
+            if replacement is not None:
+                manager.replicate_to(replacement)
+            if self.coordinator is not None:
+                self.coordinator.register_replication(
+                    server.name, [peer.name for peer in manager.peers]
+                )
+
+    def _rewire_recovered_replication(self, recovered: BuyerAgentServer) -> None:
+        """Swap the recovered host back in as a replica target.
+
+        The inverse of :meth:`_retarget_replication`: every live primary
+        whose *ideal* first ring successor (the next live replication-enabled
+        server in fleet order) is the recovered host — but which was
+        retargeted to a stand-in while the host was down — retires its
+        ring-farthest peer and streams to the recovered host again.  The new
+        replica bootstraps through the normal shipping path (snapshot when
+        the primary's log was truncated, full log otherwise), after which
+        the recovered host hosts fresh replicas and is a viable promotion
+        target for the next failure.  Primaries that still stream to the
+        recovered host (the drain strategy never unwired them) are left
+        untouched.
+        """
+        total = len(self.servers)
+        for index, primary in enumerate(self.servers):
+            if primary is recovered or not primary.context.host.is_running:
+                continue
+            manager = primary.replication
+            if manager is None:
+                continue
+            if any(peer is recovered for peer in manager.peers):
+                continue
+            ideal = next(
+                (
+                    candidate
+                    for offset in range(1, total)
+                    for candidate in (self.servers[(index + offset) % total],)
+                    if candidate.context.host.is_running
+                    and candidate.replication is not None
+                ),
+                None,
+            )
+            if ideal is not recovered:
+                continue
+            if manager.peers:
+                farthest = max(
+                    manager.peers,
+                    key=lambda peer: (self.servers.index(peer) - index) % total,
+                )
+                manager.remove_peer(farthest.name)
+                if (
+                    farthest.context.host.is_running
+                    and farthest.replication is not None
+                ):
+                    # The stand-in's replica is orphaned the moment the
+                    # stream moves; drop it now rather than letting frozen
+                    # shadow state accumulate (a down stand-in purges its
+                    # own orphans in handle_server_recovery).
+                    farthest.replication.discard_replica(primary.name)
+            manager.replicate_to(recovered)
+            if self.coordinator is not None:
+                self.coordinator.register_replication(
+                    primary.name, [peer.name for peer in manager.peers]
+                )
+
+    def handle_server_recovery(self, shard: int) -> int:
+        """Reconcile a recovered server with the post-failover state.
+
+        While the server was down its consumers were drained or promoted
+        away, but failover never touched the dead host's memory — so on
+        recovery the host still holds stale copies.  This purges every
+        consumer the fleet no longer maps to this server (via the notifying
+        ``UserDB.unregister``, so the recovered server's own replicas drop
+        them too), discards replicas hosted for primaries that no longer
+        stream to it (their lag gauges were already retired at retarget
+        time), and returns how many consumers were purged.  The host must
+        be running again.  After a drain its shard is still its own, so new
+        registrations flow to it immediately; after a promotion the shard
+        stays with the promoted server and the recovered host rejoins as
+        replica capacity: every live primary whose *ideal* ring successor
+        is the recovered host swaps its ring-farthest peer back for it (the
+        new replica bootstraps from the primary's snapshot or full log), so
+        the ring converges to its original shape and the recovered host is
+        again a promotion target for future failures.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ECommerceError(f"{shard} is not a fleet shard")
         server = self.servers[shard]
-        if not self._is_live(shard):
+        if not server.context.host.is_running:
             raise ECommerceError(
                 f"server {server.name!r} is not running; recover the host first"
             )
         stale = [
             user_id
             for user_id in server.user_db.user_ids
-            if self._assignment.get(user_id) != shard
+            if self._assignment.get(user_id) is None
+            or self.owner_of_shard(self._assignment[user_id]) is not server
         ]
         for user_id in stale:
             server.user_db.unregister(user_id)
+        if server.replication is not None:
+            for primary in self.servers:
+                if primary is server or primary.replication is None:
+                    continue
+                if primary.name not in server.replication.hosted:
+                    continue
+                if not any(peer is server for peer in primary.replication.peers):
+                    # The primary was retargeted away while this host was
+                    # down; the orphaned replica would only go staler.
+                    server.replication.discard_replica(primary.name)
+            self._rewire_recovered_replication(server)
         if stale:
             transport = server.context.transport
             transport.event_log.record(

@@ -31,9 +31,11 @@ class CoordinatorAgent(Aglet):
         self.marketplaces: List[str] = []
         self.seller_servers: List[str] = []
         self.buyer_servers: List[str] = []
-        # host → shard id, for buyer servers that own a partition of the
-        # consumer community (multi-server mode).
-        self.shard_map: Dict[str, int] = {}
+        # host → shard ids, for buyer servers that own partitions of the
+        # consumer community (multi-server mode).  A host normally owns one
+        # shard; a promotion failover hands a dead server's shards to the
+        # promoted replica holder, so the value is a list.
+        self.shard_map: Dict[str, List[int]] = {}
         # primary host → replica hosts, for buyer servers that stream their
         # UserDB mutations to peers (replication mode).  The CA records the
         # topology so the domain registry knows where a crashed server's
@@ -47,16 +49,55 @@ class CoordinatorAgent(Aglet):
             return self._handle_create_buyer_server(message)
         if message.kind == "platform.register-replication":
             return self._handle_register_replication(message)
+        if message.kind == "platform.promote-shard":
+            return self._handle_promote_shard(message)
         if message.kind == "platform.topology":
             return message.reply(
                 marketplaces=list(self.marketplaces),
                 seller_servers=list(self.seller_servers),
                 buyer_servers=list(self.buyer_servers),
-                shard_map=dict(self.shard_map),
+                shard_map={host: list(ids) for host, ids in self.shard_map.items()},
                 replica_map={k: list(v) for k, v in self.replica_map.items()},
                 coordinator=self.location,
             )
         return super().handle_message(message)
+
+    def _handle_promote_shard(self, message: Message) -> Reply:
+        """A promotion failover: move a dead primary's shards to its replica holder.
+
+        The shard map is updated *in place* — the promoted host simply takes
+        over the listed shard ids, no consumer re-registers — and the dead
+        primary's retired replication stream leaves the replica map (the
+        promoted server's own replication now carries the adopted state).
+        """
+        dead = message.require("dead")
+        promoted = message.require("promoted")
+        shards = [int(shard) for shard in message.require("shards")]
+        for host in (dead, promoted):
+            if host not in self.buyer_servers:
+                return Reply.failure(
+                    message.kind,
+                    f"unknown buyer server {host!r} in shard promotion",
+                    message.correlation_id,
+                )
+        remaining = [
+            shard for shard in self.shard_map.get(dead, []) if shard not in shards
+        ]
+        if remaining:
+            self.shard_map[dead] = remaining
+        else:
+            self.shard_map.pop(dead, None)
+        owned = self.shard_map.setdefault(promoted, [])
+        for shard in shards:
+            if shard not in owned:
+                owned.append(shard)
+        owned.sort()
+        self.replica_map.pop(dead, None)
+        self.context.transport.event_log.record(
+            self.now, "coordinator.shard-promoted", promoted, self.location,
+            dead=dead, shards=shards,
+        )
+        return message.reply(promoted=promoted, shards=shards)
 
     def _handle_register_replication(self, message: Message) -> Reply:
         primary = message.require("primary")
@@ -105,7 +146,10 @@ class CoordinatorAgent(Aglet):
         if host not in registry:
             registry.append(host)
         if shard_id is not None:
-            self.shard_map[host] = int(shard_id)
+            owned = self.shard_map.setdefault(host, [])
+            if int(shard_id) not in owned:
+                owned.append(int(shard_id))
+                owned.sort()
         self.context.transport.event_log.record(
             self.now, "coordinator.server-registered", host, self.location, role=role,
         )
@@ -180,6 +224,26 @@ class CoordinatorServer:
             sender=self.name,
             primary=primary,
             replicas=list(replicas),
+        )
+        if not reply.ok:
+            raise RegistrationError(reply.error)
+
+    def promote_shard(
+        self, dead: str, promoted: str, shards: List[int]
+    ) -> None:
+        """Record a promotion failover: ``promoted`` takes over ``dead``'s shards.
+
+        The CA updates its shard map in place (the promoted host now answers
+        for the listed shards) and retires the dead primary's replication
+        entry — the domain registry keeps telling the truth about where each
+        partition of the consumer community is served from.
+        """
+        reply = self.agent.proxy.request(
+            "platform.promote-shard",
+            sender=self.name,
+            dead=dead,
+            promoted=promoted,
+            shards=list(shards),
         )
         if not reply.ok:
             raise RegistrationError(reply.error)

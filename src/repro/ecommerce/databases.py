@@ -64,7 +64,8 @@ class UserDB:
 
         Listeners receive ``(op, payload)`` where ``op`` is one of
         ``"register"``, ``"unregister"``, ``"store-profile"``,
-        ``"transaction"``, ``"interaction"`` or ``"login"``.  The replication
+        ``"transaction"``, ``"interaction"``, ``"login"`` or
+        ``"login-stats"``.  The replication
         subsystem uses this to append every local write to its write-ahead
         log; adding the same listener twice is a no-op.
         """
@@ -130,6 +131,26 @@ class UserDB:
         record.logins += 1
         record.last_login_at = timestamp
         self._notify("login", user_id=user_id, timestamp=timestamp)
+
+    def restore_login_stats(
+        self, user_id: str, logins: int, last_login_at: float
+    ) -> None:
+        """Overwrite a consumer's aggregate login history (count + last stamp).
+
+        Used when a consumer's state is adopted wholesale from a replica
+        (promotion failover): the aggregate is all a replica holds, and
+        restoring it must notify listeners — it is durable state, and the
+        adopting server's own replication stream has to carry it onward.
+        """
+        record = self.user(user_id)
+        record.logins = int(logins)
+        record.last_login_at = float(last_login_at)
+        self._notify(
+            "login-stats",
+            user_id=user_id,
+            logins=int(logins),
+            last_login_at=float(last_login_at),
+        )
 
     @property
     def user_ids(self) -> List[str]:

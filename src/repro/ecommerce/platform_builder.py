@@ -75,6 +75,13 @@ class PlatformConfig:
         replication_anti_entropy_interval_ms: cadence of each server's
             scheduled anti-entropy catch-up task (re-ships whatever lagging
             replicas missed while down or partitioned).
+        replication_wal_truncate_threshold: bound on each server's
+            write-ahead log: once every replica peer has acknowledged this
+            many entries beyond the last truncation point, the server
+            snapshots its state and truncates the acknowledged prefix
+            (0 disables truncation — the unbounded PR-3 behaviour).
+            Truncation never drops an entry any peer has not acknowledged,
+            so a lagging peer holds the bound open rather than losing data.
     """
 
     num_marketplaces: int = 2
@@ -91,6 +98,7 @@ class PlatformConfig:
     shard_routing: str = "hash"
     replication_factor: int = 0
     replication_anti_entropy_interval_ms: float = 200.0
+    replication_wal_truncate_threshold: int = 64
 
     def validate(self) -> None:
         if self.num_marketplaces <= 0:
@@ -120,6 +128,11 @@ class PlatformConfig:
             )
         if self.replication_anti_entropy_interval_ms <= 0:
             raise ECommerceError("replication anti-entropy interval must be positive")
+        if self.replication_wal_truncate_threshold < 0:
+            raise ECommerceError(
+                "replication WAL truncate threshold cannot be negative "
+                "(use 0 to disable truncation)"
+            )
 
 
 class ECommercePlatform:
@@ -161,8 +174,10 @@ class ECommercePlatform:
         ]
         self.buyer_server = self.buyer_servers[0]
         # Multi-server mode: the fleet routes consumers and fans out queries.
+        # The coordinator handle lets promotion failovers update the CA's
+        # shard map in place.
         self.fleet: Optional[BuyerServerFleet] = (
-            BuyerServerFleet(self.buyer_servers)
+            BuyerServerFleet(self.buyer_servers, coordinator=self.coordinator)
             if config.num_buyer_servers > 1
             else None
         )
@@ -182,7 +197,9 @@ class ECommercePlatform:
         """
         servers = self.buyer_servers
         for server in servers:
-            server.enable_replication()
+            server.enable_replication(
+                wal_truncate_threshold=self.config.replication_wal_truncate_threshold
+            )
         for index, server in enumerate(servers):
             replica_names = []
             for offset in range(1, self.config.replication_factor + 1):

@@ -8,7 +8,7 @@ buyer agent server streams its durable mutations to one or more replica peers
 over the simulated network, and a crashed server's consumers are restored
 from those replicas — without a single read against the dead host's memory.
 
-**Design.**  Three pieces:
+**Design.**  Four pieces:
 
 - :class:`ReplicationLog` — the primary's write-ahead log.  Every durable
   UserDB mutation (registration, profile snapshot, observational rating,
@@ -16,12 +16,24 @@ from those replicas — without a single read against the dead host's memory.
   with a monotonic sequence number.  In-place profile *learning* updates —
   which never pass through ``UserDB.store_profile`` — are captured through a
   :class:`~repro.core.profile_learning.ProfileLearner` update hook that
-  snapshots the changed profile.
+  snapshots the changed profile.  The log is **bounded**: once every peer has
+  acknowledged a long enough prefix, the manager captures a
+  :class:`ReplicationSnapshot` and truncates the acknowledged prefix
+  (:meth:`ReplicationManager.maybe_truncate`), so long-running platforms do
+  not grow memory without limit.  Truncation never drops an entry any peer
+  still needs — the truncation point is the *minimum* acknowledged sequence
+  number across peers.
 - :class:`ReplicaState` — one primary's mirror hosted on a peer server: a
   shadow :class:`~repro.ecommerce.databases.UserDB` plus the sequence number
   of the last applied entry.  Entries apply strictly in sequence order;
   duplicates are skipped, gaps stall the replica until anti-entropy fills
-  them, so a replica is always a *prefix* of the primary's history.
+  them, so a replica is always a *prefix* of the primary's history.  A fresh
+  replica (a peer added after the log was truncated, e.g. the new ring
+  successor picked during a promotion failover) is bootstrapped from the
+  primary's latest snapshot instead of the truncated entries.
+- :class:`ReplicationSnapshot` — a full dump of the primary's durable
+  consumer state at a known sequence number.  Bootstrapping a replica from a
+  snapshot is byte-identical to replaying entries ``1..seq``.
 - :class:`ReplicationManager` — one per participating server.  It owns the
   local WAL, the list of replica peers, and the replicas this server hosts
   for *other* primaries.  Writes stream synchronously when the network
@@ -31,7 +43,11 @@ from those replicas — without a single read against the dead host's memory.
   transfer); when a peer is down, partitioned or the transfer is dropped,
   the entries stay in the log and a periodic anti-entropy task
   (:meth:`~repro.platform.clock.Scheduler.call_every`) re-ships everything
-  the peer has not acknowledged once connectivity returns.
+  the peer has not acknowledged once connectivity returns.  Peers can be
+  removed or retargeted at runtime (:meth:`remove_peer`) — a promotion
+  failover retires a dead primary's stream and points survivors at a new
+  ring successor, clearing the retired ``replication.lag.*`` gauges so
+  metrics never report a stream that no longer exists.
 
 **Replication semantics — what is durable, what is lost.**
 
@@ -51,6 +67,11 @@ from those replicas — without a single read against the dead host's memory.
   unacknowledged-entry count, mirrored into platform metrics as
   ``replication.lag.<primary>-><peer>`` gauges; anti-entropy catch-ups are
   recorded as ``replication.catch-up`` events in the platform event log.
+- *WAL bound:* with a positive truncation threshold the retained log is
+  bounded by ``threshold + (entries appended since the last anti-entropy
+  tick) + (max per-peer lag)`` — a fixed bound whenever peers keep
+  acknowledging.  ``replication.wal-truncated`` events and the
+  ``replication.wal.truncated_entries`` counter make truncations observable.
 """
 
 from __future__ import annotations
@@ -70,6 +91,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ReplicationLogEntry",
     "ReplicationLog",
+    "ReplicationSnapshot",
     "ReplicaState",
     "ReplicationManager",
 ]
@@ -77,6 +99,9 @@ __all__ = [
 #: Fixed per-entry framing overhead charged to the network, on top of the
 #: payload's own (repr-estimated) size.
 ENTRY_OVERHEAD_BYTES = 48
+
+#: Fixed framing overhead of one snapshot shipment.
+SNAPSHOT_OVERHEAD_BYTES = 256
 
 
 @dataclass(frozen=True)
@@ -93,18 +118,52 @@ class ReplicationLogEntry:
         return ENTRY_OVERHEAD_BYTES + len(repr(self.payload))
 
 
+@dataclass(frozen=True)
+class ReplicationSnapshot:
+    """A full dump of one primary's durable consumer state at ``seq``.
+
+    ``state`` maps user id → the consumer's registration record fields,
+    profile dict, observational interactions (arrival order) and transaction
+    records.  Bootstrapping a :class:`ReplicaState` from a snapshot produces
+    exactly the shadow UserDB that replaying entries ``1..seq`` would.
+    """
+
+    seq: int
+    timestamp: float
+    state: Dict[str, Dict[str, Any]]
+
+    def payload_bytes(self) -> int:
+        """Deterministic wire-size estimate used to charge the network."""
+        return SNAPSHOT_OVERHEAD_BYTES + len(repr(self.state))
+
+
 class ReplicationLog:
-    """The primary's append-only write-ahead log with monotonic sequence numbers."""
+    """The primary's append-only write-ahead log with monotonic sequence numbers.
+
+    The log can be **truncated**: :meth:`truncate_through` drops a fully
+    acknowledged prefix (the caller — :meth:`ReplicationManager.maybe_truncate`
+    — guarantees every peer is past it and a snapshot covers it).  Sequence
+    numbers keep counting from where they were; only the storage goes.
+    ``len(log)`` is the *retained* entry count, :attr:`last_seq` the newest
+    sequence number ever appended.
+    """
 
     def __init__(self) -> None:
         self._entries: List[ReplicationLogEntry] = []
+        self._base_seq = 0  # every entry with seq <= _base_seq has been truncated
 
     @property
     def last_seq(self) -> int:
-        """Sequence number of the newest entry (0 when the log is empty)."""
-        return len(self._entries)
+        """Sequence number of the newest entry (0 when nothing was appended)."""
+        return self._base_seq + len(self._entries)
+
+    @property
+    def truncated_seq(self) -> int:
+        """Highest sequence number dropped by truncation (0 = never truncated)."""
+        return self._base_seq
 
     def __len__(self) -> int:
+        """Retained (untruncated) entry count — the log's actual memory."""
         return len(self._entries)
 
     def append(self, op: str, payload: Dict[str, Any], timestamp: float) -> ReplicationLogEntry:
@@ -116,10 +175,38 @@ class ReplicationLog:
         return entry
 
     def entries_since(self, seq: int) -> List[ReplicationLogEntry]:
-        """Every entry with a sequence number strictly greater than ``seq``."""
+        """Every retained entry with a sequence number strictly greater than ``seq``.
+
+        Asking for entries below the truncation point raises — the caller
+        must bootstrap the peer from the snapshot instead (see
+        :meth:`ReplicationManager._ship`).
+        """
         if seq < 0:
             raise ReplicationError(f"sequence numbers are non-negative, got {seq}")
-        return list(self._entries[seq:])
+        if seq < self._base_seq:
+            raise ReplicationError(
+                f"entries through seq {self._base_seq} have been truncated; "
+                f"bootstrap from the snapshot instead of replaying from {seq}"
+            )
+        return list(self._entries[seq - self._base_seq:])
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop every entry with a sequence number ``<= seq``; return the count.
+
+        The caller is responsible for the safety invariant: ``seq`` must not
+        exceed any peer's acknowledged sequence number, or unacknowledged
+        entries would be lost.
+        """
+        if seq <= self._base_seq:
+            return 0
+        if seq > self.last_seq:
+            raise ReplicationError(
+                f"cannot truncate through {seq}: the log only reaches {self.last_seq}"
+            )
+        dropped = seq - self._base_seq
+        del self._entries[:dropped]
+        self._base_seq = seq
+        return dropped
 
 
 class ReplicaState:
@@ -130,6 +217,8 @@ class ReplicaState:
     below ``applied_seq`` (duplicate shipments are idempotent) and stops at
     the first gap (anti-entropy re-ships the full missing suffix later), so
     the shadow is always an exact prefix of the primary's mutation history.
+    A replica created after the primary truncated its log starts from a
+    :meth:`bootstrap` snapshot instead of sequence 1.
     """
 
     def __init__(self, primary: str) -> None:
@@ -150,6 +239,36 @@ class ReplicaState:
             applied += 1
         return applied
 
+    def bootstrap(self, snapshot: ReplicationSnapshot) -> None:
+        """Replace this replica's state with a full snapshot at ``snapshot.seq``.
+
+        Equivalent — byte for byte — to having applied entries
+        ``1..snapshot.seq`` in order.  Bootstrapping backwards (the replica
+        already applied past the snapshot) is refused: a replica never
+        regresses its prefix.
+        """
+        if snapshot.seq < self.applied_seq:
+            raise ReplicationError(
+                f"replica of {self.primary!r} already applied seq {self.applied_seq}; "
+                f"refusing to regress to snapshot seq {snapshot.seq}"
+            )
+        db = UserDB()
+        for user_id in sorted(snapshot.state):
+            dump = snapshot.state[user_id]
+            db.register(
+                user_id, dump["display_name"], timestamp=dump["registered_at"]
+            )
+            db.store_profile(Profile.from_dict(dump["profile"]))
+            for interaction in dump["interactions"]:
+                db.record_interaction(interaction)
+            for transaction in dump["transactions"]:
+                db.record_transaction(transaction)
+            record = db.user(user_id)
+            record.logins = dump["logins"]
+            record.last_login_at = dump["last_login_at"]
+        self.db = db
+        self.applied_seq = snapshot.seq
+
     def _apply(self, entry: ReplicationLogEntry) -> None:
         payload = entry.payload
         if entry.op == "register":
@@ -168,6 +287,12 @@ class ReplicaState:
             self.db.record_transaction(payload["transaction"])
         elif entry.op == "login":
             self.db.record_login(payload["user_id"], payload.get("timestamp", 0.0))
+        elif entry.op == "login-stats":
+            self.db.restore_login_stats(
+                payload["user_id"],
+                payload.get("logins", 0),
+                payload.get("last_login_at", 0.0),
+            )
         else:
             raise ReplicationError(f"unknown replication op {entry.op!r}")
 
@@ -185,13 +310,26 @@ class ReplicationManager:
     :meth:`replicate_to`.  The manager hooks the server's UserDB mutation
     listener and the profile learner's update hook, so every durable write is
     logged and (network permitting) shipped immediately; the scheduled
-    anti-entropy task re-ships anything a peer missed.
+    anti-entropy task re-ships anything a peer missed and — when a
+    ``truncate_threshold`` is configured — snapshots and truncates the
+    fully-acknowledged WAL prefix so the log stays bounded.
     """
 
-    def __init__(self, server: "BuyerAgentServer") -> None:
+    def __init__(
+        self, server: "BuyerAgentServer", truncate_threshold: int = 0
+    ) -> None:
+        if truncate_threshold < 0:
+            raise ReplicationError("WAL truncate threshold cannot be negative")
         self.server = server
         self.name = server.name
         self.log = ReplicationLog()
+        #: Snapshot + truncate once every peer has acknowledged this many
+        #: entries beyond the current truncation point (0 = never truncate).
+        self.truncate_threshold = truncate_threshold
+        #: The latest snapshot captured at truncation time (None before the
+        #: first truncation).  Bootstraps peers whose acknowledged prefix has
+        #: been truncated away.
+        self.snapshot: Optional[ReplicationSnapshot] = None
         self.peers: List["BuyerAgentServer"] = []
         #: Highest sequence number each peer has acknowledged applying.
         self._acked: Dict[str, int] = {}
@@ -208,7 +346,10 @@ class ReplicationManager:
 
         The peer must have replication enabled too (it hosts the
         :class:`ReplicaState`).  Returns the replica state, which lives on
-        the peer — exactly where the failover drain will look for it.
+        the peer — exactly where the failover drain will look for it.  A
+        peer added after the log was truncated is bootstrapped from the
+        latest snapshot on the next shipment (synchronously if the network
+        allows, else by anti-entropy).
         """
         if peer is self.server:
             raise ReplicationError(f"server {self.name!r} cannot replicate to itself")
@@ -222,14 +363,46 @@ class ReplicationManager:
             )
         state = peer.replication.host_replica(self.name)
         self.peers.append(peer)
-        self._acked[peer.name] = 0
+        self._acked[peer.name] = min(state.applied_seq, self.log.last_seq)
+        if self.log.last_seq > self._acked[peer.name]:
+            self._ship(peer, [])
         return state
+
+    def remove_peer(self, peer_name: str) -> None:
+        """Stop streaming to ``peer_name`` and retire its lag gauge.
+
+        Used when a peer host is decommissioned or a promotion failover
+        retargets the stream to a new ring successor: the peer's
+        acknowledgement no longer holds WAL truncation back, and the
+        ``replication.lag.*`` gauge is removed rather than left frozen at
+        its last pre-retirement value.  The replica the peer hosts is left
+        in place (its host may be down); the peer purges it on recovery.
+        """
+        if peer_name not in self._acked:
+            raise ReplicationError(
+                f"{self.name!r} does not replicate to {peer_name!r}"
+            )
+        self.peers = [peer for peer in self.peers if peer.name != peer_name]
+        del self._acked[peer_name]
+        self.server.context.transport.metrics.remove_gauge(
+            f"replication.lag.{self.name}->{peer_name}"
+        )
 
     def host_replica(self, primary: str) -> ReplicaState:
         """Create (or return) the replica this server hosts for ``primary``."""
         if primary not in self.hosted:
             self.hosted[primary] = ReplicaState(primary)
         return self.hosted[primary]
+
+    def discard_replica(self, primary: str) -> Optional[ReplicaState]:
+        """Drop the replica hosted for ``primary`` (None when none is hosted).
+
+        Called when the replica has been consumed by a promotion failover
+        (its state now lives in the promoted server's own UserDB) or when a
+        recovered host purges replicas for primaries that no longer stream
+        to it.
+        """
+        return self.hosted.pop(primary, None)
 
     # -- capture hooks --------------------------------------------------------
 
@@ -256,24 +429,62 @@ class ReplicationManager:
         """Ship ``entries`` to ``peer``; return how many it applied.
 
         A peer that missed earlier entries is sent the full unacknowledged
-        suffix instead (replicas apply strictly in order).  Network failures
-        — peer down, partition, dropped transfer — leave the entries in the
-        log for the next anti-entropy pass and are counted in
+        suffix instead (replicas apply strictly in order); a peer whose
+        acknowledged prefix has been truncated away — a stream retargeted
+        after promotion, or a peer that discarded its replica — is first
+        bootstrapped from the latest snapshot.  Network failures — peer
+        down, partition, dropped transfer — leave the entries in the log for
+        the next anti-entropy pass and are counted in
         ``replication.deferred``.
         """
+        transport = self.server.context.transport
+        state = peer.replication.host_replica(self.name)
+        if state.applied_seq < self._acked[peer.name]:
+            # The peer lost (or discarded) our replica since we last shipped:
+            # trust the replica's actual prefix, not our stale bookkeeping.
+            self._acked[peer.name] = state.applied_seq
         acked = self._acked[peer.name]
-        if not entries or entries[0].seq > acked + 1:
+        if acked < self.log.truncated_seq:
+            # The entries the peer needs next were truncated: bootstrap it
+            # from the snapshot, then stream the retained suffix as usual.
+            if self.snapshot is None:
+                raise ReplicationError(
+                    f"log of {self.name!r} truncated through "
+                    f"{self.log.truncated_seq} without a snapshot"
+                )
+            try:
+                transport.deliver(
+                    self.name,
+                    peer.name,
+                    "replication-snapshot",
+                    self.snapshot.payload_bytes(),
+                )
+            except NetworkError:
+                transport.metrics.counter("replication.deferred").increment()
+                return 0
+            state.bootstrap(self.snapshot)
+            self._acked[peer.name] = state.applied_seq
+            acked = state.applied_seq
+            transport.metrics.counter("replication.snapshots_shipped").increment()
+            transport.event_log.record(
+                self.server.context.now,
+                "replication.snapshot-bootstrap",
+                self.name,
+                peer.name,
+                snapshot_seq=self.snapshot.seq,
+            )
+            entries = []
+        if not entries or entries[0].seq <= acked or entries[0].seq > acked + 1:
             entries = self.log.entries_since(acked)
         if not entries:
+            self._record_lag(peer)
             return 0
-        transport = self.server.context.transport
         payload_bytes = sum(entry.payload_bytes() for entry in entries)
         try:
             transport.deliver(self.name, peer.name, "replication", payload_bytes)
         except NetworkError:
             transport.metrics.counter("replication.deferred").increment()
             return 0
-        state = peer.replication.hosted[self.name]
         applied = state.apply_entries(entries)
         self._acked[peer.name] = state.applied_seq
         transport.metrics.counter("replication.entries_shipped").increment(applied)
@@ -298,27 +509,80 @@ class ReplicationManager:
             raise ReplicationError(f"{self.name!r} does not replicate to {peer_name!r}")
         return self._acked[peer_name]
 
+    # -- snapshot + truncation ------------------------------------------------
+
+    def _capture_snapshot(self) -> ReplicationSnapshot:
+        """Dump the primary's full durable consumer state at ``log.last_seq``."""
+        db = self.server.user_db
+        state: Dict[str, Dict[str, Any]] = {}
+        for user_id in db.user_ids:
+            record = db.user(user_id)
+            state[user_id] = {
+                "display_name": record.display_name,
+                "registered_at": record.registered_at,
+                "logins": record.logins,
+                "last_login_at": record.last_login_at,
+                "profile": db.profile(user_id).to_dict(),
+                "interactions": list(db.ratings.interactions_of(user_id)),
+                "transactions": list(db.transactions_of(user_id)),
+            }
+        return ReplicationSnapshot(
+            seq=self.log.last_seq,
+            timestamp=self.server.context.now,
+            state=state,
+        )
+
+    def maybe_truncate(self) -> int:
+        """Snapshot + truncate the fully-acknowledged WAL prefix; return dropped count.
+
+        The truncation point is ``min`` of every peer's acknowledged
+        sequence number — **never** past an unacknowledged entry, so a
+        lagging peer (down, partitioned, mid-catch-up) holds truncation back
+        instead of losing its suffix.  Runs only when the acknowledged
+        prefix beyond the current truncation point has reached
+        :attr:`truncate_threshold` entries (0 disables truncation), so
+        snapshot capture cost is amortised.
+        """
+        if self.truncate_threshold <= 0 or not self.peers:
+            return 0
+        safe = min(self._acked.values())
+        if safe - self.log.truncated_seq < self.truncate_threshold:
+            return 0
+        self.snapshot = self._capture_snapshot()
+        dropped = self.log.truncate_through(safe)
+        transport = self.server.context.transport
+        transport.metrics.counter("replication.wal.truncated_entries").increment(dropped)
+        transport.event_log.record(
+            self.server.context.now,
+            "replication.wal-truncated",
+            self.name,
+            self.name,
+            through_seq=safe,
+            dropped=dropped,
+            retained=len(self.log),
+            snapshot_seq=self.snapshot.seq,
+        )
+        return dropped
+
     # -- anti-entropy ---------------------------------------------------------
 
     def anti_entropy_tick(self) -> int:
         """Re-ship every unacknowledged entry to every peer; return shipped count.
 
         Skips entirely while the primary host is down (a crashed server
-        cannot send), and records a ``replication.catch-up`` event whenever a
-        lagging peer was actually caught up.
+        cannot send), records a ``replication.catch-up`` event whenever a
+        lagging peer was actually caught up, and finishes by truncating the
+        fully-acknowledged WAL prefix when the bound is configured.
         """
         if not self.server.context.host.is_running:
             return 0
         transport = self.server.context.transport
         shipped = 0
         for peer in self.peers:
-            lag = self.lag_of(peer.name)
-            if lag == 0:
-                self._record_lag(peer)
-                continue
-            applied = self._ship(peer, self.log.entries_since(self._acked[peer.name]))
+            lagging = self.lag_of(peer.name) > 0
+            applied = self._ship(peer, [])
             shipped += applied
-            if applied:
+            if applied and lagging:
                 transport.event_log.record(
                     self.server.context.now,
                     "replication.catch-up",
@@ -328,6 +592,7 @@ class ReplicationManager:
                     remaining_lag=self.lag_of(peer.name),
                 )
             self._record_lag(peer)
+        self.maybe_truncate()
         return shipped
 
     @property
@@ -359,6 +624,7 @@ class ReplicationManager:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ReplicationManager({self.name!r}, wal={self.log.last_seq}, "
+            f"retained={len(self.log)}, "
             f"peers={[peer.name for peer in self.peers]}, "
             f"hosts={sorted(self.hosted)})"
         )

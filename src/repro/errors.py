@@ -137,6 +137,16 @@ class ReplicationError(ECommerceError):
     """Raised when the cross-server replication protocol is misused."""
 
 
+class FleetUnavailableError(ECommerceError):
+    """Raised when no live buyer agent server can take a request.
+
+    Distinguishes "the whole fleet is down" from ordinary e-commerce
+    failures: routing a consumer (or draining a failed shard) when every
+    shard's owning server is crashed raises this instead of silently
+    handing the request to a dead host.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Recommendation core
 # ---------------------------------------------------------------------------

@@ -126,6 +126,23 @@ class MetricsRegistry:
             self._gauges[name] = Gauge(name)
         return self._gauges[name]
 
+    def remove_gauge(self, name: str) -> bool:
+        """Drop a gauge entirely (missing names are ignored).
+
+        Gauges report *current* state; when the thing they describe stops
+        existing (a retired replication stream, a promoted-away write-ahead
+        log) the gauge must go with it, or snapshots keep reporting the last
+        pre-retirement value forever.  Returns True when a gauge was removed.
+        """
+        return self._gauges.pop(name, None) is not None
+
+    def remove_gauges_with_prefix(self, prefix: str) -> int:
+        """Drop every gauge whose name starts with ``prefix``; return count."""
+        doomed = [name for name in self._gauges if name.startswith(prefix)]
+        for name in doomed:
+            del self._gauges[name]
+        return len(doomed)
+
     def timer(self, name: str) -> Timer:
         if name not in self._timers:
             self._timers[name] = Timer(name)

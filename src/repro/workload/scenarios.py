@@ -34,6 +34,8 @@ class ScenarioReport:
     failed_operations: int = 0
     batch_refreshes: int = 0
     drained_consumers: int = 0
+    promoted_consumers: int = 0
+    stale_shard_answers: int = 0
     lost_consumers: int = 0
     recovered_purged: int = 0
     started_at_ms: float = 0.0
@@ -55,6 +57,8 @@ class ScenarioReport:
             "failed_operations": self.failed_operations,
             "batch_refreshes": self.batch_refreshes,
             "drained_consumers": self.drained_consumers,
+            "promoted_consumers": self.promoted_consumers,
+            "stale_shard_answers": self.stale_shard_answers,
             "lost_consumers": self.lost_consumers,
             "recovered_purged": self.recovered_purged,
             "simulated_duration_ms": self.simulated_duration_ms,
@@ -306,8 +310,10 @@ class ScenarioRunner:
            its replica peers;
         2. the ``crash_shard`` server is crashed mid-traffic and its
            consumers are drained **from replicas** onto the survivors
-           (``report.drained_consumers`` / ``report.lost_consumers``);
-           traffic continues around the dead host;
+           (``report.drained_consumers`` / ``report.lost_consumers``) — the
+           PR-3 hand-off, requested explicitly with ``strategy="drain"``
+           (:meth:`promotion_failover_day` exercises the cheaper promotion
+           failover); traffic continues around the dead host;
         3. (with ``recover=True``) the host comes back, its stale consumer
            copies are purged (``report.recovered_purged``) and it starts
            taking new registrations again.
@@ -317,15 +323,117 @@ class ScenarioRunner:
         converged; the scenario loop pumps the scheduler after every session
         so both stay honest with simulated time.
         """
+        return self._failover_day(
+            "replicated failover day",
+            failover="drain",
+            sessions=sessions,
+            queries_per_session=queries_per_session,
+            crash_shard=crash_shard,
+            buy_probability=buy_probability,
+            auction_probability=auction_probability,
+            negotiate_probability=negotiate_probability,
+            recommendation_probability=recommendation_probability,
+            refresh_interval_ms=refresh_interval_ms,
+            batch_k=batch_k,
+            stale_queries=0,
+            recover=recover,
+        )
+
+    def promotion_failover_day(
+        self,
+        sessions: int = 240,
+        queries_per_session: int = 1,
+        crash_shard: int = 0,
+        buy_probability: float = 0.35,
+        auction_probability: float = 0.2,
+        negotiate_probability: float = 0.1,
+        recommendation_probability: float = 0.3,
+        refresh_interval_ms: float = 2000.0,
+        batch_k: int = 5,
+        stale_queries: int = 4,
+        recover: bool = True,
+    ) -> ScenarioReport:
+        """A trafficked day surviving a crash through **replica promotion**.
+
+        Requires a multi-server platform with replication wired (like
+        :meth:`replicated_failover_day`).  The day runs in four phases:
+
+        1. normal traffic while every server's write-ahead log streams to
+           its replica peers (and is periodically snapshot-truncated);
+        2. the ``crash_shard`` server is crashed; before any failover runs,
+           ``stale_queries`` fleet-wide similar-consumer queries demonstrate
+           the quorum-aware degraded path — the dead shard is answered from
+           its freshest replica and reported in
+           :attr:`~repro.ecommerce.buyer_server.FleetQueryResult.stale_shards`
+           (counted in ``report.stale_shard_answers``);
+        3. the freshest replica holder is **promoted**: it adopts the dead
+           server's shard in place (``report.promoted_consumers`` /
+           ``report.lost_consumers``) — no consumer re-registers, no state
+           crosses the network — and traffic resumes for everyone;
+        4. (with ``recover=True``) the host comes back, its stale copies are
+           purged (``report.recovered_purged``) and it rejoins as replica
+           capacity; shard ownership stays with the promoted server.
+
+        Throughout, the fleet-wide scheduled recommendation refresh keeps
+        firing (covering the adopted consumers from the first post-promotion
+        tick) and anti-entropy keeps replicas converged and WALs truncated;
+        the scenario loop pumps the scheduler after every session.
+        """
+        if stale_queries < 0:
+            raise WorkloadError("stale_queries cannot be negative")
+        return self._failover_day(
+            "promotion failover day",
+            failover="promote",
+            sessions=sessions,
+            queries_per_session=queries_per_session,
+            crash_shard=crash_shard,
+            buy_probability=buy_probability,
+            auction_probability=auction_probability,
+            negotiate_probability=negotiate_probability,
+            recommendation_probability=recommendation_probability,
+            refresh_interval_ms=refresh_interval_ms,
+            batch_k=batch_k,
+            stale_queries=stale_queries,
+            recover=recover,
+        )
+
+    def _failover_day(
+        self,
+        scenario_name: str,
+        failover: str,
+        sessions: int,
+        queries_per_session: int,
+        crash_shard: int,
+        buy_probability: float,
+        auction_probability: float,
+        negotiate_probability: float,
+        recommendation_probability: float,
+        refresh_interval_ms: float,
+        batch_k: int,
+        stale_queries: int,
+        recover: bool,
+    ) -> ScenarioReport:
+        """Shared driver behind the two failover-day scenarios.
+
+        Phases: traffic → crash (→ optional quorum window of stale-answered
+        fleet queries) → failover (``failover`` picks the
+        :meth:`~repro.ecommerce.buyer_server.BuyerServerFleet.handle_server_failure`
+        strategy and which report field counts the moved consumers) →
+        degraded traffic → optional recovery + purge → traffic.  The phase
+        arithmetic splits ``sessions`` three ways (later phases may be empty
+        when the count is tiny, but the crash/recovery still happen), and
+        the loop pumps the scheduler after every session so the scheduled
+        refresh and anti-entropy tasks stay honest with simulated time.
+        """
         if sessions <= 0:
-            raise WorkloadError("replicated failover day needs at least one session")
+            raise WorkloadError(f"{scenario_name} needs at least one session")
         if refresh_interval_ms <= 0:
             raise WorkloadError("refresh interval must be positive")
         platform = self.platform
         fleet = platform.fleet
         if fleet is None:
             raise WorkloadError(
-                "replicated failover day needs a multi-server fleet "
+                f"{scenario_name} needs a multi-server fleet "
                 "(PlatformConfig.num_buyer_servers > 1)"
             )
         if not 0 <= crash_shard < fleet.num_shards:
@@ -333,12 +441,12 @@ class ScenarioRunner:
         victim = fleet.servers[crash_shard]
         if victim.replication is None or not victim.replication.peers:
             raise WorkloadError(
-                "replicated failover day needs replication wired "
+                f"{scenario_name} needs replication wired "
                 "(PlatformConfig.replication_factor >= 1)"
             )
         pool = self.population.consumers()
         if not pool:
-            raise WorkloadError("replicated failover day needs a non-empty population")
+            raise WorkloadError(f"{scenario_name} needs a non-empty population")
 
         log = platform.event_log
         refreshes_before = log.count("recommendation.scheduled-refresh")
@@ -362,21 +470,40 @@ class ScenarioRunner:
                 if self._rng.random() < recommendation_probability:
                     # Fleet-wide similar-consumer lookup: async fan-out over
                     # every live shard; during the outage window the result
-                    # is degraded (the dead shard is reported unreachable).
+                    # is degraded (dead shard unreachable, or — with live
+                    # replicas — answered from one and marked stale).
                     fleet.query_similar(consumer.user_id)
                 # Pump the scheduler so the scheduled refresh and the
                 # anti-entropy tasks fire as simulated time passes.
                 platform.scheduler.run_until(platform.now)
 
-        # Three phases totalling exactly ``sessions`` (later phases may be
-        # empty when the count is tiny, but the crash/recovery still happen).
         first = max(1, sessions // 3)
         second = min(first, sessions - first)
         third = sessions - first - second
         try:
             run_phase(first)
             platform.failures.crash_host(victim.name)
-            report.drained_consumers = fleet.handle_server_failure(crash_shard)
+            if stale_queries:
+                # Quorum window: the shard is down but not yet failed over —
+                # fleet queries answer it from the freshest replica, marked
+                # stale.  Only consumers registered in phase 1 can be queried.
+                registered = [
+                    consumer for consumer in pool
+                    if fleet.is_registered(consumer.user_id)
+                ]
+                for index in range(min(stale_queries, len(registered))):
+                    result = fleet.query_similar(registered[index].user_id)
+                    if victim.name in result.stale_shards:
+                        report.stale_shard_answers += 1
+                    platform.scheduler.run_until(platform.now)
+            if failover == "promote":
+                report.promoted_consumers = fleet.handle_server_failure(
+                    crash_shard, strategy="promote"
+                )
+            else:
+                report.drained_consumers = fleet.handle_server_failure(
+                    crash_shard, strategy="drain"
+                )
             report.lost_consumers = fleet.lost_consumers - lost_before
             run_phase(second)
             if recover:

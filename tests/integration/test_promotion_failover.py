@@ -1,0 +1,600 @@
+"""Integration tests for replica *promotion* failover and quorum reads.
+
+The PR-4 contract, pinned end to end:
+
+- promotion performs **zero reads** against the crashed host's in-memory
+  stores (poisoned-accessor enforcement, like the PR-3 drain tests);
+- **no consumer re-registration**: the shard→owner map is updated in place —
+  assignments, shard ids and registration timestamps are untouched, and the
+  fleet's migration counter never moves;
+- post-promotion fleet queries are byte-identical to a single server holding
+  the whole community, for every consumer whose state reached the promoted
+  replica;
+- the dead primary's replication stream is retired: consumed replica
+  discarded, frozen lag gauges removed, survivors that replicated to the
+  dead host retargeted to a new live ring successor;
+- double failures fall back to the next-freshest replica (or report lost
+  consumers), and the quorum-aware degraded read answers an unreachable
+  shard from its freshest replica, marked stale.
+"""
+
+import pytest
+
+from repro.errors import ECommerceError, FleetUnavailableError
+from repro.core.similarity import find_similar_users
+from repro.ecommerce.platform_builder import build_platform
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.scenarios import ScenarioRunner
+
+CONSUMERS = [f"consumer-{index}" for index in range(10)]
+
+
+def _build(num_buyer_servers=3, **overrides):
+    return build_platform(seed=11, num_buyer_servers=num_buyer_servers, **overrides)
+
+
+def _drive_workload(platform, consumers=CONSUMERS):
+    keyword = next(iter(platform.catalog_view())).terms[0][0]
+    for index, user_id in enumerate(consumers):
+        session = platform.login(user_id)
+        results = session.query(keyword)
+        if results and index % 2 == 0:
+            session.buy(results[0].item, marketplace=results[0].marketplace)
+        session.logout()
+
+
+def _consumer_state(user_db, user_id):
+    return (
+        user_db.profile(user_id).to_dict(),
+        user_db.ratings.interactions_of(user_id),
+        user_db.transactions_of(user_id),
+    )
+
+
+def _poison(user_db):
+    """Make every UserDB (and ratings) accessor raise on touch."""
+
+    def boom(*args, **kwargs):
+        raise AssertionError("promotion failover read the crashed server's memory")
+
+    for name in (
+        "register", "unregister", "is_registered", "user", "record_login",
+        "profile", "store_profile", "profiles", "profiles_version",
+        "record_transaction", "transactions_of", "all_transactions",
+        "record_interaction",
+    ):
+        setattr(user_db, name, boom)
+    for name in ("add", "remove_user", "interactions_of", "user_vector", "items_of"):
+        setattr(user_db.ratings, name, boom)
+
+
+def _victim_shard(fleet):
+    sizes = fleet.shard_sizes()
+    return max(range(len(sizes)), key=lambda shard: (sizes[shard], -shard))
+
+
+class TestPromotion:
+    def test_promotion_is_in_place_and_byte_identical(self):
+        """Zero dead reads, zero re-registration, single-server-identical."""
+        platform = _build(replication_factor=1)
+        reference = _build(num_buyer_servers=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        _drive_workload(reference)
+
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        doomed = fleet.consumers_of(victim)
+        assert doomed, "the victim shard must own consumers for this test"
+        expected_promoted = dead.replication.peers[0]
+
+        reference_state = {
+            user_id: _consumer_state(dead.user_db, user_id) for user_id in doomed
+        }
+        registered_at = {
+            user_id: dead.user_db.user(user_id).registered_at for user_id in doomed
+        }
+        assignment_before = {user_id: fleet.shard_of(user_id) for user_id in CONSUMERS}
+        migrations_before = fleet.migrated_consumers
+
+        platform.failures.crash_host(dead.name)
+        _poison(dead.user_db)
+        moved = fleet.handle_server_failure(victim)
+
+        assert moved == len(doomed)
+        assert fleet.lost_consumers == 0
+        assert fleet.promotions == 1
+        assert fleet.promoted_consumers == len(doomed)
+        # In-place ownership update: no re-registration, no assignment churn.
+        assert fleet.migrated_consumers == migrations_before
+        for user_id in CONSUMERS:
+            assert fleet.shard_of(user_id) == assignment_before[user_id]
+        for user_id in doomed:
+            owner = fleet.server_for(user_id)
+            assert owner is expected_promoted
+            assert _consumer_state(owner.user_db, user_id) == reference_state[user_id]
+            # The registration record survived verbatim — nobody re-registered.
+            assert owner.user_db.user(user_id).registered_at == registered_at[user_id]
+        # The promotion was recorded (and no drain ran).
+        events = platform.event_log.by_category("fleet.failover-promotion")
+        assert len(events) == 1
+        assert events[0].payload["adopted"] == len(doomed)
+        assert platform.event_log.by_category("fleet.failover-drain") == []
+        # Post-promotion fleet answers are byte-identical to one server
+        # holding the whole community.
+        reference_db = reference.buyer_server.user_db
+        config = reference.buyer_server.recommendations.similarity_config
+        for user_id in CONSUMERS:
+            brute = find_similar_users(
+                reference_db.profile(user_id), reference_db.profiles(), config
+            )
+            assert fleet.find_similar(user_id) == brute
+
+    def test_promotion_updates_coordinator_shard_map(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        promoted = dead.replication.peers[0]
+
+        platform.failures.crash_host(dead.name)
+        fleet.handle_server_failure(victim)
+
+        topology = platform.coordinator.topology()
+        shard_map = topology["shard_map"]
+        assert dead.name not in shard_map
+        assert victim in shard_map[promoted.name]
+        assert dead.name not in topology["replica_map"]
+
+    def test_promotion_retires_the_dead_wal_and_retargets_survivors(self):
+        """Gauges of the retired stream vanish; survivors that replicated to
+        the dead host pick a new live ring successor and converge onto it."""
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        upstream = next(
+            server for server in fleet.servers
+            if any(peer is dead for peer in server.replication.peers)
+        )
+
+        platform.failures.crash_host(dead.name)
+        fleet.handle_server_failure(victim)
+
+        # The dead primary's lag gauges are gone, not frozen at a stale value.
+        prefix = f"replication.lag.{dead.name}->"
+        assert not any(
+            name.startswith(prefix) for name in platform.metrics.gauges()
+        )
+        # The survivor that streamed to the dead host no longer does...
+        assert not any(peer is dead for peer in upstream.replication.peers)
+        assert upstream.replication.peers, "the survivor must have a new peer"
+        # ...its old gauge went with the peer...
+        assert (
+            f"replication.lag.{upstream.name}->{dead.name}"
+            not in platform.metrics.gauges()
+        )
+        # ...and the new replica has fully caught up with the survivor's log.
+        replacement = upstream.replication.peers[0]
+        state = replacement.replication.hosted[upstream.name]
+        assert state.applied_seq == upstream.replication.log.last_seq
+        assert upstream.replication.lag_of(replacement.name) == 0
+
+    def test_second_failure_promotes_the_promoted_servers_shards_onward(self):
+        """A promoted server owns several shards; when it dies too, its own
+        freshest replica adopts all of them — including the adopted ones,
+        whose history reached it through the promoted server's WAL."""
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        promoted = dead.replication.peers[0]
+
+        reference_neighbors = {
+            user_id: fleet.find_similar(user_id) for user_id in CONSUMERS
+        }
+        platform.failures.crash_host(dead.name)
+        fleet.handle_server_failure(victim)
+        assert fleet.find_similar(CONSUMERS[0]) == reference_neighbors[CONSUMERS[0]]
+
+        promoted_shard = fleet.servers.index(promoted)
+        served_before = fleet.consumers_served_by(promoted)
+        assert served_before  # owns its own shard plus the adopted one
+        platform.failures.crash_host(promoted.name)
+        _poison(promoted.user_db)
+        moved = fleet.handle_server_failure(promoted_shard)
+
+        assert moved == len(served_before)
+        assert fleet.lost_consumers == 0
+        survivor = next(
+            server for server in fleet.servers
+            if server.context.host.is_running
+        )
+        for user_id in CONSUMERS:
+            assert fleet.server_for(user_id) is survivor
+            assert fleet.find_similar(user_id) == reference_neighbors[user_id]
+
+
+class TestAdoptedStateIsDurable:
+    def test_adopted_login_history_reaches_the_promoted_servers_replicas(self):
+        """The adopted consumers' aggregate login history is durable state:
+        it must flow through the promoted server's WAL to its own replicas,
+        not just be patched into its live UserDB."""
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        doomed = fleet.consumers_of(victim)
+        expected = {
+            user_id: (
+                dead.user_db.user(user_id).logins,
+                dead.user_db.user(user_id).last_login_at,
+            )
+            for user_id in doomed
+        }
+        assert any(logins > 0 for logins, _ in expected.values())
+
+        platform.failures.crash_host(dead.name)
+        _poison(dead.user_db)
+        fleet.handle_server_failure(victim)
+        promoted = fleet.server_for(doomed[0])
+        platform.scheduler.run_for(
+            platform.config.replication_anti_entropy_interval_ms
+        )
+
+        peer = promoted.replication.peers[0]
+        replica = peer.replication.hosted[promoted.name]
+        assert promoted.replication.lag_of(peer.name) == 0
+        for user_id in doomed:
+            live = promoted.user_db.user(user_id)
+            assert (live.logins, live.last_login_at) == expected[user_id]
+            shadow = replica.db.user(user_id)
+            assert (shadow.logins, shadow.last_login_at) == expected[user_id]
+
+
+class TestDoubleFailure:
+    def test_falls_back_to_next_freshest_replica(self):
+        """Primary and its freshest replica both down: the next-freshest
+        holder is promoted and every replicated consumer survives."""
+        platform = _build(num_buyer_servers=4, replication_factor=2)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        doomed = fleet.consumers_of(victim)
+        assert doomed
+        first_peer, second_peer = dead.replication.peers
+        reference_state = {
+            user_id: _consumer_state(dead.user_db, user_id) for user_id in doomed
+        }
+
+        platform.failures.crash_host(dead.name)
+        platform.failures.crash_host(first_peer.name)
+        _poison(dead.user_db)
+        _poison(first_peer.user_db)
+        moved = fleet.handle_server_failure(victim)
+
+        assert moved == len(doomed)
+        assert fleet.lost_consumers == 0
+        for user_id in doomed:
+            owner = fleet.server_for(user_id)
+            assert owner is second_peer
+            assert _consumer_state(owner.user_db, user_id) == reference_state[user_id]
+
+    def test_consumers_beyond_every_live_replica_are_lost(self):
+        """State that only ever reached now-dead replicas is reported lost,
+        never resurrected empty."""
+        platform = _build(num_buyer_servers=4, replication_factor=2)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        first_peer, second_peer = dead.replication.peers
+        survivors_before = fleet.consumers_of(victim)
+
+        # The second peer stops receiving anything; an orphan registers whose
+        # state therefore only reaches the first peer.
+        platform.network.cut_link(dead.name, second_peer.name, both_ways=False)
+        orphan = next(
+            f"orphan-{index}"
+            for index in range(1000)
+            if fleet.router.shard_for_user(f"orphan-{index}") == victim
+        )
+        platform.login(orphan).logout()
+        assert fleet.shard_of(orphan) == victim
+        assert dead.replication.lag_of(second_peer.name) > 0
+
+        # Now both the primary and the only replica that knew the orphan die.
+        platform.failures.crash_host(dead.name)
+        platform.failures.crash_host(first_peer.name)
+        _poison(dead.user_db)
+        _poison(first_peer.user_db)
+        moved = fleet.handle_server_failure(victim)
+
+        assert moved == len(survivors_before)
+        assert fleet.lost_consumers == 1
+        assert not fleet.is_registered(orphan)
+        lost_events = platform.event_log.by_category("fleet.consumer-lost")
+        assert [event.payload["user_id"] for event in lost_events] == [orphan]
+        # The lost consumer can register afresh on a live server.
+        platform.login(orphan).logout()
+        assert fleet.server_for(orphan).context.host.is_running
+
+
+class TestPromotionRecovery:
+    def test_recovered_host_is_purged_and_ownership_stays_promoted(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        promoted = dead.replication.peers[0]
+        doomed = fleet.consumers_of(victim)
+
+        platform.failures.crash_host(dead.name)
+        fleet.handle_server_failure(victim)
+        platform.failures.recover_host(dead.name)
+        purged = fleet.handle_server_recovery(victim)
+
+        assert purged == len(doomed)
+        for user_id in doomed:
+            assert not dead.user_db.is_registered(user_id)
+        # Ownership is stable: a new consumer hashing to the victim shard is
+        # served by the promoted server, not clawed back by the rejoiner.
+        rejoiner = next(
+            f"rejoin-{index}"
+            for index in range(1000)
+            if fleet.router.shard_for_user(f"rejoin-{index}") == victim
+        )
+        platform.login(rejoiner).logout()
+        assert fleet.server_for(rejoiner) is promoted
+        # Nobody is scored twice after recovery.
+        for user_id in CONSUMERS:
+            neighbors = fleet.find_similar(user_id)
+            ids = [uid for uid, _ in neighbors]
+            assert len(ids) == len(set(ids))
+        # The recovered host dropped replicas for primaries that no longer
+        # stream to it (they retargeted while it was down).
+        for primary in fleet.servers:
+            if primary is dead:
+                continue
+            if dead.name in {peer.name for peer in primary.replication.peers}:
+                continue
+            assert primary.name not in dead.replication.hosted
+
+    def test_recovered_host_rejoins_the_replication_ring(self):
+        """Recovery is not dead weight: primaries whose ideal ring successor
+        is the recovered host swap their stand-in peer back for it, the new
+        replica converges, and the host is a viable promotion target for the
+        next failure."""
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        # With factor 1 and ring wiring, the dead host's predecessor ideally
+        # streams to it.
+        predecessor = next(
+            server for server in fleet.servers
+            if any(peer is dead for peer in server.replication.peers)
+        )
+
+        platform.failures.crash_host(dead.name)
+        fleet.handle_server_failure(victim)
+        # While down, the predecessor streams to a stand-in, not the dead host.
+        assert not any(peer is dead for peer in predecessor.replication.peers)
+
+        platform.failures.recover_host(dead.name)
+        fleet.handle_server_recovery(victim)
+
+        # The predecessor swapped back, the CA agrees, and the new replica
+        # has fully caught up (snapshot/full-log bootstrap on rewire).
+        assert any(peer is dead for peer in predecessor.replication.peers)
+        assert predecessor.replication.lag_of(dead.name) == 0
+        # The stand-in's replica of the predecessor was discarded at swap
+        # time — no orphaned frozen shadow state accumulates.
+        for stand_in in fleet.servers:
+            if stand_in in (dead, predecessor):
+                continue
+            if any(peer is stand_in for peer in predecessor.replication.peers):
+                continue
+            assert predecessor.name not in stand_in.replication.hosted
+        topology = platform.coordinator.topology()
+        assert dead.name in topology["replica_map"][predecessor.name]
+        state = dead.replication.hosted[predecessor.name]
+        assert state.applied_seq == predecessor.replication.log.last_seq
+        assert set(state.db.user_ids) == set(predecessor.user_db.user_ids)
+
+        # And the recovered host really can be promoted when its primary dies.
+        platform.failures.crash_host(predecessor.name)
+        _poison(predecessor.user_db)
+        moved = fleet.handle_server_failure(fleet.servers.index(predecessor))
+        assert moved > 0
+        for user_id in fleet.consumers_served_by(dead):
+            assert fleet.server_for(user_id) is dead
+
+
+class TestQuorumReads:
+    def test_crashed_shard_is_answered_from_its_freshest_replica(self):
+        """Before any failover runs, a fleet query answers the dead shard
+        from its replica — byte-identical when the replica was caught up —
+        and reports it stale instead of unreachable."""
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+
+        target = next(
+            user_id for user_id in CONSUMERS if fleet.shard_of(user_id) != victim
+        )
+        full = fleet.query_similar(target)
+        assert not full.degraded
+
+        platform.failures.crash_host(dead.name)
+        _poison(dead.user_db)
+        result = fleet.query_similar(target)
+
+        assert result.degraded
+        assert result.unreachable_shards == ()
+        assert result.stale_shards == {dead.name: 0}  # replica was caught up
+        assert result.neighbors == full.neighbors  # nothing was actually stale
+
+    def test_target_on_a_crashed_shard_is_resolved_from_the_replica(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        target = fleet.consumers_of(victim)[0]
+        full = fleet.query_similar(target)
+
+        platform.failures.crash_host(dead.name)
+        _poison(dead.user_db)
+        result = fleet.query_similar(target)
+
+        assert result.degraded
+        assert dead.name in result.stale_shards
+        assert result.neighbors == full.neighbors
+
+    def test_partitioned_shard_reports_its_exact_lag(self):
+        """A partitioned (but running) primary's log is readable, so the
+        stale answer carries the exact replica lag."""
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        isolated = fleet.servers[victim]
+        peer = isolated.replication.peers[0]
+        target = next(
+            user_id for user_id in CONSUMERS if fleet.shard_of(user_id) != victim
+        )
+
+        # Cut replication first so the replica lags, then partition the
+        # primary away from everyone: queries must fall back to the replica.
+        platform.network.cut_link(isolated.name, peer.name, both_ways=False)
+        _drive_workload(platform)
+        expected_lag = isolated.replication.lag_of(peer.name)
+        assert expected_lag > 0
+        others = [s.name for s in fleet.servers if s is not isolated]
+        platform.failures.partition([isolated.name], others)
+
+        result = fleet.query_similar(target)
+        assert result.stale_shards == {isolated.name: expected_lag}
+
+    def test_drained_shard_is_not_answered_from_its_consumed_replica(self):
+        """After a drain the dead shard's community lives on survivors' live
+        shards; answering from the consumed replica would score everyone
+        twice with frozen pre-drain state.  PR-3 behavior is preserved: the
+        shard is skipped and the query is not marked stale."""
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        reference = {user_id: fleet.find_similar(user_id) for user_id in CONSUMERS}
+
+        platform.failures.crash_host(dead.name)
+        fleet.handle_server_failure(victim, strategy="drain")
+        result = fleet.query_similar(CONSUMERS[0])
+
+        assert result.stale_shards == {}
+        assert result.unreachable_shards == (dead.name,)
+        # Every consumer is scored exactly once, from their live owner.
+        for user_id in CONSUMERS:
+            assert fleet.find_similar(user_id) == reference[user_id]
+
+    def test_is_registered_never_reads_the_dead_hosts_memory(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        doomed = fleet.consumers_of(victim)
+
+        platform.failures.crash_host(dead.name)
+        _poison(dead.user_db)
+        # Resolved from the live replica, not the poisoned dead UserDB.
+        for user_id in doomed:
+            assert fleet.is_registered(user_id)
+        assert not fleet.is_registered("never-registered")
+
+    def test_unreplicated_crashed_shard_stays_unreachable(self):
+        platform = _build()  # no replication wired
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        target = next(
+            user_id for user_id in CONSUMERS if fleet.shard_of(user_id) != victim
+        )
+        platform.failures.crash_host(dead.name)
+
+        result = fleet.query_similar(target)
+        assert result.unreachable_shards == (dead.name,)
+        assert result.stale_shards == {}
+
+
+class TestFleetUnavailable:
+    def test_routing_with_every_server_down_raises_clearly(self):
+        platform = _build()
+        fleet = platform.fleet
+        for server in fleet.servers:
+            platform.failures.crash_host(server.name)
+        with pytest.raises(FleetUnavailableError):
+            fleet.register_consumer("nobody-home")
+        with pytest.raises(FleetUnavailableError):
+            fleet.shard_of("still-nobody-home")
+
+    def test_drain_with_all_survivors_down_raises_clearly(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        assert fleet.consumers_of(victim)
+        for server in fleet.servers:
+            platform.failures.crash_host(server.name)
+        with pytest.raises(FleetUnavailableError):
+            fleet.handle_server_failure(victim, use_replicas=False)
+
+
+class TestPromotionScenario:
+    def test_promotion_failover_day_end_to_end(self):
+        platform = _build(replication_factor=1)
+        runner = ScenarioRunner(
+            platform, ConsumerPopulation(12, groups=3, seed=11), seed=11
+        )
+        report = runner.promotion_failover_day(
+            sessions=24, refresh_interval_ms=1000.0
+        )
+        assert report.sessions == 24
+        assert report.lost_consumers == 0
+        assert report.promoted_consumers > 0
+        assert report.stale_shard_answers > 0
+        assert report.recovered_purged == report.promoted_consumers
+        assert report.batch_refreshes > 0
+        events = platform.event_log.by_category("fleet.failover-promotion")
+        assert len(events) == 1
+        assert events[0].payload["adopted"] == report.promoted_consumers
+        assert platform.event_log.by_category("fleet.failover-drain") == []
+        victim = platform.fleet.servers[0]
+        assert victim.context.host.is_running  # recovered by the scenario
+
+    def test_scenario_requires_fleet_and_replication(self):
+        from repro.errors import WorkloadError
+
+        single = build_platform(seed=3)
+        runner = ScenarioRunner(single, ConsumerPopulation(4, seed=3), seed=3)
+        with pytest.raises(WorkloadError):
+            runner.promotion_failover_day(sessions=3)
+
+        unreplicated = build_platform(seed=3, num_buyer_servers=2)
+        runner = ScenarioRunner(
+            unreplicated, ConsumerPopulation(4, seed=3), seed=3
+        )
+        with pytest.raises(WorkloadError):
+            runner.promotion_failover_day(sessions=3)

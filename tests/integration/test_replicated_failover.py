@@ -94,7 +94,7 @@ class TestReplicaOnlyDrain:
         platform.failures.crash_host(dead.name)
         _poison(dead.user_db)
 
-        moved = fleet.handle_server_failure(victim)
+        moved = fleet.handle_server_failure(victim, strategy="drain")
 
         assert moved == len(doomed)
         assert fleet.lost_consumers == 0
@@ -110,8 +110,10 @@ class TestReplicaOnlyDrain:
             assert fleet.find_similar(user_id) == reference_neighbors[user_id]
 
     def test_replica_drain_equals_legacy_memory_drain(self):
-        """The replica path reconstructs exactly what reading the dead host's
-        memory would have produced — recommendations included."""
+        """The replica drain reconstructs exactly what reading the dead host's
+        memory would have produced — recommendations included.  (The drain
+        strategy is requested explicitly: the default failover is now the
+        promotion path, pinned by test_promotion_failover.py.)"""
         replica_run = _build(replication_factor=1)
         memory_run = _build(replication_factor=1)
         _drive_workload(replica_run)
@@ -121,7 +123,9 @@ class TestReplicaOnlyDrain:
         assert victim == _victim_shard(memory_run.fleet)
         for platform, use_replicas in ((replica_run, True), (memory_run, False)):
             platform.failures.crash_host(platform.fleet.servers[victim].name)
-            platform.fleet.handle_server_failure(victim, use_replicas=use_replicas)
+            platform.fleet.handle_server_failure(
+                victim, use_replicas=use_replicas, strategy="drain"
+            )
 
         for user_id in CONSUMERS:
             replica_owner = replica_run.fleet.server_for(user_id)
@@ -148,7 +152,7 @@ class TestReplicaOnlyDrain:
 
         victim = _victim_shard(fleet_run.fleet)
         fleet_run.failures.crash_host(fleet_run.fleet.servers[victim].name)
-        fleet_run.fleet.handle_server_failure(victim)
+        fleet_run.fleet.handle_server_failure(victim, strategy="drain")
 
         reference_db = reference.buyer_server.user_db
         config = reference.buyer_server.recommendations.similarity_config
@@ -219,7 +223,7 @@ class TestFreshestReplicaWins:
 
         platform.failures.crash_host(dead.name)
         _poison(dead.user_db)
-        moved = fleet.handle_server_failure(victim)
+        moved = fleet.handle_server_failure(victim, strategy="drain")
 
         assert moved == len(doomed)
         assert fleet.lost_consumers == 0
@@ -256,7 +260,7 @@ class TestLostConsumers:
 
         platform.failures.crash_host(dead.name)
         _poison(dead.user_db)
-        moved = fleet.handle_server_failure(victim)
+        moved = fleet.handle_server_failure(victim, strategy="drain")
 
         # Everyone whose state reached the replica survives; the orphan is
         # reported lost, not resurrected empty.
@@ -272,6 +276,10 @@ class TestLostConsumers:
 
 class TestRecovery:
     def test_recovered_server_is_purged_and_rejoins(self):
+        """Drain-strategy recovery: the recovered server keeps its shard, so
+        new registrations hash back to it (promotion-strategy recovery —
+        where ownership stays with the promoted server — is pinned in
+        test_promotion_failover.py)."""
         platform = _build(replication_factor=1)
         fleet = platform.fleet
         _drive_workload(platform)
@@ -280,7 +288,7 @@ class TestRecovery:
         dead = fleet.servers[victim]
         doomed = fleet.consumers_of(victim)
         platform.failures.crash_host(dead.name)
-        fleet.handle_server_failure(victim)
+        fleet.handle_server_failure(victim, strategy="drain")
 
         platform.failures.recover_host(dead.name)
         purged = fleet.handle_server_recovery(victim)

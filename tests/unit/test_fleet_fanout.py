@@ -7,9 +7,13 @@ the merge cost (never the sum), per-shard timings land in platform metrics,
 and shards that cannot answer are *reported* — not silently skipped.
 """
 
+import itertools
+
 import pytest
 
-from repro.core.sharding import merge_topk
+from repro.core.profile import Profile
+from repro.core.sharding import ShardedNeighborIndex, merge_topk
+from repro.core.similarity import SimilarityConfig, find_similar_users
 from repro.ecommerce.platform_builder import build_platform
 
 
@@ -35,6 +39,67 @@ class TestMergeTopkToleratesNone:
 
     def test_all_none_merges_empty(self):
         assert merge_topk([None, None], 5) == []
+
+
+def _tied_profile(user_id, preference=3.0, term_weight=1.5):
+    """Profiles that are exact clones except for their id: guaranteed score ties."""
+    profile = Profile(user_id)
+    profile.category("books").preference = preference
+    profile.category("books").terms.set("fantasy", term_weight)
+    return profile
+
+
+class TestMergeTopkTieBreaking:
+    """Regression for the tie-break satellite: equal-score candidates must
+    order deterministically by user id, independent of shard count and of
+    the order the per-shard responses arrive in."""
+
+    def test_ties_order_by_user_id_for_every_arrival_order(self):
+        lists = [
+            [("delta", 0.5), ("alpha", 0.25)],
+            [("bravo", 0.5), ("echo", 0.25)],
+            [("charlie", 0.5)],
+        ]
+        expected = [("bravo", 0.5), ("charlie", 0.5), ("delta", 0.5), ("alpha", 0.25)]
+        for permutation in itertools.permutations(lists):
+            assert merge_topk(list(permutation), 4) == expected
+
+    def test_tie_at_the_topk_boundary_keeps_the_smallest_ids(self):
+        lists = [[("zed", 0.5)], [("amy", 0.5)], [("moe", 0.5)]]
+        for permutation in itertools.permutations(lists):
+            assert merge_topk(list(permutation), 2) == [("amy", 0.5), ("moe", 0.5)]
+
+    def test_duplicate_user_across_lists_is_scored_once_with_its_best_score(self):
+        """A stale replica answering for an unreachable shard can report a
+        consumer their new owner also reported: the duplicate must collapse
+        instead of occupying two top-k slots."""
+        lists = [
+            [("ann", 0.9), ("bob", 0.4)],
+            [("ann", 0.7), ("cat", 0.6)],  # stale copy of ann, lower score
+        ]
+        merged = merge_topk(lists, 3)
+        assert merged == [("ann", 0.9), ("cat", 0.6), ("bob", 0.4)]
+        assert merge_topk(list(reversed(lists)), 3) == merged
+
+    @pytest.mark.parametrize("num_shards", range(1, 9))
+    def test_sharded_queries_with_deliberate_ties_match_brute_force(self, num_shards):
+        """Shard counts 1-8 over a population full of exact clones: the
+        sharded result must equal brute force byte for byte even though
+        every clone ties."""
+        config = SimilarityConfig(top_k=6)
+        # Three tie groups of five clones each; ids interleaved so shard
+        # routing scatters each group across shards.
+        profiles = [
+            _tied_profile(f"user-{group}-{index}", preference=2.0 + group)
+            for index in range(5)
+            for group in range(3)
+        ]
+        target = _tied_profile("target", preference=3.0)
+        index = ShardedNeighborIndex(
+            profiles=profiles, config=config, num_shards=num_shards
+        )
+        brute = find_similar_users(target, profiles, config)
+        assert index.find_similar(target, config=config) == brute
 
 
 class TestClockAccounting:

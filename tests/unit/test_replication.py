@@ -15,6 +15,10 @@ from repro.ecommerce.replication import ReplicaState, ReplicationLog
 from repro.ecommerce.transactions import TransactionKind, TransactionRecord
 
 
+def _profile_dicts(db):
+    return {profile.user_id: profile.to_dict() for profile in db.profiles()}
+
+
 def _entry_payloads(user_id="ann"):
     """An ordered, applicable mutation history for one consumer."""
     profile = Profile(user_id)
@@ -102,6 +106,21 @@ class TestReplicaState:
         state = ReplicaState("primary")
         with pytest.raises(ReplicationError):
             state.apply_entries(log.entries_since(0))
+
+    def test_login_stats_restore_applies(self):
+        """The promotion path replicates adopted login aggregates as a
+        durable ``login-stats`` op."""
+        log = self._filled_log()
+        log.append(
+            "login-stats",
+            {"user_id": "ann", "logins": 7, "last_login_at": 42.0},
+            timestamp=8.0,
+        )
+        state = ReplicaState("primary")
+        state.apply_entries(log.entries_since(0))
+        record = state.db.user("ann")
+        assert record.logins == 7
+        assert record.last_login_at == 42.0
 
     def test_unregister_round_trips(self):
         log = self._filled_log()
@@ -214,6 +233,230 @@ class TestStreamingReplication:
             first.replication.start_anti_entropy(500.0)  # already scheduled
 
 
+class TestLogTruncation:
+    def _filled_log(self):
+        log = ReplicationLog()
+        for op, payload in _entry_payloads():
+            log.append(op, payload, timestamp=0.0)
+        return log
+
+    def test_truncate_keeps_sequence_numbers_and_drops_storage(self):
+        log = self._filled_log()
+        assert log.truncate_through(3) == 3
+        assert log.truncated_seq == 3
+        assert log.last_seq == 5
+        assert len(log) == 2
+        assert [e.seq for e in log.entries_since(3)] == [4, 5]
+        # Appending continues the original numbering.
+        entry = log.append("login", {"user_id": "ann", "timestamp": 9.0}, 9.0)
+        assert entry.seq == 6
+
+    def test_entries_below_the_truncation_point_are_refused(self):
+        log = self._filled_log()
+        log.truncate_through(3)
+        with pytest.raises(ReplicationError):
+            log.entries_since(2)
+
+    def test_truncating_past_the_log_or_backwards_is_refused(self):
+        log = self._filled_log()
+        with pytest.raises(ReplicationError):
+            log.truncate_through(6)
+        log.truncate_through(4)
+        assert log.truncate_through(4) == 0  # idempotent no-op
+        assert log.truncate_through(2) == 0  # never regress
+
+
+class TestBoundedWal:
+    def _busy_platform(self, threshold=5, sessions=6):
+        platform = build_platform(
+            seed=11, num_buyer_servers=3, replication_factor=1,
+            replication_wal_truncate_threshold=threshold,
+        )
+        keyword = next(iter(platform.catalog_view())).terms[0][0]
+        for _ in range(sessions):
+            session = platform.login("ann")
+            results = session.query(keyword)
+            if results:
+                session.buy(results[0].item, marketplace=results[0].marketplace)
+            session.logout()
+        return platform
+
+    def test_anti_entropy_truncates_the_acknowledged_prefix(self):
+        platform = self._busy_platform(threshold=5)
+        fleet = platform.fleet
+        owner = fleet.server_for("ann")
+        manager = owner.replication
+        appended = manager.log.last_seq
+        assert appended > 5  # enough traffic to cross the threshold
+        assert manager.lag_of(manager.peers[0].name) == 0
+
+        platform.scheduler.run_for(
+            platform.config.replication_anti_entropy_interval_ms
+        )
+
+        assert manager.log.truncated_seq == appended
+        assert len(manager.log) == 0
+        assert manager.snapshot is not None
+        assert manager.snapshot.seq >= appended
+        assert platform.event_log.count("replication.wal-truncated") >= 1
+        assert (
+            platform.metrics.counter("replication.wal.truncated_entries").value
+            >= appended
+        )
+
+    def test_truncation_never_drops_unacknowledged_entries(self):
+        """The satellite invariant: a lagging peer holds truncation back."""
+        platform = self._busy_platform(threshold=3)
+        fleet = platform.fleet
+        owner = fleet.server_for("ann")
+        manager = owner.replication
+        peer = manager.peers[0]
+
+        # Flush what is already acknowledged, then lag the peer.
+        platform.scheduler.run_for(
+            platform.config.replication_anti_entropy_interval_ms
+        )
+        acked_before = manager.acked_seq(peer.name)
+        platform.failures.partition([owner.name], [peer.name])
+        session = platform.login("ann")
+        session.query("book")
+        session.logout()
+        assert manager.lag_of(peer.name) > 0
+
+        # Anti-entropy keeps running but must not truncate past the lagging
+        # peer's acknowledgement — those entries are its only way back.
+        platform.scheduler.run_for(
+            3 * platform.config.replication_anti_entropy_interval_ms
+        )
+        assert manager.log.truncated_seq <= acked_before
+        assert [e.seq for e in manager.log.entries_since(manager.log.truncated_seq)]
+
+        # Heal: the peer catches up from the retained suffix, byte for byte,
+        # and truncation resumes.
+        platform.failures.heal()
+        platform.scheduler.run_for(
+            2 * platform.config.replication_anti_entropy_interval_ms
+        )
+        assert manager.lag_of(peer.name) == 0
+        replica = peer.replication.hosted[owner.name]
+        assert _profile_dicts(replica.db) == _profile_dicts(owner.user_db)
+        # Truncation resumed: at most one sub-threshold tail is retained.
+        assert manager.log.truncated_seq > acked_before or len(manager.log) < 3
+        assert len(manager.log) < 3
+
+    def test_peer_crash_during_catch_up_defers_and_preserves_entries(self):
+        """A peer that dies mid-catch-up loses nothing: shipments defer, the
+        suffix stays in the log, and recovery converges byte-identically."""
+        platform = self._busy_platform(threshold=3)
+        fleet = platform.fleet
+        owner = fleet.server_for("ann")
+        manager = owner.replication
+        peer = manager.peers[0]
+
+        platform.failures.partition([owner.name], [peer.name])
+        session = platform.login("ann")
+        session.query("book")
+        session.logout()
+        platform.failures.heal()
+        # Mid-catch-up the peer crashes outright.
+        platform.failures.crash_host(peer.name)
+        deferred_before = platform.metrics.counter("replication.deferred").value
+        platform.scheduler.run_for(
+            2 * platform.config.replication_anti_entropy_interval_ms
+        )
+        assert platform.metrics.counter("replication.deferred").value > deferred_before
+        assert manager.lag_of(peer.name) > 0
+        acked = manager.acked_seq(peer.name)
+        assert manager.log.truncated_seq <= acked
+
+        platform.failures.recover_host(peer.name)
+        platform.scheduler.run_for(
+            2 * platform.config.replication_anti_entropy_interval_ms
+        )
+        assert manager.lag_of(peer.name) == 0
+        replica = peer.replication.hosted[owner.name]
+        assert _profile_dicts(replica.db) == _profile_dicts(owner.user_db)
+
+    def test_new_peer_after_truncation_bootstraps_from_the_snapshot(self):
+        """A peer wired after the acknowledged prefix was truncated cannot
+        replay from seq 1 — it receives the snapshot, then the tail."""
+        platform = self._busy_platform(threshold=3)
+        fleet = platform.fleet
+        owner = fleet.server_for("ann")
+        manager = owner.replication
+        platform.scheduler.run_for(
+            platform.config.replication_anti_entropy_interval_ms
+        )
+        assert manager.log.truncated_seq > 0
+
+        newcomer = next(
+            server for server in fleet.servers
+            if server is not owner
+            and all(peer is not server for peer in manager.peers)
+        )
+        state = manager.replicate_to(newcomer)
+
+        assert state.applied_seq == manager.log.last_seq
+        assert manager.lag_of(newcomer.name) == 0
+        assert _profile_dicts(state.db) == _profile_dicts(owner.user_db)
+        assert (
+            platform.metrics.counter("replication.snapshots_shipped").value >= 1
+        )
+        assert platform.event_log.count("replication.snapshot-bootstrap") >= 1
+
+    def test_snapshot_bootstrap_equals_entry_replay(self):
+        """Replaying entries 1..n and bootstrapping from a snapshot at n
+        produce byte-identical replicas."""
+        platform = self._busy_platform(threshold=0)  # keep the full log
+        fleet = platform.fleet
+        owner = fleet.server_for("ann")
+        manager = owner.replication
+
+        replayed = ReplicaState(owner.name)
+        replayed.apply_entries(manager.log.entries_since(0))
+        bootstrapped = ReplicaState(owner.name)
+        bootstrapped.bootstrap(manager._capture_snapshot())
+
+        assert bootstrapped.applied_seq == replayed.applied_seq
+        assert _profile_dicts(bootstrapped.db) == _profile_dicts(replayed.db)
+        assert bootstrapped.db.user_ids == replayed.db.user_ids
+        for user_id in replayed.db.user_ids:
+            assert (
+                bootstrapped.db.ratings.interactions_of(user_id)
+                == replayed.db.ratings.interactions_of(user_id)
+            )
+            assert (
+                bootstrapped.db.transactions_of(user_id)
+                == replayed.db.transactions_of(user_id)
+            )
+            boot_record = bootstrapped.db.user(user_id)
+            replay_record = replayed.db.user(user_id)
+            assert boot_record.logins == replay_record.logins
+            assert boot_record.last_login_at == replay_record.last_login_at
+
+    def test_replica_never_regresses_to_an_older_snapshot(self):
+        platform = self._busy_platform(threshold=0)
+        owner = platform.fleet.server_for("ann")
+        manager = owner.replication
+        snapshot = manager._capture_snapshot()
+        state = ReplicaState(owner.name)
+        state.apply_entries(manager.log.entries_since(0))
+        session = platform.login("ann")
+        session.logout()
+        state.apply_entries(manager.log.entries_since(state.applied_seq))
+        with pytest.raises(ReplicationError):
+            state.bootstrap(snapshot)
+
+    def test_zero_threshold_disables_truncation(self):
+        platform = self._busy_platform(threshold=0)
+        owner = platform.fleet.server_for("ann")
+        platform.scheduler.run_for(
+            5 * platform.config.replication_anti_entropy_interval_ms
+        )
+        assert owner.replication.log.truncated_seq == 0
+        assert len(owner.replication.log) == owner.replication.log.last_seq
+
+
 class TestPlatformConfigValidation:
     def test_replication_factor_needs_enough_servers(self):
         config = PlatformConfig(num_buyer_servers=2, replication_factor=2)
@@ -222,6 +465,11 @@ class TestPlatformConfigValidation:
 
     def test_negative_factor_rejected(self):
         config = PlatformConfig(replication_factor=-1)
+        with pytest.raises(ECommerceError):
+            config.validate()
+
+    def test_negative_truncate_threshold_rejected(self):
+        config = PlatformConfig(replication_wal_truncate_threshold=-1)
         with pytest.raises(ECommerceError):
             config.validate()
 
