@@ -277,6 +277,49 @@ def test_shard_sweep(experiment_reporter):
         )
 
 
+def test_tight_term_bound_skips_no_fewer(experiment_reporter):
+    """The Hölder-tightened term bound must only ever skip *more* candidates.
+
+    Runs the same query plan through two early-terminating indexes — one
+    with the plain Cauchy-Schwarz ceiling (term cosine bounded by 1), one
+    with the cached L1/L-inf Hölder tightening — and asserts identical
+    rankings with a skip count that does not decrease.  Part of the CI
+    smoke: a regression that loosens the bound (or breaks its correctness)
+    fails here before it costs query latency in production configurations.
+    """
+    dataset, profiles = _build_profiles(POPULATION_SIZES[0])
+    config = SimilarityConfig(top_k=10)
+    plan = _query_plan(dataset, profiles)
+
+    def run(tight: bool):
+        index = ProfileNeighborIndex(
+            provider=profiles.values,
+            config=config,
+            early_termination=True,
+            tight_term_bound=tight,
+        )
+        index.sync()
+        rankings = [
+            index.find_similar(target, category=category)
+            for target, category in plan
+        ]
+        return rankings, index.bound_skips
+
+    plain_rankings, plain_skips = run(tight=False)
+    tight_rankings, tight_skips = run(tight=True)
+    assert tight_rankings == plain_rankings, (
+        "the tightened term bound changed a ranking — it must be score-identical"
+    )
+    assert tight_skips >= plain_skips, (
+        f"tight bound skipped {tight_skips} candidates, fewer than the plain "
+        f"Cauchy-Schwarz bound's {plain_skips}"
+    )
+    print(
+        f"\nnorm-bound skips over {len(plan)} queries at "
+        f"{POPULATION_SIZES[0]} consumers: plain={plain_skips} tight={tight_skips}"
+    )
+
+
 @pytest.mark.parametrize("consumers", [POPULATION_SIZES[0]])
 def test_indexed_query_cost(benchmark, consumers):
     """pytest-benchmark timing table for one indexed query at steady state."""

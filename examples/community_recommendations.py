@@ -7,6 +7,10 @@ recommendation information that comes from the consumers most similar to them
 baselines (pure collaborative filtering, pure information filtering,
 popularity) on the offline quality benchmark.
 
+All live traffic goes through the platform gateway: the warm-up scenario
+drives sessions with it internally, and the similar-consumer lookup uses
+``gateway.find_similar`` — the same envelope a production client would see.
+
 Run with::
 
     python examples/community_recommendations.py
@@ -15,7 +19,6 @@ Run with::
 from __future__ import annotations
 
 from repro import build_platform
-from repro.core.similarity import SimilarityConfig, find_similar_users
 from repro.experiments import (
     build_standard_dataset,
     build_standard_recommenders,
@@ -30,6 +33,7 @@ def live_platform_demo() -> None:
     """Run a consumer community through the live agent platform."""
     platform = build_platform(num_marketplaces=2, num_sellers=3,
                               items_per_seller=30, seed=19)
+    gateway = platform.gateway()
     population = ConsumerPopulation(12, groups=3, seed=20)
     runner = ScenarioRunner(platform, population, seed=21)
 
@@ -41,22 +45,21 @@ def live_platform_demo() -> None:
 
     # One consumer comes back; who does the mechanism consider similar?
     target = population.consumers()[0]
-    user_db = platform.buyer_server.user_db
-    profile = user_db.profile(target.user_id)
-    neighbours = find_similar_users(profile, user_db.profiles(), SimilarityConfig(top_k=5))
-    print(f"Consumers most similar to {target.user_id} (taste group {target.group}):")
-    for neighbour_id, similarity in neighbours:
+    gateway.login(target.user_id)
+    similar = gateway.find_similar(target.user_id)
+    print(f"Consumers most similar to {target.user_id} "
+          f"(taste group {target.group}, envelope status={similar.status}):")
+    for neighbour_id, similarity in similar.result.neighbors[:5]:
         group = population.consumer(neighbour_id).group
         marker = "same group" if group == target.group else f"group {group}"
         print(f"  {neighbour_id:<16s} similarity={similarity:.3f}  ({marker})")
     print()
 
-    session = platform.login(target.user_id)
-    recommendations = session.recommendations(k=8)
+    recommendations = gateway.recommendations(target.user_id, k=8)
     print(f"Recommendations for {target.user_id}:")
-    for rec in recommendations:
+    for rec in recommendations.result.recommendations:
         print(f"  {rec.item_id:<22s} score={rec.score:.3f}  ({rec.reason})")
-    session.logout()
+    gateway.logout(target.user_id)
     print()
 
 

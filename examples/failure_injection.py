@@ -4,8 +4,9 @@ The paper motivates mobile agents with robustness and fault tolerance (§1).
 This example crashes one marketplace mid-shopping-session and shows that the
 recommendation mechanism simply drops it from the Mobile Buyer Agent's
 itinerary (the consumer still gets results from the survivors), that an
-outage of *every* marketplace is reported as a clean error, and that full
-coverage returns once the host recovers.
+outage of *every* marketplace comes back as a clean ``failed`` envelope with
+a structured error — the gateway never raises at a client — and that full
+coverage returns once the hosts recover.
 
 Run with::
 
@@ -15,18 +16,19 @@ Run with::
 from __future__ import annotations
 
 from repro import build_platform
-from repro.errors import ReproError
 
 
 def main() -> None:
     platform = build_platform(num_marketplaces=3, num_sellers=3,
                               items_per_seller=20, seed=29)
-    session = platform.login("carol")
+    gateway = platform.gateway()
+    gateway.login("carol")
 
     all_marketplaces = platform.marketplace_names()
     print(f"Marketplaces online: {all_marketplaces}")
-    results = session.query("books")
-    print(f"Initial query across all marketplaces: {len(results)} items found")
+    response = gateway.query("carol", "books")
+    print(f"Initial query across all marketplaces: "
+          f"{len(response.result.hits)} items found (status={response.status})")
     print()
 
     # -- crash one marketplace ---------------------------------------------------
@@ -34,7 +36,8 @@ def main() -> None:
     platform.failures.crash_host(victim)
     print(f"*** {victim} has crashed ***")
 
-    results = session.query("books")
+    response = gateway.query("carol", "books")
+    results = response.result.hits
     sources = sorted({hit.marketplace for hit in results})
     print(f"The MBA skipped the dead marketplace and still found {len(results)} items "
           f"from {sources}")
@@ -42,30 +45,31 @@ def main() -> None:
     print(f"Event log records the filtered itinerary: skipped={skipped.payload['skipped']}")
     if results:
         best = results[0]
-        purchase = session.buy(best.item, marketplace=best.marketplace)
+        purchase = gateway.buy("carol", best.item, marketplace=best.marketplace)
         print(f"Bought {best.item.name!r} on {best.marketplace} "
-              f"for {purchase.price_paid:.2f} despite the outage")
+              f"for {purchase.result.price_paid:.2f} despite the outage")
     print()
 
     # -- total outage -------------------------------------------------------------
     for name in all_marketplaces[1:]:
         platform.failures.crash_host(name)
     print("*** every marketplace is now down ***")
-    try:
-        session.query("books")
-    except ReproError as exc:
-        print(f"Total outage is reported cleanly: {type(exc).__name__}: {exc}")
+    response = gateway.query("carol", "books")
+    print(f"Total outage is reported cleanly in the envelope: "
+          f"status={response.status} error={response.error.code} "
+          f"({response.error.kind}: {response.error.message})")
     print()
 
     # -- recovery ---------------------------------------------------------------------
     for name in all_marketplaces:
         platform.failures.recover_host(name)
     print("*** all marketplaces have recovered ***")
-    results = session.query("books")
-    print(f"Query across all marketplaces again: {len(results)} items found from "
-          f"{sorted({hit.marketplace for hit in results})}")
+    response = gateway.query("carol", "books")
+    print(f"Query across all marketplaces again: "
+          f"{len(response.result.hits)} items found from "
+          f"{sorted({hit.marketplace for hit in response.result.hits})}")
 
-    session.logout()
+    gateway.logout("carol")
     print()
     print("Network statistics:", platform.network.stats())
 

@@ -3,7 +3,8 @@
 Demonstrates the trading services of §3.2 — information query, negotiation and
 auctions — and capability claim 3 of §5.1: one Mobile Buyer Agent collecting
 merchandise information from more than two marketplaces so the consumer does
-not have to browse and compare prices site by site.
+not have to browse and compare prices site by site.  All operations go
+through the platform gateway and return the uniform envelope.
 
 Run with::
 
@@ -22,15 +23,18 @@ def main() -> None:
     # marketplace carries different merchandise.
     platform = build_platform(num_marketplaces=4, num_sellers=4,
                               items_per_seller=25, seed=11)
-    session = platform.login("bob")
+    gateway = platform.gateway()
+    gateway.login("bob")
 
     # -- multi-marketplace price comparison ------------------------------------
-    results = session.query("books")
+    response = gateway.query("bob", "books")
+    results = response.result.hits
     by_marketplace = defaultdict(list)
     for hit in results:
         by_marketplace[hit.marketplace].append(hit)
     print(f"One MBA itinerary visited {len(by_marketplace)} marketplaces and "
-          f"found {len(results)} book listings:")
+          f"found {len(results)} book listings "
+          f"({response.latency_ms:.2f} ms simulated):")
     for marketplace, hits in sorted(by_marketplace.items()):
         cheapest = min(hits, key=lambda h: h.price)
         print(f"  {marketplace:<16s} {len(hits):>3d} items, cheapest "
@@ -39,47 +43,51 @@ def main() -> None:
 
     if not results:
         print("No books listed — nothing to trade today.")
-        session.logout()
+        gateway.logout("bob")
         return
 
     cheapest_overall = min(results, key=lambda h: h.price)
     priciest = max(results, key=lambda h: h.price)
 
     # -- auction ------------------------------------------------------------------
-    auction = session.join_auction(
-        priciest.item, max_price=priciest.price * 1.3, marketplace=priciest.marketplace
+    auction = gateway.join_auction(
+        "bob", priciest.item, max_price=priciest.price * 1.3,
+        marketplace=priciest.marketplace,
     )
-    outcome = auction.outcome
+    outcome = auction.result.outcome
     print(f"Auction for {priciest.item.name!r} (list {priciest.price:.2f}):")
     print(f"  rounds={outcome.get('rounds')}  bids={outcome.get('bids')}  "
-          f"won={auction.succeeded}"
-          + (f"  paid={auction.price_paid:.2f}" if auction.succeeded else ""))
+          f"won={auction.result.succeeded}"
+          + (f"  paid={auction.result.price_paid:.2f}"
+             if auction.result.succeeded else ""))
     print()
 
     # -- negotiation ----------------------------------------------------------------
-    negotiation = session.negotiate(
-        cheapest_overall.item, max_price=cheapest_overall.price * 0.92,
+    negotiation = gateway.negotiate(
+        "bob", cheapest_overall.item, max_price=cheapest_overall.price * 0.92,
         marketplace=cheapest_overall.marketplace,
     )
     print(f"Negotiation for {cheapest_overall.item.name!r} "
           f"(list {cheapest_overall.price:.2f}):")
-    if negotiation.succeeded:
-        saved = cheapest_overall.price - negotiation.price_paid
-        print(f"  agreed at {negotiation.price_paid:.2f} "
-              f"after {negotiation.outcome.get('rounds')} rounds (saved {saved:.2f})")
+    if negotiation.result.succeeded:
+        saved = cheapest_overall.price - negotiation.result.price_paid
+        print(f"  agreed at {negotiation.result.price_paid:.2f} "
+              f"after {negotiation.result.outcome.get('rounds')} rounds "
+              f"(saved {saved:.2f})")
     else:
-        print(f"  no agreement after {negotiation.outcome.get('rounds')} rounds")
+        print(f"  no agreement after "
+              f"{negotiation.result.outcome.get('rounds')} rounds")
     print()
 
     # -- what the mechanism learned ---------------------------------------------------
-    recommendations = session.recommendations(k=5, category="books")
+    recommendations = gateway.recommendations("bob", k=5, category="books")
     print("Book recommendations after this shopping trip:")
-    for rec in recommendations:
+    for rec in recommendations.result.recommendations:
         print(f"  {rec.item_id:<22s} score={rec.score:.3f}  ({rec.reason})")
 
-    session.logout()
+    gateway.logout("bob")
     print()
-    stats = platform.stats()
+    stats = gateway.admin_stats().result.stats
     print("Marketplace statistics after the session:")
     for name, market_stats in sorted(stats["marketplaces"].items()):
         print(f"  {name:<16s} transactions={int(market_stats['transactions'])} "

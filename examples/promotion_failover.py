@@ -72,13 +72,16 @@ def main() -> None:
         print(f"  {server.name} -> {peers} (lag {lags})")
 
     consumer = population.consumers()[0]
-    result = fleet.query_similar(consumer.user_id)
+    gateway = platform.gateway()
+    response = gateway.find_similar(consumer.user_id)
     print()
-    print(f"query_similar({consumer.user_id!r}) after recovery:")
-    print(f"  neighbours : {[(uid, round(s, 3)) for uid, s in result.neighbors[:5]]}")
-    print(f"  degraded   : {result.degraded} "
-          f"(unreachable: {list(result.unreachable_shards)}, "
-          f"stale: {result.stale_shards})")
+    print(f"gateway.find_similar({consumer.user_id!r}) after recovery:")
+    print(f"  status     : {response.status}")
+    print(f"  neighbours : "
+          f"{[(uid, round(s, 3)) for uid, s in response.result.neighbors[:5]]}")
+    print(f"  degraded   : {response.provenance.degraded} "
+          f"(unreachable: {list(response.provenance.unreachable_shards)}, "
+          f"stale: {response.provenance.stale_shards})")
 
 
 if __name__ == "__main__":

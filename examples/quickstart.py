@@ -1,9 +1,12 @@
 """Quickstart: one consumer using the agent-based recommendation mechanism.
 
 Builds the full e-commerce platform (coordinator, marketplaces, sellers and
-the buyer agent server), logs a consumer in, runs the Figure 4.2 merchandise
-query workflow and the Figure 4.3 purchase workflow, and prints the
-recommendation information the mechanism generates along the way.
+the buyer agent server) and drives it the way every client does: through the
+versioned :class:`~repro.api.gateway.PlatformGateway`.  Every operation —
+login, the Figure 4.2 merchandise query, the Figure 4.3 purchase, the
+recommendation request — returns the same typed
+:class:`~repro.api.envelope.ApiResponse` envelope carrying the result,
+status, simulated latency and provenance.
 
 Run with::
 
@@ -19,6 +22,7 @@ def main() -> None:
     # 1. Assemble the platform: 2 marketplaces, 2 sellers, synthetic merchandise.
     platform = build_platform(num_marketplaces=2, num_sellers=2,
                               items_per_seller=30, seed=7)
+    gateway = platform.gateway()
     print("Platform ready:")
     print(f"  marketplaces : {platform.marketplace_names()}")
     print(f"  catalogue    : {len(platform.catalog_view())} items")
@@ -26,15 +30,18 @@ def main() -> None:
     print()
 
     # 2. A consumer registers and logs in: the mechanism creates their BRA.
-    session = platform.login("alice")
-    print("alice logged in; her Buyer Recommend Agent is", session.bra_id)
+    login = gateway.login("alice")
+    print(f"alice logged in; her Buyer Recommend Agent is {login.result.bra_id}")
+    print(f"  envelope: {login.describe()}")
     print()
 
     # 3. Figure 4.2: query merchandise.  The BRA sends a Mobile Buyer Agent to
     #    every marketplace; the recommendation mechanism ranks what it brings
     #    back and adds discoveries from similar consumers.
-    results = session.query("laptop")
-    print(f"Query 'laptop' -> {len(results)} results from the marketplaces")
+    response = gateway.query("alice", "laptop")
+    results = response.result.hits
+    print(f"Query 'laptop' -> {len(results)} results from the marketplaces "
+          f"(status={response.status}, {response.latency_ms:.2f} ms simulated)")
     for hit in results[:5]:
         print(f"  {hit.item.name:<38s} {hit.price:>8.2f}  @ {hit.marketplace}")
     print()
@@ -42,31 +49,39 @@ def main() -> None:
     # 4. Figure 4.3: buy the best hit, then bargain for another item.
     if results:
         best = results[0]
-        purchase = session.buy(best.item, marketplace=best.marketplace)
-        print(f"Bought {best.item.name!r} for {purchase.price_paid:.2f} "
+        purchase = gateway.buy("alice", best.item, marketplace=best.marketplace)
+        print(f"Bought {best.item.name!r} for {purchase.result.price_paid:.2f} "
               f"(list price {best.price:.2f})")
-        negotiation = session.negotiate(best.item, max_price=best.price * 0.9,
+        negotiation = gateway.negotiate("alice", best.item,
+                                        max_price=best.price * 0.9,
                                         marketplace=best.marketplace)
-        if negotiation.succeeded:
-            print(f"Negotiated a second unit down to {negotiation.price_paid:.2f}")
+        if negotiation.result.succeeded:
+            print(f"Negotiated a second unit down to "
+                  f"{negotiation.result.price_paid:.2f}")
         else:
             print("Negotiation for a second unit failed (seller held its reserve)")
     print()
 
     # 5. Ask the mechanism for recommendations directly (no marketplace trip).
-    recommendations = session.recommendations(k=5)
+    recommendations = gateway.recommendations("alice", k=5)
     print("Recommendations for alice:")
-    for rec in recommendations:
+    for rec in recommendations.result.recommendations:
         print(f"  {rec.item_id:<22s} score={rec.score:.3f}  ({rec.reason})")
     print()
 
-    # 6. Peek at the workflow trace the agents produced (Figures 4.2/4.3).
+    # 6. Peek at the workflow trace the agents produced (Figures 4.2/4.3) and
+    #    the gateway's own accounting.
     workflow_events = [e for e in platform.event_log if e.category.startswith("workflow.")]
     print(f"The agents recorded {len(workflow_events)} workflow steps; the first ten:")
     for event in workflow_events[:10]:
         print("  " + event.describe())
+    print()
+    metrics = platform.metrics
+    print(f"Gateway accounting: {metrics.counter('api.requests').value:.0f} requests, "
+          f"{metrics.counter('api.status.ok').value:.0f} ok; p95 simulated latency "
+          f"{metrics.timer('api.latency_ms').summary()['p95']:.2f} ms")
 
-    session.logout()
+    gateway.logout("alice")
     print()
     print(f"alice logged out; total simulated time {platform.now:.2f} ms")
 

@@ -59,18 +59,21 @@ def main() -> None:
     summary = metrics.timer('fleet.fanout.latency_ms').summary()
     print(f"  latency p50/p95    : {summary['p50']:.2f} / {summary['p95']:.2f} ms")
 
-    # One last fleet-wide query, with per-shard accounting.
+    # One last fleet-wide lookup through the gateway, with per-shard
+    # provenance folded into the envelope.
     consumer = population.consumers()[0]
-    result = fleet.query_similar(consumer.user_id)
+    gateway = platform.gateway()
+    response = gateway.find_similar(consumer.user_id)
     print()
-    print(f"query_similar({consumer.user_id!r}):")
-    print(f"  neighbours  : {[(uid, round(s, 3)) for uid, s in result.neighbors[:5]]}")
+    print(f"gateway.find_similar({consumer.user_id!r}):")
+    print(f"  status      : {response.status}")
+    print(f"  neighbours  : "
+          f"{[(uid, round(s, 3)) for uid, s in response.result.neighbors[:5]]}")
     print(f"  per shard   : "
-          f"{ {name: round(ms, 2) for name, ms in result.shard_latencies_ms.items()} }")
-    print(f"  charged     : {result.latency_ms:.2f} ms "
-          f"(max of shards + {result.merge_ms:.3f} ms merge)")
-    print(f"  degraded    : {result.degraded} "
-          f"(unreachable: {list(result.unreachable_shards)})")
+          f"{ {name: round(ms, 2) for name, ms in response.provenance.shard_latencies_ms.items()} }")
+    print(f"  latency     : {response.latency_ms:.2f} ms simulated")
+    print(f"  degraded    : {response.provenance.degraded} "
+          f"(unreachable: {list(response.provenance.unreachable_shards)})")
 
 
 if __name__ == "__main__":

@@ -6,13 +6,15 @@ Two demos of the PR-2 scaling architecture:
    partitions a consumer community over N shards (consumer-hash or by-category
    routing), answers similar-user queries by fan-out + exact top-k merge, and
    is checked live against the brute-force reference — identical ids, scores
-   and order, while the Cauchy-Schwarz norm bound skips dot products inside
+   and order, while the norm-bound early termination (Cauchy-Schwarz
+   tightened by the cached L1/L-inf Hölder bound) skips dot products inside
    every shard.
 
 2. **Fleet serving** — a platform built with ``num_buyer_servers=3`` routes
-   consumers to shard-owning buyer agent servers, fans similar-user queries
-   out across the fleet, and drives the periodic recommendation refresh from
-   a real scheduled platform event instead of a polling loop.
+   consumers to shard-owning buyer agent servers; client traffic (including
+   the fleet-wide similar-consumer lookup) goes through the platform
+   gateway, whose envelopes surface the fan-out provenance, and the periodic
+   recommendation refresh runs from a real scheduled platform event.
 
 Run with::
 
@@ -59,7 +61,9 @@ def fleet_demo() -> None:
     """Run a consumer community against a three-server fleet."""
     platform = build_platform(num_marketplaces=2, num_sellers=2,
                               items_per_seller=20, seed=29,
-                              num_buyer_servers=3, neighbor_shards=2)
+                              num_buyer_servers=3, neighbor_shards=2,
+                              replication_factor=1)
+    gateway = platform.gateway()
     population = ConsumerPopulation(15, groups=3, seed=30)
     runner = ScenarioRunner(platform, population, seed=31)
 
@@ -73,20 +77,31 @@ def fleet_demo() -> None:
           f"scheduled refreshes={report.batch_refreshes}")
 
     target = population.consumers()[0]
-    neighbours = platform.fleet.find_similar(target.user_id)
-    print(f"  fleet-wide neighbours of {target.user_id}: "
-          + (", ".join(f"{uid} ({score:.3f})" for uid, score in neighbours[:3])
+    similar = gateway.find_similar(target.user_id)
+    print(f"  fleet-wide neighbours of {target.user_id} "
+          f"(status={similar.status}): "
+          + (", ".join(f"{uid} ({score:.3f})"
+                       for uid, score in similar.result.neighbors[:3])
              or "(none yet)"))
 
-    # Failure handling: drain a crashed server and keep serving.
+    # Failure handling: a fleet-wide lookup never errors on a crashed
+    # server — the dead shard is answered from its freshest replica (a
+    # quorum read, reported in the envelope's stale-shard provenance); the
+    # explicit handle_server_failure below then promotes that replica to
+    # primary so ordinary routing takes over again.
     victim = platform.fleet.servers[1]
     platform.failures.crash_host(victim.context.host.name)
+    response = gateway.find_similar(target.user_id)
+    print(f"  {victim.name} crashed; envelope status={response.status} "
+          f"stale={dict(response.provenance.stale_shards)} "
+          f"unreachable={list(response.provenance.unreachable_shards)}")
     moved = platform.fleet.handle_server_failure(1)
-    print(f"  {victim.name} crashed; {moved} consumers migrated; "
+    print(f"  failover moved {moved} consumers; "
           f"shard sizes now {platform.fleet.shard_sizes()}")
-    neighbours_after = platform.fleet.find_similar(target.user_id)
-    print(f"  queries still answered by the surviving servers: "
-          f"{len(neighbours_after)} neighbours returned")
+    healed = gateway.find_similar(target.user_id)
+    print(f"  queries answered by the surviving servers: "
+          f"{len(healed.result.neighbors)} neighbours returned "
+          f"(status={healed.status})")
 
 
 if __name__ == "__main__":

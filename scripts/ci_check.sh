@@ -22,11 +22,63 @@ python -m pytest -x -q tests/property/test_sharding.py
 echo "== tier-1: benchmark smoke (neighbor index scaling + shard sweep) =="
 python -m pytest -x -q benchmarks/bench_neighbors_scaling.py
 
-echo "== tier-1: example smoke runs =="
+echo "== tier-1: example smoke runs (deprecation-clean: examples must not =="
+echo "==         touch the shimmed legacy session/fleet methods)         =="
 for example in examples/*.py; do
   echo "-- ${example}"
-  python "${example}" >/dev/null
+  python -W error::DeprecationWarning "${example}" >/dev/null
 done
+
+echo "== tier-1: gateway smoke (one request per operation type) =="
+python - <<'PY'
+from repro import build_platform
+from repro.api import ApiStatus
+
+platform = build_platform(seed=5, num_buyer_servers=3, replication_factor=1,
+                          api_admission_capacity=64)
+gateway = platform.gateway()
+keyword = next(iter(platform.catalog_view())).terms[0][0]
+
+ok = [
+    gateway.register("smoke-reg"),
+    gateway.login("smoke"),
+    gateway.query("smoke", keyword),
+]
+hit = ok[-1].result.hits[0]
+ok += [
+    gateway.buy("smoke", hit.item, marketplace=hit.marketplace),
+    gateway.join_auction("smoke", hit.item, max_price=hit.price * 1.5,
+                         marketplace=hit.marketplace),
+    gateway.negotiate("smoke", hit.item, max_price=hit.price,
+                      marketplace=hit.marketplace),
+    gateway.rate("smoke", hit.item, 4.0),
+    gateway.recommendations("smoke", k=5),
+    gateway.weekly_hottest("smoke", k=5),
+    gateway.cross_sell("smoke", k=3),
+    gateway.find_similar("smoke"),
+    gateway.admin_stats(),
+    gateway.logout("smoke"),
+]
+for resp in ok:
+    assert resp.ok, (resp.operation, resp.status, resp.error)
+    assert resp.status == ApiStatus.OK, (resp.operation, resp.status)
+    assert resp.error is None and resp.result is not None
+
+# The failure side of the taxonomy: failed / unavailable / rejected.
+failed = gateway.query("never-logged-in", keyword)
+assert failed.status == ApiStatus.FAILED and failed.error.code == "unknown-user"
+over_budget = gateway.find_similar("smoke-reg", deadline_ms=1e-6)
+assert over_budget.status == ApiStatus.UNAVAILABLE, over_budget.status
+assert over_budget.error.code == "deadline-exceeded"
+for server in platform.buyer_servers:
+    platform.failures.crash_host(server.name)
+down = gateway.login("smoke-2")
+assert down.status == ApiStatus.UNAVAILABLE, (down.status, down.error)
+statuses = {s for s in (r.status for r in ok)} | {failed.status, down.status}
+assert statuses <= set(ApiStatus.ALL)
+print("gateway smoke: OK —", len(ok), "operations ok,",
+      f"taxonomy covered: {sorted(statuses)}")
+PY
 
 echo "== tier-1: replicated failover scenario smoke (+ bounded WAL) =="
 python - <<'PY'

@@ -21,15 +21,18 @@ Wang (2004):
 - :mod:`repro.experiments` — harnesses that regenerate every figure of the
   paper's evaluation.
 
-Quickstart::
+Quickstart (every client operation goes through the versioned gateway and
+returns the uniform :class:`~repro.api.envelope.ApiResponse` envelope)::
 
     from repro import build_platform
 
     platform = build_platform(num_marketplaces=2, seed=7)
-    session = platform.login("alice")
-    results = session.query("laptop")
-    session.buy(results[0].item, marketplace=results[0].marketplace)
-    recommendations = session.recommendations()
+    gateway = platform.gateway()
+    gateway.login("alice")
+    response = gateway.query("alice", "laptop")          # Figure 4.2
+    hit = response.result.hits[0]
+    gateway.buy("alice", hit.item, marketplace=hit.marketplace)
+    recommendations = gateway.recommendations("alice").result.recommendations
 
 Scaling — batch serving and the neighbor index::
 
@@ -47,6 +50,8 @@ Scaling — batch serving and the neighbor index::
 from repro.version import __version__
 from repro.ecommerce.platform_builder import ECommercePlatform, build_platform
 from repro.ecommerce.session import ConsumerSession
+from repro.api.envelope import ApiError, ApiResponse, ApiStatus, Provenance
+from repro.api.gateway import PlatformGateway
 from repro.core.profile import Profile, Category, SubCategory, TermVector
 from repro.core.recommender import (
     Recommendation,
@@ -61,6 +66,11 @@ __all__ = [
     "ECommercePlatform",
     "build_platform",
     "ConsumerSession",
+    "PlatformGateway",
+    "ApiResponse",
+    "ApiStatus",
+    "ApiError",
+    "Provenance",
     "Profile",
     "Category",
     "SubCategory",

@@ -1,0 +1,295 @@
+"""The gateway's composable middleware chain.
+
+Every request the :class:`~repro.api.gateway.PlatformGateway` executes flows
+through an ordered chain of middlewares before reaching the dispatch that
+talks to the platform.  Each middleware sees the mutable per-request
+:class:`ApiCall` context and the next handler, and returns an
+:class:`~repro.api.envelope.ApiResponse` — the same shape whether it came
+from the dispatch, a retry, or the middleware short-circuiting.
+
+**Canonical order** (outermost first, the order
+:func:`~repro.api.gateway.PlatformGateway` installs them):
+
+1. :class:`MetricsMiddleware` — counts every request and status (including
+   rejections) and records per-operation simulated latency.  Outermost so
+   nothing escapes accounting.
+2. :class:`AdmissionControlMiddleware` — token-bucket load shedding on the
+   simulated clock.  A shed request costs nothing downstream and returns a
+   ``rejected`` envelope; it sits outside the deadline so rejections do not
+   consume a latency budget that was never spent.
+3. :class:`DeadlineMiddleware` — charges the request's simulated-time budget
+   against the platform clock.  Wraps the retries, so backoff and re-routing
+   spend the same budget the original attempt did.
+4. :class:`RetryMiddleware` — bounded retry with exponential backoff
+   (charged to the simulated clock) for *retryable* errors only.  Between
+   attempts it asks the gateway to re-route around a crashed primary via
+   the PR-4 promotion path, so a mid-traffic crash degrades instead of
+   erroring.  Exhaustion returns the last ``unavailable`` envelope — the
+   chain never raises.
+
+All middlewares are stateless per request except the admission bucket,
+whose token count is deliberately shared across requests (that is the
+load-shedding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.api.envelope import ApiError, ApiResponse, ApiStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.gateway import PlatformGateway
+
+__all__ = [
+    "ApiCall",
+    "Middleware",
+    "MetricsMiddleware",
+    "AdmissionControlMiddleware",
+    "DeadlineMiddleware",
+    "RetryMiddleware",
+    "TokenBucket",
+    "build_chain",
+]
+
+Handler = Callable[["ApiCall"], ApiResponse]
+
+
+@dataclass
+class ApiCall:
+    """Mutable per-request context threaded through the middleware chain."""
+
+    gateway: "PlatformGateway"
+    request: Any
+    operation: str
+    request_id: int
+    started_at_ms: float = 0.0
+    #: Absolute simulated deadline (set by DeadlineMiddleware when a budget
+    #: applies); retries consult it before spending backoff time.
+    deadline_at_ms: Optional[float] = None
+    attempts: int = 0
+    failed_over: bool = False
+
+
+class Middleware:
+    """Base middleware: pass-through.  Subclasses override :meth:`handle`."""
+
+    name = "middleware"
+
+    def handle(self, call: ApiCall, next_handler: Handler) -> ApiResponse:
+        return next_handler(call)
+
+
+def build_chain(middlewares: List[Middleware], terminal: Handler) -> Handler:
+    """Compose ``middlewares`` (outermost first) around ``terminal``."""
+    handler = terminal
+    for middleware in reversed(middlewares):
+        def handler(call, _mw=middleware, _next=handler):
+            return _mw.handle(call, _next)
+    return handler
+
+
+class MetricsMiddleware(Middleware):
+    """Counts requests/statuses and records per-operation simulated latency."""
+
+    name = "metrics"
+
+    def __init__(self, metrics, clock) -> None:
+        self._metrics = metrics
+        self._clock = clock
+
+    def handle(self, call: ApiCall, next_handler: Handler) -> ApiResponse:
+        metrics = self._metrics
+        metrics.counter("api.requests").increment()
+        metrics.counter(f"api.requests.{call.operation}").increment()
+        started = self._clock.now
+        response = next_handler(call)
+        elapsed = self._clock.now - started
+        metrics.counter(f"api.status.{response.status}").increment()
+        metrics.timer("api.latency_ms").record(elapsed)
+        metrics.timer(f"api.latency_ms.{call.operation}").record(elapsed)
+        return response
+
+
+@dataclass
+class TokenBucket:
+    """A token bucket refilled by simulated time.
+
+    ``capacity`` bounds the burst; ``refill_per_ms`` tokens accrue per
+    simulated millisecond.  Deterministic by construction — the only clock
+    it reads is the platform's simulated one.
+    """
+
+    capacity: float
+    refill_per_ms: float
+    tokens: float = field(default=0.0)
+    last_refill_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.tokens = float(self.capacity)
+
+    def try_acquire(self, now_ms: float) -> bool:
+        if now_ms > self.last_refill_ms:
+            self.tokens = min(
+                float(self.capacity),
+                self.tokens + (now_ms - self.last_refill_ms) * self.refill_per_ms,
+            )
+        self.last_refill_ms = max(self.last_refill_ms, now_ms)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionControlMiddleware(Middleware):
+    """Token-bucket load shedding: over-capacity requests get ``rejected``.
+
+    With no bucket configured (``PlatformConfig.api_admission_capacity=0``)
+    this is a pass-through, which keeps the default platform byte-identical
+    to the pre-gateway behaviour.
+    """
+
+    name = "admission"
+
+    def __init__(self, bucket: Optional[TokenBucket], metrics, clock) -> None:
+        self.bucket = bucket
+        self._metrics = metrics
+        self._clock = clock
+
+    def handle(self, call: ApiCall, next_handler: Handler) -> ApiResponse:
+        if self.bucket is None or self.bucket.try_acquire(self._clock.now):
+            return next_handler(call)
+        self._metrics.counter("api.admission.rejected").increment()
+        return ApiResponse(
+            status=ApiStatus.REJECTED,
+            error=ApiError(
+                code="admission-rejected",
+                kind="AdmissionControl",
+                message=(
+                    f"request shed by admission control "
+                    f"(bucket capacity {self.bucket.capacity:g} exhausted)"
+                ),
+                retryable=True,
+            ),
+        )
+
+
+class DeadlineMiddleware(Middleware):
+    """Enforces the request's simulated-time budget.
+
+    The budget is ``request.deadline_ms`` when set, else the platform-wide
+    default (``PlatformConfig.api_deadline_ms``); ``None`` means unbounded.
+    Work is never interrupted mid-flight — the simulation is synchronous —
+    but a response that comes back after the budget has elapsed on the
+    simulated clock is replaced by an ``unavailable`` envelope with code
+    ``deadline-exceeded``, keeping the provenance of the work that was done
+    (the caller timed out; the platform still spent the time).
+    """
+
+    name = "deadline"
+
+    def __init__(self, default_deadline_ms: Optional[float], metrics, clock) -> None:
+        self.default_deadline_ms = default_deadline_ms
+        self._metrics = metrics
+        self._clock = clock
+
+    def handle(self, call: ApiCall, next_handler: Handler) -> ApiResponse:
+        deadline = getattr(call.request, "deadline_ms", None)
+        if deadline is None:
+            deadline = self.default_deadline_ms
+        if deadline is None:
+            return next_handler(call)
+        started = self._clock.now
+        call.deadline_at_ms = started + deadline
+        response = next_handler(call)
+        elapsed = self._clock.now - started
+        if elapsed <= deadline:
+            return response
+        self._metrics.counter("api.deadline_exceeded").increment()
+        return ApiResponse(
+            status=ApiStatus.UNAVAILABLE,
+            error=ApiError(
+                code="deadline-exceeded",
+                kind="Deadline",
+                message=(
+                    f"operation took {elapsed:.3f} ms of simulated time, "
+                    f"over the {deadline:.3f} ms deadline"
+                ),
+                retryable=False,
+            ),
+            provenance=response.provenance,
+        )
+
+
+#: Exception *kinds* raised strictly before any work is dispatched to a
+#: marketplace or buyer server: the gateway's own liveness check
+#: (:class:`~repro.api.gateway.RoutingUnavailableError`) and the fleet's
+#: consumer-routing failure.  Keyed on the kind — not the error code — so a
+#: mid-flight ``HostUnreachableError`` (same code, different origin) can
+#: never be mistaken for a pre-dispatch failure and replay a write.
+PRE_DISPATCH_ERROR_KINDS = ("RoutingUnavailableError", "FleetUnavailableError")
+
+
+class RetryMiddleware(Middleware):
+    """Bounded retry with exponential backoff and crash re-routing.
+
+    Retries only *retryable* errors (see the taxonomy in
+    :mod:`repro.api.envelope`): infrastructure failures where another
+    attempt can land somewhere healthier.  Operations that write
+    (``retry_safe=False`` on the request type — buy, auction, negotiate,
+    rate) are additionally retried **only** on pre-dispatch routing failures
+    (:data:`PRE_DISPATCH_ERROR_KINDS`): a mid-flight loss — say the reply
+    leg dropped after the marketplace applied the trade — must surface as
+    ``unavailable`` for the client to reconcile, never be silently
+    re-executed into a double purchase.  Before each retry it
+
+    1. charges the backoff to the simulated clock (exponential, starting at
+       ``backoff_ms``),
+    2. asks the gateway to heal routing
+       (:meth:`~repro.api.gateway.PlatformGateway._heal_routing`): when the
+       consumer's primary is crashed and a live replica exists, the PR-4
+       promotion failover moves the shard so the next attempt lands on the
+       promoted server.
+
+    A success after a failover is reported ``degraded`` (the promoted
+    replica may be missing the dead primary's unshipped tail).  Exhaustion
+    returns the final error envelope — by construction ``unavailable``,
+    never a raised exception.  Retries respect the deadline: a backoff that
+    would overrun ``deadline_at_ms`` ends the attempts instead.
+    """
+
+    name = "retry"
+
+    def __init__(self, max_retries: int, backoff_ms: float, metrics, clock) -> None:
+        self.max_retries = max_retries
+        self.backoff_ms = backoff_ms
+        self._metrics = metrics
+        self._clock = clock
+
+    def _may_retry(self, call: ApiCall, response: ApiResponse) -> bool:
+        if response.error is None or not response.error.retryable:
+            return False
+        if getattr(type(call.request), "retry_safe", False):
+            return True
+        return response.error.kind in PRE_DISPATCH_ERROR_KINDS
+
+    def handle(self, call: ApiCall, next_handler: Handler) -> ApiResponse:
+        response = next_handler(call)
+        backoff = self.backoff_ms
+        while self._may_retry(call, response) and call.attempts < self.max_retries:
+            if (
+                call.deadline_at_ms is not None
+                and self._clock.now + backoff > call.deadline_at_ms
+            ):
+                break  # no budget left to wait out the backoff
+            self._clock.advance_by(backoff)
+            backoff *= 2.0
+            if call.gateway._heal_routing(getattr(call.request, "user_id", None)):
+                call.failed_over = True
+            call.attempts += 1
+            self._metrics.counter("api.retries").increment()
+            response = next_handler(call)
+        if response.ok and call.failed_over:
+            response.status = ApiStatus.DEGRADED
+        return response

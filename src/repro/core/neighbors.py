@@ -65,6 +65,10 @@ class _ProfileEntry:
     pref_norm: float
     terms: Dict[str, float]
     term_norm: float
+    #: L1 norm and max absolute weight of the flattened term vector — the
+    #: Hölder-bound inputs for tight early termination.
+    term_l1: float
+    term_max: float
     version: Tuple[int, int, float, int]
 
 
@@ -102,6 +106,7 @@ class ProfileNeighborIndex:
         config: Optional[SimilarityConfig] = None,
         provider_version: Optional[Callable[[], int]] = None,
         early_termination: bool = False,
+        tight_term_bound: bool = True,
     ) -> None:
         self.config = config or SimilarityConfig()
         self.config.validate()
@@ -109,6 +114,10 @@ class ProfileNeighborIndex:
         # Off by default so the index stays a drop-in reference implementation;
         # the sharded index turns it on inside every shard.
         self.early_termination = early_termination
+        # With the bound on, additionally tighten the term-cosine ceiling
+        # below 1 via cached L1/L-inf norms (Hölder); ``False`` keeps the
+        # plain Cauchy-Schwarz ceiling for A/B comparison in the benchmarks.
+        self.tight_term_bound = tight_term_bound
         self.bound_skips = 0
         self._provider = provider
         # When every profile mutation is reported through learner hooks
@@ -272,12 +281,20 @@ class ProfileNeighborIndex:
         With ``early_termination`` enabled the expensive flattened-term dot
         product is skipped for candidates that provably cannot reach the
         current k-th best score.  The preference cosine (a handful of
-        categories) is computed exactly first; the term cosine is bounded by
-        Cauchy-Schwarz — ``dot(t, e) <= ||t||·||e||`` so the term part is at
-        most 1, and exactly 0 when either cached norm is 0.  A candidate is
-        skipped only when its bound is *strictly* below the k-th best score
-        seen so far, so ties (broken by user id) are never affected and the
-        returned list is identical either way.
+        categories) is computed exactly first; the term cosine is bounded
+        above without touching the candidate's term dictionary — exactly 0
+        when either cached norm is 0, else by Cauchy-Schwarz
+        (``dot(t, e) <= ||t||₂·||e||₂``, so at most 1) tightened by Hölder
+        when ``tight_term_bound`` is on:
+        ``dot(t, e) <= min(||t||∞·||e||₁, ||t||₁·||e||∞)``, whose quotient
+        by ``||t||₂·||e||₂`` is below 1 for every vector that is not
+        perfectly concentrated on the aligned term — the per-entry L1 norm
+        and max weight are cached at index time.  The tight bound is
+        inflated by one part in 10⁹ before comparing, so float rounding can
+        never skip a candidate whose exact score ties the k-th best.  A
+        candidate is skipped only when its bound is *strictly* below the
+        k-th best score seen so far, so ties (broken by user id) are never
+        affected and the returned list is identical either way.
         """
         config = config or self.config
         config.validate()
@@ -291,6 +308,10 @@ class ProfileNeighborIndex:
         target_pref_norm = _norm(target_prefs)
         target_terms = target.flattened_terms().as_dict()
         target_term_norm = _norm(target_terms)
+        if self.early_termination and self.tight_term_bound:
+            target_abs_weights = [abs(value) for value in target_terms.values()]
+            target_term_l1 = sum(target_abs_weights)
+            target_term_max = max(target_abs_weights, default=0.0)
 
         candidates = self._candidate_ids(target_prefs, category, config)
 
@@ -313,9 +334,20 @@ class ProfileNeighborIndex:
                 target_prefs, target_pref_norm, entry.prefs, entry.pref_norm
             )
             if use_bound:
-                term_bound = (
-                    1.0 if target_term_norm > 0.0 and entry.term_norm > 0.0 else 0.0
-                )
+                if target_term_norm > 0.0 and entry.term_norm > 0.0:
+                    term_bound = 1.0
+                    if self.tight_term_bound:
+                        # Hölder both ways round; keep the smaller ceiling.
+                        holder = min(
+                            target_term_max * entry.term_l1,
+                            target_term_l1 * entry.term_max,
+                        )
+                        tight = holder / (target_term_norm * entry.term_norm)
+                        # One-part-in-1e9 inflation: provably above the true
+                        # cosine even after float rounding of dot and norms.
+                        term_bound = min(1.0, tight * (1.0 + 1e-9))
+                else:
+                    term_bound = 0.0
                 bound = (
                     preference_weight * preference_part + term_weight * term_bound
                 ) / total_weight
@@ -400,6 +432,7 @@ class ProfileNeighborIndex:
             self._unlink_categories(old)
         prefs = profile.preference_vector()
         terms = profile.flattened_terms().as_dict()
+        abs_weights = [abs(value) for value in terms.values()]
         entry = _ProfileEntry(
             user_id=user_id,
             profile=profile,
@@ -407,6 +440,8 @@ class ProfileNeighborIndex:
             pref_norm=_norm(prefs),
             terms=terms,
             term_norm=_norm(terms),
+            term_l1=sum(abs_weights),
+            term_max=max(abs_weights, default=0.0),
             version=_version_of(profile),
         )
         self._entries[user_id] = entry

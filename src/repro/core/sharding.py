@@ -178,14 +178,18 @@ class ShardedNeighborIndex:
         routing: str = "hash",
         provider_version: Optional[Callable[[], int]] = None,
         early_termination: bool = True,
+        tight_term_bound: bool = True,
     ) -> None:
         self.config = config or SimilarityConfig()
         self.config.validate()
         self.router = ShardRouter(num_shards, routing)
         self.early_termination = early_termination
+        self.tight_term_bound = tight_term_bound
         self._shards: List[ProfileNeighborIndex] = [
             ProfileNeighborIndex(
-                config=self.config, early_termination=early_termination
+                config=self.config,
+                early_termination=early_termination,
+                tight_term_bound=tight_term_bound,
             )
             for _ in range(num_shards)
         ]
@@ -338,7 +342,9 @@ class ShardedNeighborIndex:
         self.router = new_router
         self._shards = [
             ProfileNeighborIndex(
-                config=self.config, early_termination=self.early_termination
+                config=self.config,
+                early_termination=self.early_termination,
+                tight_term_bound=self.tight_term_bound,
             )
             for _ in range(new_router.num_shards)
         ]

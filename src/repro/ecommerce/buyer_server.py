@@ -36,6 +36,7 @@ is wired, normally via ``PlatformConfig.replication_factor``):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -69,6 +70,7 @@ __all__ = [
     "BuyerAgentServer",
     "BuyerServerFleet",
     "FleetQueryResult",
+    "FleetRefreshReport",
 ]
 
 #: Estimated wire size of one fan-out query request (target profile summary).
@@ -442,6 +444,9 @@ class FleetQueryResult:
     shard_latencies_ms: Dict[str, float] = field(default_factory=dict)
     unreachable_shards: Tuple[str, ...] = ()
     stale_shards: Dict[str, int] = field(default_factory=dict)
+    #: Stale-answered shards whose read-repair nudge brought the answering
+    #: replica fully up to date (lag 0) immediately after the query.
+    repaired_shards: Tuple[str, ...] = ()
     latency_ms: float = 0.0
     merge_ms: float = 0.0
 
@@ -458,6 +463,41 @@ class FleetQueryResult:
     def degraded(self) -> bool:
         """True when at least one shard was answered from a replica or not at all."""
         return bool(self.unreachable_shards or self.stale_shards)
+
+    @property
+    def repaired(self) -> bool:
+        """True when at least one stale-answered shard was caught up (lag 0).
+
+        Per-shard detail lives in :attr:`repaired_shards`; compare it
+        against :attr:`stale_shards` when "every consulted replica is now
+        fresh" is the question.
+        """
+        return bool(self.repaired_shards)
+
+
+@dataclass
+class FleetRefreshReport:
+    """What one fleet-wide batch refresh actually covered — and what it missed.
+
+    ``results`` maps every refreshed consumer to their new recommendation
+    list.  ``skipped_consumers`` were assigned to servers that were down at
+    refresh time (their lists simply go stale until the next tick).
+    ``missing_consumers`` are worse: the fleet's assignment maps them to a
+    *live* server that does not know them — state lost to a mid-refresh
+    crash or an un-reconciled failover — reported per consumer as
+    ``fleet.refresh-consumer-missing`` events (mirroring
+    ``fleet.consumer-lost``) instead of silently dropped from the dict.
+    """
+
+    results: Dict[str, List[Recommendation]] = field(default_factory=dict)
+    skipped_consumers: List[str] = field(default_factory=list)
+    missing_consumers: List[str] = field(default_factory=list)
+    skipped_servers: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every assigned consumer was actually refreshed."""
+        return not self.skipped_consumers and not self.missing_consumers
 
 
 class BuyerServerFleet:
@@ -657,9 +697,20 @@ class BuyerServerFleet:
         """Similar consumers across the whole fleet, exactly merged.
 
         Thin wrapper over :meth:`query_similar` returning just the merged
-        neighbour list; use :meth:`query_similar` when you need the
-        per-shard timings or the degraded-mode report.
+        neighbour list.
+
+        .. deprecated:: client lookups belong on
+           :meth:`repro.api.PlatformGateway.find_similar`, whose envelope
+           carries the degraded/stale provenance this wrapper discards;
+           platform-internal callers should use :meth:`query_similar`.
         """
+        warnings.warn(
+            "BuyerServerFleet.find_similar() is a legacy entry point; issue "
+            "client lookups through PlatformGateway.find_similar() or use "
+            "query_similar() for the full fan-out report",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.query_similar(user_id, category=category, config=config).neighbors
 
     def query_similar(
@@ -726,6 +777,7 @@ class BuyerServerFleet:
         shard_latencies: Dict[str, float] = {}
         unreachable: List[str] = []
         stale: Dict[str, int] = {}
+        stale_holders: Dict[str, str] = {}
         for index in sorted(set(self._shard_owner)):
             server = self.servers[index]
             ranked: Optional[List[Tuple[str, float]]] = None
@@ -754,8 +806,9 @@ class BuyerServerFleet:
                     unreachable.append(server.name)
                     per_shard.append(None)
                     continue
-                ranked, latency, lag = fallback
+                ranked, latency, lag, holder_name = fallback
                 stale[server.name] = lag
+                stale_holders[server.name] = holder_name
             shard_latencies[server.name] = latency
             per_shard.append(ranked)
             transport.metrics.timer(
@@ -789,14 +842,63 @@ class BuyerServerFleet:
             stale=dict(stale),
             latency_ms=total_ms,
         )
+        repaired = self._read_repair(stale, stale_holders, transport)
         return FleetQueryResult(
             neighbors=merge_topk(per_shard, config.top_k),
             shard_latencies_ms=shard_latencies,
             unreachable_shards=tuple(unreachable),
             stale_shards=stale,
+            repaired_shards=repaired,
             latency_ms=total_ms,
             merge_ms=merge_ms,
         )
+
+    def _read_repair(
+        self,
+        stale: Dict[str, int],
+        stale_holders: Dict[str, str],
+        transport,
+    ) -> Tuple[str, ...]:
+        """Nudge anti-entropy for every stale-answered shard's replica.
+
+        A stale answer already knows which replica served it and how far
+        behind it was; instead of waiting for the next scheduled
+        anti-entropy tick, the query piggy-backs an immediate catch-up
+        shipment from the primary to that holder
+        (:meth:`~repro.ecommerce.replication.ReplicationManager.catch_up`),
+        bounding staleness instead of just reporting it.  Shards whose
+        holder is fully caught up afterwards (lag 0) are returned — and
+        surfaced as ``repaired`` provenance.  A crashed primary cannot ship,
+        so its shard stays unrepaired until failover or recovery; a
+        still-partitioned link leaves the entries deferred as usual.
+        """
+        repaired: List[str] = []
+        for primary_name, holder_name in stale_holders.items():
+            primary = next(
+                (server for server in self.servers if server.name == primary_name),
+                None,
+            )
+            if primary is None or not primary.context.host.is_running:
+                continue
+            manager = primary.replication
+            if manager is None or not any(
+                peer.name == holder_name for peer in manager.peers
+            ):
+                continue
+            lag_before = stale[primary_name]
+            lag_after = manager.catch_up(holder_name)
+            transport.event_log.record(
+                transport.scheduler.clock.now,
+                "fleet.read-repair",
+                primary_name,
+                holder_name,
+                lag_before=lag_before,
+                lag_after=lag_after,
+            )
+            if lag_after == 0:
+                repaired.append(primary_name)
+                transport.metrics.counter("fleet.fanout.read_repairs").increment()
+        return tuple(repaired)
 
     def _stale_shard_answer(
         self,
@@ -805,11 +907,11 @@ class BuyerServerFleet:
         category: Optional[str],
         config: SimilarityConfig,
         origin: BuyerAgentServer,
-    ) -> Optional[Tuple[List[Tuple[str, float]], float, int]]:
+    ) -> Optional[Tuple[List[Tuple[str, float]], float, int, str]]:
         """Answer an unreachable server's shard from its freshest live replica.
 
-        Returns ``(ranked, latency_ms, lag)`` or None when no live replica
-        can be reached either.  The ranking is a brute-force scan of the
+        Returns ``(ranked, latency_ms, lag, holder_name)`` or None when no
+        live replica can be reached either.  The ranking is a brute-force scan of the
         replica's shadow profiles with the exact fan-out sort key, so for a
         fully caught-up replica the answer is byte-identical to the
         primary's.  ``lag`` is the replica's distance behind the primary's
@@ -844,26 +946,61 @@ class BuyerServerFleet:
             lag = server.replication.log.last_seq - state.applied_seq
         else:
             lag = max(s.applied_seq for _, s in holders) - state.applied_seq
-        return ranked, latency, lag
+        return ranked, latency, lag, holder.name
 
     # -- scheduled fleet-wide refresh -----------------------------------------------
 
-    def refresh_all(self, k: int = 10) -> Dict[str, List[Recommendation]]:
-        """Refresh every assigned consumer once, each on its serving server."""
-        results: Dict[str, List[Recommendation]] = {}
+    def refresh_all(self, k: int = 10) -> "FleetRefreshReport":
+        """Refresh every assigned consumer once, each on its serving server.
+
+        Returns a :class:`FleetRefreshReport` rather than a bare dict:
+        consumers assigned to a crashed server are reported as skipped, and
+        consumers the assignment maps to a *live* server that does not know
+        them — state lost to a mid-refresh crash — are reported as missing
+        (``fleet.refresh-consumer-missing`` events, mirroring
+        ``fleet.consumer-lost``) instead of silently dropped.
+        """
+        report = FleetRefreshReport()
         for server in self.servers:
             if not self.shards_of(server):
                 continue  # retired host (its shards were promoted away)
-            if not server.context.host.is_running:
-                continue
-            users = [
-                user_id for user_id in self.consumers_served_by(server)
-                if server.user_db.is_registered(user_id)
-            ]
-            if users:
-                results.update(server.recommendations.batch_refresh(users, k=k))
-                server.batch_refreshes += 1
-        return results
+            self._refresh_server(server, k, report)
+        return report
+
+    def _refresh_server(
+        self, server: BuyerAgentServer, k: int, report: FleetRefreshReport
+    ) -> Optional[List[str]]:
+        """Refresh one serving server's assigned consumers into ``report``.
+
+        Shared by :meth:`refresh_all` and the scheduled fleet tick so the
+        missing-consumer reporting cannot drift between the two paths.
+        Returns the refreshed user ids, or ``None`` when the server is down
+        (its consumers recorded as skipped).
+        """
+        transport = self.servers[0].context.transport
+        assigned = self.consumers_served_by(server)
+        if not server.context.host.is_running:
+            report.skipped_servers.append(server.name)
+            report.skipped_consumers.extend(assigned)
+            return None
+        users = []
+        for user_id in assigned:
+            if server.user_db.is_registered(user_id):
+                users.append(user_id)
+            else:
+                report.missing_consumers.append(user_id)
+                transport.event_log.record(
+                    transport.scheduler.clock.now,
+                    "fleet.refresh-consumer-missing",
+                    server.name,
+                    server.name,
+                    user_id=user_id,
+                )
+                transport.metrics.counter("fleet.refresh.missing").increment()
+        if users:
+            report.results.update(server.recommendations.batch_refresh(users, k=k))
+            server.batch_refreshes += 1
+        return users
 
     def start_periodic_refresh(self, interval_ms: float, k: int = 10) -> RecurringCallback:
         """One scheduled recurring event refreshing the whole fleet.
@@ -886,23 +1023,19 @@ class BuyerServerFleet:
 
         def fire() -> None:
             self.scheduled_refreshes += 1
+            report = FleetRefreshReport()
             for server in self.servers:
                 now = server.context.now
                 if not self.shards_of(server):
                     continue  # retired host: nothing assigned, nothing skipped
-                if not server.context.host.is_running:
+                users = self._refresh_server(server, k, report)
+                if users is None:
                     server.refresh_skips += 1
                     log.record(
                         now, "recommendation.refresh-skipped",
                         server.name, server.name, reason="host-down",
                     )
                     continue
-                users = [
-                    user_id for user_id in self.consumers_served_by(server)
-                    if server.user_db.is_registered(user_id)
-                ]
-                server.recommendations.batch_refresh(users, k=k)
-                server.batch_refreshes += 1
                 log.record(
                     now, "recommendation.scheduled-refresh",
                     server.name, server.name,
@@ -978,6 +1111,17 @@ class BuyerServerFleet:
         self.migrated_consumers += 1
 
     # -- replica lookup ---------------------------------------------------------------
+
+    def live_replica_holders(
+        self, server: BuyerAgentServer
+    ) -> List[Tuple[BuyerAgentServer, ReplicaState]]:
+        """Public view of :meth:`_replica_holders` (freshest first).
+
+        Used by the gateway's retry middleware to decide whether a crashed
+        primary can be promoted around (an empty list means a retry cannot
+        be saved by failover).
+        """
+        return self._replica_holders(server)
 
     def _replica_holders(self, dead: BuyerAgentServer) -> List[Tuple[BuyerAgentServer, ReplicaState]]:
         """Live servers hosting a replica of ``dead``, freshest first.

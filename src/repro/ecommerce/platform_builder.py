@@ -82,6 +82,23 @@ class PlatformConfig:
             (0 disables truncation — the unbounded PR-3 behaviour).
             Truncation never drops an entry any peer has not acknowledged,
             so a lagging peer holds the bound open rather than losing data.
+        api_deadline_ms: default simulated-time budget for every gateway
+            request (``None`` = unbounded).  Individual requests override it
+            via their ``deadline_ms`` field; a request whose work overruns
+            the budget returns an ``unavailable`` envelope with code
+            ``deadline-exceeded`` instead of its result.
+        api_max_retries: how many times the gateway retries a *retryable*
+            failure (network, dead host, fleet routing) before returning the
+            final ``unavailable`` envelope.  Between attempts the retry
+            middleware re-routes around crashed primaries via the promotion
+            failover when a live replica exists.
+        api_retry_backoff_ms: initial retry backoff, charged to the
+            simulated clock and doubled per attempt.
+        api_admission_capacity: token-bucket burst capacity for gateway
+            admission control (0 disables load shedding — the default, which
+            keeps gateway traffic byte-identical to direct calls).
+        api_admission_refill_per_ms: tokens restored per simulated
+            millisecond once admission control is enabled.
     """
 
     num_marketplaces: int = 2
@@ -99,6 +116,11 @@ class PlatformConfig:
     replication_factor: int = 0
     replication_anti_entropy_interval_ms: float = 200.0
     replication_wal_truncate_threshold: int = 64
+    api_deadline_ms: Optional[float] = None
+    api_max_retries: int = 2
+    api_retry_backoff_ms: float = 25.0
+    api_admission_capacity: int = 0
+    api_admission_refill_per_ms: float = 1.0
 
     def validate(self) -> None:
         if self.num_marketplaces <= 0:
@@ -133,6 +155,21 @@ class PlatformConfig:
                 "replication WAL truncate threshold cannot be negative "
                 "(use 0 to disable truncation)"
             )
+        if self.api_deadline_ms is not None and self.api_deadline_ms <= 0:
+            raise ECommerceError(
+                "api_deadline_ms must be positive (use None for no deadline)"
+            )
+        if self.api_max_retries < 0:
+            raise ECommerceError("api_max_retries cannot be negative")
+        if self.api_retry_backoff_ms <= 0:
+            raise ECommerceError("api_retry_backoff_ms must be positive")
+        if self.api_admission_capacity < 0:
+            raise ECommerceError(
+                "api_admission_capacity cannot be negative "
+                "(use 0 to disable admission control)"
+            )
+        if self.api_admission_refill_per_ms <= 0:
+            raise ECommerceError("api_admission_refill_per_ms must be positive")
 
 
 class ECommercePlatform:
@@ -185,6 +222,7 @@ class ECommercePlatform:
             self._wire_replication()
 
         self._sessions: Dict[str, ConsumerSession] = {}
+        self._gateway = None
 
     def _wire_replication(self) -> None:
         """Stream every buyer server's WAL to its ring successors.
@@ -311,6 +349,23 @@ class ECommercePlatform:
         if user_id not in self._sessions:
             raise UnknownUserError(f"no session has been opened for {user_id!r}")
         return self._sessions[user_id]
+
+    def gateway(self):
+        """The platform's :class:`~repro.api.gateway.PlatformGateway`.
+
+        The blessed entry point for every client operation (register, login,
+        query, buy, negotiate, recommendations, find-similar, admin stats):
+        one instance per platform, created lazily, configured by the
+        ``api_*`` fields of :class:`PlatformConfig`.  The legacy
+        :class:`~repro.ecommerce.session.ConsumerSession` workflow methods
+        survive as deprecation shims over the same code paths.
+        """
+        if self._gateway is None:
+            # Imported here: repro.api sits above the ecommerce layer.
+            from repro.api.gateway import PlatformGateway
+
+            self._gateway = PlatformGateway(self)
+        return self._gateway
 
     # -- platform-wide views --------------------------------------------------------------
 

@@ -497,6 +497,28 @@ class ReplicationManager:
             self.lag_of(peer.name)
         )
 
+    def catch_up(self, peer_name: str) -> int:
+        """Immediately re-ship the unacknowledged suffix to one peer.
+
+        The read-repair nudge: a stale-answered fleet query calls this for
+        the replica holder that served it, instead of waiting for the next
+        scheduled anti-entropy tick.  Ships synchronously (charged to the
+        simulated network like any shipment; deferred on network failure)
+        and returns the peer's remaining lag — 0 means the replica is now an
+        exact copy of the primary's durable history.  A crashed primary
+        cannot ship; the call is then a no-op returning the current lag.
+        """
+        peer = next((p for p in self.peers if p.name == peer_name), None)
+        if peer is None:
+            raise ReplicationError(
+                f"{self.name!r} does not replicate to {peer_name!r}"
+            )
+        if not self.server.context.host.is_running:
+            return self.lag_of(peer_name)
+        self._ship(peer, [])
+        self._record_lag(peer)
+        return self.lag_of(peer_name)
+
     def lag_of(self, peer_name: str) -> int:
         """Unacknowledged entries for ``peer_name`` (replication lag in ops)."""
         if peer_name not in self._acked:

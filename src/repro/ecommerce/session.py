@@ -10,6 +10,7 @@ Python methods returning plain result objects.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -20,6 +21,23 @@ from repro.core.recommender import Recommendation
 from repro.ecommerce.transactions import TransactionRecord
 
 __all__ = ["QueryResult", "TradeResult", "ConsumerSession"]
+
+
+def _warn_legacy(method: str) -> None:
+    """Deprecation shim notice: client traffic belongs on the gateway.
+
+    The session's workflow methods remain fully functional (the tier-1
+    suite still exercises them), but new callers should issue operations
+    through :class:`repro.api.PlatformGateway`, which wraps the same code
+    paths in the versioned envelope / middleware chain.
+    """
+    warnings.warn(
+        f"ConsumerSession.{method}() is a legacy entry point; issue client "
+        f"operations through PlatformGateway.{method}() "
+        "(build_platform(...).gateway()) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -81,6 +99,15 @@ class ConsumerSession:
     def is_active(self) -> bool:
         return self._active
 
+    @property
+    def server(self) -> "BuyerAgentServer":
+        """The buyer agent server this session is bound to.
+
+        The gateway compares it against the fleet's current routing to
+        detect sessions orphaned by a failover and re-home them.
+        """
+        return self._server
+
     def __enter__(self) -> "ConsumerSession":
         if not self._active:
             self.login()
@@ -100,9 +127,22 @@ class ConsumerSession:
     ) -> List[QueryResult]:
         """Figure 4.2: query merchandise across the marketplaces.
 
+        .. deprecated:: use :meth:`repro.api.PlatformGateway.query`.
+        """
+        _warn_legacy("query")
+        return self._query(keyword, category=category, marketplaces=marketplaces)
+
+    def _query(
+        self,
+        keyword: str,
+        category: Optional[str] = None,
+        marketplaces: Optional[List[str]] = None,
+    ) -> List[QueryResult]:
+        """Gateway-internal query implementation (no deprecation notice).
+
         The returned list is what the MBA found; the accompanying
         recommendation information is available via
-        :attr:`last_recommendations` or :meth:`recommendations`.
+        :attr:`last_recommendations`.
         """
         self._require_active()
         payload: Dict[str, Any] = {"keyword": keyword}
@@ -124,13 +164,29 @@ class ConsumerSession:
         return self.last_query_results
 
     def buy(self, item: Item, marketplace: Optional[str] = None) -> TradeResult:
-        """Figure 4.3: buy an item at list price."""
+        """Figure 4.3: buy an item at list price.
+
+        .. deprecated:: use :meth:`repro.api.PlatformGateway.buy`.
+        """
+        _warn_legacy("buy")
+        return self._buy(item, marketplace=marketplace)
+
+    def _buy(self, item: Item, marketplace: Optional[str] = None) -> TradeResult:
         return self._trade(MessageKinds.BUY, item, marketplace=marketplace)
 
     def join_auction(
         self, item: Item, max_price: float, marketplace: Optional[str] = None
     ) -> TradeResult:
-        """Figure 4.3: join the auction for an item, bidding up to ``max_price``."""
+        """Figure 4.3: join the auction for an item, bidding up to ``max_price``.
+
+        .. deprecated:: use :meth:`repro.api.PlatformGateway.join_auction`.
+        """
+        _warn_legacy("join_auction")
+        return self._join_auction(item, max_price, marketplace=marketplace)
+
+    def _join_auction(
+        self, item: Item, max_price: float, marketplace: Optional[str] = None
+    ) -> TradeResult:
         return self._trade(
             MessageKinds.AUCTION_JOIN, item, marketplace=marketplace, max_price=max_price
         )
@@ -138,7 +194,16 @@ class ConsumerSession:
     def negotiate(
         self, item: Item, max_price: float, marketplace: Optional[str] = None
     ) -> TradeResult:
-        """Figure 4.3 variant: bargain for the item up to ``max_price``."""
+        """Figure 4.3 variant: bargain for the item up to ``max_price``.
+
+        .. deprecated:: use :meth:`repro.api.PlatformGateway.negotiate`.
+        """
+        _warn_legacy("negotiate")
+        return self._negotiate(item, max_price, marketplace=marketplace)
+
+    def _negotiate(
+        self, item: Item, max_price: float, marketplace: Optional[str] = None
+    ) -> TradeResult:
         return self._trade(
             MessageKinds.NEGOTIATE, item, marketplace=marketplace, max_price=max_price
         )
@@ -146,14 +211,30 @@ class ConsumerSession:
     def recommendations(
         self, k: int = 10, category: Optional[str] = None
     ) -> List[Recommendation]:
-        """Stand-alone recommendation request (no marketplace round trip)."""
+        """Stand-alone recommendation request (no marketplace round trip).
+
+        .. deprecated:: use :meth:`repro.api.PlatformGateway.recommendations`.
+        """
+        _warn_legacy("recommendations")
+        return self._recommendations(k=k, category=category)
+
+    def _recommendations(
+        self, k: int = 10, category: Optional[str] = None
+    ) -> List[Recommendation]:
         self._require_active()
         reply = self._request(MessageKinds.RECOMMENDATIONS, k=k, category=category)
         self.last_recommendations = list(reply.value("recommendations", []))
         return self.last_recommendations
 
     def rate(self, item: Item, rating: float) -> float:
-        """Explicitly rate merchandise on a 0-5 scale; updates the profile."""
+        """Explicitly rate merchandise on a 0-5 scale; updates the profile.
+
+        .. deprecated:: use :meth:`repro.api.PlatformGateway.rate`.
+        """
+        _warn_legacy("rate")
+        return self._rate(item, rating)
+
+    def _rate(self, item: Item, rating: float) -> float:
         self._require_active()
         reply = self._request(MessageKinds.RATE, item=item, rating=rating)
         return float(reply.value("rating", rating))
@@ -161,7 +242,16 @@ class ConsumerSession:
     def weekly_hottest(
         self, k: int = 10, category: Optional[str] = None
     ) -> List[Recommendation]:
-        """The community-wide weekly hottest merchandise (§5.2 extension)."""
+        """The community-wide weekly hottest merchandise (§5.2 extension).
+
+        .. deprecated:: use :meth:`repro.api.PlatformGateway.weekly_hottest`.
+        """
+        _warn_legacy("weekly_hottest")
+        return self._weekly_hottest(k=k, category=category)
+
+    def _weekly_hottest(
+        self, k: int = 10, category: Optional[str] = None
+    ) -> List[Recommendation]:
         self._require_active()
         reply = self._request(MessageKinds.HOTTEST, k=k, category=category)
         return list(reply.value("recommendations", []))
@@ -172,7 +262,19 @@ class ConsumerSession:
         category: Optional[str] = None,
         basket: Optional[List[str]] = None,
     ) -> List[Recommendation]:
-        """Tied-sale suggestions for a basket of item ids or past purchases."""
+        """Tied-sale suggestions for a basket of item ids or past purchases.
+
+        .. deprecated:: use :meth:`repro.api.PlatformGateway.cross_sell`.
+        """
+        _warn_legacy("cross_sell")
+        return self._cross_sell(k=k, category=category, basket=basket)
+
+    def _cross_sell(
+        self,
+        k: int = 5,
+        category: Optional[str] = None,
+        basket: Optional[List[str]] = None,
+    ) -> List[Recommendation]:
         self._require_active()
         payload: Dict[str, Any] = {"k": k}
         if category is not None:

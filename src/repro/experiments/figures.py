@@ -217,10 +217,11 @@ def fig42_query_workflow(seed: int = 13, keyword: str = "laptop") -> ExperimentR
     """Step-by-step trace and latency breakdown of one merchandise query."""
     platform = build_platform(num_marketplaces=2, num_sellers=2,
                               items_per_seller=25, seed=seed)
-    session = platform.login("fig42-consumer")
+    gateway = platform.gateway()
+    gateway.login("fig42-consumer")
     start_index = len(platform.event_log)
-    session.query(keyword)
-    session.logout()
+    gateway.query("fig42-consumer", keyword)
+    gateway.logout("fig42-consumer")
 
     events = platform.event_log.events[start_index:]
     workflow = [event for event in events if event.category.startswith("workflow.")]
@@ -270,10 +271,14 @@ def fig43_buy_auction_workflow(seed: int = 17) -> ExperimentResult:
     """Direct purchase, auction and negotiation through the Figure 4.3 workflow."""
     platform = build_platform(num_marketplaces=2, num_sellers=2,
                               items_per_seller=25, seed=seed)
-    session = platform.login("fig43-consumer")
-    hits = session.query("laptop") or session.query("novel")
+    gateway = platform.gateway()
+    gateway.login("fig43-consumer")
+    hits = (
+        gateway.query("fig43-consumer", "laptop").result.hits
+        or gateway.query("fig43-consumer", "novel").result.hits
+    )
     if not hits:
-        hits = session.query("coffee")
+        hits = gateway.query("fig43-consumer", "coffee").result.hits
     target = hits[0]
 
     result = ExperimentResult(
@@ -283,7 +288,7 @@ def fig43_buy_auction_workflow(seed: int = 17) -> ExperimentResult:
 
     def run_trade(label: str, action) -> None:
         start_index = len(platform.event_log)
-        outcome = action()
+        outcome = action().result
         events = platform.event_log.events[start_index:]
         workflow = [e.category for e in events if e.category.startswith("workflow.")]
         latencies = [e.timestamp for e in events if e.category.startswith("workflow.")]
@@ -297,20 +302,27 @@ def fig43_buy_auction_workflow(seed: int = 17) -> ExperimentResult:
             latency_ms=(latencies[-1] - latencies[0]) if latencies else 0.0,
         )
 
-    run_trade("direct-buy", lambda: session.buy(target.item, marketplace=target.marketplace))
+    run_trade(
+        "direct-buy",
+        lambda: gateway.buy(
+            "fig43-consumer", target.item, marketplace=target.marketplace
+        ),
+    )
     run_trade(
         "auction",
-        lambda: session.join_auction(
-            target.item, max_price=target.price * 1.25, marketplace=target.marketplace
+        lambda: gateway.join_auction(
+            "fig43-consumer", target.item, max_price=target.price * 1.25,
+            marketplace=target.marketplace,
         ),
     )
     run_trade(
         "negotiation",
-        lambda: session.negotiate(
-            target.item, max_price=target.price * 0.95, marketplace=target.marketplace
+        lambda: gateway.negotiate(
+            "fig43-consumer", target.item, max_price=target.price * 0.95,
+            marketplace=target.marketplace,
         ),
     )
-    session.logout()
+    gateway.logout("fig43-consumer")
     result.add_note(
         "auction and negotiation settle below or near list price; the profile is "
         "updated after every trade (Figure 4.3 step 'behaviour-reported')"
@@ -457,14 +469,15 @@ def cap2_multi_marketplace(
             num_marketplaces=count, num_sellers=count, items_per_seller=20,
             seed=seed, replicate_listings=False,
         )
-        session = platform.login("cap2-consumer")
-        start = platform.now
+        gateway = platform.gateway()
+        gateway.login("cap2-consumer")
         # Query by category keyword so every marketplace has something to offer;
         # listings are spread round-robin, so coverage depends on the itinerary.
-        results = session.query("books")
-        latency = platform.now - start
+        response = gateway.query("cap2-consumer", "books")
+        results = response.result.hits
+        latency = response.latency_ms
         marketplaces_seen = {hit.marketplace for hit in results}
-        session.logout()
+        gateway.logout("cap2-consumer")
         result.add_row(
             marketplaces=count,
             items_found=len(results),

@@ -5,6 +5,13 @@ consumers actually using the agent platform — logging in, querying, buying,
 joining auctions — rather than an offline dataset.  :class:`ScenarioRunner`
 drives a :class:`~repro.ecommerce.platform_builder.ECommercePlatform` with the
 synthetic population and reports what happened.
+
+Every client operation goes through the platform's
+:class:`~repro.api.gateway.PlatformGateway` — the same versioned envelope
+surface real clients use — so the scenarios exercise the middleware chain
+(metrics, deadlines, retry/failover, admission control) for free.  A
+non-``ok`` envelope counts as a failed operation; a ``degraded`` one is
+still an answer and counts as success, exactly as a browser would treat it.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import SessionError, WorkloadError
+from repro.errors import WorkloadError
 from repro.ecommerce.platform_builder import ECommercePlatform
 from repro.workload.consumers import ConsumerPopulation, SyntheticConsumer
 
@@ -76,6 +83,7 @@ class ScenarioRunner:
     ) -> None:
         self.platform = platform
         self.population = population
+        self.gateway = platform.gateway()
         self._rng = random.Random(seed)
 
     # -- building blocks ----------------------------------------------------------
@@ -90,19 +98,31 @@ class ScenarioRunner:
         ask_recommendations: bool = True,
         report: Optional[ScenarioReport] = None,
     ) -> ScenarioReport:
-        """One consumer session: login, a few queries, maybe trades, logout."""
+        """One consumer session: login, a few queries, maybe trades, logout.
+
+        Drives the gateway exclusively: a non-``ok`` envelope is a failed
+        operation (the legacy ``SessionError`` cases arrive as ``failed`` /
+        ``unavailable`` statuses now), and the trade counters tick on any
+        accepted request, successful trade or not — matching the behaviour
+        of the direct-session driver this replaced byte for byte.
+        """
         report = report if report is not None else ScenarioReport()
-        session = self.platform.login(consumer.user_id)
+        gateway = self.gateway
+        user_id = consumer.user_id
+        login = gateway.login(user_id)
+        if login.failed:
+            report.failed_operations += 1
+            return report
         report.sessions += 1
         try:
             for _ in range(queries):
                 keyword = consumer.preferred_keyword(self._rng)
-                try:
-                    results = session.query(keyword)
-                except SessionError:
+                response = gateway.query(user_id, keyword)
+                if response.failed:
                     report.failed_operations += 1
                     continue
                 report.queries += 1
+                results = response.result.hits
                 if not results:
                     continue
 
@@ -112,33 +132,38 @@ class ScenarioRunner:
                 best = ranked[0]
                 if consumer.finds_relevant(best.item):
                     roll = self._rng.random()
-                    try:
-                        if roll < auction_probability:
-                            session.join_auction(
-                                best.item, max_price=best.price * 1.2,
-                                marketplace=best.marketplace,
-                            )
-                            report.auctions += 1
-                        elif roll < auction_probability + negotiate_probability:
-                            session.negotiate(
-                                best.item, max_price=best.price * 0.95,
-                                marketplace=best.marketplace,
-                            )
-                            report.negotiations += 1
-                        elif roll < auction_probability + negotiate_probability + buy_probability:
-                            session.buy(best.item, marketplace=best.marketplace)
-                            report.purchases += 1
-                    except SessionError:
-                        report.failed_operations += 1
+                    trade = None
+                    if roll < auction_probability:
+                        trade = gateway.join_auction(
+                            user_id, best.item, max_price=best.price * 1.2,
+                            marketplace=best.marketplace,
+                        )
+                        counter = "auctions"
+                    elif roll < auction_probability + negotiate_probability:
+                        trade = gateway.negotiate(
+                            user_id, best.item, max_price=best.price * 0.95,
+                            marketplace=best.marketplace,
+                        )
+                        counter = "negotiations"
+                    elif roll < auction_probability + negotiate_probability + buy_probability:
+                        trade = gateway.buy(
+                            user_id, best.item, marketplace=best.marketplace
+                        )
+                        counter = "purchases"
+                    if trade is not None:
+                        if trade.failed:
+                            report.failed_operations += 1
+                        else:
+                            setattr(report, counter, getattr(report, counter) + 1)
 
             if ask_recommendations:
-                try:
-                    session.recommendations(k=10)
-                    report.recommendations_requested += 1
-                except SessionError:
+                response = gateway.recommendations(user_id, k=10)
+                if response.failed:
                     report.failed_operations += 1
+                else:
+                    report.recommendations_requested += 1
         finally:
-            session.logout()
+            gateway.logout(user_id)
         return report
 
     # -- whole-population scenarios ---------------------------------------------------
@@ -468,11 +493,12 @@ class ScenarioRunner:
                     report=report,
                 )
                 if self._rng.random() < recommendation_probability:
-                    # Fleet-wide similar-consumer lookup: async fan-out over
-                    # every live shard; during the outage window the result
-                    # is degraded (dead shard unreachable, or — with live
-                    # replicas — answered from one and marked stale).
-                    fleet.query_similar(consumer.user_id)
+                    # Fleet-wide similar-consumer lookup through the
+                    # gateway: async fan-out over every live shard; during
+                    # the outage window the envelope is degraded (dead
+                    # shard unreachable, or — with live replicas — answered
+                    # from one and marked stale in the provenance).
+                    self.gateway.find_similar(consumer.user_id)
                 # Pump the scheduler so the scheduled refresh and the
                 # anti-entropy tasks fire as simulated time passes.
                 platform.scheduler.run_until(platform.now)
@@ -486,14 +512,15 @@ class ScenarioRunner:
             if stale_queries:
                 # Quorum window: the shard is down but not yet failed over —
                 # fleet queries answer it from the freshest replica, marked
-                # stale.  Only consumers registered in phase 1 can be queried.
+                # stale in the envelope's provenance.  Only consumers
+                # registered in phase 1 can be queried.
                 registered = [
                     consumer for consumer in pool
                     if fleet.is_registered(consumer.user_id)
                 ]
                 for index in range(min(stale_queries, len(registered))):
-                    result = fleet.query_similar(registered[index].user_id)
-                    if victim.name in result.stale_shards:
+                    response = self.gateway.find_similar(registered[index].user_id)
+                    if victim.name in response.provenance.stale_shards:
                         report.stale_shard_answers += 1
                     platform.scheduler.run_until(platform.now)
             if failover == "promote":
