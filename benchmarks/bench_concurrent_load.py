@@ -1,0 +1,164 @@
+"""Benchmark: gateway latency and shedding under overlapping session load.
+
+The first benchmark in the repo where the middleware chain faces *real*
+contention: thousands of sessions interleaved by the
+:class:`~repro.api.concurrency.SessionScheduler`, per-server queueing, and
+an admission bucket that actually sheds.  Two workloads:
+
+- ``steady_overload`` — open-loop Poisson arrivals offered slightly above
+  the admission refill rate; queueing dominates, shedding trims the peaks.
+- ``burst`` — every session arrives at the same instant; the admission
+  bucket does almost all the work.
+
+Because the simulation is deterministic, the full run's latency histograms
+and shed rates are checked in as ``BENCH_concurrent_load.json`` and
+regenerating the artifact must reproduce it byte for byte — that check IS
+the benchmark's regression assertion (a scheduler or middleware change
+that shifts any percentile shows up as a diff, not a flake).
+
+Run ``python benchmarks/bench_concurrent_load.py`` to regenerate the
+artifact after an intentional behaviour change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.ecommerce.platform_builder import build_platform
+from repro.workload import ConsumerPopulation, ConcurrentDriver
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL") == "1"
+ARTIFACT = Path(__file__).with_name("BENCH_concurrent_load.json")
+
+#: The artifact's workloads.  ``sessions`` is the overlapping-session count
+#: the acceptance bar cares about (>= 1k); ``platform`` holds the
+#: build_platform overrides, everything else goes to ConcurrentDriver.run.
+WORKLOADS = {
+    "steady_overload": {
+        "platform": {
+            "seed": 11,
+            "num_buyer_servers": 4,
+            "replication_factor": 1,
+            "api_admission_capacity": 80,
+            "api_admission_refill_per_ms": 0.3,
+        },
+        "population": 1500,
+        "seed": 11,
+        "run": {
+            "sessions": 1200,
+            "queries_per_session": 2,
+            "arrival_rate_per_ms": 0.2,
+            "think_time_ms": 150.0,
+            "recommendation_probability": 0.25,
+        },
+    },
+    "burst": {
+        "platform": {
+            "seed": 23,
+            "num_buyer_servers": 4,
+            "replication_factor": 1,
+            "api_admission_capacity": 100,
+            "api_admission_refill_per_ms": 0.05,
+        },
+        "population": 1200,
+        "seed": 23,
+        "run": {
+            "sessions": 1000,
+            "queries_per_session": 1,
+            "arrival_rate_per_ms": None,
+            "think_time_ms": 0.0,
+            "recommendation_probability": 0.0,
+        },
+    },
+}
+
+#: Session count used by the quick smoke test (full workloads still run in
+#: the artifact-reproducibility test; this one just keeps the wall-clock
+#: timing table cheap).
+SMOKE_SESSIONS = 250
+
+
+def run_workload(name: str, sessions=None) -> dict:
+    """Run one named workload on a fresh platform; return config + report."""
+    spec = WORKLOADS[name]
+    platform = build_platform(**spec["platform"])
+    population = ConsumerPopulation(spec["population"], seed=spec["platform"]["seed"])
+    driver = ConcurrentDriver(platform, population, seed=spec["seed"])
+    run_args = dict(spec["run"])
+    if sessions is not None:
+        run_args["sessions"] = sessions
+    report = driver.run(**run_args)
+    return {
+        "config": {
+            "platform": spec["platform"],
+            "population": spec["population"],
+            "seed": spec["seed"],
+            "run": spec["run"],
+        },
+        "report": report.as_dict(),
+    }
+
+
+def generate_payload() -> dict:
+    return {
+        "benchmark": "concurrent_load",
+        "workloads": {name: run_workload(name) for name in sorted(WORKLOADS)},
+    }
+
+
+def render(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_concurrent_load_smoke(benchmark):
+    """Wall-clock cost of a smoke-sized concurrent day + sanity of the report."""
+    outcome = benchmark.pedantic(
+        lambda: run_workload("steady_overload", sessions=SMOKE_SESSIONS),
+        rounds=1,
+        iterations=1,
+    )
+    report = outcome["report"]
+    assert report["sessions"] == SMOKE_SESSIONS
+    assert report["requests"] > SMOKE_SESSIONS  # sessions chain several requests
+    assert report["latency_ms"]["count"] > 0
+    assert report["queue_wait_ms"]["count"] > 0, "no queueing under overlap?"
+    assert sum(bucket["count"] for bucket in report["histogram"]) == (
+        report["requests"] - report["shed"]
+    )
+
+
+def test_artifact_matches_regeneration():
+    """The checked-in artifact must reproduce byte for byte.
+
+    This is the regression gate for the whole concurrency stack: arrivals,
+    the session scheduler's processing order, per-server queueing, per-call
+    clocks and admission all feed these numbers.
+    """
+    regenerated = render(generate_payload())
+    checked_in = ARTIFACT.read_text()
+    assert regenerated == checked_in, (
+        "BENCH_concurrent_load.json drifted from regeneration — if the "
+        "change is intentional, refresh it with "
+        "`python benchmarks/bench_concurrent_load.py`"
+    )
+
+
+def test_artifact_meets_acceptance_bars():
+    """The checked-in numbers must show the load actually overlapped."""
+    payload = json.loads(ARTIFACT.read_text())
+    steady = payload["workloads"]["steady_overload"]["report"]
+    burst = payload["workloads"]["burst"]["report"]
+    assert steady["sessions"] >= 1000 and burst["sessions"] >= 1000
+    for report in (steady, burst):
+        assert report["shed"] > 0, "admission never shed — not a load test"
+        assert 0.0 < report["shed_rate"] < 1.0
+        assert report["latency_ms"]["count"] > 0
+        assert any(bucket["count"] for bucket in report["histogram"])
+    # Overlap is visible as queue waits in the steady workload.
+    assert steady["queue_wait_ms"]["count"] > 0
+    assert steady["queue_wait_ms"]["p95"] > 0.0
+
+
+if __name__ == "__main__":
+    ARTIFACT.write_text(render(generate_payload()))
+    print(f"wrote {ARTIFACT}")

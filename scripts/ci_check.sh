@@ -22,6 +22,9 @@ python -m pytest -x -q tests/property/test_sharding.py
 echo "== tier-1: benchmark smoke (neighbor index scaling + shard sweep) =="
 python -m pytest -x -q benchmarks/bench_neighbors_scaling.py
 
+echo "== tier-1: benchmark smoke (concurrent load + artifact reproduction) =="
+python -m pytest -x -q benchmarks/bench_concurrent_load.py
+
 echo "== tier-1: example smoke runs (deprecation-clean: examples must not =="
 echo "==         touch the shimmed legacy session/fleet methods)         =="
 for example in examples/*.py; do
@@ -78,6 +81,43 @@ statuses = {s for s in (r.status for r in ok)} | {failed.status, down.status}
 assert statuses <= set(ApiStatus.ALL)
 print("gateway smoke: OK —", len(ok), "operations ok,",
       f"taxonomy covered: {sorted(statuses)}")
+PY
+
+echo "== tier-1: concurrent-scenario smoke (overlap must shed, queue, =="
+echo "==         and report taxonomy-clean statuses)                  =="
+python - <<'PY'
+from repro import build_platform
+from repro.api import ApiStatus
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.scenarios import ScenarioRunner
+
+platform = build_platform(seed=11, num_buyer_servers=4, replication_factor=1,
+                          api_admission_capacity=40,
+                          api_admission_refill_per_ms=0.2)
+runner = ScenarioRunner(platform, ConsumerPopulation(400, groups=4, seed=11),
+                        seed=11)
+report = runner.concurrent_day(sessions=300, queries_per_session=2,
+                               arrival_rate_per_ms=0.15, think_time_ms=150.0,
+                               seed=11)
+d = report.as_dict()
+assert d["sessions"] == 300 and d["completed"] == d["requests"], d
+# Overlap was real: admission shed some of it and queues formed.
+assert d["shed"] > 0 and 0.0 < report.shed_rate < 1.0, d
+assert d["queue_wait_ms"]["count"] > 0 and d["queue_wait_ms"]["max"] > 0.0, d
+# Latency stats populated, over dispatched requests only.
+assert d["latency_ms"]["count"] == d["requests"] - d["shed"] > 0, d
+assert sum(b["count"] for b in d["histogram"]) == d["latency_ms"]["count"], d
+# Taxonomy-clean: every reported status is in the closed ApiStatus set.
+assert set(d["statuses"]) <= set(ApiStatus.ALL), d["statuses"]
+assert d["statuses"].get(ApiStatus.REJECTED, 0) == d["shed"], d["statuses"]
+# The sequential scenarios' path never engaged the session layer's queues
+# before this run, and the metrics middleware kept shed requests out of the
+# latency timers.
+lat = platform.metrics.timer("api.latency_ms").summary()
+assert lat["count"] == d["latency_ms"]["count"], lat
+print("concurrent_day smoke: OK —", d["requests"], "requests,",
+      f"shed {report.shed_rate:.1%}, queue p95 {d['queue_wait_ms']['p95']:.0f}ms,",
+      f"latency p95 {d['latency_ms']['p95']:.0f}ms")
 PY
 
 echo "== tier-1: replicated failover scenario smoke (+ bounded WAL) =="

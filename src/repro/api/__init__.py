@@ -7,10 +7,16 @@ via ``build_platform(...).gateway()``.  Every operation returns the uniform
 status taxonomy, structured error, simulated-latency timing and
 shard/replica provenance) after flowing through the middleware chain in
 :mod:`repro.api.middleware` (metrics → admission control → deadline →
-retry).  See ``docs/ARCHITECTURE.md`` ("API layer") for envelope semantics,
-middleware ordering and the versioning policy.
+retry → queueing).  See ``docs/ARCHITECTURE.md`` ("API layer") for envelope
+semantics, middleware ordering and the versioning policy.
+
+For overlapping load, ``gateway.submit`` returns an
+:class:`~repro.api.concurrency.ApiFuture` and the
+:class:`~repro.api.concurrency.SessionScheduler` interleaves thousands of
+open sessions by virtual arrival time — see :mod:`repro.api.concurrency`.
 """
 
+from repro.api.concurrency import ApiFuture, ServerQueues, SessionScheduler
 from repro.api.envelope import (
     API_VERSION,
     SUPPORTED_VERSIONS,
@@ -27,6 +33,7 @@ from repro.api.middleware import (
     DeadlineMiddleware,
     MetricsMiddleware,
     Middleware,
+    QueueingMiddleware,
     RetryMiddleware,
     TokenBucket,
     build_chain,
@@ -65,10 +72,14 @@ __all__ = [
     "Provenance",
     "classify_error",
     "PlatformGateway",
+    "ApiFuture",
+    "ServerQueues",
+    "SessionScheduler",
     "Middleware",
     "MetricsMiddleware",
     "AdmissionControlMiddleware",
     "DeadlineMiddleware",
+    "QueueingMiddleware",
     "RetryMiddleware",
     "TokenBucket",
     "ApiCall",

@@ -1,0 +1,261 @@
+"""Concurrent-session scheduling over the sequential gateway.
+
+Every scenario driver before this module issued one gateway request at a
+time: the admission bucket, deadlines and retry backoff were never
+exercised by *overlapping* load, even though the paper's marketplace serves
+thousands of simultaneous mobile buyer agents.  This module adds the
+missing concurrency layer without giving up determinism:
+
+- :class:`ApiFuture` — the handle returned by
+  :meth:`~repro.api.gateway.PlatformGateway.submit`; resolved with the
+  ordinary :class:`~repro.api.envelope.ApiResponse` envelope when the
+  scheduler processes the request.
+- :class:`ServerQueues` — per-buyer-server FIFO occupancy in virtual time;
+  :class:`~repro.api.middleware.QueueingMiddleware` charges the wait to the
+  submitting session's clock.
+- :class:`SessionScheduler` — an event loop that interleaves open sessions
+  by next-event (virtual arrival) time.
+
+**How virtual time works.**  The platform's transport advances one shared
+:class:`~repro.platform.clock.SimulationClock`; under concurrency that
+base clock degenerates into a *work meter* — the running sum of every
+session's service time.  Each submitted call instead observes a
+:class:`~repro.platform.clock.SessionClock` anchored at its virtual
+arrival time: real dispatch work (the transport) moves every session in
+lockstep, while backoff, queue waits and think time move only the session
+that spends them.  The scheduler processes submissions in nondecreasing
+virtual-arrival order — closed-loop follow-ups (submitted from a future's
+done-callback) always land at or after the finish that triggered them, so
+the order is total and the admission bucket's refill anchor only ever
+moves forward.  Determinism follows: same seed, same submissions, same
+envelope stream, byte for byte.
+
+Sequential ``gateway.execute`` calls never touch this module; they run on
+the shared platform clock with queueing disabled, byte-identical to
+pre-concurrency output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+import heapq
+import itertools
+
+from repro.errors import ClockError, FuturePendingError
+from repro.platform.clock import SessionClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.envelope import ApiResponse
+    from repro.api.gateway import PlatformGateway
+
+__all__ = ["ApiFuture", "ServerQueues", "SessionScheduler"]
+
+
+class ApiFuture:
+    """Deferred result of a submitted gateway request.
+
+    Mirrors the familiar futures shape (``done`` / ``result`` /
+    ``add_done_callback``) on the simulated clock: the scheduler resolves
+    it synchronously while draining its event loop, so there is nothing to
+    block on — reading an unresolved future raises
+    :class:`~repro.errors.FuturePendingError` instead of waiting.
+
+    Done-callbacks receive the future itself and run inside the scheduler
+    loop; submitting a follow-up request from one is the closed-loop
+    (think-time) workload idiom.
+    """
+
+    def __init__(self, request: Any, submitted_at_ms: float, session_id: str = "") -> None:
+        self.request = request
+        self.submitted_at_ms = float(submitted_at_ms)
+        self.session_id = session_id
+        self.finished_at_ms: Optional[float] = None
+        self._response: Optional["ApiResponse"] = None
+        self._callbacks: List[Callable[["ApiFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._response is not None
+
+    @property
+    def response(self) -> "ApiResponse":
+        """The full envelope; raises if the scheduler has not run this yet."""
+        if self._response is None:
+            raise FuturePendingError(
+                f"future for {type(self.request).__name__} submitted at "
+                f"{self.submitted_at_ms:.3f} ms is not resolved; run the "
+                f"session scheduler first"
+            )
+        return self._response
+
+    def result(self) -> Any:
+        """The typed result payload (``response.result``)."""
+        return self.response.result
+
+    def add_done_callback(self, callback: Callable[["ApiFuture"], None]) -> None:
+        if self._response is not None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _resolve(self, response: "ApiResponse", finished_at_ms: float) -> None:
+        self._response = response
+        self.finished_at_ms = float(finished_at_ms)
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self._response.status if self._response is not None else "pending"
+        return (
+            f"ApiFuture({type(self.request).__name__}, "
+            f"at={self.submitted_at_ms:.3f}ms, {state})"
+        )
+
+
+class ServerQueues:
+    """Per-server FIFO occupancy in virtual time.
+
+    Each buyer agent server is a single-service-channel queue: it is busy
+    until the virtual finish time of the last attempt it served.  A session
+    routed to a busy server waits until ``busy_until`` — the wait is the
+    queueing delay :class:`~repro.api.middleware.QueueingMiddleware` charges
+    to the session's own clock and records in ``api.queue_wait_ms``.
+    """
+
+    def __init__(self) -> None:
+        self._busy_until: Dict[str, float] = {}
+        self._served: Dict[str, int] = {}
+
+    def wait_for(self, server: str, now_ms: float) -> float:
+        """Virtual time at which ``server`` can start work arriving ``now_ms``."""
+        return max(float(now_ms), self._busy_until.get(server, 0.0))
+
+    def occupy(self, server: str, started_ms: float, finished_ms: float) -> None:
+        """Record that ``server`` was held from ``started_ms`` to ``finished_ms``."""
+        if finished_ms > self._busy_until.get(server, 0.0):
+            self._busy_until[server] = float(finished_ms)
+        self._served[server] = self._served.get(server, 0) + 1
+
+    def busy_until(self, server: str) -> float:
+        return self._busy_until.get(server, 0.0)
+
+    def served(self, server: str) -> int:
+        """Attempts this server has processed (queue-depth accounting)."""
+        return self._served.get(server, 0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of every server's ``busy_until`` (for reports/assertions)."""
+        return dict(self._busy_until)
+
+
+class SessionScheduler:
+    """Event loop interleaving open gateway sessions by virtual arrival time.
+
+    Obtained lazily as ``gateway.sessions``; :meth:`submit` (or the
+    gateway's :meth:`~repro.api.gateway.PlatformGateway.submit` forwarder)
+    enqueues a request at a virtual arrival time and returns an
+    :class:`ApiFuture`.  :meth:`run_until_idle` drains the queue in
+    nondecreasing arrival order, executing each call to completion on a
+    :class:`~repro.platform.clock.SessionClock` anchored at its arrival —
+    the simulation stays synchronous *within* a call, while contention
+    across calls is modelled by :class:`ServerQueues` and the shared
+    admission bucket reading virtual arrival times.
+
+    ``horizon`` is the scheduler's monotone virtual-time floor: arrivals in
+    the past are clamped to it (same policy as
+    :meth:`~repro.platform.clock.Scheduler.call_at`), which is what keeps
+    the processed stream sorted and the run replayable.
+    """
+
+    def __init__(self, gateway: "PlatformGateway") -> None:
+        self._gateway = gateway
+        self._clock = gateway._clock
+        self._metrics = gateway._metrics
+        self.queues = ServerQueues()
+        self._heap: List[Tuple[float, int, ApiFuture]] = []
+        self._sequence = itertools.count()
+        # Anchor the virtual-time floor at the platform clock: building the
+        # platform already spent simulated time (host boots, registrations),
+        # and a session arriving "now" must observe the same now a
+        # sequential ``execute`` call would.
+        self._horizon = self._clock.now
+        self._submitted = 0
+        self._completed = 0
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self, request: Any, at_ms: Optional[float] = None, session_id: str = ""
+    ) -> ApiFuture:
+        """Enqueue ``request`` to arrive at virtual time ``at_ms``.
+
+        ``at_ms=None`` means "now" (the current horizon).  Arrivals before
+        the horizon are clamped to it; the work still runs, in submission
+        order.
+        """
+        at = self._horizon if at_ms is None else float(at_ms)
+        if at < 0:
+            raise ClockError(f"cannot submit a request at a negative time: {at}")
+        at = max(at, self._horizon)
+        future = ApiFuture(request, submitted_at_ms=at, session_id=session_id)
+        heapq.heappush(self._heap, (at, next(self._sequence), future))
+        self._submitted += 1
+        self._metrics.counter("api.sessions.submitted").increment()
+        return future
+
+    # -- execution ----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Submitted requests not yet executed (the backlog gauge)."""
+        return len(self._heap)
+
+    @property
+    def submitted(self) -> int:
+        return self._submitted
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time of the latest arrival processed so far."""
+        return self._horizon
+
+    def step(self) -> bool:
+        """Execute the earliest pending arrival; False when the queue is empty."""
+        if not self._heap:
+            return False
+        at, _seq, future = heapq.heappop(self._heap)
+        self._horizon = max(self._horizon, at)
+        clock = SessionClock(self._clock, start_at=self._horizon)
+        response = self._gateway._run(future.request, clock=clock, queues=self.queues)
+        self._completed += 1
+        self._metrics.counter("api.sessions.completed").increment()
+        future._resolve(response, finished_at_ms=clock.now)
+        return True
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Drain the arrival queue (including closed-loop follow-ups).
+
+        Done-callbacks may submit new requests while draining; they join the
+        same heap and are processed in virtual-time order.  ``max_events``
+        guards against a callback loop that never stops re-submitting.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise ClockError(
+                    f"session scheduler exceeded {max_events} events; "
+                    f"likely a resubmission loop"
+                )
+        return executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SessionScheduler(pending={self.pending}, "
+            f"completed={self._completed}, horizon={self._horizon:.3f}ms)"
+        )

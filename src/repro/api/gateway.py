@@ -11,9 +11,9 @@ directly (those entry points survive as deprecation shims).
 
 Requests flow through the middleware chain documented in
 :mod:`repro.api.middleware` (metrics → admission control → deadline →
-retry → dispatch).  The dispatch maps every library exception onto the
-structured error taxonomy — the gateway **never raises** for a client
-operation; the worst case is an ``unavailable`` envelope after retry
+retry → queueing → dispatch).  The dispatch maps every library exception
+onto the structured error taxonomy — the gateway **never raises** for a
+client operation; the worst case is an ``unavailable`` envelope after retry
 exhaustion.  On the happy path the gateway charges nothing to the simulated
 clock, so gateway results are byte-identical to the direct calls they
 replaced on the same seed.
@@ -26,6 +26,17 @@ Obtain one from the platform::
     response = gateway.query("alice", "laptop")
     for hit in response.result.hits:
         ...
+
+For overlapping load, :meth:`PlatformGateway.submit` enqueues a request at
+a virtual arrival time and returns an
+:class:`~repro.api.concurrency.ApiFuture`; draining
+``gateway.sessions.run_until_idle()`` interleaves every open session by
+next-event time (see :mod:`repro.api.concurrency`)::
+
+    futures = [gateway.submit(QueryRequest(u, "laptop"), at_ms=t)
+               for t, u in arrivals]
+    gateway.sessions.run_until_idle()
+    statuses = [f.response.status for f in futures]
 
 Admission control, deadlines and retries are configured through the
 ``PlatformConfig.api_*`` knobs.
@@ -50,6 +61,7 @@ from repro.api.middleware import (
     DeadlineMiddleware,
     MetricsMiddleware,
     Middleware,
+    QueueingMiddleware,
     RetryMiddleware,
     TokenBucket,
     build_chain,
@@ -80,6 +92,7 @@ from repro.api.requests import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.concurrency import ApiFuture, SessionScheduler
     from repro.core.items import Item
     from repro.ecommerce.platform_builder import ECommercePlatform
     from repro.ecommerce.session import ConsumerSession
@@ -136,8 +149,10 @@ class PlatformGateway:
                 self._metrics,
                 self._clock,
             ),
+            QueueingMiddleware(self._metrics),
         )
         self._handler = build_chain(list(self.middlewares), self._dispatch)
+        self._sessions: Optional["SessionScheduler"] = None
         self._operations: Dict[type, Callable[[Any], Tuple[Any, Provenance, bool]]] = {
             RegisterRequest: self._op_register,
             LoginRequest: self._op_login,
@@ -157,17 +172,57 @@ class PlatformGateway:
     # -- generic execution ----------------------------------------------------
 
     def execute(self, request: Any) -> ApiResponse:
-        """Run any typed request through the middleware chain.
+        """Run any typed request through the middleware chain, synchronously.
 
         The convenience methods below are thin wrappers that build the
         request dataclass and call this.  Unknown request types and
         unsupported ``api_version`` values return ``failed`` envelopes —
         consistent with the no-raise contract of every other path.
         """
+        return self._run(request)
+
+    def submit(
+        self, request: Any, at_ms: Optional[float] = None, session_id: str = ""
+    ) -> "ApiFuture":
+        """Enqueue ``request`` for concurrent execution; returns a future.
+
+        The request arrives at virtual time ``at_ms`` (default: the session
+        scheduler's current horizon) and is resolved when
+        ``gateway.sessions`` drains — see :mod:`repro.api.concurrency` for
+        the virtual-time model.  ``session_id`` is a free-form label
+        carried on the future for workload bookkeeping.
+        """
+        return self.sessions.submit(request, at_ms=at_ms, session_id=session_id)
+
+    @property
+    def sessions(self) -> "SessionScheduler":
+        """The gateway's session scheduler, created on first use.
+
+        Lazy so the sequential path never constructs (or pays for) the
+        concurrency layer — one more guarantee that ``execute``-only runs
+        stay byte-identical to pre-concurrency output.
+        """
+        if self._sessions is None:
+            from repro.api.concurrency import SessionScheduler
+
+            self._sessions = SessionScheduler(self)
+        return self._sessions
+
+    def _run(
+        self, request: Any, clock: Any = None, queues: Any = None
+    ) -> ApiResponse:
+        """Shared request path for ``execute`` (sequential) and ``submit``.
+
+        ``clock`` is ``None`` sequentially — the call runs on the shared
+        platform clock, exactly as before the concurrency layer — or the
+        session's :class:`~repro.platform.clock.SessionClock` on the submit
+        path, where ``queues`` also enables per-server queueing.
+        """
+        call_clock = clock if clock is not None else self._clock
         operation = getattr(type(request), "operation", None)
         self._request_counter += 1
         request_id = self._request_counter
-        started = self._clock.now
+        started = call_clock.now
         if operation is None or type(request) not in self._operations:
             operation = operation or "unknown"
             response = self._refuse(
@@ -197,6 +252,8 @@ class PlatformGateway:
                 operation=operation,
                 request_id=request_id,
                 started_at_ms=started,
+                clock=clock,
+                queues=queues,
             )
             response = self._handler(call)
             response.provenance.retries = call.attempts
@@ -205,7 +262,7 @@ class PlatformGateway:
         response.operation = operation
         response.request_id = request_id
         response.started_at_ms = started
-        response.finished_at_ms = self._clock.now
+        response.finished_at_ms = call_clock.now
         return response
 
     def _refuse(self, operation: str, error: ApiError) -> ApiResponse:

@@ -11,21 +11,37 @@ from the dispatch, a retry, or the middleware short-circuiting.
 :func:`~repro.api.gateway.PlatformGateway` installs them):
 
 1. :class:`MetricsMiddleware` — counts every request and status (including
-   rejections) and records per-operation simulated latency.  Outermost so
-   nothing escapes accounting.
+   rejections) and records per-operation simulated latency for *dispatched*
+   work.  Outermost so nothing escapes accounting; admission-shed requests
+   are counted but contribute no latency sample (a flood of 0 ms rejection
+   samples would drag ``api.latency_ms`` percentiles toward zero under
+   burst, hiding the very overload that caused the shedding).
 2. :class:`AdmissionControlMiddleware` — token-bucket load shedding on the
    simulated clock.  A shed request costs nothing downstream and returns a
    ``rejected`` envelope; it sits outside the deadline so rejections do not
    consume a latency budget that was never spent.
 3. :class:`DeadlineMiddleware` — charges the request's simulated-time budget
-   against the platform clock.  Wraps the retries, so backoff and re-routing
+   against the call's clock.  Wraps the retries, so backoff and re-routing
    spend the same budget the original attempt did.
 4. :class:`RetryMiddleware` — bounded retry with exponential backoff
-   (charged to the simulated clock) for *retryable* errors only.  Between
+   (charged to the call's clock) for *retryable* errors only.  Between
    attempts it asks the gateway to re-route around a crashed primary via
    the PR-4 promotion path, so a mid-traffic crash degrades instead of
    erroring.  Exhaustion returns the last ``unavailable`` envelope — the
    chain never raises.
+5. :class:`QueueingMiddleware` — per-server FIFO queueing, active only on
+   the concurrent submit path (``call.queues`` set).  Innermost — inside
+   the retries — so every attempt waits its turn at the (possibly new,
+   post-failover) server it targets.  A no-op for sequential ``execute``
+   calls, which keeps them byte-identical to pre-concurrency behaviour.
+
+**Per-call clock accounting.**  Every middleware reads time through
+``call.clock``, never a captured platform clock.  On the sequential
+``execute`` path the call clock *is* the shared platform clock, so backoff
+and deadlines behave exactly as before.  On the concurrent ``submit`` path
+the call clock is a :class:`~repro.platform.clock.SessionClock`: one
+session's retry backoff or queue wait spends that session's own virtual
+time instead of advancing the global clock under every other open session.
 
 All middlewares are stateless per request except the admission bucket,
 whose token count is deliberately shared across requests (that is the
@@ -34,9 +50,10 @@ load-shedding).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
+from repro.errors import ReproError
 from repro.api.envelope import ApiError, ApiResponse, ApiStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,6 +66,7 @@ __all__ = [
     "AdmissionControlMiddleware",
     "DeadlineMiddleware",
     "RetryMiddleware",
+    "QueueingMiddleware",
     "TokenBucket",
     "build_chain",
 ]
@@ -65,6 +83,16 @@ class ApiCall:
     operation: str
     request_id: int
     started_at_ms: float = 0.0
+    #: The clock this call charges waits/backoff to and measures elapsed
+    #: time on: the shared platform clock for sequential ``execute`` calls,
+    #: a per-session :class:`~repro.platform.clock.SessionClock` on the
+    #: concurrent ``submit`` path.
+    clock: Any = None
+    #: Per-server queue accounting (``ServerQueues``) on the submit path;
+    #: ``None`` sequentially, which disables :class:`QueueingMiddleware`.
+    queues: Any = None
+    #: Simulated milliseconds this call spent waiting in server queues.
+    queued_ms: float = 0.0
     #: Absolute simulated deadline (set by DeadlineMiddleware when a budget
     #: applies); retries consult it before spending backoff time.
     deadline_at_ms: Optional[float] = None
@@ -91,7 +119,15 @@ def build_chain(middlewares: List[Middleware], terminal: Handler) -> Handler:
 
 
 class MetricsMiddleware(Middleware):
-    """Counts requests/statuses and records per-operation simulated latency."""
+    """Counts requests/statuses and records per-operation simulated latency.
+
+    Latency samples cover *dispatched* work only: an admission-rejected
+    request is counted (``api.status.rejected`` plus the admission
+    middleware's own ``api.admission.rejected``) but records no
+    ``api.latency_ms`` sample — rejections cost ~0 simulated ms, so under a
+    burst that sheds half the traffic they would drag the latency
+    percentiles toward zero exactly when the dispatched half is slowest.
+    """
 
     name = "metrics"
 
@@ -101,14 +137,16 @@ class MetricsMiddleware(Middleware):
 
     def handle(self, call: ApiCall, next_handler: Handler) -> ApiResponse:
         metrics = self._metrics
+        clock = call.clock if call.clock is not None else self._clock
         metrics.counter("api.requests").increment()
         metrics.counter(f"api.requests.{call.operation}").increment()
-        started = self._clock.now
+        started = clock.now
         response = next_handler(call)
-        elapsed = self._clock.now - started
+        elapsed = clock.now - started
         metrics.counter(f"api.status.{response.status}").increment()
-        metrics.timer("api.latency_ms").record(elapsed)
-        metrics.timer(f"api.latency_ms.{call.operation}").record(elapsed)
+        if response.status != ApiStatus.REJECTED:
+            metrics.timer("api.latency_ms").record(elapsed)
+            metrics.timer(f"api.latency_ms.{call.operation}").record(elapsed)
         return response
 
 
@@ -119,17 +157,29 @@ class TokenBucket:
     ``capacity`` bounds the burst; ``refill_per_ms`` tokens accrue per
     simulated millisecond.  Deterministic by construction — the only clock
     it reads is the platform's simulated one.
+
+    ``tokens`` defaults to a full bucket but an explicitly passed value is
+    respected (e.g. a pre-drained bucket in a test or a warm handover).
+    ``last_refill_ms`` anchors the refill; when omitted the bucket anchors
+    itself at the timestamp of the *first* acquire — anchoring at 0.0 would
+    grant a spurious full refill to the first request on any clock that
+    started, or warmed up, past 0.
     """
 
     capacity: float
     refill_per_ms: float
-    tokens: float = field(default=0.0)
-    last_refill_ms: float = 0.0
+    tokens: Optional[float] = None
+    last_refill_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
-        self.tokens = float(self.capacity)
+        if self.tokens is None:
+            self.tokens = float(self.capacity)
+        else:
+            self.tokens = min(float(self.tokens), float(self.capacity))
 
     def try_acquire(self, now_ms: float) -> bool:
+        if self.last_refill_ms is None:
+            self.last_refill_ms = float(now_ms)
         if now_ms > self.last_refill_ms:
             self.tokens = min(
                 float(self.capacity),
@@ -158,7 +208,8 @@ class AdmissionControlMiddleware(Middleware):
         self._clock = clock
 
     def handle(self, call: ApiCall, next_handler: Handler) -> ApiResponse:
-        if self.bucket is None or self.bucket.try_acquire(self._clock.now):
+        clock = call.clock if call.clock is not None else self._clock
+        if self.bucket is None or self.bucket.try_acquire(clock.now):
             return next_handler(call)
         self._metrics.counter("api.admission.rejected").increment()
         return ApiResponse(
@@ -200,10 +251,11 @@ class DeadlineMiddleware(Middleware):
             deadline = self.default_deadline_ms
         if deadline is None:
             return next_handler(call)
-        started = self._clock.now
+        clock = call.clock if call.clock is not None else self._clock
+        started = clock.now
         call.deadline_at_ms = started + deadline
         response = next_handler(call)
-        elapsed = self._clock.now - started
+        elapsed = clock.now - started
         if elapsed <= deadline:
             return response
         self._metrics.counter("api.deadline_exceeded").increment()
@@ -244,8 +296,10 @@ class RetryMiddleware(Middleware):
     ``unavailable`` for the client to reconcile, never be silently
     re-executed into a double purchase.  Before each retry it
 
-    1. charges the backoff to the simulated clock (exponential, starting at
-       ``backoff_ms``),
+    1. charges the backoff to the *call's* clock (exponential, starting at
+       ``backoff_ms``) — the shared platform clock sequentially, the
+       session's own virtual clock on the submit path, so one session's
+       backoff never stalls every other open session,
     2. asks the gateway to heal routing
        (:meth:`~repro.api.gateway.PlatformGateway._heal_routing`): when the
        consumer's primary is crashed and a live replica exists, the PR-4
@@ -275,15 +329,16 @@ class RetryMiddleware(Middleware):
         return response.error.kind in PRE_DISPATCH_ERROR_KINDS
 
     def handle(self, call: ApiCall, next_handler: Handler) -> ApiResponse:
+        clock = call.clock if call.clock is not None else self._clock
         response = next_handler(call)
         backoff = self.backoff_ms
         while self._may_retry(call, response) and call.attempts < self.max_retries:
             if (
                 call.deadline_at_ms is not None
-                and self._clock.now + backoff > call.deadline_at_ms
+                and clock.now + backoff > call.deadline_at_ms
             ):
                 break  # no budget left to wait out the backoff
-            self._clock.advance_by(backoff)
+            clock.advance_by(backoff)
             backoff *= 2.0
             if call.gateway._heal_routing(getattr(call.request, "user_id", None)):
                 call.failed_over = True
@@ -291,5 +346,65 @@ class RetryMiddleware(Middleware):
             self._metrics.counter("api.retries").increment()
             response = next_handler(call)
         if response.ok and call.failed_over:
-            response.status = ApiStatus.DEGRADED
+            # Never mutate the envelope the dispatch returned: result objects
+            # can be cached or logged downstream, and an aliased envelope
+            # flipping to DEGRADED after the fact would rewrite history for
+            # whoever held a reference.  Return a replaced copy instead.
+            response = replace(response, status=ApiStatus.DEGRADED)
+        return response
+
+
+class QueueingMiddleware(Middleware):
+    """Per-server FIFO queueing for overlapping sessions.
+
+    Active only on the concurrent submit path (``call.queues`` holds the
+    scheduler's :class:`~repro.api.concurrency.ServerQueues`); sequential
+    ``execute`` calls pass ``queues=None`` and flow straight through, which
+    keeps the one-at-a-time path byte-identical to pre-concurrency output.
+
+    Innermost in the chain — inside the retries — so each attempt queues at
+    the server it actually targets *after* any failover re-routing.  The
+    wait is charged to the session's own clock (the service time itself is
+    charged by the transport, to everyone); it is recorded in
+    ``api.queue_wait_ms`` and on ``call.queued_ms`` but deliberately not in
+    the envelope, whose shape is part of the byte-stability contract.
+    """
+
+    name = "queueing"
+
+    def __init__(self, metrics) -> None:
+        self._metrics = metrics
+
+    def _target_server(self, call: ApiCall) -> Optional[str]:
+        user_id = getattr(call.request, "user_id", None)
+        if user_id is None:
+            return None
+        try:
+            return call.gateway._platform.buyer_server_for(user_id).name
+        except ReproError:
+            # Routing failures surface from the dispatch with the proper
+            # taxonomy; queueing just declines to guess a queue for them.
+            return None
+
+    def handle(self, call: ApiCall, next_handler: Handler) -> ApiResponse:
+        if call.queues is None or call.clock is None:
+            return next_handler(call)
+        clock = call.clock
+        server = self._target_server(call)
+        if server is not None:
+            free_at = call.queues.wait_for(server, clock.now)
+            waited = free_at - clock.now
+            if waited > 0:
+                clock.advance_by(waited)
+                call.queued_ms += waited
+                self._metrics.timer("api.queue_wait_ms").record(waited)
+                self._metrics.timer(
+                    f"api.queue_wait_ms.{call.operation}"
+                ).record(waited)
+        started = clock.now
+        response = next_handler(call)
+        if server is not None:
+            # Hold the server for the simulated time this attempt consumed:
+            # the next session routed here queues behind it.
+            call.queues.occupy(server, started, clock.now)
         return response

@@ -168,6 +168,11 @@ class ColdStartError(RecommendationError):
     """Raised when a recommender has no data at all for the requested user."""
 
 
+class FuturePendingError(ReproError):
+    """Raised when an :class:`~repro.api.concurrency.ApiFuture` result is
+    read before the session scheduler has resolved it."""
+
+
 class WorkloadError(ReproError):
     """Raised by the synthetic workload generators for invalid parameters."""
 

@@ -17,7 +17,7 @@ Everything is deterministic given the seed passed to the network model, so
 tests and benchmarks are reproducible run-to-run.
 """
 
-from repro.platform.clock import SimulationClock, Scheduler
+from repro.platform.clock import SimulationClock, SessionClock, Scheduler
 from repro.platform.events import Event, EventQueue
 from repro.platform.network import NetworkConfig, SimulatedNetwork, Link
 from repro.platform.host import Host, HostState
@@ -27,6 +27,7 @@ from repro.platform.metrics import MetricsRegistry, Counter, Timer
 
 __all__ = [
     "SimulationClock",
+    "SessionClock",
     "Scheduler",
     "Event",
     "EventQueue",

@@ -19,7 +19,13 @@ import itertools
 
 from repro.errors import ClockError
 
-__all__ = ["SimulationClock", "Scheduler", "ScheduledCallback", "RecurringCallback"]
+__all__ = [
+    "SimulationClock",
+    "SessionClock",
+    "Scheduler",
+    "ScheduledCallback",
+    "RecurringCallback",
+]
 
 
 class SimulationClock:
@@ -63,6 +69,60 @@ class SimulationClock:
         return f"SimulationClock(now={self._now:.3f}ms)"
 
 
+class SessionClock:
+    """A per-session virtual view over a shared :class:`SimulationClock`.
+
+    Concurrent sessions each live on their own timeline: a session that backs
+    off before a retry, waits in a server queue or thinks between requests
+    spends *its own* time, not everyone's.  A ``SessionClock`` anchors a
+    session at ``start_at`` and keeps a private offset over the base clock:
+    real platform work (the transport advancing the base clock) moves every
+    session's ``now`` in lockstep, while :meth:`advance_by` /
+    :meth:`advance_to` move only this session.
+
+    The offset may be *negative* — a session whose arrival time lags the
+    base clock (which accumulates all sessions' work) simply observes an
+    earlier "now".  Within one session the clock is still monotonic: the
+    same backwards/negative-delta guards as :class:`SimulationClock` apply.
+    """
+
+    def __init__(self, base: SimulationClock, start_at: Optional[float] = None) -> None:
+        self._base = base
+        start = base.now if start_at is None else float(start_at)
+        if start < 0:
+            raise ClockError("session clock cannot start at a negative time")
+        self._offset = start - base.now
+
+    @property
+    def now(self) -> float:
+        """Current *session* time in simulated milliseconds."""
+        return self._base.now + self._offset
+
+    @property
+    def offset(self) -> float:
+        """This session's offset over the shared base clock (may be < 0)."""
+        return self._offset
+
+    def advance_by(self, delta: float) -> float:
+        """Spend ``delta`` ms of this session's own time (backoff, queueing)."""
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by a negative delta: {delta}")
+        self._offset += delta
+        return self.now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move this session's time forward to ``timestamp``."""
+        if timestamp < self.now:
+            raise ClockError(
+                f"cannot move clock backwards: now={self.now}, target={timestamp}"
+            )
+        self._offset = timestamp - self._base.now
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SessionClock(now={self.now:.3f}ms, offset={self._offset:+.3f}ms)"
+
+
 @dataclass(order=True)
 class ScheduledCallback:
     """A callback queued for execution at a simulated timestamp."""
@@ -84,8 +144,9 @@ class RecurringCallback:
 
     The task re-arms itself *before* invoking the callback, so the cadence is
     anchored at ``start + n * interval`` and a callback that raises (and is
-    handled upstream) does not silently stop the recurrence.  :meth:`cancel`
-    stops it for good.
+    handled upstream) does not silently stop the recurrence.  ``fires`` counts
+    only callbacks that *completed*: a raising callback re-arms but is not
+    counted as fired.  :meth:`cancel` stops it for good.
     """
 
     interval: float
@@ -167,8 +228,11 @@ class Scheduler:
             # Re-arm first: the cadence stays fixed even if the callback is
             # slow or raises an exception that a caller catches upstream.
             task._entry = self.call_after(interval, fire, label)
-            task.fires += 1
             callback()
+            # Counted only after the callback returned: a raising callback
+            # re-arms (above) but must not report a firing that never
+            # completed.
+            task.fires += 1
 
         initial = interval if first_delay is None else first_delay
         if initial < 0:
@@ -180,8 +244,13 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of callbacks still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of *live* callbacks still queued.
+
+        Cancelled entries stay in the heap until their timestamp pops (lazy
+        deletion) but no longer represent work, so they are excluded — this
+        is what makes the session scheduler's backlog gauge truthful.
+        """
+        return sum(1 for entry in self._queue if not entry.cancelled)
 
     @property
     def executed(self) -> int:

@@ -15,12 +15,22 @@ synthetic workloads built here:
 - :mod:`repro.workload.scenarios` — drivers that replay consumer behaviour
   against a live :class:`~repro.ecommerce.platform_builder.ECommercePlatform`
   for the workflow-level benchmarks.
+- :mod:`repro.workload.arrivals` — open-loop (Poisson) and closed-loop
+  (think-time) arrival models for the concurrent scenarios.
+- :mod:`repro.workload.concurrent` — the overlapping-session driver behind
+  :meth:`~repro.workload.scenarios.ScenarioRunner.concurrent_day`.
 """
 
 from repro.workload.products import ProductGenerator, TAXONOMY
 from repro.workload.consumers import SyntheticConsumer, ConsumerPopulation
 from repro.workload.generator import InteractionDataset, InteractionGenerator
 from repro.workload.scenarios import ScenarioRunner, ScenarioReport
+from repro.workload.arrivals import PoissonArrivals, ThinkTime
+from repro.workload.concurrent import (
+    ConcurrentDriver,
+    ConcurrentScenarioReport,
+    LATENCY_HISTOGRAM_BOUNDS_MS,
+)
 
 __all__ = [
     "ProductGenerator",
@@ -31,4 +41,9 @@ __all__ = [
     "InteractionGenerator",
     "ScenarioRunner",
     "ScenarioReport",
+    "PoissonArrivals",
+    "ThinkTime",
+    "ConcurrentDriver",
+    "ConcurrentScenarioReport",
+    "LATENCY_HISTOGRAM_BOUNDS_MS",
 ]

@@ -1,0 +1,81 @@
+"""Arrival processes for the concurrent workload models.
+
+Two classic load shapes drive the concurrent scenarios
+(:mod:`repro.workload.concurrent`):
+
+- **Open loop** — :class:`PoissonArrivals`: sessions arrive at a fixed rate
+  regardless of how the platform is doing, the standard model for "the
+  internet keeps sending users".  Inter-arrival gaps are exponential, so
+  bursts happen naturally; this is what actually exercises admission
+  shedding.
+- **Closed loop** — :class:`ThinkTime`: a fixed population of sessions
+  where each client waits (thinks) between its own requests and only ever
+  has one request outstanding.  Load self-throttles with latency, the
+  model of a departmental testbed of real users.
+
+Both draw from a private :class:`random.Random` seeded at construction, so
+a scenario replayed with the same seed sees the same arrivals — the
+determinism the byte-identical replay property test leans on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import WorkloadError
+
+__all__ = ["PoissonArrivals", "ThinkTime"]
+
+
+class PoissonArrivals:
+    """Open-loop Poisson arrival process.
+
+    ``rate_per_ms`` is the expected number of arrivals per simulated
+    millisecond; gaps between arrivals are exponentially distributed with
+    mean ``1 / rate_per_ms``.
+    """
+
+    def __init__(self, rate_per_ms: float, seed: int = 0) -> None:
+        if rate_per_ms <= 0:
+            raise WorkloadError(
+                f"arrival rate must be positive, got {rate_per_ms}"
+            )
+        self.rate_per_ms = float(rate_per_ms)
+        self._rng = random.Random(seed)
+
+    def next_gap_ms(self) -> float:
+        """Exponential gap until the next arrival."""
+        return self._rng.expovariate(self.rate_per_ms)
+
+    def offsets_ms(self, count: int) -> List[float]:
+        """Arrival offsets (from time zero) for the next ``count`` arrivals."""
+        if count < 0:
+            raise WorkloadError(f"cannot generate {count} arrivals")
+        at = 0.0
+        offsets: List[float] = []
+        for _ in range(count):
+            at += self.next_gap_ms()
+            offsets.append(at)
+        return offsets
+
+
+class ThinkTime:
+    """Closed-loop think-time model: exponential pauses around ``mean_ms``.
+
+    ``mean_ms=0`` disables thinking entirely (each follow-up request is
+    submitted at the instant the previous one finished), which is the
+    configuration the zero-overlap equivalence test uses.
+    """
+
+    def __init__(self, mean_ms: float, seed: int = 0) -> None:
+        if mean_ms < 0:
+            raise WorkloadError(f"think time cannot be negative: {mean_ms}")
+        self.mean_ms = float(mean_ms)
+        self._rng = random.Random(seed)
+
+    def next_ms(self) -> float:
+        """The next pause this client takes before its follow-up request."""
+        if self.mean_ms == 0:
+            return 0.0
+        return self._rng.expovariate(1.0 / self.mean_ms)

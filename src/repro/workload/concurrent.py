@@ -1,0 +1,307 @@
+"""Concurrent scenario driver: thousands of overlapping gateway sessions.
+
+Where :mod:`repro.workload.scenarios` issues one request at a time, this
+module drives the gateway's submit path
+(:meth:`~repro.api.gateway.PlatformGateway.submit` +
+:class:`~repro.api.concurrency.SessionScheduler`): sessions arrive on an
+open-loop :class:`~repro.workload.arrivals.PoissonArrivals` process (or all
+at once, for a pure burst), each session is a closed-loop chain of requests
+separated by :class:`~repro.workload.arrivals.ThinkTime` pauses, and the
+scheduler interleaves everything by virtual arrival time.  This is the
+first workload in the repo where admission shedding, per-server queueing
+and retry backoff are exercised by *overlapping* load.
+
+The driver is deterministic end to end: arrivals, consumer choice,
+keywords and think times all come from seeded private RNGs, and the
+session scheduler processes submissions in a total order — replaying the
+same seeds yields a byte-identical envelope stream (the property test in
+``tests/property/test_concurrent_equivalence.py`` holds this line).
+
+Results come back as a :class:`ConcurrentScenarioReport` — deliberately a
+separate type from :class:`~repro.workload.scenarios.ScenarioReport`, whose
+dict shape is frozen by the sequential benchmarks' byte-stability contract.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.api.envelope import ApiStatus
+from repro.api.requests import (
+    LoginRequest,
+    LogoutRequest,
+    QueryRequest,
+    RecommendationsRequest,
+)
+from repro.platform.metrics import summarize
+from repro.workload.arrivals import PoissonArrivals, ThinkTime
+from repro.workload.consumers import ConsumerPopulation, SyntheticConsumer
+
+__all__ = [
+    "ConcurrentScenarioReport",
+    "ConcurrentDriver",
+    "LATENCY_HISTOGRAM_BOUNDS_MS",
+]
+
+#: Default latency histogram bucket upper bounds (simulated milliseconds);
+#: the final implicit bucket is unbounded.
+LATENCY_HISTOGRAM_BOUNDS_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0,
+)
+
+
+def latency_histogram(
+    samples: List[float],
+    bounds: Tuple[float, ...] = LATENCY_HISTOGRAM_BOUNDS_MS,
+) -> List[Dict[str, float]]:
+    """Cumulative-bucket histogram as an ordered list of ``{le, count}``.
+
+    A list (not a dict) so JSON serialisation with sorted keys keeps the
+    buckets in bound order; ``le: -1`` is the unbounded overflow bucket.
+    """
+    buckets = [{"le": bound, "count": 0.0} for bound in bounds]
+    buckets.append({"le": -1.0, "count": 0.0})  # +Inf, JSON-safe sentinel
+    for sample in samples:
+        for bucket in buckets[:-1]:
+            if sample <= bucket["le"]:
+                bucket["count"] += 1.0
+                break
+        else:
+            buckets[-1]["count"] += 1.0
+    return buckets
+
+
+@dataclass
+class ConcurrentScenarioReport:
+    """What a concurrent run did, in virtual time.
+
+    Latency is measured per request as *finish − virtual arrival*, so it
+    includes queue wait, retry backoff and service time — what a client
+    would experience — while ``queue_wait_ms`` isolates the contention
+    component.  Latency stats cover *dispatched* requests only: a shed
+    request costs ~0 simulated ms, and under burst the rejections would
+    drag every percentile toward zero (the same distortion the metrics
+    middleware guards against).  ``shed`` counts admission rejections; they
+    are also included in ``failed_operations`` (a shed request failed, from
+    the session's point of view).
+    """
+
+    consumers: int = 0
+    sessions: int = 0
+    requests: int = 0
+    completed: int = 0
+    shed: int = 0
+    failed_operations: int = 0
+    executed_events: int = 0
+    statuses: Dict[str, int] = field(default_factory=dict)
+    operations: Dict[str, int] = field(default_factory=dict)
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    queue_wait_ms: Dict[str, float] = field(default_factory=dict)
+    histogram: List[Dict[str, float]] = field(default_factory=list)
+    started_at_ms: float = 0.0
+    finished_at_ms: float = 0.0
+
+    @property
+    def simulated_duration_ms(self) -> float:
+        return self.finished_at_ms - self.started_at_ms
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "consumers": self.consumers,
+            "sessions": self.sessions,
+            "requests": self.requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "failed_operations": self.failed_operations,
+            "executed_events": self.executed_events,
+            "statuses": dict(sorted(self.statuses.items())),
+            "operations": dict(sorted(self.operations.items())),
+            "latency_ms": self.latency_ms,
+            "queue_wait_ms": self.queue_wait_ms,
+            "histogram": self.histogram,
+            "simulated_duration_ms": self.simulated_duration_ms,
+        }
+
+
+class _Session:
+    """One consumer's closed-loop request chain, driven by done-callbacks.
+
+    login → ``queries`` queries → (maybe) recommendations → logout, each
+    follow-up submitted at the previous request's virtual finish plus a
+    think-time pause.  A failed login ends the session immediately (there
+    is no session to use); any later failure is counted and the chain
+    continues — a browser does not stop browsing because one query shed.
+    """
+
+    def __init__(
+        self,
+        gateway,
+        consumer: SyntheticConsumer,
+        queries: int,
+        think: ThinkTime,
+        ask_recommendations: bool,
+        rng: random.Random,
+        futures: List[Any],
+    ) -> None:
+        self._gateway = gateway
+        self._consumer = consumer
+        self._queries_left = queries
+        self._think = think
+        self._ask_recommendations = ask_recommendations
+        self._rng = rng
+        self._futures = futures
+
+    def start(self, at_ms: float) -> None:
+        self._submit(LoginRequest(self._consumer.user_id), at_ms, self._after_login)
+
+    def _submit(self, request, at_ms, callback) -> None:
+        future = self._gateway.submit(
+            request, at_ms=at_ms, session_id=self._consumer.user_id
+        )
+        self._futures.append(future)
+        future.add_done_callback(callback)
+
+    def _next_at(self, future) -> float:
+        return future.finished_at_ms + self._think.next_ms()
+
+    def _after_login(self, future) -> None:
+        if future.response.failed:
+            return  # no session was established; nothing to drive or tear down
+        self._continue(future)
+
+    def _continue(self, future) -> None:
+        user_id = self._consumer.user_id
+        if self._queries_left > 0:
+            self._queries_left -= 1
+            keyword = self._consumer.preferred_keyword(self._rng)
+            self._submit(
+                QueryRequest(user_id, keyword), self._next_at(future), self._continue
+            )
+        elif self._ask_recommendations:
+            self._ask_recommendations = False
+            self._submit(
+                RecommendationsRequest(user_id, 10),
+                self._next_at(future),
+                self._continue,
+            )
+        else:
+            self._submit(
+                LogoutRequest(user_id), self._next_at(future), lambda _f: None
+            )
+
+
+class ConcurrentDriver:
+    """Runs a population of overlapping sessions against one platform.
+
+    ``seed`` derives every RNG the driver uses (arrivals, consumer choice,
+    keywords, think times); two drivers with the same seed against
+    same-seed platforms produce byte-identical envelope streams.
+    """
+
+    def __init__(
+        self,
+        platform,
+        population: ConsumerPopulation,
+        seed: int = 0,
+    ) -> None:
+        self.platform = platform
+        self.population = population
+        self.gateway = platform.gateway()
+        self.seed = seed
+
+    def run(
+        self,
+        sessions: int = 200,
+        queries_per_session: int = 2,
+        arrival_rate_per_ms: Optional[float] = 0.05,
+        think_time_ms: float = 250.0,
+        recommendation_probability: float = 0.25,
+        max_events: int = 1_000_000,
+    ) -> ConcurrentScenarioReport:
+        """Drive ``sessions`` overlapping sessions to completion.
+
+        ``arrival_rate_per_ms=None`` turns the open-loop arrivals into a
+        simultaneous burst (every session arrives at the current horizon) —
+        the harshest test of admission shedding.
+        """
+        if sessions <= 0:
+            raise WorkloadError("concurrent day needs at least one session")
+        if queries_per_session < 0:
+            raise WorkloadError("queries_per_session cannot be negative")
+        pool = self.population.consumers()
+        if not pool:
+            raise WorkloadError("concurrent day needs a non-empty population")
+
+        rng = random.Random(self.seed)
+        think = ThinkTime(think_time_ms, seed=self.seed + 1)
+        if arrival_rate_per_ms is None:
+            offsets = [0.0] * sessions
+        else:
+            offsets = PoissonArrivals(
+                arrival_rate_per_ms, seed=self.seed + 2
+            ).offsets_ms(sessions)
+
+        # Distinct consumers when the population allows it: two *overlapping*
+        # sessions of the same account are a genuine conflict (the second
+        # login fails), which is noise when the point is load, not accounts.
+        # An under-sized population falls back to drawing with replacement
+        # and the duplicate-login failures are counted like any other.
+        if len(pool) >= sessions:
+            chosen = rng.sample(pool, sessions)
+        else:
+            chosen = [rng.choice(pool) for _ in range(sessions)]
+
+        scheduler = self.gateway.sessions
+        base = scheduler.horizon
+        futures: List[Any] = []
+        for consumer, offset in zip(chosen, offsets):
+            session = _Session(
+                gateway=self.gateway,
+                consumer=consumer,
+                queries=queries_per_session,
+                think=think,
+                ask_recommendations=rng.random() < recommendation_probability,
+                rng=rng,
+                futures=futures,
+            )
+            session.start(base + offset)
+        executed = scheduler.run_until_idle(max_events)
+
+        report = ConcurrentScenarioReport(
+            consumers=len(pool), sessions=sessions, executed_events=executed
+        )
+        latencies: List[float] = []
+        for future in futures:
+            response = future.response
+            report.requests += 1
+            report.completed += 1
+            report.statuses[response.status] = (
+                report.statuses.get(response.status, 0) + 1
+            )
+            report.operations[response.operation] = (
+                report.operations.get(response.operation, 0) + 1
+            )
+            if response.status == ApiStatus.REJECTED:
+                report.shed += 1
+            else:
+                latencies.append(future.finished_at_ms - future.submitted_at_ms)
+            if response.failed:
+                report.failed_operations += 1
+        if futures:
+            report.started_at_ms = min(f.submitted_at_ms for f in futures)
+            report.finished_at_ms = max(f.finished_at_ms for f in futures)
+        report.latency_ms = summarize(latencies)
+        report.queue_wait_ms = self.platform.metrics.timer(
+            "api.queue_wait_ms"
+        ).summary()
+        report.histogram = latency_histogram(latencies)
+        return report

@@ -197,6 +197,39 @@ class ScenarioRunner:
         report.finished_at_ms = self.platform.now
         return report
 
+    def concurrent_day(
+        self,
+        sessions: int = 200,
+        queries_per_session: int = 2,
+        arrival_rate_per_ms: Optional[float] = 0.05,
+        think_time_ms: float = 250.0,
+        recommendation_probability: float = 0.25,
+        seed: int = 0,
+        max_events: int = 1_000_000,
+    ):
+        """A day of *overlapping* sessions through the gateway submit path.
+
+        Sessions arrive open-loop (Poisson at ``arrival_rate_per_ms``;
+        ``None`` = one simultaneous burst) and each runs closed-loop with
+        ``think_time_ms`` pauses between its requests — see
+        :class:`~repro.workload.concurrent.ConcurrentDriver`.  Returns a
+        :class:`~repro.workload.concurrent.ConcurrentScenarioReport`; the
+        sequential scenarios above are untouched by design (their output is
+        byte-frozen).  Uses its own ``seed`` rather than the runner's RNG so
+        running it never perturbs a sequential scenario issued afterwards.
+        """
+        from repro.workload.concurrent import ConcurrentDriver
+
+        driver = ConcurrentDriver(self.platform, self.population, seed=seed)
+        return driver.run(
+            sessions=sessions,
+            queries_per_session=queries_per_session,
+            arrival_rate_per_ms=arrival_rate_per_ms,
+            think_time_ms=think_time_ms,
+            recommendation_probability=recommendation_probability,
+            max_events=max_events,
+        )
+
     def stress_day(
         self,
         sessions: int = 1000,

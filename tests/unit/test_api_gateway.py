@@ -262,7 +262,7 @@ class TestMiddlewareChain:
 
     def test_installed_chain_order_matches_documentation(self, gateway_platform):
         names = [mw.name for mw in gateway_platform.gateway().middlewares]
-        assert names == ["metrics", "admission", "deadline", "retry"]
+        assert names == ["metrics", "admission", "deadline", "retry", "queueing"]
 
 
 class TestMetricsMiddleware:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ClockError
-from repro.platform.clock import Scheduler, SimulationClock
+from repro.platform.clock import Scheduler, SessionClock, SimulationClock
 
 
 class TestSimulationClock:
@@ -213,3 +213,90 @@ class TestRecurringCallbacks:
         scheduler.clock.advance_to(50.0)
         scheduler.run_until(50.0)
         assert fired == [50.0]
+
+    def test_fires_counts_only_completed_callbacks(self):
+        """Regression: ``fires`` used to increment before the callback ran,
+        so a raising callback was reported as a completed firing."""
+        scheduler = Scheduler()
+
+        def explode():
+            raise RuntimeError("boom")
+
+        task = scheduler.call_every(5.0, explode)
+        with pytest.raises(RuntimeError):
+            scheduler.run_until(5.0)
+        assert task.fires == 0
+        # The recurrence still re-armed (cadence survives), and a callback
+        # that completes is counted.
+        healthy = []
+        task.cancel()
+        counted = scheduler.call_every(5.0, lambda: healthy.append(1))
+        scheduler.run_until(20.0)
+        assert counted.fires == len(healthy) > 0
+
+
+class TestSchedulerPending:
+    def test_pending_excludes_cancelled_entries(self):
+        """Regression: cancelled entries linger in the heap (lazy deletion)
+        but must not count as pending work — the concurrent load scheduler
+        reads ``pending`` as a backlog gauge."""
+        scheduler = Scheduler()
+        keep = scheduler.call_after(10.0, lambda: None)
+        doomed = scheduler.call_after(20.0, lambda: None)
+        assert scheduler.pending == 2
+        doomed.cancel()
+        assert scheduler.pending == 1
+        keep.cancel()
+        assert scheduler.pending == 0
+
+    def test_pending_excludes_cancelled_recurring_entry(self):
+        scheduler = Scheduler()
+        task = scheduler.call_every(5.0, lambda: None)
+        assert scheduler.pending == 1
+        task.cancel()
+        assert scheduler.pending == 0
+
+
+class TestSessionClock:
+    def test_anchors_at_base_now_by_default(self):
+        base = SimulationClock(100.0)
+        session = SessionClock(base)
+        assert session.now == 100.0
+        assert session.offset == 0.0
+
+    def test_anchors_at_start_at(self):
+        base = SimulationClock(100.0)
+        session = SessionClock(base, start_at=40.0)
+        assert session.now == 40.0
+        assert session.offset == -60.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SessionClock(SimulationClock(), start_at=-1.0)
+
+    def test_base_advance_moves_all_sessions_in_lockstep(self):
+        base = SimulationClock(10.0)
+        early = SessionClock(base, start_at=0.0)
+        late = SessionClock(base, start_at=25.0)
+        base.advance_by(5.0)
+        assert early.now == 5.0
+        assert late.now == 30.0
+
+    def test_advance_by_moves_only_this_session(self):
+        base = SimulationClock(10.0)
+        a = SessionClock(base)
+        b = SessionClock(base)
+        a.advance_by(7.0)
+        assert a.now == 17.0
+        assert b.now == 10.0
+        assert base.now == 10.0
+
+    def test_advance_to_and_backwards_guards(self):
+        base = SimulationClock(10.0)
+        session = SessionClock(base)
+        session.advance_to(15.0)
+        assert session.now == 15.0
+        with pytest.raises(ClockError):
+            session.advance_to(14.0)
+        with pytest.raises(ClockError):
+            session.advance_by(-0.1)

@@ -1,0 +1,186 @@
+"""Unit tests for the concurrent-session layer (futures, queues, scheduler)."""
+
+import pytest
+
+from repro.errors import ClockError, FuturePendingError
+from repro.api.concurrency import ApiFuture, ServerQueues, SessionScheduler
+from repro.api.envelope import ApiStatus
+from repro.api.requests import LoginRequest, QueryRequest
+from repro.ecommerce.platform_builder import build_platform
+
+
+@pytest.fixture
+def platform():
+    return build_platform(seed=7, num_buyer_servers=3, replication_factor=1)
+
+
+class TestApiFuture:
+    def test_unresolved_future_raises_instead_of_blocking(self):
+        future = ApiFuture(request=object(), submitted_at_ms=5.0)
+        assert not future.done
+        with pytest.raises(FuturePendingError):
+            future.response
+        with pytest.raises(FuturePendingError):
+            future.result()
+
+    def test_resolution_runs_callbacks_and_exposes_response(self):
+        future = ApiFuture(request=object(), submitted_at_ms=5.0)
+        seen = []
+        future.add_done_callback(seen.append)
+
+        class _Response:
+            status = ApiStatus.OK
+            result = "payload"
+
+        future._resolve(_Response(), finished_at_ms=9.0)
+        assert future.done
+        assert future.finished_at_ms == 9.0
+        assert future.result() == "payload"
+        assert seen == [future]
+
+    def test_callback_added_after_resolution_fires_immediately(self):
+        future = ApiFuture(request=object(), submitted_at_ms=0.0)
+
+        class _Response:
+            status = ApiStatus.OK
+            result = None
+
+        future._resolve(_Response(), finished_at_ms=1.0)
+        seen = []
+        future.add_done_callback(seen.append)
+        assert seen == [future]
+
+
+class TestServerQueues:
+    def test_idle_server_serves_at_arrival(self):
+        queues = ServerQueues()
+        assert queues.wait_for("s1", 50.0) == 50.0
+
+    def test_busy_server_queues_the_arrival(self):
+        queues = ServerQueues()
+        queues.occupy("s1", started_ms=50.0, finished_ms=80.0)
+        assert queues.wait_for("s1", 60.0) == 80.0
+        assert queues.wait_for("s1", 90.0) == 90.0  # already free again
+
+    def test_queues_are_per_server(self):
+        queues = ServerQueues()
+        queues.occupy("s1", 0.0, 100.0)
+        assert queues.wait_for("s2", 10.0) == 10.0
+
+    def test_served_counts_and_snapshot(self):
+        queues = ServerQueues()
+        queues.occupy("s1", 0.0, 10.0)
+        queues.occupy("s1", 10.0, 25.0)
+        assert queues.served("s1") == 2
+        assert queues.served("s2") == 0
+        assert queues.snapshot() == {"s1": 25.0}
+        assert queues.busy_until("s1") == 25.0
+
+
+class TestSessionScheduler:
+    def test_lazy_construction_and_shared_instance(self, platform):
+        gateway = platform.gateway()
+        assert gateway._sessions is None
+        scheduler = gateway.sessions
+        assert scheduler is gateway.sessions
+
+    def test_horizon_anchors_at_platform_clock(self, platform):
+        gateway = platform.gateway()
+        assert gateway.sessions.horizon == platform.scheduler.clock.now
+
+    def test_negative_submit_time_rejected(self, platform):
+        with pytest.raises(ClockError):
+            platform.gateway().submit(LoginRequest("u"), at_ms=-1.0)
+
+    def test_past_arrivals_clamp_to_horizon(self, platform):
+        gateway = platform.gateway()
+        scheduler = gateway.sessions
+        future = gateway.submit(LoginRequest("u"), at_ms=0.0)  # past: clock is warm
+        assert future.submitted_at_ms == scheduler.horizon
+
+    def test_processes_in_virtual_arrival_order(self, platform):
+        gateway = platform.gateway()
+        scheduler = gateway.sessions
+        base = scheduler.horizon
+        late = gateway.submit(LoginRequest("late-user"), at_ms=base + 500.0)
+        early = gateway.submit(LoginRequest("early-user"), at_ms=base + 100.0)
+        assert scheduler.pending == 2
+        scheduler.run_until_idle()
+        assert scheduler.pending == 0
+        assert early.response.request_id < late.response.request_id
+        assert early.response.started_at_ms == base + 100.0
+        assert late.response.started_at_ms == base + 500.0
+
+    def test_step_and_counters_and_metrics(self, platform):
+        gateway = platform.gateway()
+        scheduler = gateway.sessions
+        gateway.submit(LoginRequest("u1"))
+        gateway.submit(LoginRequest("u2"))
+        assert scheduler.submitted == 2
+        assert scheduler.step()
+        assert scheduler.completed == 1
+        scheduler.run_until_idle()
+        assert not scheduler.step()
+        metrics = platform.metrics
+        assert metrics.counter("api.sessions.submitted").value == 2
+        assert metrics.counter("api.sessions.completed").value == 2
+
+    def test_run_until_idle_event_guard(self, platform):
+        gateway = platform.gateway()
+        scheduler = gateway.sessions
+
+        def resubmit(future):
+            gateway.submit(LoginRequest("u"), at_ms=future.finished_at_ms).add_done_callback(
+                resubmit
+            )
+
+        gateway.submit(LoginRequest("u")).add_done_callback(resubmit)
+        with pytest.raises(ClockError):
+            scheduler.run_until_idle(max_events=25)
+
+    def test_session_id_label_carried_on_future(self, platform):
+        future = platform.gateway().submit(LoginRequest("u"), session_id="s-42")
+        assert future.session_id == "s-42"
+
+    def test_overlapping_sessions_queue_per_server(self, platform):
+        """Two arrivals routed to the same server at the same instant: the
+        second waits out the first's service time on its own clock."""
+        gateway = platform.gateway()
+        scheduler = gateway.sessions
+        users = [f"user-{i}" for i in range(8)]
+        for user in users:
+            gateway.submit(LoginRequest(user), at_ms=scheduler.horizon)
+        scheduler.run_until_idle()
+        waits = platform.metrics.timer("api.queue_wait_ms").summary()
+        assert waits["count"] > 0
+        assert waits["max"] > 0.0
+
+    def test_sequential_execute_never_touches_queues(self, platform):
+        gateway = platform.gateway()
+        gateway.login("solo")
+        gateway.query("solo", "laptop")
+        assert platform.metrics.timer("api.queue_wait_ms").summary()["count"] == 0
+        assert gateway._sessions is None  # lazy layer never constructed
+
+    def test_session_backoff_does_not_advance_global_clock(self, platform):
+        """The tentpole bug: one session's retry backoff used to advance the
+        shared clock under every other session.  On the submit path the
+        backoff is charged to the session's own virtual clock; the global
+        clock only accrues real (transport) work."""
+        gateway = platform.gateway()
+        scheduler = gateway.sessions
+        # Crash every server so a login retries and backs off to exhaustion.
+        for server in platform.buyer_servers:
+            platform.failures.crash_host(server.name)
+        before = platform.scheduler.clock.now
+        future = gateway.submit(LoginRequest("nobody-home"))
+        scheduler.run_until_idle()
+        after = platform.scheduler.clock.now
+        response = future.response
+        assert response.status == ApiStatus.UNAVAILABLE
+        assert response.provenance.retries > 0
+        # The envelope's own (virtual) time shows the backoff spend...
+        assert response.finished_at_ms - response.started_at_ms > 0.0
+        # ...but the shared platform clock never moved: the routing check
+        # fails pre-dispatch, so no transport work was done at all.
+        assert after == before

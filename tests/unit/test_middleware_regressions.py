@@ -1,0 +1,165 @@
+"""Regression tests for the middleware bugfix sweep (PR 6 satellites).
+
+Each test here fails on the pre-PR code:
+
+- ``TokenBucket`` anchored its refill at 0.0 ms, granting a spurious full
+  refill to the first acquire on any warm clock, and ``__post_init__``
+  clobbered an explicitly passed ``tokens`` value with a full bucket.
+- ``RetryMiddleware`` mutated the dispatch's envelope in place
+  (``response.status = DEGRADED``), rewriting history for any cached or
+  logged reference to it.
+- ``MetricsMiddleware`` recorded ~0 ms latency samples for
+  admission-rejected requests, dragging the latency percentiles toward
+  zero exactly when shedding meant the platform was slowest.
+"""
+
+import pytest
+
+from repro.api.envelope import ApiError, ApiResponse, ApiStatus
+from repro.api.middleware import (
+    ApiCall,
+    MetricsMiddleware,
+    RetryMiddleware,
+    TokenBucket,
+)
+from repro.platform.clock import SimulationClock
+from repro.platform.metrics import MetricsRegistry
+
+
+class TestTokenBucketAnchoring:
+    def test_no_spurious_refill_on_warm_clock(self):
+        """A drained bucket's first acquire on a warm clock must not be
+        granted capacity it never accrued (old code refilled from 0.0)."""
+        bucket = TokenBucket(capacity=5.0, refill_per_ms=1.0, tokens=0.0)
+        assert not bucket.try_acquire(1_000.0)
+
+    def test_refill_accrues_from_first_acquire_anchor(self):
+        bucket = TokenBucket(capacity=5.0, refill_per_ms=1.0, tokens=0.0)
+        assert not bucket.try_acquire(1_000.0)  # anchors at 1000ms
+        assert bucket.try_acquire(1_003.0)      # 3ms * 1/ms accrued
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_explicit_tokens_respected(self):
+        """Old ``__post_init__`` clobbered any explicit ``tokens`` value to
+        a full bucket."""
+        bucket = TokenBucket(capacity=5.0, refill_per_ms=0.0, tokens=2.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+
+    def test_explicit_tokens_clamped_to_capacity(self):
+        bucket = TokenBucket(capacity=3.0, refill_per_ms=0.0, tokens=10.0)
+        assert bucket.tokens == 3.0
+
+    def test_defaults_to_full_bucket(self):
+        bucket = TokenBucket(capacity=3.0, refill_per_ms=0.0)
+        assert bucket.tokens == 3.0
+
+    def test_explicit_anchor_still_respected(self):
+        """A bucket constructed with ``last_refill_ms`` (the gateway's own
+        construction path) refills from that anchor, not the first acquire."""
+        bucket = TokenBucket(
+            capacity=5.0, refill_per_ms=1.0, tokens=0.0, last_refill_ms=100.0
+        )
+        assert bucket.try_acquire(102.0)
+        assert bucket.tokens == pytest.approx(1.0)
+
+
+class _RetryableRequest:
+    """Minimal request shape: retryable writes allowed, carries a user."""
+
+    operation = "stub"
+    retry_safe = True
+
+    def __init__(self, user_id="alice"):
+        self.user_id = user_id
+
+
+class _StubGateway:
+    def __init__(self, heals=True):
+        self._heals = heals
+
+    def _heal_routing(self, user_id):
+        return self._heals
+
+
+class TestRetryMiddlewareEnvelopeAliasing:
+    def test_degraded_report_does_not_mutate_dispatch_envelope(self):
+        """The OK envelope the dispatch returned may be cached downstream;
+        reporting a post-failover success as DEGRADED must replace the
+        envelope, never alias it."""
+        clock = SimulationClock()
+        metrics = MetricsRegistry()
+        middleware = RetryMiddleware(
+            max_retries=2, backoff_ms=5.0, metrics=metrics, clock=clock
+        )
+        shared_ok = ApiResponse(status=ApiStatus.OK, result="cached-elsewhere")
+        responses = [
+            ApiResponse(
+                status=ApiStatus.UNAVAILABLE,
+                error=ApiError(
+                    code="host-unreachable",
+                    kind="RoutingUnavailableError",
+                    message="down",
+                    retryable=True,
+                ),
+            ),
+            shared_ok,
+        ]
+        call = ApiCall(
+            gateway=_StubGateway(heals=True),
+            request=_RetryableRequest(),
+            operation="stub",
+            request_id=1,
+        )
+        result = middleware.handle(call, lambda _call: responses.pop(0))
+
+        assert result.status == ApiStatus.DEGRADED
+        assert result is not shared_ok
+        assert shared_ok.status == ApiStatus.OK, (
+            "retry middleware aliased the dispatch's envelope"
+        )
+        assert result.result == "cached-elsewhere"
+
+    def test_no_failover_returns_envelope_unchanged(self):
+        clock = SimulationClock()
+        middleware = RetryMiddleware(
+            max_retries=2, backoff_ms=5.0, metrics=MetricsRegistry(), clock=clock
+        )
+        ok = ApiResponse(status=ApiStatus.OK)
+        call = ApiCall(
+            gateway=_StubGateway(heals=False),
+            request=_RetryableRequest(),
+            operation="stub",
+            request_id=1,
+        )
+        assert middleware.handle(call, lambda _call: ok) is ok
+
+
+class TestMetricsMiddlewareRejectedLatency:
+    def _run(self, status):
+        clock = SimulationClock()
+        metrics = MetricsRegistry()
+        middleware = MetricsMiddleware(metrics, clock)
+        call = ApiCall(
+            gateway=None, request=object(), operation="query", request_id=1
+        )
+        response = ApiResponse(status=status)
+        middleware.handle(call, lambda _call: response)
+        return metrics
+
+    def test_rejected_requests_record_no_latency_sample(self):
+        """A shed request spends ~0 simulated ms; letting it into the
+        latency timers drags every percentile toward zero under burst."""
+        metrics = self._run(ApiStatus.REJECTED)
+        assert metrics.timer("api.latency_ms").summary()["count"] == 0
+        assert metrics.timer("api.latency_ms.query").summary()["count"] == 0
+
+    def test_rejected_requests_still_counted(self):
+        metrics = self._run(ApiStatus.REJECTED)
+        assert metrics.counter("api.requests").value == 1
+        assert metrics.counter(f"api.status.{ApiStatus.REJECTED}").value == 1
+
+    def test_dispatched_requests_still_record_latency(self):
+        metrics = self._run(ApiStatus.OK)
+        assert metrics.timer("api.latency_ms").summary()["count"] == 1
