@@ -1,0 +1,227 @@
+"""Benchmark: offered load vs goodput across overload-control configs.
+
+The classic saturation sweep: the same session mix is offered at rising
+arrival rates against four platforms that differ only in how they shed —
+
+- ``open_door`` — no admission control at all; queueing absorbs
+  everything and latency tells the story.
+- ``single_bucket`` — one global admission token bucket (the PR-5
+  configuration): shedding is blind to what it sheds.
+- ``classed`` — per-operation admission classes: reads shed from their
+  own bucket while session traffic (login/logout) keeps its tokens, so
+  saturation degrades browsing before it breaks sessions.
+- ``deadline_drops`` — the single bucket plus a request deadline, arming
+  the queue's deadline-aware drop: work that would time out in queue is
+  shed *before* occupying a server.
+
+Each sweep point runs on a fresh same-seed platform, so points are
+independent measurements, not a warm-up curve.  The simulation is
+deterministic end to end and the full sweep is checked in as
+``BENCH_saturation_sweep.json``; regeneration must reproduce it byte for
+byte — that check is the regression gate for the whole overload path
+(admission classes, queue drops, per-server accounting).
+
+Run ``python benchmarks/bench_saturation_sweep.py`` to regenerate the
+artifact after an intentional behaviour change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.api.envelope import ApiStatus
+from repro.ecommerce.platform_builder import build_platform
+from repro.workload import ConsumerPopulation, ConcurrentDriver
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL") == "1"
+ARTIFACT = Path(__file__).with_name("BENCH_saturation_sweep.json")
+
+#: Offered session-arrival rates (sessions per simulated ms).  The low end
+#: is comfortably under every config's capacity; the high end is far past
+#: saturation for all of them.
+OFFERED_LOADS = (0.05, 0.1, 0.2, 0.4, 0.8)
+
+_BASE_PLATFORM = {
+    "seed": 17,
+    "num_buyer_servers": 4,
+    "replication_factor": 1,
+}
+
+#: Admission classes for the ``classed`` config.  The concurrent driver
+#: issues login / query / recommendations / logout; reads get a tight
+#: bucket, session traffic a roomy one — under saturation the platform
+#: sheds browsing, not sessions.
+READ_VS_SESSION_CLASSES = {
+    "read": {
+        "operations": ["query", "recommendations", "find_similar",
+                       "weekly_hottest", "cross_sell"],
+        "capacity": 25,
+        "refill_per_ms": 0.1,
+    },
+    "session": {
+        "operations": ["login", "logout"],
+        "capacity": 80,
+        "refill_per_ms": 0.4,
+    },
+}
+
+CONFIGS = {
+    "open_door": {},
+    "single_bucket": {
+        "api_admission_capacity": 60,
+        "api_admission_refill_per_ms": 0.25,
+    },
+    "classed": {
+        "api_admission_classes": READ_VS_SESSION_CLASSES,
+    },
+    "deadline_drops": {
+        "api_admission_capacity": 60,
+        "api_admission_refill_per_ms": 0.25,
+        "api_deadline_ms": 600.0,
+    },
+}
+
+RUN = {
+    "sessions": 250,
+    "queries_per_session": 2,
+    "think_time_ms": 100.0,
+    "recommendation_probability": 0.25,
+}
+
+POPULATION = 400
+
+#: Sweep shape used by the quick smoke test: one config, two loads.
+SMOKE_LOADS = (0.05, 0.4)
+
+
+def run_point(config_name: str, offered_load: float) -> dict:
+    """One sweep point on a fresh platform; returns the derived metrics."""
+    overrides = dict(_BASE_PLATFORM)
+    overrides.update(CONFIGS[config_name])
+    platform = build_platform(**overrides)
+    population = ConsumerPopulation(POPULATION, seed=_BASE_PLATFORM["seed"])
+    driver = ConcurrentDriver(platform, population, seed=_BASE_PLATFORM["seed"])
+    report = driver.run(arrival_rate_per_ms=offered_load, **RUN)
+
+    d = report.as_dict()
+    duration_ms = d["simulated_duration_ms"]
+    good = d["statuses"].get(ApiStatus.OK, 0) + d["statuses"].get(
+        ApiStatus.DEGRADED, 0
+    )
+    return {
+        "offered_load_per_ms": offered_load,
+        "requests": d["requests"],
+        "completed": d["completed"],
+        "shed": d["shed"],
+        "shed_rate": d["shed_rate"],
+        "queue_dropped": d["queue_dropped"],
+        "good_responses": good,
+        "goodput_per_s": (good / duration_ms * 1000.0) if duration_ms else 0.0,
+        "statuses": d["statuses"],
+        "latency_p95_ms": d["latency_ms"].get("p95", 0.0),
+        "queue_wait_p95_ms": d["queue_wait_ms"].get("p95", 0.0),
+        "servers": d["servers"],
+        "simulated_duration_ms": duration_ms,
+    }
+
+
+def generate_payload() -> dict:
+    return {
+        "benchmark": "saturation_sweep",
+        "offered_loads_per_ms": list(OFFERED_LOADS),
+        "run": dict(RUN, population=POPULATION),
+        "configs": {
+            name: {
+                "platform": dict(_BASE_PLATFORM, **CONFIGS[name]),
+                "points": [run_point(name, load) for load in OFFERED_LOADS],
+            }
+            for name in sorted(CONFIGS)
+        },
+    }
+
+
+def render(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_saturation_point_smoke(benchmark):
+    """Wall-clock cost of sweep points + taxonomy sanity of the output."""
+    outcome = benchmark.pedantic(
+        lambda: [run_point("single_bucket", load) for load in SMOKE_LOADS],
+        rounds=1,
+        iterations=1,
+    )
+    for point in outcome:
+        assert set(point["statuses"]) <= set(ApiStatus.ALL)
+        assert point["statuses"].get(ApiStatus.REJECTED, 0) == point["shed"]
+        assert point["completed"] + point["shed"] == point["requests"]
+        assert point["goodput_per_s"] > 0.0
+    # More offered load cannot mean fewer requests observed.
+    assert outcome[-1]["shed"] >= outcome[0]["shed"]
+
+
+def test_artifact_matches_regeneration():
+    """The checked-in sweep must reproduce byte for byte.
+
+    Slower than the other artifact gates (20 full sweep points) but it is
+    the only test that pins the queue-drop / admission-class / per-server
+    numbers end to end, so it runs in the default suite.
+    """
+    regenerated = render(generate_payload())
+    checked_in = ARTIFACT.read_text()
+    assert regenerated == checked_in, (
+        "BENCH_saturation_sweep.json drifted from regeneration — if the "
+        "change is intentional, refresh it with "
+        "`python benchmarks/bench_saturation_sweep.py`"
+    )
+
+
+def test_sweep_meets_acceptance_bars():
+    """The checked-in curves must actually show saturation behaviour."""
+    payload = json.loads(ARTIFACT.read_text())
+    configs = payload["configs"]
+    assert set(configs) == set(CONFIGS)
+    for name, config in configs.items():
+        points = config["points"]
+        assert len(points) == len(OFFERED_LOADS)
+        goodputs = [p["goodput_per_s"] for p in points]
+        # Goodput climbs with offered load until the knee, then flattens
+        # or falls — it must not be rising at the very last point only.
+        knee = goodputs.index(max(goodputs))
+        for left, right in zip(goodputs[:knee], goodputs[1 : knee + 1]):
+            assert right >= left, (name, goodputs)
+        for point in points:
+            assert set(point["statuses"]) <= set(ApiStatus.ALL)
+            assert point["statuses"].get("rejected", 0) == point["shed"]
+            assert point["completed"] + point["shed"] == point["requests"]
+            assert point["servers"], "per-server section must be populated"
+            for stats in point["servers"].values():
+                assert 0.0 <= stats["utilization"] <= 1.0
+
+    # The open door never sheds; every admission config sheds at the top.
+    assert all(p["shed"] == 0 for p in configs["open_door"]["points"])
+    for name in ("single_bucket", "classed", "deadline_drops"):
+        assert configs[name]["points"][-1]["shed"] > 0, name
+    # The deadline config is the only one that drops in queue.
+    assert any(
+        p["queue_dropped"] > 0 for p in configs["deadline_drops"]["points"]
+    )
+    assert all(
+        p["queue_dropped"] == 0
+        for name in ("open_door", "single_bucket", "classed")
+        for p in configs[name]["points"]
+    )
+    # Classed shedding protects sessions: at mid-sweep it sheds plenty of
+    # reads while every session chain still runs to completion (the same
+    # request count as the open door), whereas the blind bucket is
+    # already shedding logins and killing whole chains at that load.
+    open_requests = [p["requests"] for p in configs["open_door"]["points"]]
+    classed_mid = configs["classed"]["points"][2]
+    assert classed_mid["shed"] > 0
+    assert classed_mid["requests"] == open_requests[2]
+    assert configs["single_bucket"]["points"][2]["requests"] < open_requests[2]
+
+
+if __name__ == "__main__":
+    ARTIFACT.write_text(render(generate_payload()))
+    print(f"wrote {ARTIFACT}")

@@ -25,6 +25,9 @@ python -m pytest -x -q benchmarks/bench_neighbors_scaling.py
 echo "== tier-1: benchmark smoke (concurrent load + artifact reproduction) =="
 python -m pytest -x -q benchmarks/bench_concurrent_load.py
 
+echo "== tier-1: benchmark smoke (saturation sweep + artifact reproduction) =="
+python -m pytest -x -q benchmarks/bench_saturation_sweep.py
+
 echo "== tier-1: example smoke runs (deprecation-clean: examples must not =="
 echo "==         touch the shimmed legacy session/fleet methods)         =="
 for example in examples/*.py; do
@@ -100,13 +103,16 @@ report = runner.concurrent_day(sessions=300, queries_per_session=2,
                                arrival_rate_per_ms=0.15, think_time_ms=150.0,
                                seed=11)
 d = report.as_dict()
-assert d["sessions"] == 300 and d["completed"] == d["requests"], d
+# A shed request completed nothing: requests == completed + shed, always.
+assert d["sessions"] == 300 and d["completed"] == d["requests"] - d["shed"], d
 # Overlap was real: admission shed some of it and queues formed.
 assert d["shed"] > 0 and 0.0 < report.shed_rate < 1.0, d
 assert d["queue_wait_ms"]["count"] > 0 and d["queue_wait_ms"]["max"] > 0.0, d
 # Latency stats populated, over dispatched requests only.
-assert d["latency_ms"]["count"] == d["requests"] - d["shed"] > 0, d
-assert sum(b["count"] for b in d["histogram"]) == d["latency_ms"]["count"], d
+assert d["latency_ms"]["count"] == d["completed"] > 0, d
+# Cumulative histogram: monotone counts, +Inf bucket holds the total.
+counts = [b["count"] for b in d["histogram"]]
+assert counts == sorted(counts) and counts[-1] == d["latency_ms"]["count"], d
 # Taxonomy-clean: every reported status is in the closed ApiStatus set.
 assert set(d["statuses"]) <= set(ApiStatus.ALL), d["statuses"]
 assert d["statuses"].get(ApiStatus.REJECTED, 0) == d["shed"], d["statuses"]
@@ -118,6 +124,37 @@ assert lat["count"] == d["latency_ms"]["count"], lat
 print("concurrent_day smoke: OK —", d["requests"], "requests,",
       f"shed {report.shed_rate:.1%}, queue p95 {d['queue_wait_ms']['p95']:.0f}ms,",
       f"latency p95 {d['latency_ms']['p95']:.0f}ms")
+PY
+
+echo "== tier-1: saturation-sweep smoke (goodput knee, closed taxonomy, =="
+echo "==         shed/rejected agreement across every sweep point)      =="
+python - <<'PY'
+import json
+from pathlib import Path
+
+from repro.api import ApiStatus
+
+payload = json.loads(Path("benchmarks/BENCH_saturation_sweep.json").read_text())
+loads = payload["offered_loads_per_ms"]
+assert loads == sorted(loads) and len(loads) >= 3, loads
+for name, config in sorted(payload["configs"].items()):
+    points = config["points"]
+    assert [p["offered_load_per_ms"] for p in points] == loads, name
+    goodputs = [p["goodput_per_s"] for p in points]
+    # Goodput rises monotonically until the saturation knee; past it the
+    # curve may flatten or fall but never resumes climbing to a new peak.
+    knee = goodputs.index(max(goodputs))
+    for left, right in zip(goodputs[:knee], goodputs[1:knee + 1]):
+        assert right >= left, (name, goodputs)
+    for point in points:
+        assert set(point["statuses"]) <= set(ApiStatus.ALL), (name, point)
+        assert point["statuses"].get(ApiStatus.REJECTED, 0) == point["shed"], (
+            name, point)
+        assert point["completed"] + point["shed"] == point["requests"], (
+            name, point)
+    print(f"saturation smoke: {name}: knee at "
+          f"{loads[knee]}/ms, peak goodput {max(goodputs):.0f}/s, "
+          f"top-load shed {points[-1]['shed']}")
 PY
 
 echo "== tier-1: replicated failover scenario smoke (+ bounded WAL) =="

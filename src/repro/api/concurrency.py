@@ -41,7 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 import heapq
 import itertools
 
-from repro.errors import ClockError, FuturePendingError
+from repro.errors import ApiCallFailedError, ClockError, FuturePendingError
 from repro.platform.clock import SessionClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -89,8 +89,29 @@ class ApiFuture:
         return self._response
 
     def result(self) -> Any:
-        """The typed result payload (``response.result``)."""
-        return self.response.result
+        """The typed result payload (``response.result``).
+
+        Follows the futures convention: a future that resolved with a
+        failed envelope (failed / unavailable / rejected) *raises*
+        :class:`~repro.errors.ApiCallFailedError` carrying the envelope's
+        :class:`~repro.api.envelope.ApiError` — silently returning ``None``
+        here made ``future.result().hits`` blow up with an unrelated
+        ``AttributeError`` three frames later.  Callers that want to branch
+        on the taxonomy without exceptions read ``.response`` instead.
+        """
+        response = self.response
+        if response.failed:
+            error = getattr(response, "error", None)
+            detail = (
+                f" ({error.code}: {error.message})" if error is not None else ""
+            )
+            raise ApiCallFailedError(
+                f"{type(self.request).__name__} submitted at "
+                f"{self.submitted_at_ms:.3f} ms resolved with status "
+                f"{response.status!r}{detail}",
+                error=error,
+            )
+        return response.result
 
     def add_done_callback(self, callback: Callable[["ApiFuture"], None]) -> None:
         if self._response is not None:
@@ -126,6 +147,8 @@ class ServerQueues:
     def __init__(self) -> None:
         self._busy_until: Dict[str, float] = {}
         self._served: Dict[str, int] = {}
+        self._busy_ms: Dict[str, float] = {}
+        self._queued_ms: Dict[str, float] = {}
 
     def wait_for(self, server: str, now_ms: float) -> float:
         """Virtual time at which ``server`` can start work arriving ``now_ms``."""
@@ -136,6 +159,18 @@ class ServerQueues:
         if finished_ms > self._busy_until.get(server, 0.0):
             self._busy_until[server] = float(finished_ms)
         self._served[server] = self._served.get(server, 0) + 1
+        held = float(finished_ms) - float(started_ms)
+        if held > 0:
+            self._busy_ms[server] = self._busy_ms.get(server, 0.0) + held
+
+    def record_wait(self, server: str, waited_ms: float) -> None:
+        """Accumulate queueing delay charged to sessions stuck behind
+        ``server`` — the per-server backlog gauge the saturation sweep
+        reports."""
+        if waited_ms > 0:
+            self._queued_ms[server] = (
+                self._queued_ms.get(server, 0.0) + float(waited_ms)
+            )
 
     def busy_until(self, server: str) -> float:
         return self._busy_until.get(server, 0.0)
@@ -144,9 +179,35 @@ class ServerQueues:
         """Attempts this server has processed (queue-depth accounting)."""
         return self._served.get(server, 0)
 
+    def busy_ms(self, server: str) -> float:
+        """Total simulated time ``server`` spent occupied (utilization)."""
+        return self._busy_ms.get(server, 0.0)
+
+    def queued_ms(self, server: str) -> float:
+        """Total queueing delay sessions spent waiting for ``server``."""
+        return self._queued_ms.get(server, 0.0)
+
     def snapshot(self) -> Dict[str, float]:
         """Copy of every server's ``busy_until`` (for reports/assertions)."""
         return dict(self._busy_until)
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Cumulative per-server counters (for snapshot/delta reporting)."""
+        names = (
+            set(self._busy_until)
+            | set(self._served)
+            | set(self._busy_ms)
+            | set(self._queued_ms)
+        )
+        return {
+            name: {
+                "busy_until": self._busy_until.get(name, 0.0),
+                "busy_ms": self._busy_ms.get(name, 0.0),
+                "queued_ms": self._queued_ms.get(name, 0.0),
+                "served": float(self._served.get(name, 0)),
+            }
+            for name in sorted(names)
+        }
 
 
 class SessionScheduler:

@@ -172,6 +172,14 @@ class Provenance:
     stale_shards: Dict[str, int] = field(default_factory=dict)
     unreachable_shards: Tuple[str, ...] = ()
     repaired_shards: Tuple[str, ...] = ()
+    #: Shards a tail-latency hedge was launched against (fleet hedged
+    #: fan-out); a hedge that also *won* — the replica's answer came back
+    #: before the slow primary's would have — appears in
+    #: ``hedge_won_shards`` too.  Hedging never marks an answer degraded by
+    #: itself: a winning hedge from an up-to-date replica is exact, and a
+    #: lagging one is already reported through ``stale_shards``.
+    hedged_shards: Tuple[str, ...] = ()
+    hedge_won_shards: Tuple[str, ...] = ()
     retries: int = 0
     failed_over: bool = False
 

@@ -137,11 +137,37 @@ class PlatformGateway:
             else None
         )
         self.admission_bucket = bucket
+        # Per-class weighted buckets (PlatformConfig.api_admission_classes):
+        # classed operations draw from their class's bucket instead of the
+        # shared default one, so shedding is no longer blind to what it
+        # sheds.  Classes are iterated in sorted name order so bucket
+        # construction (and hence the refill anchors) is deterministic.
+        self.admission_class_buckets: Dict[str, TokenBucket] = {}
+        operation_classes: Dict[str, str] = {}
+        class_costs: Dict[str, float] = {}
+        if config.api_admission_classes:
+            for class_name in sorted(config.api_admission_classes):
+                spec = config.api_admission_classes[class_name]
+                self.admission_class_buckets[class_name] = TokenBucket(
+                    capacity=float(spec["capacity"]),
+                    refill_per_ms=float(spec["refill_per_ms"]),
+                    last_refill_ms=self._clock.now,
+                )
+                class_costs[class_name] = float(spec.get("cost", 1.0))
+                for operation in spec["operations"]:
+                    operation_classes[operation] = class_name
         #: The installed chain, outermost first — see
         #: :mod:`repro.api.middleware` for the ordering rationale.
         self.middlewares: Tuple[Middleware, ...] = (
             MetricsMiddleware(self._metrics, self._clock),
-            AdmissionControlMiddleware(bucket, self._metrics, self._clock),
+            AdmissionControlMiddleware(
+                bucket,
+                self._metrics,
+                self._clock,
+                class_buckets=self.admission_class_buckets,
+                operation_classes=operation_classes,
+                class_costs=class_costs,
+            ),
             DeadlineMiddleware(config.api_deadline_ms, self._metrics, self._clock),
             RetryMiddleware(
                 config.api_max_retries,
@@ -601,6 +627,8 @@ class PlatformGateway:
                 stale_shards=dict(result.stale_shards),
                 unreachable_shards=tuple(result.unreachable_shards),
                 repaired_shards=tuple(result.repaired_shards),
+                hedged_shards=tuple(result.hedged_shards),
+                hedge_won_shards=tuple(result.hedge_won_shards),
             )
             return (
                 SimilarConsumers(neighbors=tuple(result.neighbors)),

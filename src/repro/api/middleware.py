@@ -19,7 +19,10 @@ from the dispatch, a retry, or the middleware short-circuiting.
 2. :class:`AdmissionControlMiddleware` — token-bucket load shedding on the
    simulated clock.  A shed request costs nothing downstream and returns a
    ``rejected`` envelope; it sits outside the deadline so rejections do not
-   consume a latency budget that was never spent.
+   consume a latency budget that was never spent.  Operations may be
+   grouped into *admission classes* (``PlatformConfig.api_admission_classes``)
+   with per-class weighted buckets, so a burst of cheap reads sheds in the
+   read class while writes keep their own tokens.
 3. :class:`DeadlineMiddleware` — charges the request's simulated-time budget
    against the call's clock.  Wraps the retries, so backoff and re-routing
    spend the same budget the original attempt did.
@@ -34,6 +37,12 @@ from the dispatch, a retry, or the middleware short-circuiting.
    the retries — so every attempt waits its turn at the (possibly new,
    post-failover) server it targets.  A no-op for sequential ``execute``
    calls, which keeps them byte-identical to pre-concurrency behaviour.
+   When the deadline middleware has stamped ``call.deadline_at_ms`` and the
+   target server will not free up before it, the attempt is *dropped in
+   queue* (``api.queue_dropped``): the caller gets the same
+   ``unavailable``/``deadline-exceeded`` envelope it would have received
+   after dispatch, but the server is never occupied and no transport time
+   is spent on doomed work.
 
 **Per-call clock accounting.**  Every middleware reads time through
 ``call.clock``, never a captured platform clock.  On the sequential
@@ -51,7 +60,7 @@ load-shedding).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import ReproError
 from repro.api.envelope import ApiError, ApiResponse, ApiStatus
@@ -177,7 +186,9 @@ class TokenBucket:
         else:
             self.tokens = min(float(self.tokens), float(self.capacity))
 
-    def try_acquire(self, now_ms: float) -> bool:
+    def try_acquire(self, now_ms: float, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; ``cost`` weights admission
+        classes (an expensive write may drain several tokens per request)."""
         if self.last_refill_ms is None:
             self.last_refill_ms = float(now_ms)
         if now_ms > self.last_refill_ms:
@@ -186,8 +197,8 @@ class TokenBucket:
                 self.tokens + (now_ms - self.last_refill_ms) * self.refill_per_ms,
             )
         self.last_refill_ms = max(self.last_refill_ms, now_ms)
-        if self.tokens >= 1.0:
-            self.tokens -= 1.0
+        if self.tokens >= cost:
+            self.tokens -= cost
             return True
         return False
 
@@ -198,29 +209,68 @@ class AdmissionControlMiddleware(Middleware):
     With no bucket configured (``PlatformConfig.api_admission_capacity=0``)
     this is a pass-through, which keeps the default platform byte-identical
     to the pre-gateway behaviour.
+
+    **Admission classes** (``PlatformConfig.api_admission_classes``) give
+    operation groups their own weighted buckets: a classed operation draws
+    ``cost`` tokens from *its class's* bucket instead of the shared default
+    one, so a burst of cheap reads exhausts the read class and sheds there
+    while writes keep drawing from their own (typically deeper or
+    faster-refilling) bucket — SEDA-style per-stage admission rather than
+    one bucket that is blind to what it is shedding.  Operations not named
+    by any class fall back to the default bucket; each classed rejection
+    also increments ``api.admission.rejected.<class>``.
     """
 
     name = "admission"
 
-    def __init__(self, bucket: Optional[TokenBucket], metrics, clock) -> None:
+    def __init__(
+        self,
+        bucket: Optional[TokenBucket],
+        metrics,
+        clock,
+        class_buckets: Optional[Dict[str, TokenBucket]] = None,
+        operation_classes: Optional[Dict[str, str]] = None,
+        class_costs: Optional[Dict[str, float]] = None,
+    ) -> None:
         self.bucket = bucket
+        self.class_buckets = dict(class_buckets or {})
+        self.operation_classes = dict(operation_classes or {})
+        self.class_costs = dict(class_costs or {})
         self._metrics = metrics
         self._clock = clock
 
     def handle(self, call: ApiCall, next_handler: Handler) -> ApiResponse:
         clock = call.clock if call.clock is not None else self._clock
-        if self.bucket is None or self.bucket.try_acquire(clock.now):
+        admission_class = self.operation_classes.get(call.operation)
+        if admission_class is not None:
+            bucket: Optional[TokenBucket] = self.class_buckets[admission_class]
+            cost = self.class_costs.get(admission_class, 1.0)
+        else:
+            bucket = self.bucket
+            cost = 1.0
+        if bucket is None or bucket.try_acquire(clock.now, cost=cost):
             return next_handler(call)
         self._metrics.counter("api.admission.rejected").increment()
+        if admission_class is not None:
+            self._metrics.counter(
+                f"api.admission.rejected.{admission_class}"
+            ).increment()
+            message = (
+                f"request shed by admission control (class "
+                f"{admission_class!r} bucket capacity "
+                f"{bucket.capacity:g} exhausted)"
+            )
+        else:
+            message = (
+                f"request shed by admission control "
+                f"(bucket capacity {bucket.capacity:g} exhausted)"
+            )
         return ApiResponse(
             status=ApiStatus.REJECTED,
             error=ApiError(
                 code="admission-rejected",
                 kind="AdmissionControl",
-                message=(
-                    f"request shed by admission control "
-                    f"(bucket capacity {self.bucket.capacity:g} exhausted)"
-                ),
+                message=message,
                 retryable=True,
             ),
         )
@@ -368,6 +418,20 @@ class QueueingMiddleware(Middleware):
     charged by the transport, to everyone); it is recorded in
     ``api.queue_wait_ms`` and on ``call.queued_ms`` but deliberately not in
     the envelope, whose shape is part of the byte-stability contract.
+
+    **Deadline-aware queue drops.**  A request whose target server stays
+    busy past ``call.deadline_at_ms`` (stamped by the outer
+    :class:`DeadlineMiddleware`) cannot possibly answer in time: waiting it
+    out and dispatching anyway would occupy the server — lengthening every
+    later session's queue — to produce an envelope the deadline middleware
+    then discards.  Such a request is shed *in queue* instead: it returns
+    ``unavailable`` with code ``deadline-exceeded`` (kind ``QueueDeadline``
+    to distinguish the drop site), increments ``api.queue_dropped`` and
+    ``api.queue_dropped.<operation>``, spends only the session's own
+    remaining budget on its clock, and never touches ``ServerQueues``
+    occupancy or the ``api.queue_wait_ms`` dispatched-work timers.  With no
+    deadline configured the branch is unreachable, keeping the default
+    path byte-identical.
     """
 
     name = "queueing"
@@ -393,10 +457,42 @@ class QueueingMiddleware(Middleware):
         server = self._target_server(call)
         if server is not None:
             free_at = call.queues.wait_for(server, clock.now)
+            if call.deadline_at_ms is not None and free_at > call.deadline_at_ms:
+                # Deadline-aware queue drop: the server will not be free
+                # until after this call's budget is already spent, so
+                # dispatching would burn service time on an answer the
+                # caller has given up on.  Shed it here — the server is
+                # never occupied, no transport time is spent, and the next
+                # session in line starts sooner.  The session still waits
+                # out its budget (that is the client-perceived latency of a
+                # timeout), but the dispatched-work timers stay untouched.
+                waited = call.deadline_at_ms - clock.now
+                if waited > 0:
+                    clock.advance_by(waited)
+                    call.queued_ms += waited
+                self._metrics.counter("api.queue_dropped").increment()
+                self._metrics.counter(
+                    f"api.queue_dropped.{call.operation}"
+                ).increment()
+                return ApiResponse(
+                    status=ApiStatus.UNAVAILABLE,
+                    error=ApiError(
+                        code="deadline-exceeded",
+                        kind="QueueDeadline",
+                        message=(
+                            f"queued behind {server} until "
+                            f"{free_at:.3f} ms, past the deadline at "
+                            f"{call.deadline_at_ms:.3f} ms; dropped "
+                            f"before dispatch"
+                        ),
+                        retryable=False,
+                    ),
+                )
             waited = free_at - clock.now
             if waited > 0:
                 clock.advance_by(waited)
                 call.queued_ms += waited
+                call.queues.record_wait(server, waited)
                 self._metrics.timer("api.queue_wait_ms").record(waited)
                 self._metrics.timer(
                     f"api.queue_wait_ms.{call.operation}"

@@ -81,6 +81,24 @@ FANOUT_BYTES_PER_RESULT = 48
 FANOUT_MERGE_COST_PER_CANDIDATE_MS = 0.001
 
 
+def _latency_percentile(ordered: List[float], fraction: float) -> float:
+    """The ``fraction``-th percentile of ascending ``ordered`` latencies.
+
+    Same monotone linear-interpolation rank the metrics registry's
+    ``summarize`` uses, so a hedge delay of ``p=0.95`` means exactly what
+    the reported ``p95`` means.
+    """
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * weight
+
+
 class RecommendationService:
     """Recommendation engines wired to the buyer agent server's databases.
 
@@ -447,6 +465,13 @@ class FleetQueryResult:
     #: Stale-answered shards whose read-repair nudge brought the answering
     #: replica fully up to date (lag 0) immediately after the query.
     repaired_shards: Tuple[str, ...] = ()
+    #: Shards a tail-latency hedge was launched against (the slowest
+    #: primary-answered shard, once its round trip exceeded the fan-out's
+    #: configured latency percentile); the subset whose hedge *won* — the
+    #: replica answered before the slow primary would have, so the shard
+    #: was charged ``delay + hedge`` instead — is in ``hedge_won_shards``.
+    hedged_shards: Tuple[str, ...] = ()
+    hedge_won_shards: Tuple[str, ...] = ()
     latency_ms: float = 0.0
     merge_ms: float = 0.0
 
@@ -561,6 +586,7 @@ class BuyerServerFleet:
         self,
         servers: List[BuyerAgentServer],
         coordinator=None,
+        hedge_delay_percentile: Optional[float] = None,
     ) -> None:
         if not servers:
             raise ECommerceError("a buyer server fleet needs at least one server")
@@ -568,6 +594,10 @@ class BuyerServerFleet:
         #: Optional :class:`~repro.ecommerce.coordinator.CoordinatorServer`
         #: handle; when wired, promotions update the CA's shard map in place.
         self.coordinator = coordinator
+        #: Tail-latency hedging for :meth:`query_similar` — ``None`` (never
+        #: hedge, byte-identical to the unhedged fan-out) or a percentile in
+        #: ``(0, 1]`` after which the slowest shard gets a replica hedge.
+        self.hedge_delay_percentile = hedge_delay_percentile
         self.router = ShardRouter(len(self.servers), "hash")
         #: shard index → index (into ``servers``) of the server serving it.
         #: Identity until a promotion failover moves a dead server's shards
@@ -774,6 +804,7 @@ class BuyerServerFleet:
         clock = transport.scheduler.clock
 
         per_shard: List[Optional[List[Tuple[str, float]]]] = []
+        shard_positions: Dict[str, int] = {}
         shard_latencies: Dict[str, float] = {}
         unreachable: List[str] = []
         stale: Dict[str, int] = {}
@@ -811,9 +842,26 @@ class BuyerServerFleet:
                 stale_holders[server.name] = holder_name
             shard_latencies[server.name] = latency
             per_shard.append(ranked)
+            shard_positions[server.name] = len(per_shard) - 1
             transport.metrics.timer(
                 f"fleet.fanout.shard.{server.name}.latency_ms"
             ).record(latency)
+
+        hedged: Tuple[str, ...] = ()
+        hedge_won: Tuple[str, ...] = ()
+        if self.hedge_delay_percentile is not None:
+            hedged, hedge_won = self._hedge_slowest(
+                target,
+                category,
+                config,
+                origin,
+                per_shard,
+                shard_positions,
+                shard_latencies,
+                stale,
+                stale_holders,
+                transport,
+            )
 
         merge_ms = FANOUT_MERGE_COST_PER_CANDIDATE_MS * sum(
             len(ranked) for ranked in per_shard if ranked is not None
@@ -831,6 +879,14 @@ class BuyerServerFleet:
             transport.metrics.counter("fleet.fanout.stale_shards").increment(
                 len(stale)
             )
+        # The extra hedging kwargs are recorded only when hedging is armed:
+        # the default-off event payloads stay byte-identical to the
+        # unhedged fan-out.
+        hedge_fields = (
+            {"hedged": list(hedged), "hedge_won": list(hedge_won)}
+            if self.hedge_delay_percentile is not None
+            else {}
+        )
         transport.event_log.record(
             clock.now,
             "fleet.fanout-query",
@@ -841,6 +897,7 @@ class BuyerServerFleet:
             unreachable=list(unreachable),
             stale=dict(stale),
             latency_ms=total_ms,
+            **hedge_fields,
         )
         repaired = self._read_repair(stale, stale_holders, transport)
         return FleetQueryResult(
@@ -849,9 +906,93 @@ class BuyerServerFleet:
             unreachable_shards=tuple(unreachable),
             stale_shards=stale,
             repaired_shards=repaired,
+            hedged_shards=hedged,
+            hedge_won_shards=hedge_won,
             latency_ms=total_ms,
             merge_ms=merge_ms,
         )
+
+    def _hedge_slowest(
+        self,
+        target,
+        category: Optional[str],
+        config: SimilarityConfig,
+        origin: BuyerAgentServer,
+        per_shard: List[Optional[List[Tuple[str, float]]]],
+        shard_positions: Dict[str, int],
+        shard_latencies: Dict[str, float],
+        stale: Dict[str, int],
+        stale_holders: Dict[str, str],
+        transport,
+    ) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """Hedge the slowest primary-answered shard of one fan-out.
+
+        The tail-at-scale move (Dean & Barroso): once the slowest shard's
+        round trip exceeds the ``hedge_delay_percentile``-th percentile of
+        this fan-out's latencies, a *hedge* — the same question, asked of
+        that shard's freshest live replica holder — is launched after that
+        percentile delay.  Whichever answer would arrive first is used, so
+        the shard is charged ``min(primary, delay + hedge)``; a winning
+        hedge replaces the shard's ranking with the replica's (its lag, if
+        any, is folded into ``stale``/read-repair exactly like a
+        replica-answered shard).  Mutates the fan-out accounting in place
+        and returns ``(hedged, hedge_won)`` shard-name tuples.
+
+        Only shards answered by their *primary* are candidates — a
+        stale-answered shard already came from a replica, and an
+        unreachable shard has nothing to race.  A hedge whose transfer the
+        network drops simply loses (the primary answer stands); the hedge
+        RPC itself never advances the clock, because it runs inside the
+        same concurrent fan-out window the primaries occupy.
+        """
+        candidates = {
+            name: latency
+            for name, latency in shard_latencies.items()
+            if name not in stale
+        }
+        if len(shard_latencies) < 2 or not candidates:
+            return (), ()
+        delay = _latency_percentile(
+            sorted(shard_latencies.values()), self.hedge_delay_percentile
+        )
+        # Deterministic slowest pick: max latency, name order breaking ties.
+        slowest = max(sorted(candidates), key=lambda name: candidates[name])
+        primary_latency = candidates[slowest]
+        if primary_latency <= delay:
+            return (), ()
+        server = next(s for s in self.servers if s.name == slowest)
+        holders = self._replica_holders(server)
+        if not holders:
+            return (), ()
+        holder, state = holders[0]
+        transport.metrics.counter("fleet.fanout.hedges").increment()
+        ranked = find_similar_users(
+            target, state.db.profiles(), config, category=category
+        )
+        try:
+            hedge_latency = origin.context.transport.network.round_trip_latency(
+                origin.name,
+                holder.name,
+                FANOUT_REQUEST_BYTES,
+                FANOUT_BYTES_PER_RESULT * len(ranked),
+            )
+        except NetworkError:
+            return (slowest,), ()
+        effective = delay + hedge_latency
+        if effective >= primary_latency:
+            return (slowest,), ()
+        transport.metrics.counter("fleet.fanout.hedge_wins").increment()
+        shard_latencies[slowest] = effective
+        per_shard[shard_positions[slowest]] = ranked
+        lag = (
+            server.replication.log.last_seq - state.applied_seq
+            if server.replication is not None
+            else 0
+        )
+        if lag > 0:
+            stale[slowest] = lag
+            stale_holders[slowest] = holder.name
+        return (slowest,), (slowest,)
 
     def _read_repair(
         self,

@@ -99,6 +99,26 @@ class PlatformConfig:
             keeps gateway traffic byte-identical to direct calls).
         api_admission_refill_per_ms: tokens restored per simulated
             millisecond once admission control is enabled.
+        api_admission_classes: optional per-operation admission classes —
+            a mapping ``{class_name: {"operations": [...],
+            "capacity": float, "refill_per_ms": float, "cost": float}}``
+            giving each named group of operations its own weighted token
+            bucket (``cost`` defaults to 1.0).  Classed operations never
+            touch the default bucket, so a burst of cheap reads sheds in
+            its own class while writes keep their tokens; unclassed
+            operations still use ``api_admission_capacity``.  ``None``
+            (the default) disables classes entirely, keeping admission
+            byte-identical to the single-bucket behaviour.
+        fleet_hedge_delay_percentile: optional tail-latency hedging for
+            fleet ``find_similar`` fan-outs.  When set to ``p`` in
+            ``(0, 1]``, a shard whose round trip exceeds the ``p``-th
+            percentile of this fan-out's shard latencies gets a *hedge*:
+            the freshest replica holder is asked for the same answer after
+            that percentile delay, and the shard is charged
+            ``min(primary, delay + hedge)`` — the Dean & Barroso
+            tail-at-scale trick.  ``None`` (the default) never hedges and
+            is byte-identical to the unhedged fan-out; ``1.0`` arms the
+            machinery but can never fire (no latency exceeds the max).
     """
 
     num_marketplaces: int = 2
@@ -121,6 +141,8 @@ class PlatformConfig:
     api_retry_backoff_ms: float = 25.0
     api_admission_capacity: int = 0
     api_admission_refill_per_ms: float = 1.0
+    api_admission_classes: Optional[Dict[str, Dict[str, object]]] = None
+    fleet_hedge_delay_percentile: Optional[float] = None
 
     def validate(self) -> None:
         if self.num_marketplaces <= 0:
@@ -170,6 +192,54 @@ class PlatformConfig:
             )
         if self.api_admission_refill_per_ms <= 0:
             raise ECommerceError("api_admission_refill_per_ms must be positive")
+        if self.api_admission_classes is not None:
+            classed_operations: Dict[str, str] = {}
+            for class_name, spec in self.api_admission_classes.items():
+                if not isinstance(spec, dict):
+                    raise ECommerceError(
+                        f"admission class {class_name!r} must be a dict "
+                        f"with operations/capacity/refill_per_ms"
+                    )
+                operations = spec.get("operations")
+                if not operations:
+                    raise ECommerceError(
+                        f"admission class {class_name!r} names no operations"
+                    )
+                for operation in operations:
+                    if not isinstance(operation, str):
+                        raise ECommerceError(
+                            f"admission class {class_name!r} has a "
+                            f"non-string operation: {operation!r}"
+                        )
+                    previous = classed_operations.setdefault(operation, class_name)
+                    if previous != class_name:
+                        raise ECommerceError(
+                            f"operation {operation!r} is claimed by both "
+                            f"admission classes {previous!r} and "
+                            f"{class_name!r}"
+                        )
+                if float(spec.get("capacity", 0)) <= 0:
+                    raise ECommerceError(
+                        f"admission class {class_name!r} needs a positive "
+                        f"capacity"
+                    )
+                if float(spec.get("refill_per_ms", 0)) <= 0:
+                    raise ECommerceError(
+                        f"admission class {class_name!r} needs a positive "
+                        f"refill_per_ms"
+                    )
+                if float(spec.get("cost", 1.0)) <= 0:
+                    raise ECommerceError(
+                        f"admission class {class_name!r} needs a positive "
+                        f"cost"
+                    )
+        if self.fleet_hedge_delay_percentile is not None and not (
+            0.0 < self.fleet_hedge_delay_percentile <= 1.0
+        ):
+            raise ECommerceError(
+                "fleet_hedge_delay_percentile must be in (0, 1] "
+                "(use None to disable hedging)"
+            )
 
 
 class ECommercePlatform:
@@ -214,7 +284,11 @@ class ECommercePlatform:
         # The coordinator handle lets promotion failovers update the CA's
         # shard map in place.
         self.fleet: Optional[BuyerServerFleet] = (
-            BuyerServerFleet(self.buyer_servers, coordinator=self.coordinator)
+            BuyerServerFleet(
+                self.buyer_servers,
+                coordinator=self.coordinator,
+                hedge_delay_percentile=config.fleet_hedge_delay_percentile,
+            )
             if config.num_buyer_servers > 1
             else None
         )

@@ -173,6 +173,23 @@ class FuturePendingError(ReproError):
     read before the session scheduler has resolved it."""
 
 
+class ApiCallFailedError(ReproError):
+    """Raised by :meth:`~repro.api.concurrency.ApiFuture.result` when the
+    envelope resolved failed/unavailable/rejected — the futures convention
+    (a failed future *raises*; it never silently returns ``None``).
+
+    Carries the envelope's structured :class:`~repro.api.envelope.ApiError`
+    as ``.error`` so callers that want the taxonomy can branch on
+    ``exc.error.code`` / ``exc.error.kind`` without re-reading the future.
+    Callers that prefer envelope inspection over exceptions should read
+    ``future.response`` instead.
+    """
+
+    def __init__(self, message: str, error: object = None) -> None:
+        super().__init__(message)
+        self.error = error
+
+
 class WorkloadError(ReproError):
     """Raised by the synthetic workload generators for invalid parameters."""
 

@@ -60,8 +60,11 @@ def latency_histogram(
 ) -> List[Dict[str, float]]:
     """Cumulative-bucket histogram as an ordered list of ``{le, count}``.
 
-    A list (not a dict) so JSON serialisation with sorted keys keeps the
-    buckets in bound order; ``le: -1`` is the unbounded overflow bucket.
+    Prometheus-style cumulative buckets: each ``count`` is the number of
+    samples ``<= le`` — counts are monotone nondecreasing in ``le`` and
+    the final ``le: -1`` bucket (the unbounded +Inf overflow, JSON-safe
+    sentinel) always holds the total sample count.  A list (not a dict) so
+    JSON serialisation with sorted keys keeps the buckets in bound order.
     """
     buckets = [{"le": bound, "count": 0.0} for bound in bounds]
     buckets.append({"le": -1.0, "count": 0.0})  # +Inf, JSON-safe sentinel
@@ -69,9 +72,7 @@ def latency_histogram(
         for bucket in buckets[:-1]:
             if sample <= bucket["le"]:
                 bucket["count"] += 1.0
-                break
-        else:
-            buckets[-1]["count"] += 1.0
+    buckets[-1]["count"] = float(len(samples))
     return buckets
 
 
@@ -82,12 +83,22 @@ class ConcurrentScenarioReport:
     Latency is measured per request as *finish − virtual arrival*, so it
     includes queue wait, retry backoff and service time — what a client
     would experience — while ``queue_wait_ms`` isolates the contention
-    component.  Latency stats cover *dispatched* requests only: a shed
-    request costs ~0 simulated ms, and under burst the rejections would
-    drag every percentile toward zero (the same distortion the metrics
-    middleware guards against).  ``shed`` counts admission rejections; they
-    are also included in ``failed_operations`` (a shed request failed, from
-    the session's point of view).
+    component (sampled over *this run only* — the driver snapshots the
+    platform timer so back-to-back runs on one platform never fold each
+    other's waits into their reports).  Latency stats cover *dispatched*
+    requests only: a shed request costs ~0 simulated ms, and under burst
+    the rejections would drag every percentile toward zero (the same
+    distortion the metrics middleware guards against).  ``shed`` counts
+    admission rejections; they are also included in ``failed_operations``
+    (a shed request failed, from the session's point of view), and
+    ``completed`` counts only the *non-shed* resolutions — so
+    ``requests == completed + shed`` always holds.  ``queue_dropped``
+    counts requests shed in queue by the deadline-aware drop (they are
+    ``completed`` — the platform answered, with ``unavailable`` — but
+    never occupied a server).  ``servers`` reports this run's per-server
+    occupancy: simulated ms busy, utilization against the run's duration,
+    total queueing delay charged to sessions stuck behind it, and attempts
+    served.
     """
 
     consumers: int = 0
@@ -95,6 +106,7 @@ class ConcurrentScenarioReport:
     requests: int = 0
     completed: int = 0
     shed: int = 0
+    queue_dropped: int = 0
     failed_operations: int = 0
     executed_events: int = 0
     statuses: Dict[str, int] = field(default_factory=dict)
@@ -102,6 +114,7 @@ class ConcurrentScenarioReport:
     latency_ms: Dict[str, float] = field(default_factory=dict)
     queue_wait_ms: Dict[str, float] = field(default_factory=dict)
     histogram: List[Dict[str, float]] = field(default_factory=list)
+    servers: Dict[str, Dict[str, float]] = field(default_factory=dict)
     started_at_ms: float = 0.0
     finished_at_ms: float = 0.0
 
@@ -121,6 +134,7 @@ class ConcurrentScenarioReport:
             "completed": self.completed,
             "shed": self.shed,
             "shed_rate": self.shed_rate,
+            "queue_dropped": self.queue_dropped,
             "failed_operations": self.failed_operations,
             "executed_events": self.executed_events,
             "statuses": dict(sorted(self.statuses.items())),
@@ -128,6 +142,9 @@ class ConcurrentScenarioReport:
             "latency_ms": self.latency_ms,
             "queue_wait_ms": self.queue_wait_ms,
             "histogram": self.histogram,
+            "servers": {
+                name: dict(stats) for name, stats in sorted(self.servers.items())
+            },
             "simulated_duration_ms": self.simulated_duration_ms,
         }
 
@@ -262,6 +279,15 @@ class ConcurrentDriver:
 
         scheduler = self.gateway.sessions
         base = scheduler.horizon
+        # Snapshot the platform-global accumulators so the report covers
+        # *this run only*: timers, counters and the per-server queue stats
+        # all outlive a run, and a second drive on the same platform must
+        # not fold the first drive's samples into its own numbers.
+        metrics = self.platform.metrics
+        queue_timer = metrics.timer("api.queue_wait_ms")
+        waits_before = len(queue_timer.samples)
+        dropped_before = metrics.counter("api.queue_dropped").value
+        queues_before = scheduler.queues.stats()
         futures: List[Any] = []
         for consumer, offset in zip(chosen, offsets):
             session = _Session(
@@ -283,7 +309,6 @@ class ConcurrentDriver:
         for future in futures:
             response = future.response
             report.requests += 1
-            report.completed += 1
             report.statuses[response.status] = (
                 report.statuses.get(response.status, 0) + 1
             )
@@ -293,6 +318,10 @@ class ConcurrentDriver:
             if response.status == ApiStatus.REJECTED:
                 report.shed += 1
             else:
+                # "Completed" means the platform resolved the request with
+                # an answer (ok, degraded, failed or unavailable) — a shed
+                # request was turned away at the door and completed nothing.
+                report.completed += 1
                 latencies.append(future.finished_at_ms - future.submitted_at_ms)
             if response.failed:
                 report.failed_operations += 1
@@ -300,8 +329,45 @@ class ConcurrentDriver:
             report.started_at_ms = min(f.submitted_at_ms for f in futures)
             report.finished_at_ms = max(f.finished_at_ms for f in futures)
         report.latency_ms = summarize(latencies)
-        report.queue_wait_ms = self.platform.metrics.timer(
-            "api.queue_wait_ms"
-        ).summary()
+        report.queue_wait_ms = summarize(queue_timer.samples[waits_before:])
+        report.queue_dropped = int(
+            metrics.counter("api.queue_dropped").value - dropped_before
+        )
         report.histogram = latency_histogram(latencies)
+        self._report_servers(report, queues_before, scheduler.queues.stats())
         return report
+
+    def _report_servers(
+        self,
+        report: ConcurrentScenarioReport,
+        before: Dict[str, Dict[str, float]],
+        after: Dict[str, Dict[str, float]],
+    ) -> None:
+        """Fill ``report.servers`` and the per-server platform gauges.
+
+        Utilization is this run's busy time over this run's duration;
+        ``queue_wait_ms`` is the total queueing delay sessions spent stuck
+        behind the server — the backlog signal an autoscaler would watch.
+        Published as ``api.server.<name>.utilization`` / ``.backlog_ms``
+        gauges too, so the saturation sweep (and a future control loop)
+        can read them without holding the report.
+        """
+        duration = report.simulated_duration_ms
+        zero = {"busy_ms": 0.0, "queued_ms": 0.0, "served": 0.0}
+        for server in self.platform.buyer_servers:
+            name = server.name
+            delta = {
+                key: after.get(name, zero).get(key, 0.0)
+                - before.get(name, zero).get(key, 0.0)
+                for key in zero
+            }
+            utilization = delta["busy_ms"] / duration if duration > 0 else 0.0
+            report.servers[name] = {
+                "busy_ms": delta["busy_ms"],
+                "utilization": utilization,
+                "queue_wait_ms": delta["queued_ms"],
+                "served": delta["served"],
+            }
+            metrics = self.platform.metrics
+            metrics.gauge(f"api.server.{name}.utilization").set(utilization)
+            metrics.gauge(f"api.server.{name}.backlog_ms").set(delta["queued_ms"])

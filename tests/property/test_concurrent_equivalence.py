@@ -138,6 +138,54 @@ class TestZeroOverlapEquivalence:
         scheduler.run_until_idle()
         assert platform.metrics.timer("api.queue_wait_ms").summary()["count"] == 0
 
+    def test_default_off_overload_knobs_are_byte_invisible(self):
+        """The overload features ship dark: a platform built with the
+        hedging/admission-class knobs explicitly disabled produces the
+        same envelope stream and report, byte for byte, as one that never
+        heard of them.  (Queue drops need ``api_deadline_ms``, which the
+        default platform does not set — so the drop branch is already
+        unreachable on the default path.)"""
+        def run(**overrides):
+            platform = _fresh_platform(
+                api_admission_capacity=60,
+                api_admission_refill_per_ms=0.1,
+                **overrides,
+            )
+            runner = ScenarioRunner(platform, ConsumerPopulation(60, seed=7), seed=7)
+            report = runner.concurrent_day(
+                sessions=50,
+                queries_per_session=2,
+                arrival_rate_per_ms=0.05,
+                think_time_ms=120.0,
+                seed=7,
+            )
+            events = [repr(event) for event in platform.event_log.events]
+            return json.dumps(report.as_dict(), sort_keys=True), events
+
+        default = run()
+        disabled = run(
+            api_admission_classes=None,
+            fleet_hedge_delay_percentile=None,
+        )
+        assert disabled == default
+
+    def test_armed_but_unfired_hedging_is_byte_invisible(self):
+        """``p=1.0`` arms the hedging machinery at a threshold no latency
+        can exceed — the whole run stays byte-identical to default."""
+        def run(**overrides):
+            platform = _fresh_platform(**overrides)
+            runner = ScenarioRunner(platform, ConsumerPopulation(40, seed=5), seed=5)
+            report = runner.concurrent_day(
+                sessions=30,
+                queries_per_session=1,
+                arrival_rate_per_ms=0.05,
+                think_time_ms=100.0,
+                seed=5,
+            )
+            return json.dumps(report.as_dict(), sort_keys=True)
+
+        assert run(fleet_hedge_delay_percentile=1.0) == run()
+
     def test_sequential_scenarios_unaffected_by_concurrent_run(self):
         """Running a concurrent day must not perturb a sequential scenario
         issued afterwards on a twin platform pair: the concurrent layer

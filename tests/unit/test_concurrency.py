@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.errors import ClockError, FuturePendingError
+from repro.errors import ApiCallFailedError, ClockError, FuturePendingError
 from repro.api.concurrency import ApiFuture, ServerQueues, SessionScheduler
-from repro.api.envelope import ApiStatus
+from repro.api.envelope import ApiError, ApiStatus
 from repro.api.requests import LoginRequest, QueryRequest
 from repro.ecommerce.platform_builder import build_platform
 
@@ -31,6 +31,7 @@ class TestApiFuture:
         class _Response:
             status = ApiStatus.OK
             result = "payload"
+            failed = False
 
         future._resolve(_Response(), finished_at_ms=9.0)
         assert future.done
@@ -38,12 +39,51 @@ class TestApiFuture:
         assert future.result() == "payload"
         assert seen == [future]
 
+    def test_failed_future_result_raises_typed_error(self):
+        """Regression: ``result()`` used to silently return ``None`` for a
+        failed envelope — the futures convention is that a failed future
+        *raises*, carrying the structured error."""
+        future = ApiFuture(request=LoginRequest("ghost"), submitted_at_ms=1.0)
+
+        class _Failed:
+            status = ApiStatus.FAILED
+            result = None
+            failed = True
+            error = ApiError(
+                code="unknown-user",
+                kind="UnknownUserError",
+                message="consumer 'ghost' is not registered",
+                retryable=False,
+            )
+
+        future._resolve(_Failed(), finished_at_ms=2.0)
+        with pytest.raises(ApiCallFailedError) as excinfo:
+            future.result()
+        assert excinfo.value.error.code == "unknown-user"
+        assert "unknown-user" in str(excinfo.value)
+        # Envelope inspection stays exception-free: .response is the
+        # blessed path for callers that branch on the taxonomy.
+        assert future.response.status == ApiStatus.FAILED
+
+    def test_failed_login_future_raises_end_to_end(self, platform):
+        """The failed-login path through the real scheduler: an unknown
+        user with ``register=False`` resolves a failed envelope, and
+        ``result()`` raises instead of handing back ``None``."""
+        gateway = platform.gateway()
+        future = gateway.submit(LoginRequest("never-registered", register=False))
+        gateway.sessions.run_until_idle()
+        assert future.done and future.response.failed
+        with pytest.raises(ApiCallFailedError) as excinfo:
+            future.result()
+        assert excinfo.value.error is future.response.error
+
     def test_callback_added_after_resolution_fires_immediately(self):
         future = ApiFuture(request=object(), submitted_at_ms=0.0)
 
         class _Response:
             status = ApiStatus.OK
             result = None
+            failed = False
 
         future._resolve(_Response(), finished_at_ms=1.0)
         seen = []
@@ -75,6 +115,24 @@ class TestServerQueues:
         assert queues.served("s2") == 0
         assert queues.snapshot() == {"s1": 25.0}
         assert queues.busy_until("s1") == 25.0
+
+    def test_busy_and_wait_accounting(self):
+        queues = ServerQueues()
+        queues.occupy("s1", 0.0, 10.0)
+        queues.occupy("s1", 12.0, 27.0)
+        queues.record_wait("s1", 4.0)
+        queues.record_wait("s1", 6.0)
+        queues.record_wait("s1", 0.0)  # zero waits accrue nothing
+        assert queues.busy_ms("s1") == 25.0
+        assert queues.queued_ms("s1") == 10.0
+        assert queues.busy_ms("s2") == 0.0
+        stats = queues.stats()
+        assert stats["s1"] == {
+            "busy_until": 27.0,
+            "busy_ms": 25.0,
+            "queued_ms": 10.0,
+            "served": 2.0,
+        }
 
 
 class TestSessionScheduler:

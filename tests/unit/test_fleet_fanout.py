@@ -214,3 +214,173 @@ class TestDegradedMode:
         assert result.unreachable_count == len(fleet.servers) - 1
         # The owner's own shard still answers.
         assert owner.name in result.shard_latencies_ms
+
+
+def _warmed_replicated_platform(hedge=None, seed=11):
+    """A replicated fleet platform with learned profiles, hedging optional."""
+    platform = build_platform(
+        seed=seed,
+        num_buyer_servers=3,
+        replication_factor=1,
+        fleet_hedge_delay_percentile=hedge,
+    )
+    keyword = _query_keyword(platform)
+    for index in range(8):
+        session = platform.login(f"consumer-{index}")
+        session.query(keyword)
+        session.logout()
+    return platform
+
+
+def _slow_peer(platform, latency=40.0):
+    """Make one non-owner shard's links slow; returns (owner, slow peer)."""
+    fleet = platform.fleet
+    owner = fleet.server_for("consumer-0")
+    peer = next(server for server in fleet.servers if server is not owner)
+    platform.network.set_latency(owner.name, peer.name, latency)
+    platform.network.set_latency(peer.name, owner.name, latency)
+    return owner, peer
+
+
+class TestHedgedFanout:
+    """Tail-at-scale hedging: the slowest shard races its freshest replica.
+
+    The contract: ``None`` never hedges (byte-identical to the unhedged
+    fan-out), ``p=1.0`` arms the machinery but can never fire, and a
+    winning hedge charges the clock ``min(primary, delay + hedge)`` while
+    keeping the answer exact when the replica is caught up.
+    """
+
+    def test_hedge_beats_a_slow_shard(self):
+        baseline_platform = _warmed_replicated_platform(hedge=None)
+        _slow_peer(baseline_platform)
+        baseline = baseline_platform.fleet.query_similar("consumer-0")
+
+        platform = _warmed_replicated_platform(hedge=0.5)
+        _owner, peer = _slow_peer(platform)
+        result = platform.fleet.query_similar("consumer-0")
+
+        assert result.hedged_shards == (peer.name,)
+        assert result.hedge_won_shards == (peer.name,)
+        # The slow shard was charged delay + hedge instead of its own RTT.
+        assert result.shard_latencies_ms[peer.name] < (
+            baseline.shard_latencies_ms[peer.name]
+        )
+        assert result.latency_ms < baseline.latency_ms
+        # Synchronous replication keeps the replica caught up, so the
+        # hedged answer is exact — same neighbors, nothing degraded.
+        assert result.neighbors == baseline.neighbors
+        assert not result.degraded
+        metrics = platform.metrics
+        assert metrics.counter("fleet.fanout.hedges").value == 1
+        assert metrics.counter("fleet.fanout.hedge_wins").value == 1
+
+    def test_clock_charged_min_of_primary_and_hedge(self):
+        platform = _warmed_replicated_platform(hedge=0.5)
+        _slow_peer(platform)
+        before = platform.now
+        result = platform.fleet.query_similar("consumer-0")
+        charged = platform.now - before
+        assert charged == pytest.approx(result.latency_ms)
+        assert result.latency_ms == pytest.approx(
+            max(result.shard_latencies_ms.values()) + result.merge_ms
+        )
+
+    def test_percentile_one_arms_but_never_fires(self):
+        off = _warmed_replicated_platform(hedge=None)
+        _slow_peer(off)
+        armed = _warmed_replicated_platform(hedge=1.0)
+        _slow_peer(armed)
+
+        result_off = off.fleet.query_similar("consumer-0")
+        result_armed = armed.fleet.query_similar("consumer-0")
+
+        assert result_armed.hedged_shards == ()
+        assert result_armed.hedge_won_shards == ()
+        # No latency can exceed the max-latency delay, so the armed fleet
+        # behaves byte-identically to the disabled one.
+        assert repr(result_armed) == repr(result_off)
+        assert armed.metrics.counter("fleet.fanout.hedges").value == 0
+
+    def test_losing_hedge_changes_nothing_but_the_provenance(self):
+        """A hedge whose replica round trip cannot beat the primary loses:
+        launched (counted, reported) but the primary answer stands."""
+        def configure(platform):
+            fleet = platform.fleet
+            owner = fleet.server_for("consumer-0")
+            # The peer whose replica holder is NOT the owner, so the hedge
+            # has to cross a (similarly slow) real link and lose the race.
+            peer = next(
+                server
+                for server in fleet.servers
+                if server is not owner
+                and fleet._replica_holders(server)
+                and fleet._replica_holders(server)[0][0] is not owner
+            )
+            other = next(
+                server
+                for server in fleet.servers
+                if server is not owner and server is not peer
+            )
+            for a, b, latency in (
+                (owner, peer, 22.0),
+                (owner, other, 20.0),
+            ):
+                platform.network.set_latency(a.name, b.name, latency)
+                platform.network.set_latency(b.name, a.name, latency)
+            return peer
+
+        baseline_platform = _warmed_replicated_platform(hedge=None)
+        configure(baseline_platform)
+        baseline = baseline_platform.fleet.query_similar("consumer-0")
+
+        platform = _warmed_replicated_platform(hedge=0.5)
+        peer = configure(platform)
+        result = platform.fleet.query_similar("consumer-0")
+
+        assert result.hedged_shards == (peer.name,)
+        assert result.hedge_won_shards == ()
+        assert result.shard_latencies_ms == baseline.shard_latencies_ms
+        assert result.latency_ms == pytest.approx(baseline.latency_ms)
+        assert result.neighbors == baseline.neighbors
+        metrics = platform.metrics
+        assert metrics.counter("fleet.fanout.hedges").value == 1
+        assert metrics.counter("fleet.fanout.hedge_wins").value == 0
+
+    def test_event_payload_carries_hedge_fields_only_when_armed(self):
+        off = _warmed_replicated_platform(hedge=None)
+        off.fleet.query_similar("consumer-0")
+        payload = off.event_log.last_payload("fleet.fanout-query")
+        assert "hedged" not in payload and "hedge_won" not in payload
+
+        platform = _warmed_replicated_platform(hedge=0.5)
+        _owner, peer = _slow_peer(platform)
+        platform.fleet.query_similar("consumer-0")
+        payload = platform.event_log.last_payload("fleet.fanout-query")
+        assert payload["hedged"] == [peer.name]
+        assert payload["hedge_won"] == [peer.name]
+
+    def test_gateway_provenance_reports_hedging(self):
+        platform = _warmed_replicated_platform(hedge=0.5)
+        _owner, peer = _slow_peer(platform)
+        response = platform.gateway().find_similar("consumer-0")
+        assert response.ok
+        assert response.provenance.hedged_shards == (peer.name,)
+        assert response.provenance.hedge_won_shards == (peer.name,)
+        # Hedging alone never degrades the envelope.
+        assert response.status == "ok"
+
+    def test_no_replica_means_no_hedge(self):
+        platform = build_platform(
+            seed=11, num_buyer_servers=3, replication_factor=0,
+            fleet_hedge_delay_percentile=0.5,
+        )
+        keyword = _query_keyword(platform)
+        for index in range(4):
+            session = platform.login(f"consumer-{index}")
+            session.query(keyword)
+            session.logout()
+        _slow_peer(platform)
+        result = platform.fleet.query_similar("consumer-0")
+        assert result.hedged_shards == ()
+        assert platform.metrics.counter("fleet.fanout.hedges").value == 0
