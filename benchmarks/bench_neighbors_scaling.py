@@ -11,20 +11,47 @@ Two modes, both pytest-runnable:
   for tier-1 CI (``scripts/ci_check.sh`` runs it).
 - **full**: set ``REPRO_BENCH_FULL=1`` to scale to 5000 consumers, where the
   indexed path is required to be at least 5x faster than brute force.
+
+PR 8 adds the **scoring-kernel trajectory**: the same indexed search run
+through the ``dict`` reference kernel and the vectorized ``numpy`` kernel
+(when importable), equivalence-checked at every population size and timed
+up to 50 000 consumers in full mode.  The trajectory is checked in as
+``BENCH_neighbors_scaling.json`` — a byte-reproducible ``deterministic``
+block (score checksums, skip counts; regenerated and compared by CI at
+smoke sizes) plus a ``measured`` block recording the full-mode timings
+(wall-clock, so recorded once, validated by invariants rather than
+re-timed).  Regenerate with ``REPRO_BENCH_FULL=1 python
+benchmarks/bench_neighbors_scaling.py`` after an intentional change.
 """
 
+import hashlib
+import json
 import os
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.core.neighbors import ProfileNeighborIndex
+from repro.core.scoring import numpy_available
 from repro.core.sharding import ShardedNeighborIndex
 from repro.core.similarity import SimilarityConfig, find_similar_users
 from repro.experiments.harness import ExperimentResult, build_standard_dataset
 
 FULL_MODE = os.environ.get("REPRO_BENCH_FULL") == "1"
 POPULATION_SIZES = (1000, 2500, 5000) if FULL_MODE else (150, 400)
+ARTIFACT = Path(__file__).with_name("BENCH_neighbors_scaling.json")
+#: Scoring-kernel trajectory sizes.  Brute force is never run past
+#: :data:`KERNEL_BRUTE_CEILING` consumers (it would dominate the run for no
+#: information — the indexed paths are equivalence-checked against each
+#: other there, and against brute force at every smaller size).
+KERNEL_SIZES = (1000, 5000, 50000) if FULL_MODE else (150, 400)
+KERNEL_SMOKE_SIZES = (150, 400)
+KERNEL_BRUTE_CEILING = 5000
+#: Acceptance bar: the numpy kernel must beat the PR-2 dict-kernel indexed
+#: path by at least this factor at 5000 consumers (full mode only; the
+#: checked-in artifact records the measured value).
+KERNEL_REQUIRED_SPEEDUP = 3.0
 #: Minimum indexed-vs-brute speedup demanded at the largest population.
 #: Enforced only in full mode: wall-clock assertions on a loaded CI runner
 #: would flake, so the smoke run asserts equivalence and merely reports
@@ -320,6 +347,239 @@ def test_tight_term_bound_skips_no_fewer(experiment_reporter):
     )
 
 
+# ---------------------------------------------------------------------------
+# PR-8 scoring-kernel trajectory + checked-in artifact
+# ---------------------------------------------------------------------------
+
+
+#: Timed passes averaged per measurement (after one untimed warm pass, so
+#: the numbers are steady-state — the index and its per-target caches are
+#: built once and reused, exactly how RecommendationService serves).
+KERNEL_TIMING_ROUNDS = 3
+
+
+def _kernel_backends():
+    return ["dict", "array", "numpy"] if numpy_available() else ["dict", "array"]
+
+
+def _kernel_query_plan(dataset, profiles):
+    """Open (category=None) searches only: the kernel trajectory measures
+    full-population block scoring; category-filtered queries take the
+    scalar path on every backend and are timed by the other experiments."""
+    return [(profiles[user_id], None) for user_id in dataset.users[:QUERIES]]
+
+
+def _ranking_checksum(rankings) -> str:
+    """Stable digest of ranked (user_id, score) lists — float bit patterns
+    included, so any scoring divergence changes the checksum."""
+    blob = repr(rankings).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def run_kernel_point(consumers: int):
+    """One trajectory point: equivalence-checked dict vs numpy kernel timings.
+
+    Returns ``(deterministic_row, measured_row)``.  The deterministic row is
+    derived from the dict reference kernel only, so it is byte-stable whether
+    or not numpy is importable; cross-backend equality is *asserted* here but
+    recorded in the measured row.
+    """
+    config = SimilarityConfig(top_k=10)
+    dataset, profiles = _build_profiles(consumers)
+    plan = _kernel_query_plan(dataset, profiles)
+
+    # Pass 1 — determinism + equivalence, early termination ON: rankings,
+    # float bit patterns and Cauchy-Schwarz/Hölder skip decisions must be
+    # identical across every available backend.
+    rankings = {}
+    skips = {}
+    for backend in _kernel_backends():
+        index = ProfileNeighborIndex(
+            provider=profiles.values,
+            config=config,
+            early_termination=True,
+            backend=backend,
+        )
+        index.sync()
+        rankings[backend] = [
+            index.find_similar(target, category=category)
+            for target, category in plan
+        ]
+        skips[backend] = index.bound_skips
+
+    for backend in _kernel_backends()[1:]:
+        assert rankings[backend] == rankings["dict"], (
+            f"{backend} kernel diverged from the dict reference at "
+            f"{consumers} consumers"
+        )
+        assert skips[backend] == skips["dict"], (
+            f"{backend} kernel made different skip decisions at "
+            f"{consumers} consumers: {skips[backend]} != {skips['dict']}"
+        )
+
+    # Pass 2 — steady-state timing on the PR-2 indexed configuration (no
+    # early termination: the trajectory measures raw scoring throughput,
+    # which is exactly what the vectorized kernel accelerates).  One warm
+    # pass (also equivalence-checked), then the timed rounds.
+    timings = {}
+    for backend in _kernel_backends():
+        index = ProfileNeighborIndex(
+            provider=profiles.values, config=config, backend=backend
+        )
+        index.sync()
+        warm = [
+            index.find_similar(target, category=category)
+            for target, category in plan
+        ]
+        assert warm == rankings["dict"], (
+            f"{backend} kernel diverged on the timing pass at "
+            f"{consumers} consumers"
+        )
+        total_ms = 0.0
+        for _ in range(KERNEL_TIMING_ROUNDS):
+            for target, category in plan:
+                _, elapsed = _timed(
+                    lambda t=target, c=category: index.find_similar(
+                        t, category=c
+                    )
+                )
+                total_ms += elapsed
+        timings[backend] = total_ms / (len(plan) * KERNEL_TIMING_ROUNDS)
+
+    brute_ms = None
+    if consumers <= KERNEL_BRUTE_CEILING:
+        total = 0.0
+        for position, (target, category) in enumerate(plan):
+            neighbours, elapsed = _timed(
+                lambda t=target, c=category: find_similar_users(
+                    t, profiles.values(), config, category=c
+                )
+            )
+            total += elapsed
+            assert neighbours == rankings["dict"][position]
+        brute_ms = round(total / len(plan), 3)
+
+    deterministic_row = {
+        "consumers": consumers,
+        "queries": len(plan),
+        "bound_skips": skips["dict"],
+        "score_checksum": _ranking_checksum(rankings["dict"]),
+    }
+    numpy_ms = timings.get("numpy")
+    measured_row = {
+        "consumers": consumers,
+        "backends_identical": True,
+        "dict_ms": round(timings["dict"], 3),
+        "array_ms": round(timings["array"], 3),
+        "numpy_ms": round(numpy_ms, 3) if numpy_ms is not None else None,
+        "kernel_speedup": (
+            round(timings["dict"] / numpy_ms, 1)
+            if numpy_ms
+            else None
+        ),
+        "brute_ms": brute_ms,
+    }
+    return deterministic_row, measured_row
+
+
+def run_kernel_trajectory(sizes=KERNEL_SIZES):
+    """(deterministic rows, measured rows, reportable ExperimentResult)."""
+    result = ExperimentResult(
+        name="scoring-kernel-trajectory",
+        description="dict-kernel vs numpy-kernel indexed search latency",
+    )
+    deterministic, measured = [], []
+    for consumers in sizes:
+        det_row, meas_row = run_kernel_point(consumers)
+        deterministic.append(det_row)
+        measured.append(meas_row)
+        result.add_row(**{**det_row, **meas_row})
+    result.add_note(
+        "both kernels run the same early-terminating index; equivalence "
+        "(rankings, float bit patterns, skip counts) is asserted per point"
+    )
+    result.add_note(
+        f"numpy available: {numpy_available()} "
+        f"(REPRO_NO_NUMPY=1 forces the stdlib path)"
+    )
+    result.add_note(f"mode: {'full' if FULL_MODE else 'smoke'}")
+    return deterministic, measured, result
+
+
+def generate_kernel_payload() -> dict:
+    """The checked-in artifact: smoke-size deterministic block (regenerated
+    byte-for-byte by CI) + full-mode measured trajectory (recorded once)."""
+    deterministic, _, _ = run_kernel_trajectory(sizes=KERNEL_SMOKE_SIZES)
+    _, measured, _ = run_kernel_trajectory(sizes=KERNEL_SIZES)
+    return {
+        "benchmark": "neighbors_scaling_kernels",
+        "config": {
+            "top_k": 10,
+            "queries": QUERIES,
+            "dataset_seed": 37,
+            "early_termination": True,
+        },
+        "deterministic": {
+            "sizes": list(KERNEL_SMOKE_SIZES),
+            "rows": deterministic,
+        },
+        "measured": {
+            "mode": "full" if FULL_MODE else "smoke",
+            "numpy": numpy_available(),
+            "required_speedup_at_5000": KERNEL_REQUIRED_SPEEDUP,
+            "sizes": list(KERNEL_SIZES),
+            "rows": measured,
+        },
+    }
+
+
+def render_deterministic(rows) -> str:
+    return json.dumps(rows, indent=2, sort_keys=True)
+
+
+def test_kernel_trajectory_equivalence(experiment_reporter):
+    """Smoke: kernels agree at every size.  Full: numpy must also be fast."""
+    _, measured, result = run_kernel_trajectory()
+    experiment_reporter(result)
+    assert all(row["backends_identical"] for row in measured)
+    if FULL_MODE and numpy_available():
+        at_5k = next(r for r in measured if r["consumers"] == 5000)
+        assert at_5k["kernel_speedup"] >= KERNEL_REQUIRED_SPEEDUP, (
+            f"numpy kernel must be ≥{KERNEL_REQUIRED_SPEEDUP}x over the dict "
+            f"indexed path at 5000 consumers, measured {at_5k['kernel_speedup']}x"
+        )
+
+
+def test_artifact_deterministic_block_matches_regeneration():
+    """The checked-in deterministic block must reproduce byte for byte —
+    scores, skip counts and checksums are seeded, so any drift is a real
+    scoring change (regenerate with REPRO_BENCH_FULL=1 python
+    benchmarks/bench_neighbors_scaling.py if intentional)."""
+    payload = json.loads(ARTIFACT.read_text())
+    regenerated, _, _ = run_kernel_trajectory(sizes=KERNEL_SMOKE_SIZES)
+    assert render_deterministic(regenerated) == render_deterministic(
+        payload["deterministic"]["rows"]
+    )
+    assert payload["deterministic"]["sizes"] == list(KERNEL_SMOKE_SIZES)
+
+
+def test_artifact_records_full_kernel_trajectory():
+    """The checked-in measured block pins the PR-8 acceptance bars."""
+    payload = json.loads(ARTIFACT.read_text())
+    measured = payload["measured"]
+    assert measured["mode"] == "full"
+    assert measured["numpy"] is True
+    sizes = [row["consumers"] for row in measured["rows"]]
+    assert sizes == [1000, 5000, 50000]
+    assert all(row["backends_identical"] for row in measured["rows"])
+    at_5k = next(r for r in measured["rows"] if r["consumers"] == 5000)
+    assert at_5k["kernel_speedup"] >= measured["required_speedup_at_5000"]
+    at_50k = next(r for r in measured["rows"] if r["consumers"] == 50000)
+    # Brute force is never run at 50k — the trajectory's whole point.
+    assert at_50k["brute_ms"] is None
+    assert at_50k["numpy_ms"] is not None and at_50k["dict_ms"] is not None
+
+
 @pytest.mark.parametrize("consumers", [POPULATION_SIZES[0]])
 def test_indexed_query_cost(benchmark, consumers):
     """pytest-benchmark timing table for one indexed query at steady state."""
@@ -331,3 +591,21 @@ def test_indexed_query_cost(benchmark, consumers):
 
     neighbours = benchmark(lambda: index.find_similar(target))
     assert neighbours == find_similar_users(target, profiles.values(), config)
+
+
+if __name__ == "__main__":
+    if not FULL_MODE:
+        raise SystemExit(
+            "refusing to write BENCH_neighbors_scaling.json from a smoke "
+            "run — set REPRO_BENCH_FULL=1 so the measured trajectory covers "
+            "the 50000-consumer point"
+        )
+    if not numpy_available():
+        raise SystemExit(
+            "refusing to write BENCH_neighbors_scaling.json without numpy — "
+            "the measured block must record the vectorized kernel"
+        )
+    ARTIFACT.write_text(
+        json.dumps(generate_kernel_payload(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {ARTIFACT}")

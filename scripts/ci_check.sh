@@ -19,8 +19,37 @@ python -m pytest -x -q tests --ignore=tests/property/test_sharding.py
 echo "== tier-1: sharding equivalence property suite =="
 python -m pytest -x -q tests/property/test_sharding.py
 
-echo "== tier-1: benchmark smoke (neighbor index scaling + shard sweep) =="
+echo "== tier-1 (stdlib kernels): full suite again under REPRO_NO_NUMPY=1 =="
+echo "==   every scoring path must be green without numpy importable     =="
+REPRO_NO_NUMPY=1 python -m pytest -x -q tests --ignore=tests/property/test_sharding.py
+REPRO_NO_NUMPY=1 python -m pytest -x -q tests/property/test_sharding.py
+
+echo "== tier-1: benchmark smoke (neighbor index scaling + shard sweep =="
+echo "==         + scoring-kernel trajectory artifact reproduction)    =="
 python -m pytest -x -q benchmarks/bench_neighbors_scaling.py
+
+echo "== tier-1: scoring-kernel artifact smoke (deterministic block must =="
+echo "==         regenerate byte-for-byte; recorded full-mode trajectory =="
+echo "==         must hold the PR-8 acceptance bars)                     =="
+python - <<'PY'
+import json
+from pathlib import Path
+
+payload = json.loads(Path("benchmarks/BENCH_neighbors_scaling.json").read_text())
+measured = payload["measured"]
+assert measured["mode"] == "full" and measured["numpy"] is True, measured
+sizes = [row["consumers"] for row in measured["rows"]]
+assert 50000 in sizes and sizes == sorted(sizes), sizes
+assert all(row["backends_identical"] for row in measured["rows"])
+at_5k = next(r for r in measured["rows"] if r["consumers"] == 5000)
+assert at_5k["kernel_speedup"] >= measured["required_speedup_at_5000"], at_5k
+at_50k = next(r for r in measured["rows"] if r["consumers"] == 50000)
+assert at_50k["brute_ms"] is None and at_50k["numpy_ms"] is not None, at_50k
+print("kernel artifact smoke: OK —",
+      f"5k speedup {at_5k['kernel_speedup']}x "
+      f"(bar {measured['required_speedup_at_5000']}x),",
+      f"50k numpy {at_50k['numpy_ms']}ms vs dict {at_50k['dict_ms']}ms")
+PY
 
 echo "== tier-1: benchmark smoke (concurrent load + artifact reproduction) =="
 python -m pytest -x -q benchmarks/bench_concurrent_load.py

@@ -1,0 +1,78 @@
+"""Envelope-level caching for gateway ``recommendations`` operations.
+
+The batch-refresh pipeline (:meth:`RecommendationService.batch_refresh`)
+already computes every assigned consumer's recommendation list on a
+schedule; without this module the gateway throws that work away and
+recomputes the same list on every ``recommendations`` request.  The
+:class:`RecommendationEnvelopeCache` closes the loop: a request whose
+parameters exactly match a batch-refreshed entry is answered from that
+entry, stamped ``served_from_cache=True`` in its
+:class:`~repro.api.envelope.Provenance`.
+
+Correctness rules (the ones the cache-regression tests pin):
+
+- **Hits must be byte-identical to a fresh computation.**  Three guards
+  enforce this: a hit requires ``category is None`` (batch refresh computes
+  category-free lists only), requires the entry to have been refreshed at
+  exactly the requested ``k``, and requires the entry to still be present —
+  :meth:`RecommendationService.enable_batch_invalidation` drops a consumer's
+  entry on every write that could change their list (learning updates,
+  recorded transactions, observational interactions, wholesale profile
+  replacement).
+- **Invalidation is armed before the first lookup.**  ``lookup`` arms the
+  service's invalidation hooks itself (idempotently), so there is no window
+  in which a cache could serve an entry that a write has silently outdated.
+- **Default-off is byte-invisible.**  The cache only exists when
+  ``PlatformConfig.api_recommendation_cache`` is true; otherwise the gateway
+  never constructs one, no hooks are registered, and the request path is
+  exactly the pre-cache code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["RecommendationEnvelopeCache"]
+
+
+class RecommendationEnvelopeCache:
+    """Gateway-side view over per-server batch-refresh caches.
+
+    The cached lists themselves live in each server's
+    :class:`~repro.ecommerce.buyer_server.RecommendationService` (they are
+    soft state, lost with the server on a crash — exactly the durability
+    class the module docstring in ``buyer_server`` promises).  This object
+    only decides hit eligibility and keeps gateway-level counters.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        #: Requests ineligible by shape (a category filter) rather than by
+        #: cache contents — kept separate so a hit-rate readout is not
+        #: polluted by requests the cache never promises to serve.
+        self.bypasses = 0
+
+    def lookup(
+        self,
+        service,
+        user_id: str,
+        k: int,
+        category: Optional[str],
+    ) -> Optional[List]:
+        """The cached list for this request, or None to compute fresh.
+
+        ``service`` is the serving server's ``RecommendationService``; its
+        write-invalidation hooks are armed here (idempotent) so eligibility
+        never outruns invalidation.
+        """
+        if category is not None:
+            self.bypasses += 1
+            return None
+        service.enable_batch_invalidation()
+        cached = service.cached_recommendations(user_id, k=k)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return cached

@@ -47,6 +47,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import HostUnreachableError, ReproError, UnknownUserError
+from repro.api.caching import RecommendationEnvelopeCache
 from repro.api.envelope import (
     ApiError,
     ApiResponse,
@@ -178,6 +179,14 @@ class PlatformGateway:
             QueueingMiddleware(self._metrics),
         )
         self._handler = build_chain(list(self.middlewares), self._dispatch)
+        # Envelope cache for ``recommendations`` (default off — constructed
+        # only when PlatformConfig.api_recommendation_cache opts in, so the
+        # default request path and hook graph stay byte-identical).
+        self.recommendation_cache = (
+            RecommendationEnvelopeCache()
+            if getattr(config, "api_recommendation_cache", False)
+            else None
+        )
         self._sessions: Optional["SessionScheduler"] = None
         self._operations: Dict[type, Callable[[Any], Tuple[Any, Provenance, bool]]] = {
             RegisterRequest: self._op_register,
@@ -587,6 +596,21 @@ class PlatformGateway:
 
     def _op_recommendations(self, request: RecommendationsRequest):
         session = self._session_for(request.user_id)
+        if self.recommendation_cache is not None:
+            cached = self.recommendation_cache.lookup(
+                session.server.recommendations,
+                request.user_id,
+                request.k,
+                request.category,
+            )
+            if cached is not None:
+                return (
+                    RecommendationList(recommendations=tuple(cached)),
+                    Provenance(
+                        served_by=session.server.name, served_from_cache=True
+                    ),
+                    False,
+                )
         recommendations = session._recommendations(k=request.k, category=request.category)
         return (
             RecommendationList(recommendations=tuple(recommendations)),

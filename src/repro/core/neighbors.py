@@ -44,9 +44,9 @@ from typing import (
 
 from repro.core.profile import Profile
 from repro.core.profile_learning import FeedbackEvent
+from repro.core.scoring import create_kernel, resolve_backend
 from repro.core.similarity import (
     SimilarityConfig,
-    cosine_similarity_cached as _cached_cosine,
     vector_norm as _norm,
 )
 
@@ -107,9 +107,17 @@ class ProfileNeighborIndex:
         provider_version: Optional[Callable[[], int]] = None,
         early_termination: bool = False,
         tight_term_bound: bool = True,
+        backend: str = "dict",
     ) -> None:
         self.config = config or SimilarityConfig()
         self.config.validate()
+        # Scoring kernel backend ("dict" | "array" | "numpy" | "auto").  The
+        # default stays the reference dict loops so existing callers are
+        # untouched; platform wiring selects the backend via PlatformConfig.
+        # All backends are score-identical by construction (see
+        # repro.core.scoring and tests/property/test_scoring_kernel.py).
+        self.backend = resolve_backend(backend)
+        self._kernel = create_kernel(self.backend)
         # Cauchy-Schwarz norm-bound candidate skipping (see find_similar).
         # Off by default so the index stays a drop-in reference implementation;
         # the sharded index turns it on inside every shard.
@@ -135,6 +143,10 @@ class ProfileNeighborIndex:
         self._sorted_windows: Dict[str, Tuple[List[float], List[str]]] = {}
         self.rebuilds = 0
         self.queries = 0
+        # Monotone stamp bumped on every entry (re)index or drop; batch
+        # consumers (AgentHybridRecommender.prepare_batch) use it to prove a
+        # memoized neighbor list is still current.
+        self.mutations = 0
         if profiles is not None:
             self.build(profiles)
 
@@ -147,6 +159,7 @@ class ProfileNeighborIndex:
         self._dirty.clear()
         self._category_values.clear()
         self._sorted_windows.clear()
+        self._kernel.reset()
         for profile in profiles:
             self.add(profile)
 
@@ -308,18 +321,75 @@ class ProfileNeighborIndex:
         target_pref_norm = _norm(target_prefs)
         target_terms = target.flattened_terms().as_dict()
         target_term_norm = _norm(target_terms)
+        target_term_l1 = target_term_max = 0.0
         if self.early_termination and self.tight_term_bound:
             target_abs_weights = [abs(value) for value in target_terms.values()]
             target_term_l1 = sum(target_abs_weights)
             target_term_max = max(target_abs_weights, default=0.0)
 
         candidates = self._candidate_ids(target_prefs, category, config)
+        use_bound = self.early_termination
+        tq = self._kernel.prepare_target(
+            target_prefs,
+            target_pref_norm,
+            target_terms,
+            target_term_norm,
+            target_term_l1,
+            target_term_max,
+        )
 
+        # A vectorized kernel scores the whole entry block in a few passes;
+        # that wins whenever most entries are candidates anyway, but a narrow
+        # discard-rule window is cheaper through the per-candidate loop.
+        if self._kernel.vectorized and self._entries and (
+            category is None or len(candidates) * 4 >= len(self._entries)
+        ):
+            scored = self._block_scored(
+                tq, candidates, category, config, use_bound, target.user_id
+            )
+        else:
+            scored = self._scalar_scored(
+                tq, candidates, config, use_bound, target.user_id
+            )
+
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[: config.top_k]
+
+    def find_similar_many(
+        self,
+        targets: Iterable[Profile],
+        category: Optional[str] = None,
+        config: Optional[SimilarityConfig] = None,
+    ) -> List[List[Tuple[str, float]]]:
+        """Batch variant of :meth:`find_similar`, one result list per target.
+
+        Results are exactly what per-target :meth:`find_similar` calls would
+        return; the win is amortization — one provider reconcile and (for the
+        numpy backend) one block repack warm the index for the whole batch
+        instead of being re-checked per consumer.
+        """
+        self.sync()
+        return [
+            self.find_similar(target, category=category, config=config)
+            for target in targets
+        ]
+
+    # -- scoring loops ---------------------------------------------------------
+
+    def _scalar_scored(
+        self,
+        tq,
+        candidates: Iterable[str],
+        config: SimilarityConfig,
+        use_bound: bool,
+        exclude_user: str,
+    ) -> List[Tuple[str, float]]:
+        """Per-candidate loop over the kernel's scalar dot products."""
+        kernel = self._kernel
         preference_weight = config.preference_weight
         term_weight = config.term_weight
         total_weight = preference_weight + term_weight
         minimum = config.min_similarity
-        use_bound = self.early_termination
         top_k = config.top_k
         # Min-heap of the k best scores seen so far; its root is the score a
         # candidate must reach to possibly make the final top-k list.
@@ -327,22 +397,20 @@ class ProfileNeighborIndex:
 
         scored: List[Tuple[str, float]] = []
         for user_id in candidates:
-            if user_id == target.user_id:
+            if user_id == exclude_user:
                 continue
             entry = self._entries[user_id]
-            preference_part = _cached_cosine(
-                target_prefs, target_pref_norm, entry.prefs, entry.pref_norm
-            )
+            preference_part = kernel.pref_part(tq, entry)
             if use_bound:
-                if target_term_norm > 0.0 and entry.term_norm > 0.0:
+                if tq.term_norm > 0.0 and entry.term_norm > 0.0:
                     term_bound = 1.0
                     if self.tight_term_bound:
                         # Hölder both ways round; keep the smaller ceiling.
                         holder = min(
-                            target_term_max * entry.term_l1,
-                            target_term_l1 * entry.term_max,
+                            tq.term_max * entry.term_l1,
+                            tq.term_l1 * entry.term_max,
                         )
-                        tight = holder / (target_term_norm * entry.term_norm)
+                        tight = holder / (tq.term_norm * entry.term_norm)
                         # One-part-in-1e9 inflation: provably above the true
                         # cosine even after float rounding of dot and norms.
                         term_bound = min(1.0, tight * (1.0 + 1e-9))
@@ -358,9 +426,7 @@ class ProfileNeighborIndex:
                     # it falls below min_similarity along with the k-th).
                     self.bound_skips += 1
                     continue
-            term_part = _cached_cosine(
-                target_terms, target_term_norm, entry.terms, entry.term_norm
-            )
+            term_part = kernel.term_part(tq, entry)
             score = (
                 preference_weight * preference_part + term_weight * term_part
             ) / total_weight
@@ -372,9 +438,70 @@ class ProfileNeighborIndex:
                     heapq.heapreplace(best_scores, score)
             if score >= minimum:
                 scored.append((user_id, score))
+        return scored
 
-        scored.sort(key=lambda pair: (-pair[1], pair[0]))
-        return scored[: config.top_k]
+    def _block_scored(
+        self,
+        tq,
+        candidates: Iterable[str],
+        category: Optional[str],
+        config: SimilarityConfig,
+        use_bound: bool,
+        exclude_user: str,
+    ) -> List[Tuple[str, float]]:
+        """Vectorized path: score the whole block, then filter / replay.
+
+        The kernel returns bit-identical scores (and early-termination
+        bounds) for every indexed entry; without bounds and without a
+        category window the survivors drop out of one vectorized filter.
+        With bounds on, the sequential skip/heap decision process is
+        replayed over the precomputed score and bound lists — same skip
+        decisions, same ``bound_skips`` increments, no dot products.
+        """
+        preference_weight = config.preference_weight
+        term_weight = config.term_weight
+        block = self._kernel.score_block(
+            self._entries,
+            tq,
+            preference_weight,
+            term_weight,
+            preference_weight + term_weight,
+            use_bound,
+            self.tight_term_bound,
+        )
+        minimum = config.min_similarity
+        if not use_bound and category is None:
+            return block.pairs_at_least(minimum, exclude_user)
+
+        scores = block.scores
+        row_of = block.row_of
+        scored: List[Tuple[str, float]] = []
+        if use_bound:
+            bounds = block.bounds
+            top_k = config.top_k
+            best_scores: List[float] = []
+            for user_id in candidates:
+                if user_id == exclude_user:
+                    continue
+                row = row_of[user_id]
+                if len(best_scores) == top_k and bounds[row] < best_scores[0]:
+                    self.bound_skips += 1
+                    continue
+                score = scores[row]
+                if len(best_scores) < top_k:
+                    heapq.heappush(best_scores, score)
+                elif score > best_scores[0]:
+                    heapq.heapreplace(best_scores, score)
+                if score >= minimum:
+                    scored.append((user_id, score))
+        else:
+            for user_id in candidates:
+                if user_id == exclude_user:
+                    continue
+                score = scores[row_of[user_id]]
+                if score >= minimum:
+                    scored.append((user_id, score))
+        return scored
 
     # -- internals ------------------------------------------------------------
 
@@ -445,15 +572,19 @@ class ProfileNeighborIndex:
             version=_version_of(profile),
         )
         self._entries[user_id] = entry
+        self._kernel.entry_changed(entry)
         for name, value in prefs.items():
             self._category_values.setdefault(name, {})[user_id] = value
             self._sorted_windows.pop(name, None)
         self.rebuilds += 1
+        self.mutations += 1
 
     def _drop_entry(self, user_id: str) -> None:
         entry = self._entries.pop(user_id, None)
         if entry is not None:
             self._unlink_categories(entry)
+            self._kernel.entry_removed(user_id)
+            self.mutations += 1
 
     def _unlink_categories(self, entry: _ProfileEntry) -> None:
         for name in entry.prefs:

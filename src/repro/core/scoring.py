@@ -1,0 +1,700 @@
+"""Swappable scoring kernels for the neighbor index — score-identical by construction.
+
+:class:`~repro.core.neighbors.ProfileNeighborIndex` historically scored one
+candidate at a time with pure-Python dict loops
+(:func:`repro.core.similarity.cosine_similarity_cached`).  This module factors
+that inner loop behind a single :class:`ScoringKernel` interface with three
+backends:
+
+- ``dict`` — the reference backend: the exact dict loops, untouched.  Zero
+  per-entry state, always available, the semantics every other backend must
+  reproduce bit for bit.
+- ``array`` — always-available stdlib backend: each entry's sparse vector is
+  held as a parallel ``array('q')`` slot / ``array('d')`` weight pair (read
+  through memoryviews), and the candidate-side dot becomes
+  ``sum(map(mul, weights, map(dense.__getitem__, slots)))`` against a dense
+  target list — the same products in the same order as the dict loop, so the
+  result is the same IEEE-754 double.  Compact rows, modest constant-factor
+  gains, no third-party dependency.
+- ``numpy`` — optional batch backend: entries are packed into CSR/CSC-style
+  contiguous arrays and a whole candidate block is scored per query.  Exact
+  dot products come from ``np.bincount(rows, weights=products)``, which
+  accumulates its weights *sequentially in input order* in one C pass —
+  with rows laid out in entry order that is precisely the dict loop's
+  left-to-right ``sum``, so every non-zero dot is bit-identical (an
+  exactly-zero dot can at most flip its zero sign, which the score clamp
+  provably erases — see :meth:`NumpyKernel._side_cosines`).  The score
+  formula, clamp and Hölder early-termination bounds are vectorized with
+  elementwise IEEE operations identical to the scalar expressions.
+
+Bit-identity, not just approximate equality, is the contract: the property
+suite in ``tests/property/test_scoring_kernel.py`` drives all three backends
+over adversarial profiles (zero norms, empty term sets, single ratings,
+disjoint categories) and asserts ``==`` on every score.
+
+Backend selection: ``resolve_backend("auto")`` prefers numpy when importable
+and not disabled; setting the ``REPRO_NO_NUMPY`` environment variable forces
+the stdlib path (CI runs the whole tier-1 suite both ways).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from operator import mul
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.similarity import cosine_similarity_cached as _cached_cosine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.neighbors import _ProfileEntry
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "ScoringKernel",
+    "TargetState",
+    "BlockScores",
+    "create_kernel",
+    "numpy_available",
+    "resolve_backend",
+]
+
+#: The closed set of valid kernel backend names ("auto" resolves into these).
+KERNEL_BACKENDS = ("dict", "array", "numpy")
+
+_numpy_module = None
+_numpy_probed = False
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend may be used right now.
+
+    The ``REPRO_NO_NUMPY`` environment variable wins over importability so CI
+    can exercise the stdlib-only code path on machines where numpy cannot be
+    uninstalled.
+    """
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return False
+    global _numpy_module, _numpy_probed
+    if not _numpy_probed:
+        try:
+            import numpy  # noqa: F401 - probe only
+
+            _numpy_module = numpy
+        except ImportError:  # pragma: no cover - numpy ships in the image
+            _numpy_module = None
+        _numpy_probed = True
+    return _numpy_module is not None
+
+
+def _numpy():
+    if not numpy_available():  # pragma: no cover - guarded by resolve_backend
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    return _numpy_module
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate ``backend`` and resolve ``"auto"`` to a concrete name.
+
+    ``auto`` prefers numpy when available and falls back to the stdlib
+    ``array`` kernel; asking for ``numpy`` explicitly when it is unavailable
+    is an error rather than a silent downgrade.
+    """
+    if backend == "auto":
+        return "numpy" if numpy_available() else "array"
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown scoring backend {backend!r}; "
+            f"expected one of {KERNEL_BACKENDS + ('auto',)}"
+        )
+    if backend == "numpy" and not numpy_available():
+        raise ValueError(
+            "scoring backend 'numpy' requested but numpy is unavailable "
+            "(is REPRO_NO_NUMPY set?)"
+        )
+    return backend
+
+
+def create_kernel(backend: str) -> "ScoringKernel":
+    """Instantiate the kernel for a resolved backend name."""
+    backend = resolve_backend(backend)
+    if backend == "dict":
+        return DictKernel()
+    if backend == "array":
+        return ArrayKernel()
+    return NumpyKernel()
+
+
+class TargetState:
+    """Per-query prepared view of the target profile's vectors.
+
+    Built once by :meth:`ScoringKernel.prepare_target` and threaded through
+    every per-candidate scoring call of that query; backends attach whatever
+    dense/packed representation they need.
+    """
+
+    __slots__ = (
+        "prefs",
+        "pref_norm",
+        "terms",
+        "term_norm",
+        "term_l1",
+        "term_max",
+        "pref_dense",
+        "term_dense",
+        "pref_items",
+        "term_items",
+    )
+
+    def __init__(
+        self,
+        prefs: Dict[str, float],
+        pref_norm: float,
+        terms: Dict[str, float],
+        term_norm: float,
+        term_l1: float = 0.0,
+        term_max: float = 0.0,
+    ) -> None:
+        self.prefs = prefs
+        self.pref_norm = pref_norm
+        self.terms = terms
+        self.term_norm = term_norm
+        self.term_l1 = term_l1
+        self.term_max = term_max
+        self.pref_dense = None
+        self.term_dense = None
+        self.pref_items = None
+        self.term_items = None
+
+
+class ScoringKernel:
+    """Backend interface the neighbor index scores candidates through.
+
+    Scalar backends (``dict``, ``array``) expose :meth:`pref_part` /
+    :meth:`term_part` and keep the index's lazy per-candidate loop (so
+    early-termination still skips term dots entirely).  Block backends
+    (``numpy``, ``vectorized = True``) additionally expose
+    :meth:`score_block`, scoring every indexed entry in a handful of
+    vectorized passes.
+    """
+
+    name: str = "abstract"
+    vectorized: bool = False
+
+    # -- entry lifecycle (driven by ProfileNeighborIndex) ---------------------
+
+    def reset(self) -> None:
+        """Drop all per-entry state (index rebuilt from scratch)."""
+
+    def entry_changed(self, entry: "_ProfileEntry") -> None:
+        """An entry was (re)indexed; refresh backend state for it."""
+
+    def entry_removed(self, user_id: str) -> None:
+        """An entry was dropped from the index."""
+
+    # -- scoring --------------------------------------------------------------
+
+    def prepare_target(
+        self,
+        prefs: Dict[str, float],
+        pref_norm: float,
+        terms: Dict[str, float],
+        term_norm: float,
+        term_l1: float = 0.0,
+        term_max: float = 0.0,
+    ) -> TargetState:
+        return TargetState(prefs, pref_norm, terms, term_norm, term_l1, term_max)
+
+    def pref_part(self, tq: TargetState, entry: "_ProfileEntry") -> float:
+        raise NotImplementedError
+
+    def term_part(self, tq: TargetState, entry: "_ProfileEntry") -> float:
+        raise NotImplementedError
+
+    def score_block(
+        self,
+        entries: Dict[str, "_ProfileEntry"],
+        tq: TargetState,
+        preference_weight: float,
+        term_weight: float,
+        total_weight: float,
+        want_bounds: bool,
+        tight_term_bound: bool,
+    ) -> "BlockScores":
+        raise NotImplementedError(f"{self.name} kernel does not score blocks")
+
+
+class DictKernel(ScoringKernel):
+    """Reference backend: the original dict loops, verbatim."""
+
+    name = "dict"
+
+    def pref_part(self, tq: TargetState, entry: "_ProfileEntry") -> float:
+        return _cached_cosine(tq.prefs, tq.pref_norm, entry.prefs, entry.pref_norm)
+
+    def term_part(self, tq: TargetState, entry: "_ProfileEntry") -> float:
+        return _cached_cosine(tq.terms, tq.term_norm, entry.terms, entry.term_norm)
+
+
+class _ArrayRow:
+    """One entry's sparse vectors as parallel stdlib arrays.
+
+    ``slots`` are vocabulary positions (``array('q')``), ``weights`` the
+    matching values (``array('d')``), both in the entry dict's insertion
+    order so a product-by-product walk reproduces the dict loop's summation
+    order exactly.  Reads go through memoryviews — zero-copy, and ``'d'``
+    views yield native floats.
+    """
+
+    __slots__ = ("pref_slots", "pref_weights", "term_slots", "term_weights")
+
+    def __init__(
+        self,
+        pref_slots: array,
+        pref_weights: array,
+        term_slots: array,
+        term_weights: array,
+    ) -> None:
+        self.pref_slots = memoryview(pref_slots)
+        self.pref_weights = memoryview(pref_weights)
+        self.term_slots = memoryview(term_slots)
+        self.term_weights = memoryview(term_weights)
+
+
+class ArrayKernel(ScoringKernel):
+    """Stdlib ``array``/memoryview backend — always available.
+
+    A shared, monotonically growing vocabulary maps category / term names to
+    integer slots; each entry keeps slot/weight arrays per side.  At query
+    time the target is densified into a plain list indexed by slot, and the
+    candidate-side dot is ``sum(map(mul, weights, map(dense.__getitem__,
+    slots)))`` — the same products in the same left-to-right order as the
+    dict loop, hence the same bits.  When the target side is the shorter one
+    the reference dict loop is used directly (it iterates the target's own
+    items, which no per-entry packing can accelerate).
+    """
+
+    name = "array"
+
+    def __init__(self) -> None:
+        self._pref_slots: Dict[str, int] = {}
+        self._term_slots: Dict[str, int] = {}
+        self._rows: Dict[str, _ArrayRow] = {}
+
+    def reset(self) -> None:
+        self._pref_slots.clear()
+        self._term_slots.clear()
+        self._rows.clear()
+
+    def _pack(self, vector: Dict[str, float], slots: Dict[str, int]) -> Tuple[array, array]:
+        for key in vector:
+            if key not in slots:
+                slots[key] = len(slots)
+        ids = array("q", (slots[key] for key in vector))
+        weights = array("d", vector.values())
+        return ids, weights
+
+    def entry_changed(self, entry: "_ProfileEntry") -> None:
+        pref_ids, pref_weights = self._pack(entry.prefs, self._pref_slots)
+        term_ids, term_weights = self._pack(entry.terms, self._term_slots)
+        self._rows[entry.user_id] = _ArrayRow(
+            pref_ids, pref_weights, term_ids, term_weights
+        )
+
+    def entry_removed(self, user_id: str) -> None:
+        self._rows.pop(user_id, None)
+
+    def prepare_target(
+        self,
+        prefs: Dict[str, float],
+        pref_norm: float,
+        terms: Dict[str, float],
+        term_norm: float,
+        term_l1: float = 0.0,
+        term_max: float = 0.0,
+    ) -> TargetState:
+        tq = TargetState(prefs, pref_norm, terms, term_norm, term_l1, term_max)
+        tq.pref_dense = self._densify(prefs, self._pref_slots)
+        tq.term_dense = self._densify(terms, self._term_slots)
+        return tq
+
+    @staticmethod
+    def _densify(vector: Dict[str, float], slots: Dict[str, int]) -> List[float]:
+        dense = [0.0] * len(slots)
+        for key, value in vector.items():
+            slot = slots.get(key)
+            if slot is not None:
+                dense[slot] = value
+        return dense
+
+    @staticmethod
+    def _side_cosine(
+        target: Dict[str, float],
+        target_norm: float,
+        target_dense: List[float],
+        entry_vector: Dict[str, float],
+        entry_norm: float,
+        slots,
+        weights,
+    ) -> float:
+        # Mirrors cosine_similarity_cached guard for guard: empty-side check
+        # first, then iterate the smaller side, then the zero-norm check.
+        if not target or not entry_vector:
+            return 0.0
+        if len(target) > len(entry_vector):
+            # Candidate side is smaller: walk its packed arrays against the
+            # dense target.  Absent slots read 0.0, exactly like
+            # ``right.get(key, 0.0)`` in the reference loop.
+            if target_norm == 0.0 or entry_norm == 0.0:
+                return 0.0
+            dot = sum(map(mul, weights, map(target_dense.__getitem__, slots)))
+        else:
+            if target_norm == 0.0 or entry_norm == 0.0:
+                return 0.0
+            dot = sum(
+                value * entry_vector.get(key, 0.0) for key, value in target.items()
+            )
+        return dot / (target_norm * entry_norm)
+
+    def pref_part(self, tq: TargetState, entry: "_ProfileEntry") -> float:
+        row = self._rows[entry.user_id]
+        return self._side_cosine(
+            tq.prefs,
+            tq.pref_norm,
+            tq.pref_dense,
+            entry.prefs,
+            entry.pref_norm,
+            row.pref_slots,
+            row.pref_weights,
+        )
+
+    def term_part(self, tq: TargetState, entry: "_ProfileEntry") -> float:
+        row = self._rows[entry.user_id]
+        return self._side_cosine(
+            tq.terms,
+            tq.term_norm,
+            tq.term_dense,
+            entry.terms,
+            entry.term_norm,
+            row.term_slots,
+            row.term_weights,
+        )
+
+
+class BlockScores:
+    """Vectorized scores (and optional early-termination bounds) for a block.
+
+    Row order matches the index's entry iteration order.  ``scores`` /
+    ``bounds`` are materialized to plain float lists lazily; ``pairs_at_least``
+    filters survivors without a per-candidate Python loop.
+    """
+
+    def __init__(self, np_module, user_ids, scores, bounds, row_of) -> None:
+        self._np = np_module
+        self.user_ids = user_ids
+        self._scores = scores
+        self._bounds = bounds
+        self.row_of = row_of
+        self._score_list: Optional[List[float]] = None
+        self._bound_list: Optional[List[float]] = None
+
+    @property
+    def scores(self) -> List[float]:
+        if self._score_list is None:
+            self._score_list = self._scores.tolist()
+        return self._score_list
+
+    @property
+    def bounds(self) -> Optional[List[float]]:
+        if self._bounds is None:
+            return None
+        if self._bound_list is None:
+            self._bound_list = self._bounds.tolist()
+        return self._bound_list
+
+    def pairs_at_least(
+        self, minimum: float, exclude_user: str
+    ) -> List[Tuple[str, float]]:
+        """``(user_id, score)`` for every row with ``score >= minimum``."""
+        np = self._np
+        mask = self._scores >= minimum
+        excluded = self.row_of.get(exclude_user)
+        if excluded is not None:
+            mask[excluded] = False
+        rows = np.nonzero(mask)[0].tolist()
+        score_list = self.scores
+        user_ids = self.user_ids
+        return [(user_ids[row], score_list[row]) for row in rows]
+
+
+class _PackedSide:
+    """CSR + CSC packing of one vector side (prefs or terms) of all entries."""
+
+    __slots__ = (
+        "slot_count",
+        "lengths",
+        "row_of_value",
+        "csr_rows",
+        "csr_slots",
+        "csr_weights",
+        "csc_rows",
+        "csc_weights",
+        "slot_starts",
+        "slot_stops",
+        "norms",
+    )
+
+
+class NumpyKernel(ScoringKernel):
+    """Optional numpy backend: scores the whole entry block per query.
+
+    Exactness argument, in short: ``np.bincount(rows, weights=w)`` adds the
+    weights to its output bins one input element at a time, in input order.
+    Packing every entry's products contiguously (CSR order) therefore yields,
+    per row, the identical left-to-right float summation the dict loop
+    performs — the same intermediate roundings, the same final bits.  The
+    target-side direction (dict loop iterates the *target's* items) is
+    reproduced by concatenating per-slot CSC segments in target-item order.
+    The only representable difference is the sign of an exactly-zero dot
+    (the packed paths drop ``x * 0.0`` products, which can only flip
+    ``-0.0``/``+0.0``) — unobservable downstream; see
+    :meth:`_side_cosines` for the argument.
+    """
+
+    name = "numpy"
+    vectorized = True
+
+    # Scalar fallbacks: the neighbor index only takes the block path when a
+    # candidate set covers enough of the entries to be worth a full pass;
+    # small category-filtered sets score one candidate at a time through the
+    # reference dict loops — trivially score-identical.
+    def pref_part(self, tq: TargetState, entry: "_ProfileEntry") -> float:
+        return _cached_cosine(tq.prefs, tq.pref_norm, entry.prefs, entry.pref_norm)
+
+    def term_part(self, tq: TargetState, entry: "_ProfileEntry") -> float:
+        return _cached_cosine(tq.terms, tq.term_norm, entry.terms, entry.term_norm)
+
+    def __init__(self) -> None:
+        self._pref_slots: Dict[str, int] = {}
+        self._term_slots: Dict[str, int] = {}
+        self._row_arrays: Dict[str, Tuple] = {}
+        self._dirty = True
+        self._user_ids: List[str] = []
+        self._entry_list: List = []
+        self._row_of: Dict[str, int] = {}
+        self._pref: Optional[_PackedSide] = None
+        self._term: Optional[_PackedSide] = None
+        self._term_l1 = None
+        self._term_max = None
+        #: Number of full block repacks performed (diagnostics / tests).
+        self.repacks = 0
+
+    def reset(self) -> None:
+        self._pref_slots.clear()
+        self._term_slots.clear()
+        self._row_arrays.clear()
+        self._dirty = True
+
+    def _pack_entry(self, vector: Dict[str, float], slots: Dict[str, int]):
+        np = _numpy()
+        for key in vector:
+            if key not in slots:
+                slots[key] = len(slots)
+        ids = np.fromiter(
+            (slots[key] for key in vector), dtype=np.int64, count=len(vector)
+        )
+        weights = np.fromiter(vector.values(), dtype=np.float64, count=len(vector))
+        return ids, weights
+
+    def entry_changed(self, entry: "_ProfileEntry") -> None:
+        self._row_arrays[entry.user_id] = (
+            self._pack_entry(entry.prefs, self._pref_slots),
+            self._pack_entry(entry.terms, self._term_slots),
+        )
+        self._dirty = True
+
+    def entry_removed(self, user_id: str) -> None:
+        if self._row_arrays.pop(user_id, None) is not None:
+            self._dirty = True
+
+    # -- block packing --------------------------------------------------------
+
+    def _pack_side(self, per_row, norms, slot_count) -> _PackedSide:
+        np = _numpy()
+        side = _PackedSide()
+        side.slot_count = slot_count
+        lengths = np.fromiter(
+            (len(ids) for ids, _ in per_row), dtype=np.int64, count=len(per_row)
+        )
+        side.lengths = lengths
+        side.norms = np.asarray(norms, dtype=np.float64)
+        if len(per_row) == 0 or int(lengths.sum()) == 0:
+            side.csr_rows = np.zeros(0, dtype=np.int64)
+            side.csr_slots = np.zeros(0, dtype=np.int64)
+            side.csr_weights = np.zeros(0)
+            side.csc_rows = np.zeros(0, dtype=np.int64)
+            side.csc_weights = np.zeros(0)
+            side.slot_starts = np.zeros(slot_count, dtype=np.int64)
+            side.slot_stops = np.zeros(slot_count, dtype=np.int64)
+            return side
+        side.csr_slots = np.concatenate([ids for ids, _ in per_row])
+        side.csr_weights = np.concatenate([weights for _, weights in per_row])
+        side.csr_rows = np.repeat(np.arange(len(per_row), dtype=np.int64), lengths)
+        order = np.argsort(side.csr_slots, kind="stable")
+        sorted_slots = side.csr_slots[order]
+        side.csc_rows = side.csr_rows[order]
+        side.csc_weights = side.csr_weights[order]
+        all_slots = np.arange(slot_count, dtype=np.int64)
+        side.slot_starts = np.searchsorted(sorted_slots, all_slots, side="left")
+        side.slot_stops = np.searchsorted(sorted_slots, all_slots, side="right")
+        return side
+
+    def _repack(self, entries: Dict[str, "_ProfileEntry"]) -> None:
+        np = _numpy()
+        self._user_ids = list(entries)
+        self._entry_list = [entries[user_id] for user_id in self._user_ids]
+        self._row_of = {user_id: row for row, user_id in enumerate(self._user_ids)}
+        pref_rows = [self._row_arrays[user_id][0] for user_id in self._user_ids]
+        term_rows = [self._row_arrays[user_id][1] for user_id in self._user_ids]
+        self._pref = self._pack_side(
+            pref_rows,
+            [entry.pref_norm for entry in self._entry_list],
+            len(self._pref_slots),
+        )
+        self._term = self._pack_side(
+            term_rows,
+            [entry.term_norm for entry in self._entry_list],
+            len(self._term_slots),
+        )
+        self._term_l1 = np.fromiter(
+            (entry.term_l1 for entry in self._entry_list),
+            dtype=np.float64,
+            count=len(self._entry_list),
+        )
+        self._term_max = np.fromiter(
+            (entry.term_max for entry in self._entry_list),
+            dtype=np.float64,
+            count=len(self._entry_list),
+        )
+        self._dirty = False
+        self.repacks += 1
+
+    # -- vectorized cosines ---------------------------------------------------
+
+    def _side_cosines(
+        self,
+        side: _PackedSide,
+        target: Dict[str, float],
+        target_norm: float,
+        slots: Dict[str, int],
+    ):
+        """Exact cosines of the target against every row of ``side``.
+
+        Every non-zero dot is bit-identical to the scalar loop's.  A dot that
+        is exactly zero may carry the opposite zero sign (the packed paths
+        drop ``x * 0.0`` products a scalar loop would have added), which is
+        the *only* representable difference — and it is unobservable: both
+        consumers of these cosines are sign-of-zero invariant.  The score
+        formula ends in ``max(0.0, min(1.0, s))`` which maps ``-0.0`` to
+        ``+0.0`` on both paths, and adding ``±0.0`` to the other weighted
+        component either leaves a non-zero value untouched or lands in the
+        same clamp.  The early-termination bound adds a non-negative
+        ``term_bound`` to the weighted preference cosine, with the same
+        analysis.  The property suite asserts the end-to-end bit-identity.
+        """
+        np = _numpy()
+        rows = len(side.lengths)
+        target_len = len(target)
+        if target_len == 0 or target_norm == 0.0:
+            # Reference loop returns 0.0 for every pair (empty side or zero
+            # norm), regardless of the entry.
+            return np.zeros(rows)
+        target_slots = [slots.get(key, -1) for key in target]
+        target_values = list(target.values())
+        dense = np.zeros(side.slot_count)
+        for slot, value in zip(target_slots, target_values):
+            if slot >= 0:
+                dense[slot] = value
+        # Candidate-side dots (entry shorter than target): CSR-ordered
+        # products, summed sequentially per row by bincount.
+        if len(side.csr_rows):
+            candidate_dots = np.bincount(
+                side.csr_rows,
+                weights=side.csr_weights * dense[side.csr_slots],
+                minlength=rows,
+            )
+        else:
+            candidate_dots = np.zeros(rows)
+        # Target-side dots (target is the shorter side): per-slot CSC
+        # segments concatenated in target-item order reproduce the loop
+        # ``for key, value in target.items(): value * entry.get(key, 0.0)``.
+        segment_rows: List = []
+        segment_products: List = []
+        for slot, value in zip(target_slots, target_values):
+            if slot < 0:
+                continue
+            start, stop = side.slot_starts[slot], side.slot_stops[slot]
+            if start == stop:
+                continue
+            segment_rows.append(side.csc_rows[start:stop])
+            segment_products.append(value * side.csc_weights[start:stop])
+        if segment_rows:
+            target_dots = np.bincount(
+                np.concatenate(segment_rows),
+                weights=np.concatenate(segment_products),
+                minlength=rows,
+            )
+        else:
+            target_dots = np.zeros(rows)
+        dots = np.where(target_len > side.lengths, candidate_dots, target_dots)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cosines = dots / (target_norm * side.norms)
+        return np.where((side.lengths == 0) | (side.norms == 0.0), 0.0, cosines)
+
+    def score_block(
+        self,
+        entries: Dict[str, "_ProfileEntry"],
+        tq: TargetState,
+        preference_weight: float,
+        term_weight: float,
+        total_weight: float,
+        want_bounds: bool,
+        tight_term_bound: bool,
+    ) -> BlockScores:
+        np = _numpy()
+        if self._dirty or len(self._user_ids) != len(entries):
+            self._repack(entries)
+        pref_cos = self._side_cosines(
+            self._pref, tq.prefs, tq.pref_norm, self._pref_slots
+        )
+        term_cos = self._side_cosines(
+            self._term, tq.terms, tq.term_norm, self._term_slots
+        )
+        scores = (preference_weight * pref_cos + term_weight * term_cos) / total_weight
+        # max(0.0, min(1.0, s)) — then "+ 0.0" maps a clamped -0.0 to +0.0,
+        # matching Python's max(0.0, -0.0) == 0.0 while leaving every other
+        # value bit-identical.
+        scores = np.maximum(0.0, np.minimum(1.0, scores)) + 0.0
+        bounds = None
+        if want_bounds:
+            rows = len(self._entry_list)
+            if tq.term_norm > 0.0:
+                if tight_term_bound:
+                    holder = np.minimum(
+                        tq.term_max * self._term_l1, tq.term_l1 * self._term_max
+                    )
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        tight = holder / (tq.term_norm * self._term.norms)
+                    term_bound = np.where(
+                        self._term.norms > 0.0,
+                        np.minimum(1.0, tight * (1.0 + 1e-9)),
+                        0.0,
+                    )
+                else:
+                    term_bound = np.where(self._term.norms > 0.0, 1.0, 0.0)
+            else:
+                term_bound = np.zeros(rows)
+            bounds = (
+                preference_weight * pref_cos + term_weight * term_bound
+            ) / total_weight
+        return BlockScores(np, self._user_ids, scores, bounds, self._row_of)

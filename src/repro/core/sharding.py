@@ -55,6 +55,7 @@ from repro.errors import SimilarityError
 from repro.core.neighbors import ProfileNeighborIndex
 from repro.core.profile import Profile
 from repro.core.profile_learning import FeedbackEvent
+from repro.core.scoring import resolve_backend
 from repro.core.similarity import SimilarityConfig
 
 __all__ = [
@@ -179,21 +180,32 @@ class ShardedNeighborIndex:
         provider_version: Optional[Callable[[], int]] = None,
         early_termination: bool = True,
         tight_term_bound: bool = True,
+        backend: str = "dict",
     ) -> None:
         self.config = config or SimilarityConfig()
         self.config.validate()
         self.router = ShardRouter(num_shards, routing)
         self.early_termination = early_termination
         self.tight_term_bound = tight_term_bound
+        # Scoring kernel backend, passed through to every shard (see
+        # repro.core.scoring) — all backends are score-identical, so the
+        # exact-merge argument is unaffected by the choice.
+        self.backend = resolve_backend(backend)
         self._shards: List[ProfileNeighborIndex] = [
             ProfileNeighborIndex(
                 config=self.config,
                 early_termination=early_termination,
                 tight_term_bound=tight_term_bound,
+                backend=self.backend,
             )
             for _ in range(num_shards)
         ]
         self._assignment: Dict[str, int] = {}
+        # Learner-hook updates that would move or first-place a consumer are
+        # deferred here and flushed by sync(): a batch of feedback events
+        # between queries costs one placement each instead of an eager
+        # re-index per event (see on_profile_update).
+        self._pending: Dict[str, Profile] = {}
         self._provider = provider
         self._provider_version = provider_version
         self._last_provider_stamp: Optional[int] = None
@@ -226,6 +238,15 @@ class ShardedNeighborIndex:
         """Total candidates skipped by the norm bound across all shards."""
         return sum(shard.bound_skips for shard in self._shards)
 
+    @property
+    def mutations(self) -> int:
+        """Total per-consumer (re)index/drop operations across all shards.
+
+        Monotone: unchanged between two reads exactly when no shard's
+        contents changed, which is what batch-level memos key on.
+        """
+        return sum(shard.mutations for shard in self._shards)
+
     # -- population -----------------------------------------------------------
 
     def build(self, profiles: Iterable[Profile]) -> None:
@@ -239,6 +260,7 @@ class ShardedNeighborIndex:
     def add(self, profile: Profile) -> None:
         """Index (or re-index) one consumer, moving shards if routing says so."""
         user_id = profile.user_id
+        self._pending.pop(user_id, None)
         shard_id = self.router.shard_for(profile)
         previous = self._assignment.get(user_id)
         if previous is not None and previous != shard_id:
@@ -249,6 +271,7 @@ class ShardedNeighborIndex:
 
     def remove(self, user_id: str) -> None:
         """Forget a consumer entirely."""
+        self._pending.pop(user_id, None)
         shard_id = self._assignment.pop(user_id, None)
         if shard_id is not None:
             self._shards[shard_id].remove(user_id)
@@ -266,16 +289,21 @@ class ShardedNeighborIndex:
     ) -> None:
         """ProfileLearner hook: invalidate — and if needed migrate — one consumer.
 
-        Under category routing a feedback event can change the consumer's
-        dominant category; the consumer is then re-indexed in its new shard
-        and dropped from the old one immediately, so no shard ever holds a
-        consumer the router no longer assigns to it.
+        Invalidation is lazy end to end.  A consumer whose assigned shard is
+        unchanged is marked dirty inside that shard (rebuilt on the next
+        query there, exactly like the single index).  A consumer whose
+        dominant category moved under category routing — or who was never
+        placed at all — is *queued* for placement and flushed by the next
+        :meth:`sync`: a burst of feedback events between queries costs one
+        re-index per touched consumer instead of one per event, and
+        untouched consumers are never recomputed.  Queries always sync
+        first, so no lookup ever observes the deferred placement.
         """
         user_id = profile.user_id
         desired = self.router.shard_for(profile)
         current = self._assignment.get(user_id)
         if current is None or current != desired:
-            self.add(profile)
+            self._pending[user_id] = profile
         else:
             self._shards[current].on_profile_update(profile, event)
 
@@ -302,8 +330,10 @@ class ShardedNeighborIndex:
             and self._last_provider_stamp is not None
             and self._provider_version() == self._last_provider_stamp
         ):
-            return sum(shard.sync() for shard in self._shards)
+            flushed = self._flush_pending()
+            return flushed + sum(shard.sync() for shard in self._shards)
 
+        self._flush_pending()
         if self._provider_version is not None:
             self._last_provider_stamp = self._provider_version()
         current: Dict[str, Profile] = {}
@@ -323,6 +353,16 @@ class ShardedNeighborIndex:
         rebuilt += sum(shard.sync() for shard in self._shards)
         return rebuilt
 
+    def _flush_pending(self) -> int:
+        """Place every deferred consumer (migrations and first placements)."""
+        if not self._pending:
+            return 0
+        deferred = list(self._pending.values())
+        self._pending.clear()
+        for profile in deferred:
+            self.add(profile)
+        return len(deferred)
+
     def rebalance(
         self, num_shards: Optional[int] = None, routing: Optional[str] = None
     ) -> int:
@@ -331,6 +371,7 @@ class ShardedNeighborIndex:
         Called when shard servers join or fail.  Returns how many consumers
         moved shards.  Scores are unaffected — only placement changes.
         """
+        self._flush_pending()
         new_router = ShardRouter(
             num_shards if num_shards is not None else self.router.num_shards,
             routing if routing is not None else self.router.strategy,
@@ -345,6 +386,7 @@ class ShardedNeighborIndex:
                 config=self.config,
                 early_termination=self.early_termination,
                 tight_term_bound=self.tight_term_bound,
+                backend=self.backend,
             )
             for _ in range(new_router.num_shards)
         ]
@@ -380,6 +422,40 @@ class ShardedNeighborIndex:
             for shard in self._shards
         ]
         return merge_topk(per_shard, config.top_k)
+
+    def find_similar_many(
+        self,
+        targets: Iterable[Profile],
+        category: Optional[str] = None,
+        config: Optional[SimilarityConfig] = None,
+    ) -> List[List[Tuple[str, float]]]:
+        """Batch fan-out: one result list per target, shard-major execution.
+
+        Identical results to per-target :meth:`find_similar` calls.  The
+        batch reconciles membership once and then streams every target
+        through each shard's warm caches (one vectorized-block repack per
+        shard for the numpy kernel) before merging per target — the
+        neighbourhood work a shard does for one consumer in the batch is
+        shared with every other consumer it hosts.
+        """
+        config = config or self.config
+        config.validate()
+        targets = list(targets)
+        if not targets:
+            return []
+        self.sync()
+        self.queries += len(targets)
+        per_shard = [
+            shard.find_similar_many(targets, category=category, config=config)
+            for shard in self._shards
+        ]
+        return [
+            merge_topk(
+                [shard_results[position] for shard_results in per_shard],
+                config.top_k,
+            )
+            for position in range(len(targets))
+        ]
 
     def __len__(self) -> int:
         return len(self._assignment)

@@ -58,8 +58,9 @@ from repro.core.popularity import PopularityRecommender, WeeklyHottestRecommende
 from repro.core.profile import Profile
 from repro.core.profile_learning import LearningConfig, ProfileLearner
 from repro.core.recommender import Recommendation, RecommendationEngine
+from repro.core.scoring import resolve_backend
 from repro.core.sharding import ShardRouter, ShardedNeighborIndex, merge_topk
-from repro.core.similarity import SimilarityConfig, find_similar_users
+from repro.core.similarity import SimilarityConfig
 from repro.ecommerce.buyer_agents import BuyerServerManagementAgent, HttpAgent
 from repro.ecommerce.databases import BSMDB, UserDB
 from repro.ecommerce.replication import ReplicaState, ReplicationManager
@@ -116,11 +117,14 @@ class RecommendationService:
         profile_learner: Optional[ProfileLearner] = None,
         neighbor_shards: int = 1,
         shard_routing: str = "hash",
+        scoring_backend: str = "array",
     ) -> None:
         self.user_db = user_db
         self.catalog = catalog
         self.similarity_config = similarity_config or SimilarityConfig()
         self.now = now if now is not None else (lambda: 0.0)
+        self.scoring_backend = resolve_backend(scoring_backend)
+        self.profile_learner = profile_learner
 
         def profile_of(user_id: str) -> Optional[Profile]:
             if not user_db.is_registered(user_id):
@@ -140,12 +144,14 @@ class RecommendationService:
                 num_shards=neighbor_shards,
                 routing=shard_routing,
                 provider_version=user_db.profiles_version,
+                backend=self.scoring_backend,
             )
         else:
             self.neighbor_index = ProfileNeighborIndex(
                 provider=user_db.profiles,
                 config=self.similarity_config,
                 provider_version=user_db.profiles_version,
+                backend=self.scoring_backend,
             )
         if profile_learner is not None:
             self.neighbor_index.attach_to(profile_learner)
@@ -176,6 +182,9 @@ class RecommendationService:
             fallback=self.popularity,
         )
         self._batch_cache: Dict[str, List[Recommendation]] = {}
+        self._batch_cache_k: Dict[str, int] = {}
+        self._invalidation_enabled = False
+        self.cache_invalidations = 0
         self.last_batch_refresh_at: Optional[float] = None
 
     def recommend(
@@ -201,16 +210,77 @@ class RecommendationService:
         results = self.recommend_many(user_ids, k=k)
         # Cache copies: callers may reorder/extend the returned lists freely
         # without corrupting what cached_recommendations serves later.
-        self._batch_cache.update(
-            {user_id: list(recs) for user_id, recs in results.items()}
-        )
+        for user_id, recs in results.items():
+            self._batch_cache[user_id] = list(recs)
+            self._batch_cache_k[user_id] = k
         self.last_batch_refresh_at = self.now()
         return results
 
-    def cached_recommendations(self, user_id: str) -> Optional[List[Recommendation]]:
-        """The last batch-refreshed list for ``user_id`` (None when absent)."""
+    def cached_recommendations(
+        self, user_id: str, k: Optional[int] = None
+    ) -> Optional[List[Recommendation]]:
+        """The last batch-refreshed list for ``user_id`` (None when absent).
+
+        With ``k`` the entry only qualifies when it was refreshed at exactly
+        that list length — a cache hit must be byte-identical to a fresh
+        ``recommend(user_id, k=k)``, and a list computed at a different ``k``
+        is not a prefix/extension guarantee this cache is willing to make.
+        """
         cached = self._batch_cache.get(user_id)
-        return list(cached) if cached is not None else None
+        if cached is None:
+            return None
+        if k is not None and self._batch_cache_k.get(user_id) != k:
+            return None
+        return list(cached)
+
+    def invalidate_cached(self, user_id: str) -> None:
+        """Drop ``user_id``'s batch-refreshed list (no-op when absent)."""
+        if self._batch_cache.pop(user_id, None) is not None:
+            self.cache_invalidations += 1
+        self._batch_cache_k.pop(user_id, None)
+
+    def enable_batch_invalidation(self) -> None:
+        """Keep the batch cache honest under writes (gateway envelope cache).
+
+        Registers two precise per-consumer invalidation paths:
+
+        - a :class:`ProfileLearner` update hook, so in-place learning updates
+          (ratings/feedback applied to a profile) drop that consumer's entry;
+        - a UserDB mutation listener, so durable writes that *don't* flow
+          through the learner — recorded transactions, observational
+          interactions, wholesale profile replacement — drop it too.  A
+          purchase changes purchase-history-driven scores even when no
+          learning event fires, so listening to the learner alone would
+          serve stale lists.
+
+        Idempotent; only wired when a caller (the gateway, when
+        ``PlatformConfig.api_recommendation_cache`` is on) opts in, so the
+        default configuration keeps the PR-7 hook graph byte-identical.
+        """
+        if self._invalidation_enabled:
+            return
+        self._invalidation_enabled = True
+        # Entries cached before the hooks existed may already be stale in
+        # ways nobody recorded; drop them so only post-arming refreshes are
+        # ever eligible to serve.
+        self._batch_cache.clear()
+        self._batch_cache_k.clear()
+        if self.profile_learner is not None:
+            self.profile_learner.add_update_hook(self._on_learner_update)
+        self.user_db.add_mutation_listener(self._on_db_mutation)
+
+    def _on_learner_update(self, profile: Profile, event) -> None:
+        self.invalidate_cached(profile.user_id)
+
+    def _on_db_mutation(self, op: str, payload: Dict) -> None:
+        if op == "transaction":
+            self.invalidate_cached(payload["transaction"].user_id)
+        elif op == "interaction":
+            self.invalidate_cached(payload["interaction"].user_id)
+        elif op == "store-profile":
+            self.invalidate_cached(payload["profile"]["user_id"])
+        elif op == "unregister":
+            self.invalidate_cached(payload["user_id"])
 
     def weekly_hottest_list(
         self, k: int = 10, category: Optional[str] = None
@@ -258,6 +328,7 @@ class BuyerAgentServer:
         similarity_config: Optional[SimilarityConfig] = None,
         neighbor_shards: int = 1,
         shard_routing: str = "hash",
+        scoring_backend: str = "array",
     ) -> None:
         self.context = context
         self.name = context.host_name
@@ -278,6 +349,7 @@ class BuyerAgentServer:
             profile_learner=self.profile_learner,
             neighbor_shards=neighbor_shards,
             shard_routing=shard_routing,
+            scoring_backend=scoring_backend,
         )
         context.host.attach_service("recommendation-service", self.recommendations)
 
@@ -966,9 +1038,12 @@ class BuyerServerFleet:
             return (), ()
         holder, state = holders[0]
         transport.metrics.counter("fleet.fanout.hedges").increment()
-        ranked = find_similar_users(
-            target, state.db.profiles(), config, category=category
-        )
+        # The replica's lazily built neighbor index answers byte-identically
+        # to brute-forcing its shadow profiles (the PR-1 guarantee), while
+        # re-indexing only the consumers the WAL touched since the last read.
+        ranked = state.neighbor_index(
+            backend=server.recommendations.scoring_backend
+        ).find_similar(target, category=category, config=config)
         try:
             hedge_latency = origin.context.transport.network.round_trip_latency(
                 origin.name,
@@ -1052,10 +1127,11 @@ class BuyerServerFleet:
         """Answer an unreachable server's shard from its freshest live replica.
 
         Returns ``(ranked, latency_ms, lag, holder_name)`` or None when no
-        live replica can be reached either.  The ranking is a brute-force scan of the
-        replica's shadow profiles with the exact fan-out sort key, so for a
-        fully caught-up replica the answer is byte-identical to the
-        primary's.  ``lag`` is the replica's distance behind the primary's
+        live replica can be reached either.  The ranking comes from the
+        replica's lazily built neighbor index over its shadow profiles —
+        byte-identical to a brute-force scan with the exact fan-out sort key
+        (and hence, for a fully caught-up replica, to the primary's answer),
+        but re-indexing only consumers the WAL touched since the last read.  ``lag`` is the replica's distance behind the primary's
         WAL when the primary host is merely partitioned (its log is
         readable), else behind the freshest live replica — the best
         staleness bound reconstructable without touching dead memory.
@@ -1071,9 +1147,9 @@ class BuyerServerFleet:
         if not holders:
             return None
         holder, state = holders[0]
-        ranked = find_similar_users(
-            target, state.db.profiles(), config, category=category
-        )
+        ranked = state.neighbor_index(
+            backend=server.recommendations.scoring_backend
+        ).find_similar(target, category=category, config=config)
         try:
             latency = origin.context.transport.network.round_trip_latency(
                 origin.name,

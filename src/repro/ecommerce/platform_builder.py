@@ -18,6 +18,7 @@ from repro.agents.context import AgletContext
 from repro.agents.directory import ContextDirectory
 from repro.core.items import Item, ItemCatalogView
 from repro.core.profile_learning import LearningConfig
+from repro.core.scoring import resolve_backend
 from repro.core.similarity import SimilarityConfig
 from repro.platform.clock import Scheduler
 from repro.platform.events import EventLog
@@ -119,6 +120,19 @@ class PlatformConfig:
             tail-at-scale trick.  ``None`` (the default) never hedges and
             is byte-identical to the unhedged fan-out; ``1.0`` arms the
             machinery but can never fire (no latency exceeds the max).
+        scoring_backend: which :mod:`repro.core.scoring` kernel backend the
+            neighbor indexes use — ``"dict"`` (the PR-1 reference loops),
+            ``"array"`` (stdlib contiguous arrays, the default), ``"numpy"``
+            (vectorized blocks; requires numpy) or ``"auto"`` (numpy when
+            importable, else ``"array"``).  All backends are score-identical
+            by construction — the differential suite in
+            ``tests/property/test_scoring_kernel.py`` pins it — so this
+            knob trades speed, never answers.
+        api_recommendation_cache: serve gateway ``recommendations``
+            requests from batch-refresh output when an exactly-matching
+            entry exists (``served_from_cache`` provenance), with write
+            hooks invalidating per consumer.  Off by default — the default
+            request path and hook graph stay byte-identical.
     """
 
     num_marketplaces: int = 2
@@ -143,6 +157,8 @@ class PlatformConfig:
     api_admission_refill_per_ms: float = 1.0
     api_admission_classes: Optional[Dict[str, Dict[str, object]]] = None
     fleet_hedge_delay_percentile: Optional[float] = None
+    scoring_backend: str = "array"
+    api_recommendation_cache: bool = False
 
     def validate(self) -> None:
         if self.num_marketplaces <= 0:
@@ -240,6 +256,10 @@ class PlatformConfig:
                 "fleet_hedge_delay_percentile must be in (0, 1] "
                 "(use None to disable hedging)"
             )
+        try:
+            resolve_backend(self.scoring_backend)
+        except Exception as exc:
+            raise ECommerceError(f"invalid scoring_backend: {exc}") from exc
 
 
 class ECommercePlatform:
@@ -383,6 +403,7 @@ class ECommercePlatform:
             similarity_config=self.config.similarity,
             neighbor_shards=self.config.neighbor_shards,
             shard_routing=self.config.shard_routing,
+            scoring_backend=self.config.scoring_backend,
         )
         shard_id = index if self.config.num_buyer_servers > 1 else None
         self.coordinator.register_server("buyer-server", host.name, shard_id=shard_id)

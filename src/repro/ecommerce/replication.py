@@ -80,6 +80,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.errors import NetworkError, ReplicationError
+from repro.core.neighbors import ProfileNeighborIndex
 from repro.core.profile import Profile
 from repro.core.profile_learning import FeedbackEvent
 from repro.ecommerce.databases import UserDB
@@ -225,6 +226,35 @@ class ReplicaState:
         self.primary = primary
         self.applied_seq = 0
         self.db = UserDB()
+        # Lazily built neighbor index over the shadow profiles, so degraded /
+        # hedged reads answered from this replica stop brute-forcing the
+        # whole shadow community per query (see neighbor_index()).
+        self._neighbor_index: Optional[ProfileNeighborIndex] = None
+        self._neighbor_backend: Optional[str] = None
+
+    def neighbor_index(self, backend: str = "dict") -> ProfileNeighborIndex:
+        """A :class:`ProfileNeighborIndex` over this replica's shadow profiles.
+
+        Built on first use and kept in sync through the shadow UserDB's
+        provider/version-stamp reconcile: WAL applies replace whole profile
+        objects (``store-profile``), so a query after a batch of applies
+        re-indexes exactly the consumers whose profiles changed — lazily, at
+        query time, never per WAL entry.  Answers are byte-identical to
+        brute-forcing ``find_similar_users`` over ``db.profiles()`` (the PR 1
+        equivalence guarantee), which is what degraded reads did before.
+        :meth:`bootstrap` swaps the shadow DB wholesale, so it drops the
+        index; the next read rebuilds against the restored state.
+        """
+        index = self._neighbor_index
+        if index is None or self._neighbor_backend != backend:
+            index = ProfileNeighborIndex(
+                provider=self.db.profiles,
+                provider_version=self.db.profiles_version,
+                backend=backend,
+            )
+            self._neighbor_index = index
+            self._neighbor_backend = backend
+        return index
 
     def apply_entries(self, entries: List[ReplicationLogEntry]) -> int:
         """Apply an ordered batch; return how many entries were applied."""
@@ -268,6 +298,9 @@ class ReplicaState:
             record.last_login_at = dump["last_login_at"]
         self.db = db
         self.applied_seq = snapshot.seq
+        # The old shadow DB (and any index built over it) is gone wholesale.
+        self._neighbor_index = None
+        self._neighbor_backend = None
 
     def _apply(self, entry: ReplicationLogEntry) -> None:
         payload = entry.payload

@@ -539,6 +539,133 @@ class TestQuorumReads:
         assert result.stale_shards == {}
 
 
+class TestReplicaIndexEquivalence:
+    """Degraded/hedged reads answer from a per-replica neighbor index.
+
+    :meth:`~repro.ecommerce.replication.ReplicaState.neighbor_index` must be
+    a pure accelerator: byte-identical to brute-forcing the replica's shadow
+    profiles at any lag (and hence to the primary's own answer at zero lag),
+    re-indexing only the consumers the WAL touched in between, and — like
+    every other failover read — never touching the dead primary's memory.
+    """
+
+    def _catch_up(self, platform):
+        platform.scheduler.run_for(
+            platform.config.replication_anti_entropy_interval_ms
+        )
+
+    def _replica_of(self, server):
+        peer = server.replication.peers[0]
+        return peer.replication.hosted[server.name]
+
+    def test_zero_lag_answers_are_byte_identical_to_primary(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        self._catch_up(platform)
+
+        for server in fleet.servers:
+            state = self._replica_of(server)
+            assert server.replication.lag_of(
+                server.replication.peers[0].name
+            ) == 0
+            config = server.recommendations.similarity_config
+            backend = server.recommendations.scoring_backend
+            index = state.neighbor_index(backend=backend)
+            for user_id in state.db.user_ids:
+                target = state.db.profile(user_id)
+                primary_answer = find_similar_users(
+                    server.user_db.profile(user_id),
+                    server.user_db.profiles(),
+                    config,
+                )
+                assert index.find_similar(target, config=config) == primary_answer
+
+    def test_lagging_replica_matches_brute_forced_shadow_profiles(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        isolated = fleet.servers[victim]
+        peer = isolated.replication.peers[0]
+
+        # Cut the replication link and keep writing: the replica now lags.
+        platform.network.cut_link(isolated.name, peer.name, both_ways=False)
+        _drive_workload(platform)
+        assert isolated.replication.lag_of(peer.name) > 0
+
+        state = peer.replication.hosted[isolated.name]
+        config = isolated.recommendations.similarity_config
+        backend = isolated.recommendations.scoring_backend
+        index = state.neighbor_index(backend=backend)
+        for user_id in state.db.user_ids:
+            target = state.db.profile(user_id)
+            assert index.find_similar(target, config=config) == find_similar_users(
+                target, state.db.profiles(), config
+            )
+
+    def test_replica_index_reindexes_only_wal_touched_consumers(self):
+        """Lazy by counter: K WAL applies touching one consumer cost one
+        per-consumer rebuild at the next query, not a population sweep."""
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        self._catch_up(platform)
+        server = fleet.servers[0]
+        state = self._replica_of(server)
+        config = server.recommendations.similarity_config
+        index = state.neighbor_index(
+            backend=server.recommendations.scoring_backend
+        )
+        # Same accessor, same cached index — the WAL-applied deltas must
+        # land in this object, not a rebuilt-from-scratch replacement.
+        assert state.neighbor_index(
+            backend=server.recommendations.scoring_backend
+        ) is index
+
+        user_id = state.db.user_ids[0]
+        index.find_similar(state.db.profile(user_id), config=config)
+        rebuilds_before = index.rebuilds
+
+        # Several durable writes, all for the same single consumer.
+        keyword = next(iter(platform.catalog_view())).terms[0][0]
+        session = platform.login(user_id)
+        with pytest.warns(DeprecationWarning):
+            results = session.query(keyword)
+            assert results
+            session.rate(results[0].item, 4.0)
+            session.rate(results[0].item, 4.5)
+        session.logout()
+        self._catch_up(platform)
+
+        answer = index.find_similar(state.db.profile(user_id), config=config)
+        assert index.rebuilds == rebuilds_before + 1
+        assert answer == find_similar_users(
+            state.db.profile(user_id), state.db.profiles(), config
+        )
+
+    def test_degraded_read_equivalence_survives_a_poisoned_primary(self):
+        """The replica-index answer for a crashed shard is produced without
+        a single read against the dead host's memory (same poisoned-accessor
+        discipline as promotion), and still equals the pre-crash answer."""
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        self._catch_up(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        target = next(
+            user_id for user_id in CONSUMERS if fleet.shard_of(user_id) != victim
+        )
+        full = fleet.query_similar(target)
+
+        platform.failures.crash_host(dead.name)
+        _poison(dead.user_db)
+        result = fleet.query_similar(target)
+        assert result.stale_shards == {dead.name: 0}
+        assert result.neighbors == full.neighbors
+
+
 class TestFleetUnavailable:
     def test_routing_with_every_server_down_raises_clearly(self):
         platform = _build()

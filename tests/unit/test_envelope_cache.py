@@ -1,0 +1,226 @@
+"""Cache-correctness regressions for the gateway recommendations cache.
+
+The envelope cache (``PlatformConfig.api_recommendation_cache``) is only
+allowed to change *when* a recommendation list is computed — never what a
+request returns.  These tests pin the three failure modes that would break
+that contract:
+
+- a write through the gateway (rating, purchase, profile replacement) must
+  invalidate the written consumer's cached list before the next read — the
+  stale-serve bug trap, including the purchase path that records a
+  transaction without any learner event;
+- ``served_from_cache`` provenance appears exactly on hits, never on
+  misses, bypasses or the default-off path;
+- default-off caching is byte-invisible: with the flag at its default the
+  gateway constructs no cache, registers no hooks, and every envelope is
+  identical to the pre-cache code path.
+"""
+
+from repro.api.caching import RecommendationEnvelopeCache
+from repro.api.requests import (
+    BuyRequest,
+    LoginRequest,
+    QueryRequest,
+    RateRequest,
+    RecommendationsRequest,
+    RegisterRequest,
+)
+from repro.ecommerce.platform_builder import PlatformConfig, build_platform
+
+USERS = ("cache-u1", "cache-u2", "cache-u3")
+
+
+def _gateway(cache_on: bool):
+    platform = build_platform(
+        config=PlatformConfig(seed=11, api_recommendation_cache=cache_on)
+    )
+    gateway = platform.gateway()
+    gateway._test_keyword = next(iter(platform.catalog_view())).terms[0][0]
+    return gateway
+
+
+def _warm(gateway):
+    """Register, log in and generate rating signal for every test consumer."""
+    hits = None
+    for user_id in USERS:
+        assert gateway.execute(RegisterRequest(user_id=user_id)).ok
+        assert gateway.execute(LoginRequest(user_id=user_id)).ok
+        response = gateway.execute(
+            QueryRequest(user_id=user_id, keyword=gateway._test_keyword)
+        )
+        assert response.ok
+        if response.result.hits:
+            hits = response.result.hits
+    assert hits, "the workload needs at least one purchasable query hit"
+    return hits
+
+
+def _service(gateway, user_id):
+    return gateway._session_for(user_id).server.recommendations
+
+
+def _recs(response):
+    return [(rec.item_id, rec.score) for rec in response.result.recommendations]
+
+
+class TestHitEligibility:
+    def test_hit_only_after_matching_batch_refresh(self):
+        gateway = _gateway(cache_on=True)
+        _warm(gateway)
+
+        first = gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        assert first.ok and not first.provenance.served_from_cache
+
+        _service(gateway, USERS[0]).batch_refresh(list(USERS), k=5)
+        hit = gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        assert hit.provenance.served_from_cache
+        # Byte-identical to the freshly computed envelope payload.
+        assert _recs(hit) == _recs(first)
+
+    def test_mismatched_k_and_category_requests_never_hit(self):
+        gateway = _gateway(cache_on=True)
+        _warm(gateway)
+        _service(gateway, USERS[0]).batch_refresh(list(USERS), k=5)
+
+        wrong_k = gateway.execute(RecommendationsRequest(user_id=USERS[0], k=4))
+        assert not wrong_k.provenance.served_from_cache
+        with_category = gateway.execute(
+            RecommendationsRequest(user_id=USERS[0], k=5, category="book")
+        )
+        assert not with_category.provenance.served_from_cache
+        assert gateway.recommendation_cache.bypasses == 1
+
+    def test_counters_track_hits_misses_and_bypasses(self):
+        gateway = _gateway(cache_on=True)
+        _warm(gateway)
+        cache = gateway.recommendation_cache
+        assert isinstance(cache, RecommendationEnvelopeCache)
+
+        gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        _service(gateway, USERS[0]).batch_refresh(list(USERS), k=5)
+        gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5, category="x"))
+        assert (cache.hits, cache.misses, cache.bypasses) == (1, 1, 1)
+
+
+class TestWriteInvalidation:
+    def test_rating_through_the_gateway_invalidates(self):
+        gateway = _gateway(cache_on=True)
+        hits = _warm(gateway)
+        service = _service(gateway, USERS[0])
+        gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        service.batch_refresh(list(USERS), k=5)
+        assert gateway.execute(
+            RecommendationsRequest(user_id=USERS[0], k=5)
+        ).provenance.served_from_cache
+
+        assert gateway.execute(
+            RateRequest(user_id=USERS[0], item=hits[0].item, rating=4.5)
+        ).ok
+        after = gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        assert not after.provenance.served_from_cache
+        # And the recomputed answer matches a direct service computation.
+        assert _recs(after) == [
+            (rec.item_id, rec.score)
+            for rec in service.recommend(USERS[0], k=5)
+        ]
+
+    def test_purchase_through_the_gateway_invalidates(self):
+        """A buy records a transaction; even when no learner event fires,
+        the consumer's cached list must be dropped (the stale-serve trap)."""
+        gateway = _gateway(cache_on=True)
+        hits = _warm(gateway)
+        service = _service(gateway, USERS[0])
+        # Arm the invalidation hooks (first lookup drops pre-arming entries),
+        # then refresh so the entry is eligible.
+        gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        service.batch_refresh(list(USERS), k=5)
+        assert gateway.execute(
+            RecommendationsRequest(user_id=USERS[0], k=5)
+        ).provenance.served_from_cache
+
+        bought = gateway.execute(
+            BuyRequest(
+                user_id=USERS[0], item=hits[0].item, marketplace=hits[0].marketplace
+            )
+        )
+        assert bought.ok and bought.result.succeeded
+        after = gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        assert not after.provenance.served_from_cache
+
+    def test_writes_only_invalidate_the_writing_consumer(self):
+        gateway = _gateway(cache_on=True)
+        hits = _warm(gateway)
+        service = _service(gateway, USERS[0])
+        gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        service.batch_refresh(list(USERS), k=5)
+
+        assert gateway.execute(
+            RateRequest(user_id=USERS[1], item=hits[0].item, rating=3.5)
+        ).ok
+        # The writer misses; an untouched consumer still hits.
+        assert not gateway.execute(
+            RecommendationsRequest(user_id=USERS[1], k=5)
+        ).provenance.served_from_cache
+        assert gateway.execute(
+            RecommendationsRequest(user_id=USERS[0], k=5)
+        ).provenance.served_from_cache
+
+    def test_entries_cached_before_arming_are_not_served(self):
+        """A batch refresh that ran before the cache armed its hooks may be
+        stale in unrecorded ways; the first lookup must drop it."""
+        gateway = _gateway(cache_on=True)
+        _warm(gateway)
+        service = _service(gateway, USERS[0])
+        service.batch_refresh(list(USERS), k=5)  # hooks not armed yet
+        first = gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        assert not first.provenance.served_from_cache
+
+
+class TestDefaultOffIsByteInvisible:
+    def test_no_cache_object_and_no_hooks_by_default(self):
+        gateway = _gateway(cache_on=False)
+        _warm(gateway)
+        assert gateway.recommendation_cache is None
+        service = _service(gateway, USERS[0])
+        assert not service._invalidation_enabled
+
+    def test_envelopes_identical_with_and_without_cache_misses(self):
+        """Run the same workload on both configurations; every payload and
+        provenance (hits aside — default-off can never hit) is identical."""
+        responses = {}
+        for cache_on in (False, True):
+            gateway = _gateway(cache_on=cache_on)
+            _warm(gateway)
+            sequence = []
+            for user_id in USERS:
+                response = gateway.execute(
+                    RecommendationsRequest(user_id=user_id, k=5)
+                )
+                sequence.append(
+                    (
+                        response.status,
+                        response.provenance.served_from_cache,
+                        _recs(response),
+                    )
+                )
+            responses[cache_on] = sequence
+        assert responses[False] == responses[True]
+
+    def test_default_config_leaves_the_flag_off(self):
+        assert PlatformConfig().api_recommendation_cache is False
+
+    def test_cached_hit_equals_default_off_answer(self):
+        """The hit payload is byte-identical to what the default-off
+        configuration computes for the same request."""
+        off = _gateway(cache_on=False)
+        on = _gateway(cache_on=True)
+        for gateway in (off, on):
+            _warm(gateway)
+            gateway.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+            _service(gateway, USERS[0]).batch_refresh(list(USERS), k=5)
+        off_answer = off.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        on_answer = on.execute(RecommendationsRequest(user_id=USERS[0], k=5))
+        assert not off_answer.provenance.served_from_cache
+        assert on_answer.provenance.served_from_cache
+        assert _recs(on_answer) == _recs(off_answer)

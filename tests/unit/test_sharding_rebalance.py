@@ -13,6 +13,8 @@ import pytest
 
 from repro.errors import ECommerceError, SimilarityError
 from repro.core.profile import Profile
+from repro.core.profile_learning import FeedbackEvent
+from repro.core.ratings import InteractionKind
 from repro.core.sharding import ShardRouter, ShardedNeighborIndex
 from repro.core.similarity import SimilarityConfig, find_similar_users
 from repro.ecommerce.platform_builder import build_platform
@@ -57,6 +59,130 @@ class TestShardRouter:
         first = _profile("a", "books")
         second = _profile("b", "books")
         assert router.shard_for(first) == router.shard_for(second)
+
+
+class TestLazyInvalidation:
+    """Counter-pinned: hook bursts cost one re-index per *touched* consumer.
+
+    The PR-8 fix — ``ShardedNeighborIndex.on_profile_update`` used to place
+    migrating/unplaced consumers eagerly (one full re-index per feedback
+    event); now every hook is deferred into a dirty set / pending queue and
+    flushed by the next sync, so batch refreshes never recompute untouched
+    consumers.
+    """
+
+    @staticmethod
+    def _population(count=12):
+        categories = ["books", "toys", "fashion"]
+        return [
+            _profile(
+                f"user-{index}",
+                categories[index % len(categories)],
+                preference=3.0 + index,
+                terms=[("ab", 1.0 + index)],
+            )
+            for index in range(count)
+        ]
+
+    @staticmethod
+    def _rebuilds(index):
+        return sum(shard.rebuilds for shard in index.shards)
+
+    def test_same_shard_update_burst_costs_one_rebuild(self):
+        profiles = self._population()
+        config = SimilarityConfig(min_similarity=0.0)
+        index = ShardedNeighborIndex(
+            profiles=profiles, config=config, num_shards=3, routing="hash"
+        )
+        index.find_similar(profiles[0])  # warm every per-consumer cache
+        rebuilds_before = self._rebuilds(index)
+        mutations_before = index.mutations
+
+        victim = profiles[3]
+        for step in range(5):
+            victim.category("books").terms.set("ab", 2.0 + step)
+            index.on_profile_update(victim)
+        # Nothing recomputed yet — the burst only marked state dirty.
+        assert self._rebuilds(index) == rebuilds_before
+        assert index.mutations == mutations_before
+
+        index.find_similar(profiles[0])
+        # The flush re-indexed exactly the touched consumer, nobody else.
+        assert self._rebuilds(index) == rebuilds_before + 1
+        assert index.mutations == mutations_before + 1
+
+    def test_migrating_update_burst_is_deferred_until_sync(self):
+        profiles = self._population()
+        config = SimilarityConfig(min_similarity=0.0)
+        index = ShardedNeighborIndex(
+            profiles=profiles, config=config, num_shards=3, routing="category"
+        )
+        index.find_similar(profiles[0])
+        rebuilds_before = self._rebuilds(index)
+
+        # Shift one consumer's dominant category so the router wants them on
+        # a different shard; every event in the burst re-reports the move.
+        mover = profiles[0]
+        source = index.shard_of(mover.user_id)
+        # Pick a dominant category deterministically guaranteed to route the
+        # mover onto a different shard (category hashing is stable).
+        for candidate in (f"moved-{suffix}" for suffix in range(100)):
+            entry = mover.category(candidate)
+            entry.preference = 99.0
+            entry.terms.set("zz", 5.0)
+            if index.router.shard_for(mover) != source:
+                break
+            mover.categories.pop(candidate, None)
+        assert index.router.shard_for(mover) != source
+        for _ in range(4):
+            index.on_profile_update(mover)
+        # Deferred: still on the old shard, nothing re-indexed.
+        assert index.shard_of(mover.user_id) == source
+        assert self._rebuilds(index) == rebuilds_before
+
+        answers = index.find_similar(mover)
+        # One placement happened at sync, and the answer is still exact.
+        assert index.shard_of(mover.user_id) == index.router.shard_for(mover)
+        assert self._rebuilds(index) == rebuilds_before + 1
+        assert answers == find_similar_users(mover, profiles, config)
+
+    def test_batch_refresh_skips_untouched_consumers(self):
+        """Service-level: a second batch refresh after one consumer's write
+        re-indexes only that consumer."""
+        platform = build_platform(seed=7)
+        server = platform.buyer_server
+        keyword = next(iter(platform.catalog_view())).terms[0][0]
+        users = [f"lazy-{index}" for index in range(6)]
+        for user_id in users:
+            session = platform.login(user_id)
+            with pytest.warns(DeprecationWarning):
+                results = session.query(keyword)
+            session.logout()
+        service = server.recommendations
+        service.batch_refresh(users, k=5)
+        index = service.neighbor_index
+        rebuilds_before = index.rebuilds
+
+        # A burst of learning updates, all for one consumer.
+        item = next(iter(platform.catalog_view()))
+        profile = server.user_db.profile(users[0])
+        for step in range(3):
+            server.profile_learner.apply(
+                profile,
+                FeedbackEvent(
+                    user_id=users[0],
+                    item=item,
+                    kind=InteractionKind.VIEW,
+                    timestamp=float(step),
+                    rating=None,
+                ),
+            )
+        assert index.dirty_users() == {users[0]}
+
+        service.batch_refresh(users, k=5)
+        # Only the updated consumer's cache was rebuilt — once for the whole
+        # burst; the five untouched consumers were never recomputed.
+        assert index.rebuilds == rebuilds_before + 1
 
 
 class TestShardedIndexEdgeCases:
