@@ -9,6 +9,10 @@ an admission bucket that actually sheds.  Two workloads:
   the admission refill rate; queueing dominates, shedding trims the peaks.
 - ``burst`` — every session arrives at the same instant; the admission
   bucket does almost all the work.
+- ``hedged_fanout`` — half the sessions issue a fleet-wide find-similar
+  fan-out against a hedging fleet (``fleet_hedge_delay_percentile``), so
+  the artifact pins how often tail-latency hedges arm — and win — under
+  real concurrent load.
 
 Because the simulation is deterministic, the full run's latency histograms
 and shed rates are checked in as ``BENCH_concurrent_load.json`` and
@@ -70,6 +74,26 @@ WORKLOADS = {
             "recommendation_probability": 0.0,
         },
     },
+    "hedged_fanout": {
+        "platform": {
+            "seed": 31,
+            "num_buyer_servers": 4,
+            "replication_factor": 1,
+            "fleet_hedge_delay_percentile": 0.75,
+            "api_admission_capacity": 80,
+            "api_admission_refill_per_ms": 0.3,
+        },
+        "population": 1200,
+        "seed": 31,
+        "run": {
+            "sessions": 1000,
+            "queries_per_session": 1,
+            "arrival_rate_per_ms": 0.15,
+            "think_time_ms": 150.0,
+            "recommendation_probability": 0.1,
+            "find_similar_probability": 0.5,
+        },
+    },
 }
 
 #: Session count used by the quick smoke test (full workloads still run in
@@ -96,6 +120,16 @@ def run_workload(name: str, sessions=None) -> dict:
             "run": spec["run"],
         },
         "report": report.as_dict(),
+        # Fan-out hedging counters (zero unless the workload configures a
+        # hedge delay and issues find-similar traffic) — the artifact pins
+        # how often tail hedges arm, and win, under this load.
+        "hedging": {
+            "hedges": int(platform.metrics.counter("fleet.fanout.hedges").value),
+            "hedge_wins": int(
+                platform.metrics.counter("fleet.fanout.hedge_wins").value
+            ),
+            "find_similar_requests": report.operations.get("find_similar", 0),
+        },
     }
 
 
@@ -160,6 +194,19 @@ def test_artifact_meets_acceptance_bars():
     # Overlap is visible as queue waits in the steady workload.
     assert steady["queue_wait_ms"]["count"] > 0
     assert steady["queue_wait_ms"]["p95"] > 0.0
+
+
+def test_artifact_measures_hedged_fanout():
+    """The hedged workload must actually arm tail hedges under load."""
+    payload = json.loads(ARTIFACT.read_text())
+    hedged = payload["workloads"]["hedged_fanout"]
+    assert hedged["report"]["sessions"] >= 1000
+    assert hedged["hedging"]["find_similar_requests"] > 0
+    assert hedged["hedging"]["hedges"] > 0, "no hedge ever armed"
+    assert 0 <= hedged["hedging"]["hedge_wins"] <= hedged["hedging"]["hedges"]
+    # The plain workloads configure no hedge delay: their counters stay 0.
+    for name in ("steady_overload", "burst"):
+        assert payload["workloads"][name]["hedging"]["hedges"] == 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,175 @@
+"""Benchmark: the elastic fleet under a flash crowd and a rolling upgrade.
+
+Two scenario-level measurements of the PR-9 elasticity machinery:
+
+- ``flash_crowd`` — a 10x arrival spike against a three-server fleet with
+  the autoscaler ticking between traffic windows: the spike must scale
+  the fleet out (live shard splits / whole-shard handbacks onto joined
+  servers) and the drain must shrink it back to the founding floor, with
+  zero consumers lost or left behind.
+- ``rolling_upgrade`` — every founding server crashed, promoted around,
+  recovered and handed its original shards back, one server at a time
+  under continuous traffic; the founding shard map must be restored
+  exactly.
+
+The simulation is deterministic end to end, so the full reports — the
+autoscaler's decision trail, fleet-size and shard-map-epoch history,
+per-window traffic summaries and the safety counters — are checked in as
+``BENCH_elastic_fleet.json``, and regenerating the artifact must
+reproduce it byte for byte.  That check is the regression gate for the
+whole elastic stack: shard-map versioning, migration bookkeeping,
+replica-bootstrap handback, split routing and the control loop's
+thresholds all feed these numbers.
+
+Run ``python benchmarks/bench_elastic_fleet.py`` to regenerate the
+artifact after an intentional behaviour change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.api.envelope import ApiStatus
+from repro.ecommerce import AutoscalerPolicy, build_platform
+from repro.workload import ConsumerPopulation, ScenarioRunner
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL") == "1"
+ARTIFACT = Path(__file__).with_name("BENCH_elastic_fleet.json")
+
+SCENARIOS = {
+    "flash_crowd": {
+        "platform": {"seed": 5, "num_buyer_servers": 3, "replication_factor": 1},
+        "population": 150,
+        "seed": 5,
+        "policy": {"cooldown_ticks": 1},
+        "run": {
+            "sessions_per_window": 80,
+            "queries_per_session": 1,
+            "baseline_rate_per_ms": 0.01,
+            "spike_factor": 10.0,
+            "baseline_windows": 1,
+            "spike_windows": 2,
+            "drain_windows": 3,
+        },
+    },
+    "rolling_upgrade": {
+        "platform": {"seed": 5, "num_buyer_servers": 3, "replication_factor": 1},
+        "population": 120,
+        "seed": 5,
+        "policy": None,
+        "run": {
+            "sessions_per_window": 40,
+            "queries_per_session": 1,
+            "arrival_rate_per_ms": 0.02,
+        },
+    },
+}
+
+#: Window size used by the quick smoke test.
+SMOKE_SESSIONS = 30
+
+
+def run_scenario(name: str, sessions_per_window=None) -> dict:
+    """Run one named scenario on a fresh platform; return config + report."""
+    spec = SCENARIOS[name]
+    platform = build_platform(**spec["platform"])
+    population = ConsumerPopulation(spec["population"], seed=spec["platform"]["seed"])
+    runner = ScenarioRunner(platform, population, seed=spec["seed"])
+    run_args = dict(spec["run"])
+    if sessions_per_window is not None:
+        run_args["sessions_per_window"] = sessions_per_window
+    if name == "flash_crowd":
+        report = runner.flash_crowd_day(
+            policy=AutoscalerPolicy(**spec["policy"]), **run_args
+        )
+    else:
+        report = runner.rolling_upgrade_day(**run_args)
+    return {
+        "config": {
+            "platform": spec["platform"],
+            "population": spec["population"],
+            "seed": spec["seed"],
+            "policy": spec["policy"],
+            "run": spec["run"],
+        },
+        "report": report.as_dict(),
+    }
+
+
+def generate_payload() -> dict:
+    return {
+        "benchmark": "elastic_fleet",
+        "scenarios": {name: run_scenario(name) for name in sorted(SCENARIOS)},
+    }
+
+
+def render(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_flash_crowd_smoke(benchmark):
+    """Wall-clock cost of a smoke-sized flash crowd + shape of the report."""
+    outcome = benchmark.pedantic(
+        lambda: run_scenario("flash_crowd", sessions_per_window=SMOKE_SESSIONS),
+        rounds=1,
+        iterations=1,
+    )
+    report = outcome["report"]
+    assert report["scenario"] == "flash_crowd_day"
+    assert report["requests"] > 0
+    assert report["lost_consumers"] == 0
+    assert report["missing_consumers"] == 0
+    assert len(report["windows"]) == 6  # 1 baseline + 2 spike + 3 drain
+    assert report["epoch_trail"] == sorted(report["epoch_trail"])
+
+
+def test_artifact_matches_regeneration():
+    """The checked-in artifact must reproduce byte for byte.
+
+    The regression gate for the elastic stack: shard-map epochs, the
+    autoscaler's thresholds and tie-breaks, migration transfer order and
+    the concurrent windows all feed these bytes.
+    """
+    regenerated = render(generate_payload())
+    checked_in = ARTIFACT.read_text()
+    assert regenerated == checked_in, (
+        "BENCH_elastic_fleet.json drifted from regeneration — if the "
+        "change is intentional, refresh it with "
+        "`python benchmarks/bench_elastic_fleet.py`"
+    )
+
+
+def test_artifact_meets_acceptance_bars():
+    """The checked-in reports must show real elasticity, safely."""
+    payload = json.loads(ARTIFACT.read_text())
+    flash = payload["scenarios"]["flash_crowd"]["report"]
+    upgrade = payload["scenarios"]["rolling_upgrade"]["report"]
+
+    # Flash crowd: the spike scaled the fleet out, the drain brought it
+    # back to the founding floor, and nobody was lost on the way.
+    assert flash["peak_servers"] > flash["initial_servers"]
+    assert flash["final_servers"] == flash["initial_servers"]
+    actions = [decision["action"] for decision in flash["decisions"]]
+    assert "scale-out" in actions and "scale-in" in actions
+    assert flash["splits"] + flash["handbacks"] > 0
+    assert flash["transferred_consumers"] > 0
+
+    # Rolling upgrade: every founding server cycled and took its original
+    # shards back.
+    upgrades = [w for w in upgrade["windows"] if "server" in w]
+    assert len(upgrades) == upgrade["initial_servers"]
+    assert all(w["ownership_restored"] for w in upgrades)
+    assert upgrade["final_servers"] == upgrade["initial_servers"]
+
+    for report in (flash, upgrade):
+        assert report["lost_consumers"] == 0
+        assert report["missing_consumers"] == 0
+        # The envelope taxonomy stays closed under elasticity.
+        assert set(report["statuses"]) <= set(ApiStatus.ALL)
+        # Shard-map epochs only ever move forward.
+        assert report["epoch_trail"] == sorted(report["epoch_trail"])
+
+
+if __name__ == "__main__":
+    ARTIFACT.write_text(render(generate_payload()))
+    print(f"wrote {ARTIFACT}")

@@ -13,6 +13,13 @@ arrival rates against four platforms that differ only in how they shed —
 - ``deadline_drops`` — the single bucket plus a request deadline, arming
   the queue's deadline-aware drop: work that would time out in queue is
   shed *before* occupying a server.
+- ``hedged`` — the single bucket plus tail-latency hedging on the fleet
+  fan-out (``fleet_hedge_delay_percentile``): every sweep point reports
+  how many hedges armed and won at that offered load.
+
+The ``hedged`` config's traffic adds a slice of fleet-wide find-similar
+fan-outs (the request hedging acts on); the other configs keep the plain
+PR-7 session mix so their curves stay comparable across artifacts.
 
 Each sweep point runs on a fresh same-seed platform, so points are
 independent measurements, not a warm-up curve.  The simulation is
@@ -79,6 +86,11 @@ CONFIGS = {
         "api_admission_refill_per_ms": 0.25,
         "api_deadline_ms": 600.0,
     },
+    "hedged": {
+        "api_admission_capacity": 60,
+        "api_admission_refill_per_ms": 0.25,
+        "fleet_hedge_delay_percentile": 0.75,
+    },
 }
 
 RUN = {
@@ -86,6 +98,12 @@ RUN = {
     "queries_per_session": 2,
     "think_time_ms": 100.0,
     "recommendation_probability": 0.25,
+}
+
+#: Per-config additions to ``RUN`` — the hedged config is the only one
+#: whose sessions issue fan-out traffic for hedging to act on.
+CONFIG_RUNS = {
+    "hedged": {"find_similar_probability": 0.2},
 }
 
 POPULATION = 400
@@ -101,7 +119,8 @@ def run_point(config_name: str, offered_load: float) -> dict:
     platform = build_platform(**overrides)
     population = ConsumerPopulation(POPULATION, seed=_BASE_PLATFORM["seed"])
     driver = ConcurrentDriver(platform, population, seed=_BASE_PLATFORM["seed"])
-    report = driver.run(arrival_rate_per_ms=offered_load, **RUN)
+    run_args = dict(RUN, **CONFIG_RUNS.get(config_name, {}))
+    report = driver.run(arrival_rate_per_ms=offered_load, **run_args)
 
     d = report.as_dict()
     duration_ms = d["simulated_duration_ms"]
@@ -120,6 +139,10 @@ def run_point(config_name: str, offered_load: float) -> dict:
         "statuses": d["statuses"],
         "latency_p95_ms": d["latency_ms"].get("p95", 0.0),
         "queue_wait_p95_ms": d["queue_wait_ms"].get("p95", 0.0),
+        "hedges": int(platform.metrics.counter("fleet.fanout.hedges").value),
+        "hedge_wins": int(
+            platform.metrics.counter("fleet.fanout.hedge_wins").value
+        ),
         "servers": d["servers"],
         "simulated_duration_ms": duration_ms,
     }
@@ -133,6 +156,7 @@ def generate_payload() -> dict:
         "configs": {
             name: {
                 "platform": dict(_BASE_PLATFORM, **CONFIGS[name]),
+                "run_overrides": CONFIG_RUNS.get(name, {}),
                 "points": [run_point(name, load) for load in OFFERED_LOADS],
             }
             for name in sorted(CONFIGS)
@@ -197,6 +221,11 @@ def test_sweep_meets_acceptance_bars():
             assert point["servers"], "per-server section must be populated"
             for stats in point["servers"].values():
                 assert 0.0 <= stats["utilization"] <= 1.0
+            assert 0 <= point["hedge_wins"] <= point["hedges"]
+    # Only the hedged config arms hedges, and it must actually arm some.
+    assert sum(p["hedges"] for p in configs["hedged"]["points"]) > 0
+    for name in ("open_door", "single_bucket", "classed", "deadline_drops"):
+        assert all(p["hedges"] == 0 for p in configs[name]["points"])
 
     # The open door never sheds; every admission config sheds at the top.
     assert all(p["shed"] == 0 for p in configs["open_door"]["points"])

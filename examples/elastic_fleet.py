@@ -1,0 +1,120 @@
+"""Elastic fleet: live shard moves, splits, and an autoscaled flash crowd.
+
+Walks the PR 9 elasticity machinery end to end on a three-server fleet:
+
+1. the versioned shard map (every ownership change bumps its epoch and is
+   synced to the CA coordinator),
+2. a live **shard handback** — a freshly joined server bootstraps shard 0
+   from a replica snapshot, catches up through the WAL and takes ownership
+   with an atomic epoch bump,
+3. a live **shard split** — half of a shard's consumers (stable-hash
+   membership) peel off onto a child shard, stepwise, while the fleet keeps
+   answering queries mid-migration,
+4. a ``flash_crowd_day`` scenario — a 10x arrival spike with the
+   :class:`~repro.ecommerce.elasticity.FleetAutoscaler` ticking between
+   traffic windows: scale out under pressure, drain back to the founding
+   floor when the crowd leaves, zero consumers lost.
+
+Run with::
+
+    python examples/elastic_fleet.py
+"""
+
+from __future__ import annotations
+
+from repro import build_platform
+from repro.ecommerce import AutoscalerPolicy
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.scenarios import ScenarioRunner
+
+
+def show_map(platform) -> None:
+    shard_map = platform.fleet.shard_map
+    owners = {shard: shard_map.owner_of(shard) for shard in shard_map.shard_ids()}
+    print(f"  shard map (epoch {shard_map.epoch}): {owners}")
+
+
+def main() -> None:
+    platform = build_platform(seed=5, num_buyer_servers=3, replication_factor=1)
+    fleet = platform.fleet
+    print("Founding fleet:")
+    show_map(platform)
+    print()
+
+    # Some consumers to move around.
+    gateway = platform.gateway()
+    for index in range(36):
+        user_id = f"user-{index}"
+        gateway.register(user_id)
+        gateway.login(user_id)
+        gateway.query(user_id, "book")
+        gateway.logout(user_id)
+
+    # --- Live shard handback onto a freshly joined server. ---------------
+    newcomer = platform.add_buyer_server()
+    print(f"Joined {newcomer.name}; handing shard 0 to it:")
+    moved = fleet.transfer_shard(0, newcomer)
+    print(f"  {moved} consumers moved (replica snapshot + WAL catch-up, "
+          f"atomic flip)")
+    show_map(platform)
+    print()
+
+    # --- Live shard split, stepwise, queries served throughout. ----------
+    parent_owner = fleet.owner_of_shard(1)
+    split = fleet.split_shard(1, target=fleet.servers[2])
+    print(f"Splitting shard 1 -> child {split.child} "
+          f"({len(split.pending)} consumers to move):")
+    steps = 0
+    while not split.done:
+        split.step()
+        steps += 1
+        assert fleet.query_similar("user-0") is not None  # still serving
+    split.finalize()
+    print(f"  committed after {steps} steps; parent kept "
+          f"{len(fleet.consumers_of(1))} consumers, child "
+          f"{len(fleet.consumers_of(split.child))} "
+          f"(owner {fleet.owner_of_shard(split.child).name}, "
+          f"parent owner {parent_owner.name})")
+    show_map(platform)
+    print()
+
+    # Put the topology back and retire the extra server.
+    fleet.transfer_shard(split.child, parent_owner)
+    fleet.transfer_shard(0, fleet.servers[0])
+    platform.remove_buyer_server(newcomer)
+    print(f"Handed everything home and decommissioned {newcomer.name}:")
+    show_map(platform)
+    print()
+
+    # --- Flash crowd: the autoscaler reacts to a 10x spike. ---------------
+    crowd_platform = build_platform(seed=5, num_buyer_servers=3,
+                                    replication_factor=1)
+    population = ConsumerPopulation(120, seed=5)
+    runner = ScenarioRunner(crowd_platform, population, seed=5)
+    report = runner.flash_crowd_day(
+        sessions_per_window=60,
+        policy=AutoscalerPolicy(cooldown_ticks=1),
+    )
+
+    print("Flash crowd day (1 baseline + 2 spike + 3 drain windows):")
+    for window in report.windows:
+        print(f"  [{window['phase']:<8s}] rate {window['arrival_rate_per_ms']}/ms, "
+              f"{window['requests']} requests, shed {window['shed']}, "
+              f"p99 {window['latency_p99_ms']:.0f}ms")
+    print()
+    print("Autoscaler decisions:")
+    for decision in report.decisions:
+        extra = f" -> {decision['server']}" if "server" in decision else ""
+        print(f"  {decision['action']:<9s} {decision['reason']}{extra}")
+    print()
+    print(f"  fleet size trail : {report.fleet_sizes} "
+          f"(peak {report.peak_servers}, back to {report.final_servers})")
+    print(f"  epoch trail      : {report.epoch_trail}")
+    print(f"  splits/handbacks : {report.splits}/{report.handbacks} "
+          f"({report.transferred_consumers} consumers migrated live)")
+    print(f"  consumers lost   : {report.lost_consumers} "
+          f"(missing: {report.missing_consumers})")
+
+
+if __name__ == "__main__":
+    main()

@@ -57,6 +57,9 @@ python -m pytest -x -q benchmarks/bench_concurrent_load.py
 echo "== tier-1: benchmark smoke (saturation sweep + artifact reproduction) =="
 python -m pytest -x -q benchmarks/bench_saturation_sweep.py
 
+echo "== tier-1: benchmark smoke (elastic fleet + artifact reproduction) =="
+python -m pytest -x -q benchmarks/bench_elastic_fleet.py
+
 echo "== tier-1: example smoke runs (deprecation-clean: examples must not =="
 echo "==         touch the shimmed legacy session/fleet methods)         =="
 for example in examples/*.py; do
@@ -212,6 +215,50 @@ for server in platform.buyer_servers:
 assert retained < appended, (retained, appended)
 print("replicated_failover_day: OK", report.as_dict())
 print(f"bounded WAL: {appended} entries appended, {retained} retained")
+PY
+
+echo "== tier-1: flash-crowd smoke (autoscaler must scale out on the spike, =="
+echo "==         drain back to the founding floor, and lose nobody)         =="
+python - <<'PY'
+import json
+from pathlib import Path
+
+from repro import build_platform
+from repro.api import ApiStatus
+from repro.ecommerce import AutoscalerPolicy
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.scenarios import ScenarioRunner
+
+platform = build_platform(seed=5, num_buyer_servers=3, replication_factor=1)
+runner = ScenarioRunner(platform, ConsumerPopulation(120, seed=5), seed=5)
+report = runner.flash_crowd_day(sessions_per_window=60,
+                                policy=AutoscalerPolicy(cooldown_ticks=1))
+d = report.as_dict()
+assert d["peak_servers"] > d["initial_servers"], d["fleet_sizes"]
+assert d["final_servers"] == d["initial_servers"], d["fleet_sizes"]
+actions = [decision["action"] for decision in d["decisions"]]
+assert "scale-out" in actions and "scale-in" in actions, actions
+assert d["splits"] + d["handbacks"] > 0, d
+assert d["lost_consumers"] == 0 and d["missing_consumers"] == 0, d
+assert set(d["statuses"]) <= set(ApiStatus.ALL), d["statuses"]
+assert d["epoch_trail"] == sorted(d["epoch_trail"]), d["epoch_trail"]
+
+# The checked-in elastic artifact must keep holding the same bars.
+payload = json.loads(Path("benchmarks/BENCH_elastic_fleet.json").read_text())
+flash = payload["scenarios"]["flash_crowd"]["report"]
+upgrade = payload["scenarios"]["rolling_upgrade"]["report"]
+assert flash["peak_servers"] > flash["initial_servers"] == flash["final_servers"]
+assert {"scale-out", "scale-in"} <= {x["action"] for x in flash["decisions"]}
+upgrades = [w for w in upgrade["windows"] if "server" in w]
+assert upgrades and all(w["ownership_restored"] for w in upgrades)
+for rep in (flash, upgrade):
+    assert rep["lost_consumers"] == 0 and rep["missing_consumers"] == 0
+    assert set(rep["statuses"]) <= set(ApiStatus.ALL)
+    assert rep["epoch_trail"] == sorted(rep["epoch_trail"])
+print("flash crowd smoke: OK —",
+      f"fleet {d['fleet_sizes']}, epochs {d['epoch_trail']},",
+      f"{d['transferred_consumers']} consumers migrated live, 0 lost;",
+      "artifact bars hold")
 PY
 
 echo "== tier-1: promotion failover scenario smoke =="

@@ -127,6 +127,12 @@ class PlatformGateway:
         self._clock = platform.scheduler.clock
         self._metrics = platform.metrics
         self._request_counter = 0
+        # consumer → (topology stamp, server) route cache, validated against
+        # the fleet's versioned shard map: any epoch bump (promotion,
+        # handback, split) or per-consumer move/loss changes the stamp and
+        # lazily invalidates every entry.  Pure memoization of a pure
+        # lookup — byte-identical to re-routing every request.
+        self._route_cache: Dict[str, tuple] = {}
 
         bucket = (
             TokenBucket(
@@ -441,11 +447,37 @@ class PlatformGateway:
         session = self._platform.session(user_id)
         if not session.is_active:
             return session  # the operation raises SessionError: failed, final
-        current = self._platform.buyer_server_for(user_id)
+        current = self._server_for(user_id)
         self._require_live(current)
         if session.server is not current:
             session = self._platform.login(user_id, register=False)
         return session
+
+    def _server_for(self, user_id: str):
+        """The consumer's serving server, memoized against topology changes.
+
+        The cache key is the fleet's elastic state stamp — shard-map epoch
+        plus the per-consumer migration/loss counters — so a promotion,
+        handback, split step or consumer loss anywhere in the fleet
+        invalidates every cached route the moment it happens, while steady
+        traffic pays one dict probe instead of a hash + split descent per
+        request.  Single-server platforms bypass the cache (routing is
+        constant there).
+        """
+        fleet = self._platform.fleet
+        if fleet is None:
+            return self._platform.buyer_server_for(user_id)
+        stamp = (
+            fleet.shard_map.epoch,
+            fleet.migrated_consumers,
+            fleet.lost_consumers,
+        )
+        cached = self._route_cache.get(user_id)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        server = self._platform.buyer_server_for(user_id)
+        self._route_cache[user_id] = (stamp, server)
+        return server
 
     @staticmethod
     def _require_live(server) -> None:
@@ -495,9 +527,9 @@ class PlatformGateway:
     # -- operations ------------------------------------------------------------
 
     def _op_register(self, request: RegisterRequest):
-        self._require_live(self._platform.buyer_server_for(request.user_id))
+        self._require_live(self._server_for(request.user_id))
         self._platform.register_consumer(request.user_id, request.display_name)
-        server = self._platform.buyer_server_for(request.user_id)
+        server = self._server_for(request.user_id)
         return (
             RegistrationResult(user_id=request.user_id, server=server.name),
             Provenance(served_by=server.name),
@@ -505,7 +537,7 @@ class PlatformGateway:
         )
 
     def _op_login(self, request: LoginRequest):
-        self._require_live(self._platform.buyer_server_for(request.user_id))
+        self._require_live(self._server_for(request.user_id))
         session = self._platform.login(request.user_id, register=request.register)
         return (
             LoginResult(

@@ -51,6 +51,7 @@ from repro.core.similarity import (
     find_similar_users,
 )
 from repro.core.neighbors import ProfileNeighborIndex, find_similar_users_indexed
+from repro.core.shard_map import ShardMap, ShardMigration, split_membership
 from repro.core.sharding import (
     ShardRouter,
     ShardedNeighborIndex,
@@ -86,6 +87,9 @@ __all__ = [
     "find_similar_users",
     "ProfileNeighborIndex",
     "find_similar_users_indexed",
+    "ShardMap",
+    "ShardMigration",
+    "split_membership",
     "ShardRouter",
     "ShardedNeighborIndex",
     "find_similar_users_sharded",

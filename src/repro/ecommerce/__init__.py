@@ -31,6 +31,12 @@ from repro.ecommerce.buyer_server import (
     BuyerAgentServer,
     BuyerServerFleet,
     FleetQueryResult,
+    ShardSplit,
+)
+from repro.ecommerce.elasticity import (
+    AutoscalerDecision,
+    AutoscalerPolicy,
+    FleetAutoscaler,
 )
 from repro.ecommerce.replication import (
     ReplicaState,
@@ -61,6 +67,10 @@ __all__ = [
     "BuyerAgentServer",
     "BuyerServerFleet",
     "FleetQueryResult",
+    "ShardSplit",
+    "AutoscalerDecision",
+    "AutoscalerPolicy",
+    "FleetAutoscaler",
     "ReplicaState",
     "ReplicationLog",
     "ReplicationLogEntry",

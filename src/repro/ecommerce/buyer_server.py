@@ -45,6 +45,7 @@ from repro.errors import (
     FleetUnavailableError,
     NetworkError,
     RegistrationError,
+    ShardMapError,
 )
 from repro.agents.context import AgletContext
 from repro.agents.messages import MessageKinds
@@ -59,6 +60,7 @@ from repro.core.profile import Profile
 from repro.core.profile_learning import LearningConfig, ProfileLearner
 from repro.core.recommender import Recommendation, RecommendationEngine
 from repro.core.scoring import resolve_backend
+from repro.core.shard_map import ShardMap, split_membership
 from repro.core.sharding import ShardRouter, ShardedNeighborIndex, merge_topk
 from repro.core.similarity import SimilarityConfig
 from repro.ecommerce.buyer_agents import BuyerServerManagementAgent, HttpAgent
@@ -72,6 +74,7 @@ __all__ = [
     "BuyerServerFleet",
     "FleetQueryResult",
     "FleetRefreshReport",
+    "ShardSplit",
 ]
 
 #: Estimated wire size of one fan-out query request (target profile summary).
@@ -659,23 +662,44 @@ class BuyerServerFleet:
         servers: List[BuyerAgentServer],
         coordinator=None,
         hedge_delay_percentile: Optional[float] = None,
+        scoring_backend: Optional[str] = None,
     ) -> None:
         if not servers:
             raise ECommerceError("a buyer server fleet needs at least one server")
         self.servers = list(servers)
+        self._by_name: Dict[str, BuyerAgentServer] = {s.name: s for s in self.servers}
+        if len(self._by_name) != len(self.servers):
+            raise ECommerceError("buyer server names must be unique within a fleet")
         #: Optional :class:`~repro.ecommerce.coordinator.CoordinatorServer`
-        #: handle; when wired, promotions update the CA's shard map in place.
+        #: handle; when wired, promotions update the CA's shard map in place
+        #: and elastic topology changes sync the versioned map to the CA.
         self.coordinator = coordinator
         #: Tail-latency hedging for :meth:`query_similar` — ``None`` (never
         #: hedge, byte-identical to the unhedged fan-out) or a percentile in
         #: ``(0, 1]`` after which the slowest shard gets a replica hedge.
         self.hedge_delay_percentile = hedge_delay_percentile
+        #: Scoring kernel backend for fleet-side index builds (replica
+        #: answers, hedges) — threaded from ``PlatformConfig.scoring_backend``
+        #: so fan-out scoring uses the same kernel the servers were built
+        #: with instead of reaching into each server's private config.
+        self.scoring_backend = resolve_backend(
+            scoring_backend
+            if scoring_backend is not None
+            else self.servers[0].recommendations.scoring_backend
+        )
         self.router = ShardRouter(len(self.servers), "hash")
-        #: shard index → index (into ``servers``) of the server serving it.
-        #: Identity until a promotion failover moves a dead server's shards
-        #: to the freshest replica holder — after which one server can serve
-        #: several shards and a retired server none.
-        self._shard_owner: List[int] = list(range(len(self.servers)))
+        #: The versioned single source of truth for shard → owner: one base
+        #: shard per founding server (identity placement), epoch bumped on
+        #: every promotion, handback and split.  The base router above is
+        #: deliberately frozen at founding size — consumer hash placement
+        #: stays stable while the *map* re-cuts ownership at runtime.
+        self.shard_map = ShardMap([s.name for s in self.servers])
+        self.shard_map.subscribe(self._on_shard_map_change)
+        #: Names of servers decommissioned by the autoscaler: still present
+        #: in ``servers`` (their Host objects may be stopped) but never
+        #: eligible as routing targets, replication successors or promotion
+        #: candidates until re-added.
+        self.retired: set = set()
         self._assignment: Dict[str, int] = {}
         self._refresh_task: Optional[RecurringCallback] = None
         self.scheduled_refreshes = 0
@@ -683,12 +707,15 @@ class BuyerServerFleet:
         self.lost_consumers = 0
         self.promotions = 0
         self.promoted_consumers = 0
+        self.handbacks = 0
+        self.splits = 0
+        self.transferred_consumers = 0
 
     # -- routing --------------------------------------------------------------------
 
     @property
     def num_shards(self) -> int:
-        return len(self.servers)
+        return self.shard_map.num_shards
 
     def shard_of(self, user_id: str) -> int:
         """The shard owning ``user_id``, routing it first if never seen."""
@@ -698,18 +725,21 @@ class BuyerServerFleet:
 
     def owner_of_shard(self, shard: int) -> BuyerAgentServer:
         """The server currently serving ``shard`` (identity until a promotion)."""
-        return self.servers[self._shard_owner[shard]]
+        return self._by_name[self.shard_map.owner_of(shard)]
 
     def shards_of(self, server: BuyerAgentServer) -> List[int]:
         """Every shard ``server`` currently serves (empty for retired hosts)."""
-        index = self.servers.index(server)
-        return [
-            shard for shard, owner in enumerate(self._shard_owner) if owner == index
-        ]
+        return self.shard_map.shards_of(server.name)
 
     def _route(self, user_id: str) -> int:
-        """Initial placement: stable consumer hash over the live shards."""
-        shard = self.router.shard_for_user(user_id)
+        """Initial placement: stable consumer hash, descended through splits.
+
+        The base router (frozen at founding fleet size) gives the consumer's
+        stable hash shard; the shard map then replays any splits of that
+        shard, so a consumer registering mid-split lands on exactly the
+        shard the migration loop would have moved them to.
+        """
+        shard = self.shard_map.route(user_id, self.router.shard_for_user(user_id))
         if self._is_live(shard):
             return shard
         return self._fallback_shard(user_id, excluding=(shard,))
@@ -881,8 +911,13 @@ class BuyerServerFleet:
         unreachable: List[str] = []
         stale: Dict[str, int] = {}
         stale_holders: Dict[str, str] = {}
-        for index in sorted(set(self._shard_owner)):
-            server = self.servers[index]
+        for server in self.servers:
+            # Fan out to each distinct *owning* server once, in fleet-list
+            # order (exactly the pre-ShardMap iteration order): a server
+            # holding several shards answers for all of them in one RPC, and
+            # retired hosts own nothing, so they are skipped for free.
+            if not self.shard_map.shards_of(server.name):
+                continue
             ranked: Optional[List[Tuple[str, float]]] = None
             latency = 0.0
             if server.context.host.is_running:
@@ -1041,8 +1076,11 @@ class BuyerServerFleet:
         # The replica's lazily built neighbor index answers byte-identically
         # to brute-forcing its shadow profiles (the PR-1 guarantee), while
         # re-indexing only the consumers the WAL touched since the last read.
+        # The fleet's own kernel backend (from PlatformConfig) scores it —
+        # score-identical across backends, so hedge wins stay byte-stable
+        # under REPRO_NO_NUMPY.
         ranked = state.neighbor_index(
-            backend=server.recommendations.scoring_backend
+            backend=self.scoring_backend
         ).find_similar(target, category=category, config=config)
         try:
             hedge_latency = origin.context.transport.network.round_trip_latency(
@@ -1148,7 +1186,7 @@ class BuyerServerFleet:
             return None
         holder, state = holders[0]
         ranked = state.neighbor_index(
-            backend=server.recommendations.scoring_backend
+            backend=self.scoring_backend
         ).find_similar(target, category=category, config=config)
         try:
             latency = origin.context.transport.network.round_trip_latency(
@@ -1390,8 +1428,7 @@ class BuyerServerFleet:
         """
         if not 0 <= shard < self.num_shards:
             raise ECommerceError(f"{shard} is not a fleet shard")
-        dead_index = self._shard_owner[shard]
-        dead = self.servers[dead_index]
+        dead = self.owner_of_shard(shard)
         if dead.context.host.is_running:
             raise ECommerceError(
                 f"server {dead.name!r} is still running; refusing to drain it"
@@ -1413,14 +1450,14 @@ class BuyerServerFleet:
                     "promotion failover needs a live replica; use strategy='drain' "
                     "for the direct-memory hand-off"
                 )
-            return self._promote(dead_index, holders)
+            return self._promote(dead, holders)
         if use_replicas:
-            return self._drain_from_replicas(dead_index, holders)
-        return self._drain_from_memory(dead_index)
+            return self._drain_from_replicas(dead, holders)
+        return self._drain_from_memory(dead)
 
-    def _drain_from_memory(self, dead_index: int) -> int:
+    def _drain_from_memory(self, dead: BuyerAgentServer) -> int:
         """Legacy direct-memory hand-off (explicit ``use_replicas=False``)."""
-        shards = self.shards_of(self.servers[dead_index])
+        shards = self.shards_of(dead)
         moved = 0
         for shard in shards:
             for user_id in self.consumers_of(shard):
@@ -1431,11 +1468,10 @@ class BuyerServerFleet:
 
     def _drain_from_replicas(
         self,
-        dead_index: int,
+        dead: BuyerAgentServer,
         holders: List[Tuple[BuyerAgentServer, ReplicaState]],
     ) -> int:
         """PR-3 replica drain: hash-place each consumer on a survivor."""
-        dead = self.servers[dead_index]
         shards = self.shards_of(dead)
         transport = holders[0][0].context.transport
         moved = 0
@@ -1508,7 +1544,7 @@ class BuyerServerFleet:
 
     def _promote(
         self,
-        dead_index: int,
+        dead: BuyerAgentServer,
         holders: List[Tuple[BuyerAgentServer, ReplicaState]],
     ) -> int:
         """Promote the freshest replica holder to primary for the dead server.
@@ -1528,9 +1564,7 @@ class BuyerServerFleet:
         successor so the dead peer's acknowledgement stops blocking WAL
         truncation.
         """
-        dead = self.servers[dead_index]
         promoted, state = holders[0]
-        promoted_index = self.servers.index(promoted)
         transport = promoted.context.transport
         shards = self.shards_of(dead)
 
@@ -1559,8 +1593,12 @@ class BuyerServerFleet:
                 user_id, record.logins, record.last_login_at
             )
 
-        for shard in shards:
-            self._shard_owner[shard] = promoted_index
+        # One atomic epoch bump for the whole takeover; the "promote" reason
+        # tells the shard-map listener to skip the elastic CA sync — the
+        # dedicated promote-shard message below already updates the CA, and
+        # keeping that path unchanged keeps pre-elastic scenarios
+        # byte-identical.
+        self.shard_map.reassign(shards, promoted.name, reason="promote")
         if self.coordinator is not None:
             self.coordinator.promote_shard(dead.name, promoted.name, shards)
 
@@ -1608,6 +1646,8 @@ class BuyerServerFleet:
         for index, server in enumerate(self.servers):
             if server is dead or not server.context.host.is_running:
                 continue
+            if server.name in self.retired:
+                continue
             manager = server.replication
             if manager is None or not any(peer is dead for peer in manager.peers):
                 continue
@@ -1618,7 +1658,7 @@ class BuyerServerFleet:
                 candidate = self.servers[(index + offset) % total]
                 if candidate is server or candidate is dead:
                     continue
-                if candidate.name in peer_names:
+                if candidate.name in peer_names or candidate.name in self.retired:
                     continue
                 if not candidate.context.host.is_running:
                     continue
@@ -1652,6 +1692,8 @@ class BuyerServerFleet:
         for index, primary in enumerate(self.servers):
             if primary is recovered or not primary.context.host.is_running:
                 continue
+            if primary.name in self.retired:
+                continue
             manager = primary.replication
             if manager is None:
                 continue
@@ -1664,6 +1706,7 @@ class BuyerServerFleet:
                     for candidate in (self.servers[(index + offset) % total],)
                     if candidate.context.host.is_running
                     and candidate.replication is not None
+                    and candidate.name not in self.retired
                 ),
                 None,
             )
@@ -1691,6 +1734,18 @@ class BuyerServerFleet:
                 )
 
     def handle_server_recovery(self, shard: int) -> int:
+        """Reconcile the founding server of base shard ``shard`` after recovery.
+
+        Index-based compatibility wrapper: base shard ids and founding
+        server positions coincide, so ``shard`` names the server that
+        originally owned it.  :meth:`recover_server` is the object-based
+        form (and the only one that can name a server added after founding).
+        """
+        if not 0 <= shard < len(self.servers):
+            raise ECommerceError(f"{shard} is not a fleet shard")
+        return self.recover_server(self.servers[shard])
+
+    def recover_server(self, server: BuyerAgentServer) -> int:
         """Reconcile a recovered server with the post-failover state.
 
         While the server was down its consumers were drained or promoted
@@ -1710,9 +1765,8 @@ class BuyerServerFleet:
         the ring converges to its original shape and the recovered host is
         again a promotion target for future failures.
         """
-        if not 0 <= shard < self.num_shards:
-            raise ECommerceError(f"{shard} is not a fleet shard")
-        server = self.servers[shard]
+        if server not in self.servers:
+            raise ECommerceError(f"server {server.name!r} is not in this fleet")
         if not server.context.host.is_running:
             raise ECommerceError(
                 f"server {server.name!r} is not running; recover the host first"
@@ -1746,6 +1800,345 @@ class BuyerServerFleet:
                 purged=stale,
             )
         return len(stale)
+
+    # -- elastic topology: handback, splitting, add/remove ----------------------------
+
+    def _on_shard_map_change(self, shard_map: ShardMap, reason: str, shards) -> None:
+        """Sync the CA's directory after an elastic epoch bump.
+
+        Promotion bumps are excluded: the failover path already updates the
+        CA through its dedicated ``promote-shard`` message, and skipping it
+        here keeps every pre-elastic scenario byte-identical (no extra
+        network traffic on the promotion path).
+        """
+        if self.coordinator is None or reason == "promote":
+            return
+        self.coordinator.sync_shard_map(
+            shard_map.epoch,
+            {shard: shard_map.owner_of(shard) for shard in shard_map.shard_ids()},
+        )
+
+    def transfer_shard(
+        self, shard: int, target: BuyerAgentServer, kind: str = "handback"
+    ) -> int:
+        """Hand ``shard`` — every consumer on it — to ``target``, live.
+
+        The routine-elasticity twin of promotion failover: both ends are
+        healthy, so the transfer can be *clean*.  When both servers
+        replicate, the target bootstraps from the PR-4 machinery — the
+        source streams its WAL to the target (reusing an existing stream
+        when the target is already a ring successor, else opening a
+        temporary one bootstrapped from the source's snapshot), a
+        synchronous catch-up drives the lag to zero, and the shard's
+        consumers are replayed out of the *replica* into the target's live
+        UserDB through the notifying mutation methods.  Without replication
+        the state is read from the live source and charged to the network
+        per consumer.  Ownership flips with one atomic epoch bump
+        (:meth:`ShardMap.commit_migration`) only after every consumer is
+        installed; until that instant the source answers every query, after
+        it the target answers every query — no window where neither does.
+        Returns how many consumers moved.
+        """
+        source = self.owner_of_shard(shard)
+        if target.name not in self._by_name or self._by_name[target.name] is not target:
+            raise ECommerceError(f"server {target.name!r} is not in this fleet")
+        if target.name in self.retired:
+            raise ECommerceError(f"server {target.name!r} is retired; re-add it first")
+        if not target.context.host.is_running:
+            raise ECommerceError(f"server {target.name!r} is not running")
+        if source is target:
+            return 0
+        if not source.context.host.is_running:
+            raise ECommerceError(
+                f"server {source.name!r} is down; use handle_server_failure() — "
+                "a handback needs a live source"
+            )
+        self.shard_map.begin_migration(shard, kind=kind, target=target.name)
+        transport = source.context.transport
+        reader = source.user_db
+        temp_stream = False
+        replicated = (
+            source.replication is not None and target.replication is not None
+        )
+        if replicated:
+            if not any(peer is target for peer in source.replication.peers):
+                source.replication.replicate_to(target)
+                temp_stream = True
+            source.replication.catch_up(target.name)
+            reader = target.replication.hosted[source.name].db
+        consumers = self.consumers_of(shard)
+        for user_id in consumers:
+            record = reader.user(user_id)
+            if not replicated:
+                transport.deliver(
+                    source.name, target.name, "shard-handback",
+                    payload_bytes=FANOUT_REQUEST_BYTES,
+                )
+            target.user_db.register(
+                user_id, record.display_name, timestamp=record.registered_at
+            )
+            target.user_db.store_profile(reader.profile(user_id).copy())
+            for interaction in reader.ratings.interactions_of(user_id):
+                target.user_db.record_interaction(interaction)
+            for transaction in reader.transactions_of(user_id):
+                target.user_db.record_transaction(transaction)
+            target.user_db.restore_login_stats(
+                user_id, record.logins, record.last_login_at
+            )
+        self.shard_map.commit_migration(shard)
+        for user_id in consumers:
+            source.user_db.unregister(user_id)
+        if temp_stream:
+            source.replication.remove_peer(target.name)
+            target.replication.discard_replica(source.name)
+        self.handbacks += 1
+        self.transferred_consumers += len(consumers)
+        self.migrated_consumers += len(consumers)
+        transport.event_log.record(
+            transport.scheduler.clock.now,
+            "fleet.shard-handback",
+            source.name,
+            target.name,
+            shard=shard,
+            moved=len(consumers),
+            epoch=self.shard_map.epoch,
+        )
+        transport.metrics.counter("fleet.elastic.handbacks").increment()
+        transport.metrics.counter("fleet.elastic.transferred").increment(
+            len(consumers)
+        )
+        return len(consumers)
+
+    def split_shard(
+        self, shard: int, target: Optional[BuyerAgentServer] = None
+    ) -> "ShardSplit":
+        """Begin splitting hot ``shard`` in two; returns the migration handle.
+
+        A new child shard (id ``num_shards``, keeping ids dense) is created
+        owned by ``target`` (default: the current owner — an in-place split
+        that a later handback can move).  Membership is the deterministic
+        :func:`~repro.core.shard_map.split_membership` cut over the
+        consumer id, recorded in the shard map *before* any consumer moves:
+        queries and new registrations route through the split from the
+        first instant, while the returned :class:`ShardSplit` moves the
+        existing movers one at a time — each move is atomic per consumer,
+        so mid-split every consumer lives on exactly one server and fan-out
+        answers stay byte-identical to a static reference fleet.
+        """
+        source = self.owner_of_shard(shard)
+        if target is None:
+            target = source
+        if target.name not in self._by_name or self._by_name[target.name] is not target:
+            raise ECommerceError(f"server {target.name!r} is not in this fleet")
+        if target.name in self.retired:
+            raise ECommerceError(f"server {target.name!r} is retired; re-add it first")
+        if not target.context.host.is_running:
+            raise ECommerceError(f"server {target.name!r} is not running")
+        if not source.context.host.is_running:
+            raise ECommerceError(
+                f"server {source.name!r} is down; fail it over before splitting"
+            )
+        split_index = len(self.shard_map.splits_of(shard))
+        movers = [
+            user_id
+            for user_id in self.consumers_of(shard)
+            if split_membership(user_id, shard, split_index)
+        ]
+        child = self.shard_map.begin_split(shard, owner=target.name, source=source.name)
+        transport = source.context.transport
+        transport.event_log.record(
+            transport.scheduler.clock.now,
+            "fleet.shard-split-begin",
+            source.name,
+            target.name,
+            parent=shard,
+            child=child,
+            movers=len(movers),
+            epoch=self.shard_map.epoch,
+        )
+        return ShardSplit(self, parent=shard, child=child, movers=movers)
+
+    def _move_consumer(self, user_id: str, target_shard: int) -> None:
+        """Move one consumer to ``target_shard`` with full durable state.
+
+        Like :meth:`migrate_consumer` plus the aggregate login history (a
+        shard migration must lose nothing), and a pure re-label when source
+        and target shard live on the same server — an in-place split moves
+        no bytes at all.
+        """
+        source_shard = self.shard_of(user_id)
+        if source_shard == target_shard:
+            return
+        source = self.owner_of_shard(source_shard)
+        target = self.owner_of_shard(target_shard)
+        if source is target:
+            self._assignment[user_id] = target_shard
+        else:
+            record = source.user_db.user(user_id)
+            target.user_db.register(
+                user_id, record.display_name, timestamp=record.registered_at
+            )
+            target.user_db.store_profile(source.user_db.profile(user_id).copy())
+            for interaction in source.user_db.ratings.interactions_of(user_id):
+                target.user_db.record_interaction(interaction)
+            for transaction in source.user_db.transactions_of(user_id):
+                target.user_db.record_transaction(transaction)
+            target.user_db.restore_login_stats(
+                user_id, record.logins, record.last_login_at
+            )
+            self._assignment[user_id] = target_shard
+            source.user_db.unregister(user_id)
+        self.migrated_consumers += 1
+        self.transferred_consumers += 1
+
+    def add_server(self, server: BuyerAgentServer) -> None:
+        """Join ``server`` to the fleet as shard-less capacity.
+
+        The base router is deliberately untouched — existing consumers keep
+        their stable hash placement; the new server takes load through
+        :meth:`transfer_shard` or :meth:`split_shard` (normally driven by
+        the autoscaler).  Re-adding a retired server just clears its
+        retirement.
+        """
+        if server.name in self.retired and self._by_name.get(server.name) is server:
+            self.retired.discard(server.name)
+            return
+        if server.name in self._by_name:
+            raise ECommerceError(
+                f"the fleet already has a server named {server.name!r}"
+            )
+        self.servers.append(server)
+        self._by_name[server.name] = server
+
+    def decommission_server(self, server: BuyerAgentServer) -> None:
+        """Retire ``server`` from the fleet (it must own no shards).
+
+        Every shard must have been transferred away first — this refuses to
+        orphan consumers.  The server's replication streams are unwired in
+        both directions: its outbound peers stop hosting its replicas, its
+        anti-entropy task is cancelled, its hosted replicas are discarded,
+        and every primary that streamed *to* it is retargeted to a live
+        ring successor (same machinery a crash uses, minus the crash).  The
+        name stays known to the fleet so :meth:`add_server` can re-join it.
+        """
+        if server.name not in self._by_name or self._by_name[server.name] is not server:
+            raise ECommerceError(f"server {server.name!r} is not in this fleet")
+        if server.name in self.retired:
+            return
+        owned = self.shard_map.shards_of(server.name)
+        if owned:
+            raise ECommerceError(
+                f"server {server.name!r} still owns shards {owned}; transfer "
+                "them before decommissioning"
+            )
+        self.retired.add(server.name)
+        manager = server.replication
+        if manager is not None:
+            manager.stop_anti_entropy()
+            for peer in list(manager.peers):
+                manager.remove_peer(peer.name)
+                if peer.replication is not None:
+                    peer.replication.discard_replica(server.name)
+            for primary_name in list(manager.hosted):
+                manager.discard_replica(primary_name)
+        self._retarget_replication(server)
+        if self.coordinator is not None and manager is not None:
+            self.coordinator.register_replication(server.name, [])
+        transport = self.servers[0].context.transport
+        transport.event_log.record(
+            transport.scheduler.clock.now,
+            "fleet.server-decommissioned",
+            server.name,
+            server.name,
+            epoch=self.shard_map.epoch,
+        )
+
+
+class ShardSplit:
+    """One in-flight live split: the migration loop as a first-class handle.
+
+    Created by :meth:`BuyerServerFleet.split_shard`, which has already
+    recorded the split in the shard map (so routing is split-aware before
+    any consumer moves).  The handle then moves the movers — the consumers
+    the deterministic membership cut sends to the child — in caller-sized
+    steps, letting scenarios interleave queries, failures and traffic with
+    the migration.  :meth:`finalize` commits the child shard steady once
+    every mover has landed.
+
+    The handle survives a crash of either owner mid-split: consumer moves
+    and the final commit read the *current* owners through the shard map,
+    so a promotion failover between steps simply redirects the remaining
+    moves to the promoted server.  Movers lost to the failover (state that
+    never reached a replica) are skipped — they are already counted and
+    unassigned by the failover accounting.
+    """
+
+    def __init__(
+        self,
+        fleet: BuyerServerFleet,
+        parent: int,
+        child: int,
+        movers: List[str],
+    ) -> None:
+        self.fleet = fleet
+        self.parent = parent
+        self.child = child
+        self.pending: List[str] = list(movers)
+        self.moved: List[str] = []
+        self.finalized = False
+
+    @property
+    def done(self) -> bool:
+        """True when every mover has landed on the child shard."""
+        return not self.pending
+
+    def step(self, count: int = 1) -> int:
+        """Move up to ``count`` pending consumers; returns how many moved."""
+        if self.finalized:
+            raise ECommerceError("this split is already finalized")
+        stepped = 0
+        while self.pending and stepped < count:
+            user_id = self.pending.pop(0)
+            if self.fleet._assignment.get(user_id) != self.parent:
+                # Lost to a mid-split failover (already reported) or moved
+                # by other machinery; nothing left to move.
+                continue
+            self.fleet._move_consumer(user_id, self.child)
+            self.moved.append(user_id)
+            stepped += 1
+        return stepped
+
+    def run(self) -> int:
+        """Move every remaining consumer and finalize; returns total moved."""
+        moved = self.step(len(self.pending)) if self.pending else 0
+        self.finalize()
+        return moved
+
+    def finalize(self) -> None:
+        """Commit the child shard steady (requires every mover landed)."""
+        if self.finalized:
+            return
+        if self.pending:
+            raise ECommerceError(
+                f"{len(self.pending)} consumers still pending; step() or run() "
+                "the split to completion first"
+            )
+        self.fleet.shard_map.commit_migration(self.child)
+        self.fleet.splits += 1
+        self.finalized = True
+        server = self.fleet.owner_of_shard(self.child)
+        transport = server.context.transport
+        transport.event_log.record(
+            transport.scheduler.clock.now,
+            "fleet.shard-split",
+            self.fleet.shard_map.owner_of(self.parent),
+            server.name,
+            parent=self.parent,
+            child=self.child,
+            moved=len(self.moved),
+            epoch=self.fleet.shard_map.epoch,
+        )
+        transport.metrics.counter("fleet.elastic.splits").increment()
 
 
 def _creation_request(host: str):

@@ -36,6 +36,11 @@ class CoordinatorAgent(Aglet):
         # shard; a promotion failover hands a dead server's shards to the
         # promoted replica holder, so the value is a list.
         self.shard_map: Dict[str, List[int]] = {}
+        # Epoch of the fleet's versioned ShardMap as of the last sync — 0
+        # until the first elastic topology change arrives.  Syncs carry the
+        # epoch so a reordered or duplicate delivery can never roll the
+        # registry backwards.
+        self.shard_map_epoch: int = 0
         # primary host → replica hosts, for buyer servers that stream their
         # UserDB mutations to peers (replication mode).  The CA records the
         # topology so the domain registry knows where a crashed server's
@@ -51,16 +56,46 @@ class CoordinatorAgent(Aglet):
             return self._handle_register_replication(message)
         if message.kind == "platform.promote-shard":
             return self._handle_promote_shard(message)
+        if message.kind == "platform.shard-map":
+            return self._handle_shard_map_sync(message)
         if message.kind == "platform.topology":
             return message.reply(
                 marketplaces=list(self.marketplaces),
                 seller_servers=list(self.seller_servers),
                 buyer_servers=list(self.buyer_servers),
                 shard_map={host: list(ids) for host, ids in self.shard_map.items()},
+                shard_map_epoch=self.shard_map_epoch,
                 replica_map={k: list(v) for k, v in self.replica_map.items()},
                 coordinator=self.location,
             )
         return super().handle_message(message)
+
+    def _handle_shard_map_sync(self, message: Message) -> Reply:
+        """An elastic topology change: replace the shard registry wholesale.
+
+        The fleet's versioned :class:`~repro.core.shard_map.ShardMap` is the
+        source of truth; the CA mirrors it.  Unlike the surgical
+        promote-shard update, a sync ships the complete shard → owner
+        assignment with its epoch, and a sync at or below the recorded
+        epoch is acknowledged but ignored — last-writer-wins by version,
+        never by arrival order.
+        """
+        epoch = int(message.require("epoch"))
+        assignments = message.require("assignments")
+        if epoch <= self.shard_map_epoch:
+            return message.reply(applied=False, epoch=self.shard_map_epoch)
+        rebuilt: Dict[str, List[int]] = {}
+        for shard, host in assignments.items():
+            rebuilt.setdefault(host, []).append(int(shard))
+        for owned in rebuilt.values():
+            owned.sort()
+        self.shard_map = rebuilt
+        self.shard_map_epoch = epoch
+        self.context.transport.event_log.record(
+            self.now, "coordinator.shard-map-synced", self.location, self.location,
+            epoch=epoch, shards=len(assignments), owners=sorted(rebuilt),
+        )
+        return message.reply(applied=True, epoch=epoch)
 
     def _handle_promote_shard(self, message: Message) -> Reply:
         """A promotion failover: move a dead primary's shards to its replica holder.
@@ -244,6 +279,24 @@ class CoordinatorServer:
             dead=dead,
             promoted=promoted,
             shards=list(shards),
+        )
+        if not reply.ok:
+            raise RegistrationError(reply.error)
+
+    def sync_shard_map(self, epoch: int, assignments: Dict[int, str]) -> None:
+        """Mirror the fleet's versioned shard map into the CA registry.
+
+        Called by the fleet after every *elastic* epoch bump (handback,
+        split, scale-in transfer) with the complete shard → owner
+        assignment; promotion failovers keep their dedicated
+        :meth:`promote_shard` message.  Stale epochs are ignored by the CA,
+        so replays cannot regress the registry.
+        """
+        reply = self.agent.proxy.request(
+            "platform.shard-map",
+            sender=self.name,
+            epoch=epoch,
+            assignments={int(shard): host for shard, host in assignments.items()},
         )
         if not reply.ok:
             raise RegistrationError(reply.error)

@@ -308,6 +308,7 @@ class ECommercePlatform:
                 self.buyer_servers,
                 coordinator=self.coordinator,
                 hedge_delay_percentile=config.fleet_hedge_delay_percentile,
+                scoring_backend=config.scoring_backend,
             )
             if config.num_buyer_servers > 1
             else None
@@ -391,7 +392,9 @@ class ECommercePlatform:
             for target in targets:
                 seller.list_on_marketplace(target)
 
-    def _build_buyer_server(self, index: int) -> BuyerAgentServer:
+    def _build_buyer_server(
+        self, index: int, shard_id: object = "auto"
+    ) -> BuyerAgentServer:
         name = "buyer-agent-server" if index == 0 else f"buyer-agent-server-{index + 1}"
         host = self._new_host(name)
         context = self._new_context(host)
@@ -405,10 +408,100 @@ class ECommercePlatform:
             shard_routing=self.config.shard_routing,
             scoring_backend=self.config.scoring_backend,
         )
-        shard_id = index if self.config.num_buyer_servers > 1 else None
+        if shard_id == "auto":
+            shard_id = index if self.config.num_buyer_servers > 1 else None
         self.coordinator.register_server("buyer-server", host.name, shard_id=shard_id)
         server.bootstrap()
         return server
+
+    # -- elastic fleet operations ---------------------------------------------------------
+
+    def add_buyer_server(self) -> BuyerAgentServer:
+        """Scale out: join one more buyer agent server to the fleet.
+
+        A previously removed server is resurrected first (host restarted,
+        stale state purged through the recovery machinery, replication
+        rewired); otherwise a brand-new server is built, bootstrapped
+        against the coordinator and joined as shard-less capacity — it
+        takes load only once the autoscaler (or a caller) hands it a shard
+        via :meth:`~repro.ecommerce.buyer_server.BuyerServerFleet.transfer_shard`
+        or :meth:`~repro.ecommerce.buyer_server.BuyerServerFleet.split_shard`.
+        """
+        if self.fleet is None:
+            raise ECommerceError(
+                "add_buyer_server needs fleet mode (num_buyer_servers > 1)"
+            )
+        for server in reversed(self.buyer_servers):
+            if server.name in self.fleet.retired:
+                host = self.hosts[server.name]
+                if not host.is_running:
+                    host.recover()
+                self.fleet.add_server(server)
+                self.fleet.recover_server(server)
+                self._wire_server_replication(server)
+                return server
+        server = self._build_buyer_server(len(self.buyer_servers), shard_id=None)
+        self.buyer_servers.append(server)
+        self.fleet.add_server(server)
+        self._wire_server_replication(server)
+        return server
+
+    def remove_buyer_server(self, server: BuyerAgentServer) -> None:
+        """Scale in: retire ``server`` (it must own no shards) and stop its host.
+
+        The fleet unwires its replication streams in both directions and
+        marks it retired; the host then leaves the network cleanly.  The
+        server object stays known so :meth:`add_buyer_server` can resurrect
+        it on the next scale-out instead of growing the host population
+        without bound.
+        """
+        if self.fleet is None:
+            raise ECommerceError(
+                "remove_buyer_server needs fleet mode (num_buyer_servers > 1)"
+            )
+        self.fleet.decommission_server(server)
+        host = self.hosts[server.name]
+        if host.is_running:
+            host.stop()
+
+    def _wire_server_replication(self, server: BuyerAgentServer) -> None:
+        """Wire one newly joined server into the replication ring.
+
+        Outbound: the server streams to its first ``replication_factor``
+        live, non-retired ring successors (skipping streams that already
+        exist).  Inbound: primaries whose ideal ring successor is the new
+        server swap their ring-farthest peer for it — the same convergence
+        a recovered host gets.  No-op when the platform does not replicate.
+        """
+        if self.config.replication_factor <= 0:
+            return
+        if server.replication is None:
+            server.enable_replication(
+                wal_truncate_threshold=self.config.replication_wal_truncate_threshold
+            )
+        servers = self.buyer_servers
+        index = servers.index(server)
+        total = len(servers)
+        wired = 0
+        for offset in range(1, total):
+            if wired >= self.config.replication_factor:
+                break
+            peer = servers[(index + offset) % total]
+            if peer is server or peer.name in self.fleet.retired:
+                continue
+            if not peer.context.host.is_running or peer.replication is None:
+                continue
+            if not any(existing is peer for existing in server.replication.peers):
+                server.replication.replicate_to(peer)
+            wired += 1
+        self.coordinator.register_replication(
+            server.name, [peer.name for peer in server.replication.peers]
+        )
+        if not server.replication.anti_entropy_scheduled:
+            server.replication.start_anti_entropy(
+                self.config.replication_anti_entropy_interval_ms
+            )
+        self.fleet._rewire_recovered_replication(server)
 
     # -- consumer entry points -----------------------------------------------------------
 
@@ -480,7 +573,7 @@ class ECommercePlatform:
 
     def stats(self) -> Dict[str, object]:
         """Aggregate platform statistics used by benchmarks and examples."""
-        return {
+        payload: Dict[str, object] = {
             "now_ms": self.now,
             "network": self.network.stats(),
             "metrics": self.metrics.snapshot(),
@@ -495,6 +588,17 @@ class ECommercePlatform:
                 server.name: len(server.user_db) for server in self.buyer_servers
             },
         }
+        if self.fleet is not None:
+            payload["shard_map"] = self.fleet.shard_map.as_dict()
+            payload["fleet"] = {
+                "servers": len(self.fleet.servers),
+                "active_servers": len(self.fleet.servers) - len(self.fleet.retired),
+                "retired": sorted(self.fleet.retired),
+                "handbacks": self.fleet.handbacks,
+                "splits": self.fleet.splits,
+                "transferred_consumers": self.fleet.transferred_consumers,
+            }
+        return payload
 
 
 def build_platform(

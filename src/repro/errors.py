@@ -147,6 +147,15 @@ class FleetUnavailableError(ECommerceError):
     """
 
 
+class ShardMapError(ReproError):
+    """Raised when the versioned shard map is misused.
+
+    Unknown shard ids, conflicting migrations, commits without a matching
+    begin — topology bookkeeping errors, as opposed to a topology that is
+    merely degraded (crashed owners raise e-commerce errors instead).
+    """
+
+
 # ---------------------------------------------------------------------------
 # Recommendation core
 # ---------------------------------------------------------------------------

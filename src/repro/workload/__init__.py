@@ -24,7 +24,7 @@ synthetic workloads built here:
 from repro.workload.products import ProductGenerator, TAXONOMY
 from repro.workload.consumers import SyntheticConsumer, ConsumerPopulation
 from repro.workload.generator import InteractionDataset, InteractionGenerator
-from repro.workload.scenarios import ScenarioRunner, ScenarioReport
+from repro.workload.scenarios import ElasticScenarioReport, ScenarioRunner, ScenarioReport
 from repro.workload.arrivals import PoissonArrivals, ThinkTime
 from repro.workload.concurrent import (
     ConcurrentDriver,
@@ -39,6 +39,7 @@ __all__ = [
     "ConsumerPopulation",
     "InteractionDataset",
     "InteractionGenerator",
+    "ElasticScenarioReport",
     "ScenarioRunner",
     "ScenarioReport",
     "PoissonArrivals",

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import WorkloadError
 from repro.api.envelope import ApiStatus
 from repro.api.requests import (
+    FindSimilarRequest,
     LoginRequest,
     LogoutRequest,
     QueryRequest,
@@ -152,11 +153,12 @@ class ConcurrentScenarioReport:
 class _Session:
     """One consumer's closed-loop request chain, driven by done-callbacks.
 
-    login → ``queries`` queries → (maybe) recommendations → logout, each
-    follow-up submitted at the previous request's virtual finish plus a
-    think-time pause.  A failed login ends the session immediately (there
-    is no session to use); any later failure is counted and the chain
-    continues — a browser does not stop browsing because one query shed.
+    login → ``queries`` queries → (maybe) find-similar → (maybe)
+    recommendations → logout, each follow-up submitted at the previous
+    request's virtual finish plus a think-time pause.  A failed login ends
+    the session immediately (there is no session to use); any later failure
+    is counted and the chain continues — a browser does not stop browsing
+    because one query shed.
     """
 
     def __init__(
@@ -168,12 +170,14 @@ class _Session:
         ask_recommendations: bool,
         rng: random.Random,
         futures: List[Any],
+        ask_similar: bool = False,
     ) -> None:
         self._gateway = gateway
         self._consumer = consumer
         self._queries_left = queries
         self._think = think
         self._ask_recommendations = ask_recommendations
+        self._ask_similar = ask_similar
         self._rng = rng
         self._futures = futures
 
@@ -202,6 +206,16 @@ class _Session:
             keyword = self._consumer.preferred_keyword(self._rng)
             self._submit(
                 QueryRequest(user_id, keyword), self._next_at(future), self._continue
+            )
+        elif self._ask_similar:
+            # The fleet fan-out path: a similar-consumer lookup hits every
+            # shard at once, which is where hedged requests (when the fleet
+            # is configured with a hedge delay) actually engage.
+            self._ask_similar = False
+            self._submit(
+                FindSimilarRequest(user_id),
+                self._next_at(future),
+                self._continue,
             )
         elif self._ask_recommendations:
             self._ask_recommendations = False
@@ -242,6 +256,7 @@ class ConcurrentDriver:
         arrival_rate_per_ms: Optional[float] = 0.05,
         think_time_ms: float = 250.0,
         recommendation_probability: float = 0.25,
+        find_similar_probability: float = 0.0,
         max_events: int = 1_000_000,
     ) -> ConcurrentScenarioReport:
         """Drive ``sessions`` overlapping sessions to completion.
@@ -249,7 +264,14 @@ class ConcurrentDriver:
         ``arrival_rate_per_ms=None`` turns the open-loop arrivals into a
         simultaneous burst (every session arrives at the current horizon) —
         the harshest test of admission shedding.
+        ``find_similar_probability`` adds a fleet-wide similar-consumer
+        lookup to that fraction of sessions — the fan-out (and, when
+        configured, hedged-request) hot path under concurrent load.  At the
+        default ``0.0`` the extra RNG draw is skipped entirely, so existing
+        seeded runs replay byte-identically.
         """
+        if not 0.0 <= find_similar_probability <= 1.0:
+            raise WorkloadError("find_similar_probability must be in [0, 1]")
         if sessions <= 0:
             raise WorkloadError("concurrent day needs at least one session")
         if queries_per_session < 0:
@@ -298,6 +320,12 @@ class ConcurrentDriver:
                 ask_recommendations=rng.random() < recommendation_probability,
                 rng=rng,
                 futures=futures,
+                # Guarded draw: at probability 0 the RNG is not consulted,
+                # keeping pre-existing seeded runs byte-identical.
+                ask_similar=(
+                    find_similar_probability > 0.0
+                    and rng.random() < find_similar_probability
+                ),
             )
             session.start(base + offset)
         executed = scheduler.run_until_idle(max_events)

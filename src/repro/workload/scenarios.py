@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import WorkloadError
+from repro.ecommerce.elasticity import AutoscalerPolicy, FleetAutoscaler
 from repro.ecommerce.platform_builder import ECommercePlatform
 from repro.workload.consumers import ConsumerPopulation, SyntheticConsumer
 
-__all__ = ["ScenarioReport", "ScenarioRunner"]
+__all__ = ["ElasticScenarioReport", "ScenarioReport", "ScenarioRunner"]
 
 
 @dataclass
@@ -68,6 +69,70 @@ class ScenarioReport:
             "stale_shard_answers": self.stale_shard_answers,
             "lost_consumers": self.lost_consumers,
             "recovered_purged": self.recovered_purged,
+            "simulated_duration_ms": self.simulated_duration_ms,
+        }
+
+
+@dataclass
+class ElasticScenarioReport:
+    """What an elastic-fleet scenario did: traffic, topology and safety.
+
+    Shared by :meth:`ScenarioRunner.flash_crowd_day` (autoscaler-driven)
+    and :meth:`ScenarioRunner.rolling_upgrade_day` (operator-driven): both
+    run traffic in windows between topology changes, so the report carries
+    the per-window traffic summaries, the trail of fleet sizes and
+    shard-map epochs, and the safety counters the acceptance bars check —
+    ``lost_consumers`` and ``missing_consumers`` must both be zero on a
+    healthy run.
+    """
+
+    scenario: str = ""
+    consumers: int = 0
+    windows: List[Dict[str, Any]] = field(default_factory=list)
+    decisions: List[Dict[str, Any]] = field(default_factory=list)
+    fleet_sizes: List[int] = field(default_factory=list)
+    epoch_trail: List[int] = field(default_factory=list)
+    initial_servers: int = 0
+    peak_servers: int = 0
+    final_servers: int = 0
+    requests: int = 0
+    completed: int = 0
+    shed: int = 0
+    failed_operations: int = 0
+    statuses: Dict[str, int] = field(default_factory=dict)
+    handbacks: int = 0
+    splits: int = 0
+    transferred_consumers: int = 0
+    lost_consumers: int = 0
+    missing_consumers: int = 0
+    started_at_ms: float = 0.0
+    finished_at_ms: float = 0.0
+
+    @property
+    def simulated_duration_ms(self) -> float:
+        return self.finished_at_ms - self.started_at_ms
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "consumers": self.consumers,
+            "windows": [dict(window) for window in self.windows],
+            "decisions": [dict(decision) for decision in self.decisions],
+            "fleet_sizes": list(self.fleet_sizes),
+            "epoch_trail": list(self.epoch_trail),
+            "initial_servers": self.initial_servers,
+            "peak_servers": self.peak_servers,
+            "final_servers": self.final_servers,
+            "requests": self.requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed_operations": self.failed_operations,
+            "statuses": dict(sorted(self.statuses.items())),
+            "handbacks": self.handbacks,
+            "splits": self.splits,
+            "transferred_consumers": self.transferred_consumers,
+            "lost_consumers": self.lost_consumers,
+            "missing_consumers": self.missing_consumers,
             "simulated_duration_ms": self.simulated_duration_ms,
         }
 
@@ -576,4 +641,326 @@ class ScenarioRunner:
         report.batch_refreshes = (
             log.count("recommendation.scheduled-refresh") - refreshes_before
         )
+        return report
+
+    # -- elastic-fleet scenarios -------------------------------------------------------
+
+    def _elastic_window(
+        self,
+        report: ElasticScenarioReport,
+        phase: str,
+        seed: int,
+        sessions: int,
+        queries_per_session: int,
+        arrival_rate_per_ms: Optional[float],
+        think_time_ms: float,
+        recommendation_probability: float,
+        find_similar_probability: float,
+    ) -> Dict[str, Any]:
+        """One concurrent traffic window, folded into an elastic report.
+
+        Each window gets its own seeded driver (``seed`` varies per
+        window) so windows differ in traffic but the whole scenario
+        replays byte-identically; the driver publishes the per-server
+        utilization and backlog gauges as it finishes, which is exactly
+        what the autoscaler tick that follows will read.
+        """
+        from repro.workload.concurrent import ConcurrentDriver
+
+        driver = ConcurrentDriver(self.platform, self.population, seed=seed)
+        window = driver.run(
+            sessions=sessions,
+            queries_per_session=queries_per_session,
+            arrival_rate_per_ms=arrival_rate_per_ms,
+            think_time_ms=think_time_ms,
+            recommendation_probability=recommendation_probability,
+            find_similar_probability=find_similar_probability,
+        )
+        report.requests += window.requests
+        report.completed += window.completed
+        report.shed += window.shed
+        report.failed_operations += window.failed_operations
+        for status, count in window.statuses.items():
+            report.statuses[status] = report.statuses.get(status, 0) + count
+        summary: Dict[str, Any] = {
+            "phase": phase,
+            "arrival_rate_per_ms": arrival_rate_per_ms,
+            "sessions": window.sessions,
+            "requests": window.requests,
+            "completed": window.completed,
+            "shed": window.shed,
+            "failed_operations": window.failed_operations,
+            "statuses": dict(sorted(window.statuses.items())),
+            "latency_p50_ms": window.latency_ms.get("p50", 0.0),
+            "latency_p99_ms": window.latency_ms.get("p99", 0.0),
+        }
+        report.windows.append(summary)
+        return summary
+
+    def _ensure_registered(self) -> List[str]:
+        """Register any not-yet-registered consumers; returns the census."""
+        fleet = self.platform.fleet
+        users = [consumer.user_id for consumer in self.population.consumers()]
+        for user_id in users:
+            if not fleet.is_registered(user_id):
+                self.gateway.register(user_id)
+        return users
+
+    def flash_crowd_day(
+        self,
+        sessions_per_window: int = 120,
+        queries_per_session: int = 1,
+        baseline_rate_per_ms: float = 0.01,
+        spike_factor: float = 10.0,
+        baseline_windows: int = 1,
+        spike_windows: int = 2,
+        drain_windows: int = 3,
+        settle_ticks: int = 8,
+        think_time_ms: float = 200.0,
+        recommendation_probability: float = 0.25,
+        find_similar_probability: float = 0.0,
+        policy: Optional[AutoscalerPolicy] = None,
+        seed: int = 0,
+    ) -> ElasticScenarioReport:
+        """A flash crowd: 10x arrival spike → scale out → drain back.
+
+        Requires a multi-server fleet.  Traffic runs in concurrent windows
+        — ``baseline_windows`` at ``baseline_rate_per_ms``, then
+        ``spike_windows`` at ``spike_factor`` times that rate, then
+        ``drain_windows`` back at baseline — with one
+        :meth:`~repro.ecommerce.elasticity.FleetAutoscaler.tick` between
+        windows reading the gauges the driver just published.  The spike
+        drives utilization/backlog over the high-water marks, so the
+        autoscaler joins servers and moves shards onto them (whole-shard
+        handback or live split); the drain windows plus up to
+        ``settle_ticks`` trailing quiet ticks shrink the fleet back to its
+        founding floor, handing every borrowed shard back.  The report
+        carries the full decision trail, the fleet-size and epoch history,
+        and the safety counters (``lost_consumers`` and
+        ``missing_consumers`` must be zero).
+        """
+        platform = self.platform
+        fleet = platform.fleet
+        if fleet is None:
+            raise WorkloadError(
+                "flash crowd day needs a multi-server fleet "
+                "(PlatformConfig.num_buyer_servers > 1)"
+            )
+        for name, value in (
+            ("sessions_per_window", sessions_per_window),
+            ("baseline_windows", baseline_windows),
+            ("spike_windows", spike_windows),
+            ("drain_windows", drain_windows),
+        ):
+            if value <= 0:
+                raise WorkloadError(f"{name} must be positive")
+        if spike_factor <= 1.0:
+            raise WorkloadError("spike_factor must exceed 1.0")
+        if settle_ticks < 0:
+            raise WorkloadError("settle_ticks cannot be negative")
+
+        scaler = FleetAutoscaler(platform, policy)
+        users = self._ensure_registered()
+        report = ElasticScenarioReport(
+            scenario="flash_crowd_day",
+            consumers=len(users),
+            started_at_ms=platform.now,
+        )
+        report.initial_servers = len(scaler.active_servers())
+        lost_before = fleet.lost_consumers
+        handbacks_before = fleet.handbacks
+        splits_before = fleet.splits
+        transferred_before = fleet.transferred_consumers
+
+        spike_rate = baseline_rate_per_ms * spike_factor
+        phases = (
+            [("baseline", baseline_rate_per_ms)] * baseline_windows
+            + [("spike", spike_rate)] * spike_windows
+            + [("drain", baseline_rate_per_ms)] * drain_windows
+        )
+        for index, (phase, rate) in enumerate(phases):
+            summary = self._elastic_window(
+                report,
+                phase,
+                seed=seed + index,
+                sessions=sessions_per_window,
+                queries_per_session=queries_per_session,
+                arrival_rate_per_ms=rate,
+                think_time_ms=think_time_ms,
+                recommendation_probability=recommendation_probability,
+                find_similar_probability=find_similar_probability,
+            )
+            decision = scaler.tick()
+            summary["decision"] = decision.action
+            report.fleet_sizes.append(len(scaler.active_servers()))
+            report.epoch_trail.append(fleet.shard_map.epoch)
+        # Trailing quiet ticks: the gauges still read the last (baseline)
+        # window, so the scaler keeps shrinking until the founding floor.
+        for _ in range(settle_ticks):
+            if len(scaler.active_servers()) <= scaler.floor:
+                break
+            scaler.tick()
+            report.fleet_sizes.append(len(scaler.active_servers()))
+            report.epoch_trail.append(fleet.shard_map.epoch)
+
+        report.decisions = [decision.as_dict() for decision in scaler.decisions]
+        report.peak_servers = max(report.fleet_sizes, default=0)
+        report.final_servers = len(scaler.active_servers())
+        report.handbacks = fleet.handbacks - handbacks_before
+        report.splits = fleet.splits - splits_before
+        report.transferred_consumers = (
+            fleet.transferred_consumers - transferred_before
+        )
+        report.lost_consumers = fleet.lost_consumers - lost_before
+        report.missing_consumers = sum(
+            1 for user_id in users if not fleet.is_registered(user_id)
+        )
+        report.finished_at_ms = platform.now
+        return report
+
+    def rolling_upgrade_day(
+        self,
+        sessions_per_window: int = 40,
+        queries_per_session: int = 1,
+        arrival_rate_per_ms: float = 0.02,
+        think_time_ms: float = 200.0,
+        recommendation_probability: float = 0.25,
+        find_similar_probability: float = 0.0,
+        seed: int = 0,
+    ) -> ElasticScenarioReport:
+        """Restart every founding server, one at a time, under live traffic.
+
+        Requires a multi-server fleet with replication wired.  For each
+        founding server in turn: crash the host mid-day, promote the
+        freshest replica holder (the PR-6 failover — consumers never
+        re-register), run a traffic window against the degraded fleet,
+        recover the host, purge its stale copies, and hand its original
+        shards back
+        (:meth:`~repro.ecommerce.buyer_server.BuyerServerFleet.transfer_shard`
+        — the live replica-bootstrap + WAL catch-up path).  After the last
+        server the shard map must match the founding assignment again —
+        ``ownership_restored`` in each window dict, and zero
+        ``lost_consumers`` / ``missing_consumers``, are the acceptance
+        bars.
+        """
+        platform = self.platform
+        fleet = platform.fleet
+        if fleet is None:
+            raise WorkloadError(
+                "rolling upgrade day needs a multi-server fleet "
+                "(PlatformConfig.num_buyer_servers > 1)"
+            )
+        if sessions_per_window <= 0:
+            raise WorkloadError("sessions_per_window must be positive")
+        founding = [
+            server
+            for server in list(fleet.servers)
+            if server.name not in fleet.retired
+        ]
+        for server in founding:
+            if server.replication is None or not server.replication.peers:
+                raise WorkloadError(
+                    "rolling upgrade day needs replication wired "
+                    "(PlatformConfig.replication_factor >= 1)"
+                )
+
+        users = self._ensure_registered()
+        report = ElasticScenarioReport(
+            scenario="rolling_upgrade_day",
+            consumers=len(users),
+            started_at_ms=platform.now,
+        )
+        original = {
+            server.name: list(fleet.shards_of(server)) for server in founding
+        }
+        report.initial_servers = len(founding)
+        lost_before = fleet.lost_consumers
+        handbacks_before = fleet.handbacks
+        transferred_before = fleet.transferred_consumers
+
+        window_seed = seed
+        self._elastic_window(
+            report,
+            "warm",
+            seed=window_seed,
+            sessions=sessions_per_window,
+            queries_per_session=queries_per_session,
+            arrival_rate_per_ms=arrival_rate_per_ms,
+            think_time_ms=think_time_ms,
+            recommendation_probability=recommendation_probability,
+            find_similar_probability=find_similar_probability,
+        )
+        report.fleet_sizes.append(len(founding))
+        report.epoch_trail.append(fleet.shard_map.epoch)
+
+        for server in founding:
+            platform.failures.crash_host(server.name)
+            promoted = fleet.handle_server_failure(
+                original[server.name][0], strategy="promote"
+            )
+            window_seed += 1
+            degraded = self._elastic_window(
+                report,
+                f"upgrade:{server.name}",
+                seed=window_seed,
+                sessions=sessions_per_window,
+                queries_per_session=queries_per_session,
+                arrival_rate_per_ms=arrival_rate_per_ms,
+                think_time_ms=think_time_ms,
+                recommendation_probability=recommendation_probability,
+                find_similar_probability=find_similar_probability,
+            )
+            platform.failures.recover_host(server.name)
+            purged = fleet.recover_server(server)
+            restored = 0
+            for shard in original[server.name]:
+                owner = fleet.owner_of_shard(shard)
+                if owner is not server:
+                    restored += fleet.transfer_shard(
+                        shard, server, kind="upgrade"
+                    )
+            degraded["server"] = server.name
+            degraded["shards"] = list(original[server.name])
+            degraded["promoted_consumers"] = promoted
+            degraded["recovered_purged"] = purged
+            degraded["restored_consumers"] = restored
+            degraded["ownership_restored"] = all(
+                fleet.shard_map.owner_of(shard) == server.name
+                for shard in original[server.name]
+            )
+            report.fleet_sizes.append(
+                sum(
+                    1
+                    for candidate in founding
+                    if candidate.context.host.is_running
+                )
+            )
+            report.epoch_trail.append(fleet.shard_map.epoch)
+
+        window_seed += 1
+        self._elastic_window(
+            report,
+            "restored",
+            seed=window_seed,
+            sessions=sessions_per_window,
+            queries_per_session=queries_per_session,
+            arrival_rate_per_ms=arrival_rate_per_ms,
+            think_time_ms=think_time_ms,
+            recommendation_probability=recommendation_probability,
+            find_similar_probability=find_similar_probability,
+        )
+        report.fleet_sizes.append(len(founding))
+        report.epoch_trail.append(fleet.shard_map.epoch)
+
+        report.peak_servers = max(report.fleet_sizes, default=0)
+        report.final_servers = len(founding)
+        report.handbacks = fleet.handbacks - handbacks_before
+        report.transferred_consumers = (
+            fleet.transferred_consumers - transferred_before
+        )
+        report.lost_consumers = fleet.lost_consumers - lost_before
+        report.missing_consumers = sum(
+            1 for user_id in users if not fleet.is_registered(user_id)
+        )
+        report.finished_at_ms = platform.now
         return report

@@ -725,3 +725,66 @@ class TestPromotionScenario:
         )
         with pytest.raises(WorkloadError):
             runner.promotion_failover_day(sessions=3)
+
+
+class TestDegradedReadLatencyParity:
+    """Satellite (PR 9): replica answers must cost like primary answers.
+
+    The degraded read serves a dead shard from its replica's incremental
+    index — the same indexed path the primary uses — so a replica answer
+    must stay within a small constant factor of a healthy answer, in both
+    simulated charged latency and real compute time.  A regression that
+    sent replica reads through the brute-force scan (or rebuilt the index
+    per query) would blow well past the factor.
+    """
+
+    PARITY_FACTOR = 10.0
+
+    def test_replica_answer_charges_simulated_latency_on_par(self):
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        target = next(
+            user_id for user_id in CONSUMERS if fleet.shard_of(user_id) != victim
+        )
+
+        healthy = fleet.query_similar(target)
+        healthy_ms = healthy.shard_latencies_ms[dead.name]
+        assert healthy_ms > 0
+
+        platform.failures.crash_host(dead.name)
+        degraded = fleet.query_similar(target)
+        assert degraded.degraded
+        degraded_ms = degraded.shard_latencies_ms[dead.name]
+        assert degraded_ms > 0
+        assert degraded_ms <= healthy_ms * self.PARITY_FACTOR
+
+    def test_replica_answer_wall_clock_within_factor_of_healthy(self):
+        import statistics
+        import time
+
+        platform = _build(replication_factor=1)
+        fleet = platform.fleet
+        _drive_workload(platform)
+        victim = _victim_shard(fleet)
+        dead = fleet.servers[victim]
+        target = next(
+            user_id for user_id in CONSUMERS if fleet.shard_of(user_id) != victim
+        )
+
+        def sample(repeats=40):
+            samples = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fleet.query_similar(target)
+                samples.append(time.perf_counter() - start)
+            return statistics.median(samples)
+
+        fleet.query_similar(target)  # warm both indexes
+        healthy_s = sample()
+        platform.failures.crash_host(dead.name)
+        assert fleet.query_similar(target).degraded  # warm the replica path
+        degraded_s = sample()
+        assert degraded_s <= healthy_s * self.PARITY_FACTOR

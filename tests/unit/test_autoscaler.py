@@ -1,0 +1,287 @@
+"""Unit tests for the autoscaling control loop (PR 9).
+
+The :class:`~repro.ecommerce.elasticity.FleetAutoscaler` reads the
+per-server utilization/backlog gauges and the admission-rejection counter;
+these tests drive it by setting those signals directly — no concurrent
+traffic needed — so every branch of the decision logic is pinned in
+isolation.  The scenario-level behaviour (gauges published by a real
+driver) lives in ``tests/integration/test_elastic_fleet.py``.
+"""
+
+import pytest
+
+from repro.ecommerce import (
+    AutoscalerDecision,
+    AutoscalerPolicy,
+    FleetAutoscaler,
+    build_platform,
+)
+from repro.errors import ECommerceError
+
+
+def make_platform(**overrides):
+    defaults = dict(num_buyer_servers=3, replication_factor=1, seed=7)
+    defaults.update(overrides)
+    return build_platform(**defaults)
+
+
+def set_pressure(platform, utilization, backlog_ms=0.0, servers=None):
+    for server in servers or platform.buyer_servers:
+        platform.metrics.gauge(f"api.server.{server.name}.utilization").set(
+            utilization
+        )
+        platform.metrics.gauge(f"api.server.{server.name}.backlog_ms").set(
+            backlog_ms
+        )
+
+
+class TestPolicyValidation:
+    def test_defaults_validate(self):
+        AutoscalerPolicy().validate()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"scale_out_utilization": 0.0},
+            {"scale_out_utilization": 1.5},
+            {"scale_in_utilization": -0.1},
+            {"scale_in_utilization": 0.9},  # >= scale_out_utilization
+            {"scale_out_backlog_ms": 0.0},
+            {"scale_out_rejections": -1},
+            {"max_servers": 0},
+            {"cooldown_ticks": -1},
+        ],
+    )
+    def test_bad_policy_rejected(self, overrides):
+        with pytest.raises(ECommerceError):
+            AutoscalerPolicy(**overrides).validate()
+
+    def test_single_server_platform_rejected(self):
+        platform = build_platform(num_buyer_servers=1, seed=7)
+        with pytest.raises(ECommerceError):
+            FleetAutoscaler(platform)
+
+
+class TestSignals:
+    def test_idle_fleet_reads_quiet(self):
+        platform = make_platform()
+        scaler = FleetAutoscaler(platform)
+        signals = scaler.signals()
+        assert signals["max_utilization"] == 0.0
+        assert signals["max_backlog_ms"] == 0.0
+        assert signals["new_rejections"] == 0.0
+        assert signals["active_servers"] == 3.0
+
+    def test_rejections_are_a_delta_not_a_level(self):
+        platform = make_platform()
+        # Rejections recorded *before* the scaler exists are history, not
+        # pressure: the baseline snapshot is taken at construction.
+        platform.metrics.counter("api.admission.rejected").increment(100)
+        scaler = FleetAutoscaler(platform)
+        assert scaler.signals()["new_rejections"] == 0.0
+        platform.metrics.counter("api.admission.rejected").increment(7)
+        assert scaler.signals()["new_rejections"] == 7.0
+        # tick() consumes the delta; the next tick starts fresh.
+        scaler.tick()
+        assert scaler.signals()["new_rejections"] == 0.0
+
+    def test_dead_server_drops_out_of_the_signal_pool(self):
+        platform = make_platform()
+        scaler = FleetAutoscaler(platform)
+        set_pressure(platform, 0.9)
+        platform.failures.crash_host(platform.buyer_servers[1].name)
+        assert scaler.signals()["active_servers"] == 2.0
+
+
+class TestDecisions:
+    def test_hold_within_band(self):
+        platform = make_platform()
+        scaler = FleetAutoscaler(platform)
+        set_pressure(platform, 0.5)
+        decision = scaler.tick()
+        assert decision.action == "hold"
+        assert decision.reason == "load within band"
+        assert len(platform.fleet.servers) == 3
+
+    def test_utilization_breach_scales_out(self):
+        platform = make_platform()
+        scaler = FleetAutoscaler(platform)
+        set_pressure(platform, 0.9)
+        decision = scaler.tick()
+        assert decision.action == "scale-out"
+        assert decision.server == "buyer-agent-server-4"
+        assert len(scaler.active_servers()) == 4
+        # The newcomer got real load: it owns at least one shard.
+        newcomer = platform.buyer_servers[-1]
+        assert platform.fleet.shards_of(newcomer)
+
+    def test_backlog_breach_scales_out(self):
+        platform = make_platform()
+        scaler = FleetAutoscaler(platform)
+        set_pressure(platform, 0.1, backlog_ms=900.0)
+        assert scaler.tick().action == "scale-out"
+
+    def test_rejection_burst_scales_out(self):
+        platform = make_platform()
+        scaler = FleetAutoscaler(platform)
+        platform.metrics.counter("api.admission.rejected").increment(50)
+        assert scaler.tick().action == "scale-out"
+
+    def test_single_shard_owner_splits_multi_shard_owner_hands_over(self):
+        platform = make_platform()
+        fleet = platform.fleet
+        scaler = FleetAutoscaler(platform)
+        # Every founding server owns exactly one shard: the first scale-out
+        # must split the hot shard (no whole shard to spare).
+        set_pressure(platform, 0.9)
+        decision = scaler.tick()
+        assert "split" in decision.reason
+        assert fleet.splits == 1
+        # Promote a second shard onto the first server so the hottest owner
+        # has two; the next scale-out hands one over whole.
+        newcomer = platform.buyer_servers[-1]
+        set_pressure(platform, 0.0)
+        set_pressure(platform, 0.95, servers=[platform.buyer_servers[0]])
+        child = fleet.shard_map.shards_of(newcomer.name)[0]
+        fleet.transfer_shard(child, platform.buyer_servers[0])
+        decision = scaler.tick()
+        assert decision.action == "scale-out"
+        assert "whole shard" in decision.reason
+        assert fleet.splits == 1  # no new split
+
+    def test_hold_at_max_servers(self):
+        platform = make_platform()
+        policy = AutoscalerPolicy(max_servers=3)
+        scaler = FleetAutoscaler(platform, policy)
+        set_pressure(platform, 0.99)
+        decision = scaler.tick()
+        assert decision.action == "hold"
+        assert decision.reason == "overloaded but at max_servers"
+        assert len(scaler.active_servers()) == 3
+
+
+class TestScaleIn:
+    def test_quiet_fleet_drains_back_lifo_to_the_floor(self):
+        platform = make_platform()
+        policy = AutoscalerPolicy(cooldown_ticks=0)
+        scaler = FleetAutoscaler(platform, policy)
+        set_pressure(platform, 0.9)
+        scaler.tick()
+        scaler.tick()
+        added = [d.server for d in scaler.decisions if d.action == "scale-out"]
+        assert len(scaler.active_servers()) == 5
+        set_pressure(platform, 0.05)
+        removed = []
+        for _ in range(4):
+            decision = scaler.tick()
+            if decision.action == "scale-in":
+                removed.append(decision.server)
+        # LIFO: the newest server leaves first, and the founding floor holds.
+        assert removed == list(reversed(added))
+        assert len(scaler.active_servers()) == scaler.floor == 3
+        assert scaler.tick().action == "hold"
+
+    def test_cooldown_delays_scale_in(self):
+        platform = make_platform()
+        policy = AutoscalerPolicy(cooldown_ticks=2)
+        scaler = FleetAutoscaler(platform, policy)
+        set_pressure(platform, 0.9)
+        scaler.tick()
+        set_pressure(platform, 0.05)
+        actions = [scaler.tick().action for _ in range(3)]
+        assert actions == ["hold", "hold", "scale-in"]
+
+    def test_pressure_resets_the_cooldown(self):
+        platform = make_platform()
+        policy = AutoscalerPolicy(cooldown_ticks=1)
+        scaler = FleetAutoscaler(platform, policy)
+        set_pressure(platform, 0.9)
+        scaler.tick()
+        set_pressure(platform, 0.05)
+        assert scaler.tick().action == "hold"  # quiet 1/2
+        set_pressure(platform, 0.9)
+        scaler.tick()  # overload resets the quiet streak
+        set_pressure(platform, 0.05)
+        assert scaler.tick().action == "hold"  # back to quiet 1/2
+
+    def test_never_removes_founding_servers(self):
+        platform = make_platform()
+        policy = AutoscalerPolicy(cooldown_ticks=0)
+        scaler = FleetAutoscaler(platform, policy)
+        set_pressure(platform, 0.05)
+        for _ in range(5):
+            assert scaler.tick().action == "hold"
+        assert len(platform.fleet.servers) == 3
+
+    def test_split_child_returns_to_its_parents_owner(self):
+        platform = make_platform()
+        fleet = platform.fleet
+        policy = AutoscalerPolicy(cooldown_ticks=0)
+        scaler = FleetAutoscaler(platform, policy)
+        gateway = platform.gateway()
+        for index in range(30):
+            gateway.register(f"user-{index}")
+        set_pressure(platform, 0.9)
+        decision = scaler.tick()
+        child = decision.detail["child"]
+        parent = fleet.shard_map.parent_of(child)
+        set_pressure(platform, 0.05)
+        decision = scaler.tick()
+        assert decision.action == "scale-in"
+        # The child shard survives (lineage never rewinds) but is owned by
+        # the parent shard's owner again.
+        assert fleet.shard_map.owner_of(child) == fleet.shard_map.owner_of(parent)
+
+
+class TestBookkeeping:
+    def test_every_tick_is_recorded(self):
+        platform = make_platform()
+        scaler = FleetAutoscaler(platform)
+        set_pressure(platform, 0.5)
+        scaler.tick()
+        set_pressure(platform, 0.9)
+        scaler.tick()
+        assert [d.action for d in scaler.decisions] == ["hold", "scale-out"]
+        assert platform.event_log.count("autoscaler.decision") == 2
+        assert platform.metrics.counter("autoscaler.hold").value == 1
+        assert platform.metrics.counter("autoscaler.scale-out").value == 1
+
+    def test_decision_as_dict_shape(self):
+        platform = make_platform()
+        scaler = FleetAutoscaler(platform)
+        payload = scaler.tick().as_dict()
+        assert payload["action"] == "hold"
+        assert set(payload) == {"at_ms", "action", "reason", "signals", "epoch"}
+        set_pressure(platform, 0.9)
+        payload = scaler.tick().as_dict()
+        assert payload["server"] == "buyer-agent-server-4"
+        assert "detail" in payload
+
+    def test_scheduled_loop_ticks_with_simulated_time(self):
+        platform = make_platform()
+        scaler = FleetAutoscaler(platform)
+        task = scaler.start(500.0)
+        platform.scheduler.run_until(platform.now + 1600.0)
+        assert len(scaler.decisions) == 3
+        scaler.stop()
+        assert task.cancelled
+        platform.scheduler.run_until(platform.now + 1600.0)
+        assert len(scaler.decisions) == 3
+
+    def test_start_twice_and_bad_interval_rejected(self):
+        platform = make_platform()
+        scaler = FleetAutoscaler(platform)
+        with pytest.raises(ECommerceError):
+            scaler.start(0.0)
+        scaler.start(100.0)
+        with pytest.raises(ECommerceError):
+            scaler.start(100.0)
+        scaler.stop()
+        scaler.start(100.0)  # restart after stop is fine
+        scaler.stop()
+
+    def test_floor_honours_min_servers(self):
+        platform = make_platform()
+        policy = AutoscalerPolicy(min_servers=5)
+        scaler = FleetAutoscaler(platform, policy)
+        assert scaler.floor == 5
