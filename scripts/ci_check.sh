@@ -60,6 +60,9 @@ python -m pytest -x -q benchmarks/bench_saturation_sweep.py
 echo "== tier-1: benchmark smoke (elastic fleet + artifact reproduction) =="
 python -m pytest -x -q benchmarks/bench_elastic_fleet.py
 
+echo "== tier-1: benchmark smoke (adversarial chaos day + artifact reproduction) =="
+python -m pytest -x -q benchmarks/bench_adversarial.py
+
 echo "== tier-1: example smoke runs (deprecation-clean: examples must not =="
 echo "==         touch the shimmed legacy session/fleet methods)         =="
 for example in examples/*.py; do
@@ -279,6 +282,51 @@ assert report.recovered_purged == report.promoted_consumers, report.as_dict()
 assert len(platform.event_log.by_category("fleet.failover-promotion")) == 1
 assert platform.event_log.by_category("fleet.failover-drain") == []
 print("promotion_failover_day: OK", report.as_dict())
+PY
+
+echo "== tier-1: adversarial chaos smoke (invariants + attack shedding) =="
+python - <<'PY'
+import json
+from pathlib import Path
+
+from repro import build_platform
+from repro.api import ApiStatus
+from repro.workload.consumers import ConsumerPopulation
+from repro.workload.scenarios import ScenarioRunner
+
+platform = build_platform(seed=11, num_buyer_servers=3, replication_factor=1,
+                          handshake_trades=True)
+runner = ScenarioRunner(platform, ConsumerPopulation(20, seed=11), seed=11)
+report = runner.chaos_marketplace_day(
+    windows=3, sessions_per_window=10,
+    chaos_outages=2, chaos_horizon_ms=4000.0,
+    chaos_mean_gap_ms=600.0, chaos_mean_outage_ms=1500.0,
+    scalpers=3, bids_per_scalper=2, protocol_rounds=1, flood_requests=10,
+    seed=11)
+d = report.as_dict()
+# Acceptance bars: clean invariant audit, zero attacker success, honest
+# goodput floor — under real chaos (faults actually landed).
+assert d["audit"]["ok"] and d["audit"]["violations"] == [], d["audit"]
+assert d["attacker_success_rate"] == 0.0, d["adversary"]
+assert d["adversary"]["protocol"]["succeeded"] == 0, d["adversary"]
+assert d["honest_goodput"] >= 0.85, d["honest_goodput"]
+assert d["outages"] > 0, d
+assert set(d["statuses"]) <= set(ApiStatus.ALL), d["statuses"]
+for kind in ("forged-nonce", "replayed-offer", "double-finalize",
+             "stale-credential"):
+    assert d["auth_rejections"].get(kind, 0) > 0, d["auth_rejections"]
+
+# The checked-in adversarial artifact must keep holding the same bars.
+payload = json.loads(Path("benchmarks/BENCH_adversarial.json").read_text())
+rep = payload["scenarios"]["chaos_marketplace_day"]["report"]
+assert rep["audit"]["ok"] and rep["audit"]["violations"] == []
+assert rep["attacker_success_rate"] == 0.0
+assert rep["honest_goodput"] >= 0.85
+assert rep["outages"] > 0
+print("chaos_marketplace_day: OK —",
+      f"goodput {d['honest_goodput']:.3f}, {d['outages']} outages,",
+      f"{sum(d['auth_rejections'].values())} attacks refused, audit clean;",
+      "artifact bars hold")
 PY
 
 echo "ci_check: OK"

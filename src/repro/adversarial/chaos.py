@@ -1,0 +1,150 @@
+"""Seeded, replayable chaos schedules over the simulated platform.
+
+A :class:`ChaosSchedule` is a deterministic sequence of outage windows —
+host crashes and single-host partitions, each paired with its repair —
+drawn from a seeded RNG over a bounded horizon.  :meth:`compile` lowers
+the schedule onto the existing failure machinery
+(:class:`~repro.platform.failure.FailurePlan` /
+:class:`~repro.platform.failure.FailureInjector`): a ``crash`` becomes a
+``crash-host`` action, a ``partition`` becomes symmetric ``cut-link``
+actions against every peer, and the paired repairs mirror them.  Same
+seed → same events → same plan, which is what makes a chaos run (and
+its benchmark artifact) byte-reproducible.
+
+Windows are serialized by construction — at most one host is degraded
+at any time, and every window is followed by a settle gap at least as
+long as the replication anti-entropy interval.  That is a correctness
+choice, not a simplification: it guarantees every paid transaction was
+replicated before the *next* fault can touch its primary, so the
+end-of-run invariant audit ("no lost paid transaction") is a meaningful
+assertion about the failover machinery rather than about luck.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.platform.failure import FailurePlan
+
+__all__ = ["ChaosEvent", "ChaosSchedule"]
+
+#: Event kinds a schedule can contain; faults and their paired repairs.
+FAULT_KINDS = ("crash", "partition")
+REPAIR_OF = {"crash": "recover", "partition": "heal"}
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault or repair against a single host."""
+
+    at_ms: float
+    kind: str  # "crash" | "recover" | "partition" | "heal"
+    host: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"at_ms": round(self.at_ms, 3), "kind": self.kind, "host": self.host}
+
+
+class ChaosSchedule:
+    """An ordered, seeded sequence of outage windows over chosen victim hosts."""
+
+    def __init__(self, events: Sequence[ChaosEvent], seed: int) -> None:
+        self.events: Tuple[ChaosEvent, ...] = tuple(
+            sorted(events, key=lambda event: (event.at_ms, event.host, event.kind))
+        )
+        self.seed = seed
+
+    @classmethod
+    def generate(
+        cls,
+        hosts: Sequence[str],
+        start_ms: float,
+        horizon_ms: float,
+        seed: int = 0,
+        max_outages: int = 3,
+        mean_gap_ms: float = 2_000.0,
+        mean_outage_ms: float = 1_500.0,
+        settle_ms: float = 1_000.0,
+    ) -> "ChaosSchedule":
+        """Draw up to ``max_outages`` serialized outage windows.
+
+        Each window picks a victim host and a fault kind, starts after a
+        jittered gap and lasts a jittered duration; the repair fires at
+        the window's end and the next window cannot begin until
+        ``settle_ms`` later.  Windows that would overrun the horizon are
+        dropped (never truncated), so every fault in the schedule has
+        its repair inside ``[start_ms, start_ms + horizon_ms]``.
+        """
+        if not hosts:
+            raise WorkloadError("a chaos schedule needs at least one victim host")
+        if horizon_ms <= 0:
+            raise WorkloadError("chaos horizon must be positive")
+        if max_outages < 0:
+            raise WorkloadError("max_outages cannot be negative")
+        if mean_gap_ms <= 0 or mean_outage_ms <= 0:
+            raise WorkloadError("chaos gap and outage means must be positive")
+        if settle_ms < 0:
+            raise WorkloadError("settle_ms cannot be negative")
+        rng = random.Random(f"chaos|{seed}")
+        ordered_hosts = sorted(hosts)
+        events: List[ChaosEvent] = []
+        cursor = start_ms
+        deadline = start_ms + horizon_ms
+        for _ in range(max_outages):
+            begin = cursor + rng.uniform(0.5, 1.5) * mean_gap_ms
+            end = begin + rng.uniform(0.5, 1.5) * mean_outage_ms
+            if end + settle_ms > deadline:
+                break
+            victim = rng.choice(ordered_hosts)
+            fault = rng.choice(FAULT_KINDS)
+            events.append(ChaosEvent(begin, fault, victim))
+            events.append(ChaosEvent(end, REPAIR_OF[fault], victim))
+            cursor = end + settle_ms
+        return cls(events, seed=seed)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def outages(self) -> int:
+        """Number of fault windows (half the events, by construction)."""
+        return sum(1 for event in self.events if event.kind in FAULT_KINDS)
+
+    def victims(self) -> List[str]:
+        """Hosts hit by at least one fault, sorted."""
+        return sorted({e.host for e in self.events if e.kind in FAULT_KINDS})
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """The full event list in report/JSON form (deterministic order)."""
+        return [event.as_dict() for event in self.events]
+
+    # -- lowering -----------------------------------------------------------
+
+    def compile(self, peers: Sequence[str]) -> FailurePlan:
+        """Lower the schedule onto a :class:`FailurePlan`.
+
+        ``peers`` is the universe of hosts a partitioned victim is cut
+        off from (typically every other host on the platform); the
+        victim itself is skipped.  Link cuts are symmetric —
+        ``SimulatedNetwork.cut_link`` severs both directions — so one
+        action per peer fully isolates the victim.
+        """
+        plan = FailurePlan()
+        for event in self.events:
+            if event.kind == "crash":
+                plan.crash_host(event.at_ms, event.host)
+            elif event.kind == "recover":
+                plan.recover_host(event.at_ms, event.host)
+            elif event.kind == "partition":
+                for other in peers:
+                    if other != event.host:
+                        plan.cut_link(event.at_ms, event.host, other)
+            elif event.kind == "heal":
+                for other in peers:
+                    if other != event.host:
+                        plan.restore_link(event.at_ms, event.host, other)
+            else:
+                raise WorkloadError(f"unknown chaos event kind {event.kind!r}")
+        return plan

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import random
 import secrets
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -41,18 +42,35 @@ class AgentCredential:
 
 
 class AuthenticationService:
-    """Issues and verifies credentials for mobile agents (one per home server)."""
+    """Issues and verifies credentials for mobile agents (one per home server).
+
+    By default the signing secret and the per-credential tokens draw from
+    OS entropy (``secrets``), which is fine for a standalone service but
+    breaks same-seed reproducibility of anything that stores a session key
+    or nonce.  A simulated platform therefore passes both a derived
+    ``secret`` *and* a seeded ``rng``: the tokens then come from the RNG
+    (same 32-hex-char shape as ``secrets.token_hex(16)``) and an identical
+    seed yields an identical credential/nonce stream.
+    """
 
     def __init__(self, server_name: str, secret: Optional[bytes] = None,
-                 credential_lifetime_ms: float = 600_000.0) -> None:
+                 credential_lifetime_ms: float = 600_000.0,
+                 rng: Optional[random.Random] = None) -> None:
         self.server_name = server_name
         self._secret = secret if secret is not None else secrets.token_bytes(32)
         self.credential_lifetime_ms = credential_lifetime_ms
+        self._rng = rng
         self._revoked: set = set()
         self._issued: Dict[str, AgentCredential] = {}
         self.issued_count = 0
         self.verified_count = 0
         self.rejected_count = 0
+
+    def _token(self) -> str:
+        """A fresh 128-bit token, deterministic when a seeded RNG was given."""
+        if self._rng is not None:
+            return "%032x" % self._rng.getrandbits(128)
+        return secrets.token_hex(16)
 
     # -- issuing ------------------------------------------------------------
 
@@ -63,7 +81,7 @@ class AuthenticationService:
 
     def issue(self, agent_id: str, owner: str, now: float) -> AgentCredential:
         """Issue a fresh credential for ``agent_id`` owned by ``owner``."""
-        session_key = secrets.token_hex(16)
+        session_key = self._token()
         expires_at = now + self.credential_lifetime_ms
         signature = self._sign(agent_id, owner, now, expires_at, session_key)
         credential = AgentCredential(
@@ -116,7 +134,7 @@ class AuthenticationService:
 
     def challenge(self) -> str:
         """Produce a fresh nonce for the challenge/response exchange."""
-        return secrets.token_hex(16)
+        return self._token()
 
     @staticmethod
     def respond(credential: AgentCredential, challenge: str) -> str:

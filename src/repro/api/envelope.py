@@ -37,10 +37,14 @@ from typing import Any, Dict, Optional, Tuple
 from repro.errors import (
     AgentError,
     AuctionError,
+    AuthenticationError,
     CatalogError,
     ColdStartError,
+    DoubleFinalizeError,
     ECommerceError,
     FleetUnavailableError,
+    ForgedNonceError,
+    HandshakeError,
     HostUnreachableError,
     LinkDownError,
     LoginError,
@@ -48,6 +52,8 @@ from repro.errors import (
     MessageDeliveryError,
     MessageTimeoutError,
     NegotiationError,
+    ReplayedOfferError,
+    StaleCredentialError,
     NetworkError,
     PlatformError,
     RecommendationError,
@@ -63,6 +69,8 @@ from repro.errors import (
 __all__ = [
     "API_VERSION",
     "SUPPORTED_VERSIONS",
+    "AUTH_REJECTION_CODES",
+    "KNOWN_ERROR_CODES",
     "ApiStatus",
     "ApiError",
     "Provenance",
@@ -116,6 +124,11 @@ _ERROR_TAXONOMY = (
     (LoginError, "login", False),
     (RegistrationError, "registration", False),
     (TransactionError, "transaction", False),
+    (ForgedNonceError, "forged-nonce", False),
+    (ReplayedOfferError, "replayed-offer", False),
+    (DoubleFinalizeError, "double-finalize", False),
+    (StaleCredentialError, "stale-credential", False),
+    (HandshakeError, "handshake", False),
     (AuctionError, "auction", False),
     (NegotiationError, "negotiation", False),
     (MarketplaceError, "marketplace", False),
@@ -124,6 +137,7 @@ _ERROR_TAXONOMY = (
     (ECommerceError, "ecommerce", False),
     (MessageTimeoutError, "timeout", True),
     (MessageDeliveryError, "delivery", True),
+    (AuthenticationError, "authentication", False),
     (AgentError, "agent", False),
     (HostUnreachableError, "host-unreachable", True),
     (LinkDownError, "link-down", True),
@@ -133,6 +147,34 @@ _ERROR_TAXONOMY = (
     (ColdStartError, "cold-start", False),
     (RecommendationError, "recommendation", False),
     (ReproError, "internal", False),
+)
+
+
+#: Every error code an envelope can legally carry: the taxonomy above, the
+#: catch-all, the gateway's request-validation refusals and the middleware
+#: chain's own codes.  The invariant auditor checks observed envelopes
+#: against this set (the "closed taxonomy" invariant).
+KNOWN_ERROR_CODES = frozenset(code for _, code, _ in _ERROR_TAXONOMY) | {
+    "internal",
+    "unknown-operation",
+    "unsupported-version",
+    "admission-rejected",
+    "deadline-exceeded",
+}
+
+#: The authentication/handshake family of error codes.  The gateway bumps an
+#: ``api.auth.rejected.<code>`` counter whenever a dispatch fails with one of
+#: these, so an adversarial run can prove (from metrics alone) that protocol
+#: attacks were refused rather than silently absorbed.
+AUTH_REJECTION_CODES = frozenset(
+    {
+        "authentication",
+        "handshake",
+        "forged-nonce",
+        "replayed-offer",
+        "double-finalize",
+        "stale-credential",
+    }
 )
 
 

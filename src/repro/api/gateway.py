@@ -46,9 +46,16 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import HostUnreachableError, ReproError, UnknownUserError
+from repro.errors import (
+    HandshakeError,
+    HostUnreachableError,
+    MarketplaceError,
+    ReproError,
+    UnknownUserError,
+)
 from repro.api.caching import RecommendationEnvelopeCache
 from repro.api.envelope import (
+    AUTH_REJECTION_CODES,
     ApiError,
     ApiResponse,
     ApiStatus,
@@ -73,6 +80,8 @@ from repro.api.requests import (
     BuyRequest,
     CrossSellRequest,
     FindSimilarRequest,
+    HandshakeRequest,
+    HandshakeResult,
     LoginRequest,
     LoginResult,
     LogoutRequest,
@@ -208,6 +217,7 @@ class PlatformGateway:
             CrossSellRequest: self._op_cross_sell,
             FindSimilarRequest: self._op_find_similar,
             AdminStatsRequest: self._op_admin_stats,
+            HandshakeRequest: self._op_handshake,
         }
 
     # -- generic execution ----------------------------------------------------
@@ -408,6 +418,15 @@ class PlatformGateway:
     def admin_stats(self, **kwargs) -> ApiResponse:
         return self.execute(AdminStatsRequest(**kwargs))
 
+    def handshake(
+        self,
+        user_id: str,
+        marketplace: Optional[str] = None,
+        tamper: Optional[str] = None,
+        **kwargs,
+    ) -> ApiResponse:
+        return self.execute(HandshakeRequest(user_id, marketplace, tamper, **kwargs))
+
     # -- dispatch --------------------------------------------------------------
 
     def _dispatch(self, call: ApiCall) -> ApiResponse:
@@ -425,6 +444,11 @@ class PlatformGateway:
             # TypeError deep in a workflow) becomes the catch-all
             # ``internal`` error rather than a raw traceback at the client.
             error = classify_error(exc)
+            if error.code in AUTH_REJECTION_CODES:
+                # Metrics-visible proof that a protocol attack was refused:
+                # forged nonces, replays, double-finalizes and stale
+                # credentials each bump their own rejection counter.
+                self._metrics.counter(f"api.auth.rejected.{error.code}").increment()
             status = ApiStatus.UNAVAILABLE if error.retryable else ApiStatus.FAILED
             return ApiResponse(status=status, error=error)
         status = ApiStatus.DEGRADED if degraded else ApiStatus.OK
@@ -711,5 +735,43 @@ class PlatformGateway:
         return (
             PlatformStats(stats=self._platform.stats()),
             Provenance(served_by="coordinator"),
+            False,
+        )
+
+    def _op_handshake(self, request: HandshakeRequest):
+        """Run the trade-handshake protocol (honest or tampered) end to end.
+
+        Deliberately session-free: an attacker probing the handshake does
+        not need — and must not be required — to hold a consumer session,
+        so forged/replayed attempts are rejected by the broker itself, not
+        masked by an earlier ``unknown-user`` refusal.
+        """
+        marketplaces = self._platform.marketplaces
+        if request.marketplace is None:
+            server = marketplaces[0]
+        else:
+            by_name = {m.name: m for m in marketplaces}
+            if request.marketplace not in by_name:
+                raise MarketplaceError(
+                    f"unknown marketplace {request.marketplace!r}"
+                )
+            server = by_name[request.marketplace]
+        broker = server.handshakes
+        if broker is None:
+            raise HandshakeError(
+                f"marketplace {server.name!r} does not secure trades; "
+                f"build the platform with handshake_trades=True"
+            )
+        transcript = broker.attempt(
+            request.user_id, self._clock.now, tamper=request.tamper
+        )
+        return (
+            HandshakeResult(
+                handshake_id=transcript.handshake_id,
+                marketplace=transcript.marketplace,
+                buyer=transcript.buyer,
+                verified=transcript.verified,
+            ),
+            Provenance(served_by=server.name),
             False,
         )

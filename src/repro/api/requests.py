@@ -52,6 +52,8 @@ __all__ = [
     "CrossSellRequest",
     "FindSimilarRequest",
     "AdminStatsRequest",
+    "HandshakeRequest",
+    "HandshakeResult",
     "RegistrationResult",
     "LoginResult",
     "LogoutResult",
@@ -209,6 +211,30 @@ class AdminStatsRequest:
     api_version: str = API_VERSION
 
 
+@dataclass(frozen=True)
+class HandshakeRequest:
+    """Run the trade-handshake protocol against a marketplace broker.
+
+    The probe surface of the adversarial subsystem: with ``tamper=None``
+    it performs the honest init → nonce echo → finalize flow and returns
+    a :class:`HandshakeResult`; with one of the
+    :data:`~repro.adversarial.handshake.TAMPER_MODES` it deliberately
+    violates the protocol in exactly that way, and the envelope carries
+    the typed rejection (``forged-nonce``, ``replayed-offer``,
+    ``double-finalize``, ``stale-credential``).  Requires a platform
+    built with ``handshake_trades``; like the trade writes it is not
+    retry-safe (a handshake consumes nonces server-side).
+    """
+
+    operation: ClassVar[str] = "handshake"
+    retry_safe: ClassVar[bool] = False
+    user_id: str
+    marketplace: Optional[str] = None
+    tamper: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    api_version: str = API_VERSION
+
+
 # ---------------------------------------------------------------------------
 # Result payloads
 # ---------------------------------------------------------------------------
@@ -285,6 +311,16 @@ class SimilarConsumers:
 
     def __len__(self) -> int:
         return len(self.neighbors)
+
+
+@dataclass(frozen=True)
+class HandshakeResult:
+    """A finalized handshake: the transcript's identifying facts."""
+
+    handshake_id: str
+    marketplace: str
+    buyer: str
+    verified: bool = True
 
 
 @dataclass(frozen=True)

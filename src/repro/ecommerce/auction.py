@@ -15,7 +15,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import AuctionError
+from repro.errors import AuctionError, HandshakeError
+from repro.adversarial.handshake import HandshakeBroker, HandshakeTranscript
 from repro.core.items import Item
 
 __all__ = ["Bid", "Auction", "AuctionResult", "AuctionHouse"]
@@ -118,14 +119,32 @@ class Auction:
 
 
 class AuctionHouse:
-    """Runs auctions for a marketplace, with synthetic competing bidders."""
+    """Runs auctions for a marketplace, with synthetic competing bidders.
 
-    def __init__(self, marketplace: str, seed: int = 0, competitor_count: int = 3) -> None:
+    With a :class:`~repro.adversarial.handshake.HandshakeBroker` attached
+    (``PlatformConfig.handshake_trades``) every auction entry must present
+    a finalized handshake transcript, which the house redeems — one
+    transcript admits exactly one auction run, so a replayed offer is
+    refused before any bidding happens.
+    """
+
+    def __init__(
+        self,
+        marketplace: str,
+        seed: int = 0,
+        competitor_count: int = 3,
+        handshake: Optional[HandshakeBroker] = None,
+    ) -> None:
         if competitor_count < 0:
             raise AuctionError("competitor count cannot be negative")
         self.marketplace = marketplace
         self._rng = random.Random(seed)
         self.competitor_count = competitor_count
+        self.handshake = handshake
+        #: auction_id → handshake_id of the redeemed transcript (only
+        #: populated when a broker is attached, so the unsecured platform
+        #: is byte-identical).
+        self.handshakes: Dict[str, str] = {}
         self.completed: List[AuctionResult] = []
 
     def _competitor_limits(self, item: Item) -> List[float]:
@@ -148,6 +167,7 @@ class AuctionHouse:
         max_price: float,
         reserve_price: Optional[float] = None,
         max_rounds: int = 50,
+        handshake: Optional[HandshakeTranscript] = None,
     ) -> AuctionResult:
         """Run one English auction to completion.
 
@@ -157,7 +177,17 @@ class AuctionHouse:
             max_price: the most the consumer is willing to pay.
             reserve_price: seller's reserve; defaults to 70% of list price.
             max_rounds: safety bound on bidding rounds.
+            handshake: the finalized transcript admitting the bidder;
+                required (and redeemed) when the house enforces
+                handshakes, ignored otherwise.
         """
+        if self.handshake is not None:
+            if handshake is None:
+                raise HandshakeError(
+                    f"marketplace {self.marketplace!r} requires a trade "
+                    f"handshake to enter an auction"
+                )
+            self.handshake.redeem(handshake)
         if max_price <= 0:
             raise AuctionError("the consumer's maximum price must be positive")
         reserve = reserve_price if reserve_price is not None else item.price * 0.7
@@ -200,5 +230,7 @@ class AuctionHouse:
                 break
 
         result = auction.close()
+        if handshake is not None and self.handshake is not None:
+            self.handshakes[result.auction_id] = handshake.handshake_id
         self.completed.append(result)
         return result

@@ -17,6 +17,7 @@ import itertools
 from typing import Dict, List, Optional
 
 from repro.errors import CatalogError, MarketplaceError, TransactionError
+from repro.adversarial.handshake import HandshakeBroker, HandshakeTranscript
 from repro.agents.aglet import Aglet
 from repro.agents.context import AgletContext
 from repro.agents.messages import Message, MessageKinds, Reply
@@ -131,14 +132,32 @@ class MarketplaceAgent(Aglet):
 
 
 class MarketplaceServer:
-    """One marketplace of the e-commerce platform."""
+    """One marketplace of the e-commerce platform.
 
-    def __init__(self, context: AgletContext, seed: int = 0) -> None:
+    With ``handshake_trades`` the marketplace secures every trade with
+    the :mod:`repro.adversarial.handshake` protocol: its auth service
+    backs a :class:`HandshakeBroker`, the trade services refuse work
+    without a redeemable transcript, and every recorded transaction is
+    backed by one in :attr:`trade_handshakes` (what the invariant
+    auditor re-checks).  Off by default — the unsecured trade path is
+    byte-identical to the pre-handshake platform.
+    """
+
+    def __init__(
+        self, context: AgletContext, seed: int = 0, handshake_trades: bool = False
+    ) -> None:
         self.context = context
         self.name = context.host_name
         self.catalog = MerchandiseCatalog(owner=self.name)
-        self.auction_house = AuctionHouse(self.name, seed=seed)
-        self.negotiations = NegotiationService(self.name)
+        self.handshakes: Optional[HandshakeBroker] = (
+            HandshakeBroker(self.name, context.auth) if handshake_trades else None
+        )
+        #: transaction_id → transcript backing it (handshake mode only).
+        self.trade_handshakes: Dict[str, HandshakeTranscript] = {}
+        self.auction_house = AuctionHouse(
+            self.name, seed=seed, handshake=self.handshakes
+        )
+        self.negotiations = NegotiationService(self.name, handshake=self.handshakes)
         self.transactions: List[TransactionRecord] = []
         # Per-marketplace id sequence: two same-seed platforms built in the
         # same process mint identical transaction ids (the process-global
@@ -169,6 +188,10 @@ class MarketplaceServer:
 
     def sell_direct(self, item_id: str, user_id: str, timestamp: float) -> TransactionRecord:
         """A straight purchase at list price."""
+        handshake = None
+        if self.handshakes is not None:
+            handshake = self.handshakes.perform(user_id, timestamp)
+            self.handshakes.redeem(handshake)
         item = self.catalog.sell(item_id)
         transaction = TransactionRecord.create(
             user_id=user_id,
@@ -181,6 +204,8 @@ class MarketplaceServer:
             seller=item.seller,
             transaction_id=self._next_transaction_id(),
         )
+        if handshake is not None:
+            self.trade_handshakes[transaction.transaction_id] = handshake
         self.transactions.append(transaction)
         return transaction
 
@@ -191,8 +216,14 @@ class MarketplaceServer:
         listing = self.catalog.listing(item_id)
         if not listing.available:
             raise TransactionError(f"item {item_id!r} is out of stock on {self.name!r}")
+        handshake = None
+        if self.handshakes is not None:
+            handshake = self.handshakes.perform(user_id, timestamp)
         outcome = self.negotiations.negotiate(
-            listing.item, buyer_max=max_price, seller_reserve=listing.reserve_price
+            listing.item,
+            buyer_max=max_price,
+            seller_reserve=listing.reserve_price,
+            handshake=handshake,
         )
         transaction = None
         if outcome.agreed:
@@ -208,6 +239,8 @@ class MarketplaceServer:
                 seller=listing.item.seller,
                 transaction_id=self._next_transaction_id(),
             )
+            if handshake is not None:
+                self.trade_handshakes[transaction.transaction_id] = handshake
             self.transactions.append(transaction)
         return outcome, transaction
 
@@ -218,9 +251,13 @@ class MarketplaceServer:
         listing = self.catalog.listing(item_id)
         if not listing.available:
             raise TransactionError(f"item {item_id!r} is out of stock on {self.name!r}")
+        handshake = None
+        if self.handshakes is not None:
+            handshake = self.handshakes.perform(user_id, timestamp)
         result = self.auction_house.run_auction(
             listing.item, bidder=user_id, max_price=max_price,
             reserve_price=listing.reserve_price,
+            handshake=handshake,
         )
         transaction = None
         if result.winner == user_id:
@@ -236,13 +273,15 @@ class MarketplaceServer:
                 seller=listing.item.seller,
                 transaction_id=self._next_transaction_id(),
             )
+            if handshake is not None:
+                self.trade_handshakes[transaction.transaction_id] = handshake
             self.transactions.append(transaction)
         return result, transaction
 
     # -- statistics --------------------------------------------------------------------
 
     def stats(self) -> Dict[str, float]:
-        return {
+        stats = {
             "listings": float(len(self.catalog)),
             "stock": float(self.catalog.total_stock()),
             "sold": float(self.catalog.total_sold()),
@@ -250,3 +289,10 @@ class MarketplaceServer:
             "auctions": float(len(self.auction_house.completed)),
             "negotiations": float(len(self.negotiations.completed)),
         }
+        if self.handshakes is not None:
+            # Keys appear only in handshake mode, keeping the unsecured
+            # platform's stats byte-identical.
+            stats.update(
+                {f"handshakes_{key}": value for key, value in self.handshakes.stats().items()}
+            )
+        return stats

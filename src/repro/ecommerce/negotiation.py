@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.errors import NegotiationError
+from repro.errors import HandshakeError, NegotiationError
+from repro.adversarial.handshake import HandshakeBroker, HandshakeTranscript
 from repro.core.items import Item
 
 __all__ = ["NegotiationOffer", "NegotiationOutcome", "NegotiationService"]
@@ -48,13 +49,30 @@ class NegotiationOutcome:
 
 
 class NegotiationService:
-    """Runs buyer/seller bargaining sessions for a marketplace."""
+    """Runs buyer/seller bargaining sessions for a marketplace.
 
-    def __init__(self, marketplace: str, max_rounds: int = 10) -> None:
+    With a :class:`~repro.adversarial.handshake.HandshakeBroker` attached
+    (``PlatformConfig.handshake_trades``) every bargaining session must
+    present a finalized handshake transcript, which the service redeems —
+    one transcript entitles its holder to exactly one negotiation, so a
+    replayed offer is refused before any bargaining happens.
+    """
+
+    def __init__(
+        self,
+        marketplace: str,
+        max_rounds: int = 10,
+        handshake: Optional[HandshakeBroker] = None,
+    ) -> None:
         if max_rounds <= 0:
             raise NegotiationError("max_rounds must be positive")
         self.marketplace = marketplace
         self.max_rounds = max_rounds
+        self.handshake = handshake
+        #: negotiation_id → handshake_id of the redeemed transcript (only
+        #: populated when a broker is attached, so the unsecured platform
+        #: is byte-identical).
+        self.handshakes: Dict[str, str] = {}
         self.completed: List[NegotiationOutcome] = []
 
     def negotiate(
@@ -64,6 +82,7 @@ class NegotiationService:
         seller_reserve: float,
         buyer_concession: float = 0.15,
         seller_concession: float = 0.10,
+        handshake: Optional[HandshakeTranscript] = None,
     ) -> NegotiationOutcome:
         """Run one bargaining session to completion.
 
@@ -75,11 +94,21 @@ class NegotiationService:
                 towards its maximum.
             seller_concession: per-round fractional concession of the seller
                 towards its reserve.
+            handshake: the finalized transcript entitling the buyer to this
+                session; required (and redeemed) when the service enforces
+                handshakes, ignored otherwise.
 
         Returns:
             The outcome; ``agreed`` is False when the zone of possible
             agreement was never reached within ``max_rounds``.
         """
+        if self.handshake is not None:
+            if handshake is None:
+                raise HandshakeError(
+                    f"marketplace {self.marketplace!r} requires a trade "
+                    f"handshake to negotiate"
+                )
+            self.handshake.redeem(handshake)
         if buyer_max <= 0:
             raise NegotiationError("buyer maximum must be positive")
         if seller_reserve < 0:
@@ -134,5 +163,7 @@ class NegotiationService:
             rounds=rounds,
             offers=tuple(offers),
         )
+        if handshake is not None and self.handshake is not None:
+            self.handshakes[negotiation_id] = handshake.handshake_id
         self.completed.append(outcome)
         return outcome

@@ -10,11 +10,14 @@ the integration tests and every platform-level benchmark.
 
 from __future__ import annotations
 
+import hashlib
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ECommerceError, UnknownUserError
 from repro.agents.context import AgletContext
+from repro.agents.security import AuthenticationService
 from repro.agents.directory import ContextDirectory
 from repro.core.items import Item, ItemCatalogView
 from repro.core.profile_learning import LearningConfig
@@ -133,6 +136,13 @@ class PlatformConfig:
             entry exists (``served_from_cache`` provenance), with write
             hooks invalidating per consumer.  Off by default — the default
             request path and hook graph stay byte-identical.
+        handshake_trades: secure every marketplace trade with the
+            :mod:`repro.adversarial` handshake protocol (nonce challenge +
+            HMAC echo + single finalize); finalized trades record a
+            verifiable transcript and the gateway grows a ``handshake``
+            probe operation.  Off by default — the trade path, reply
+            payloads and metric stream are byte-identical to the
+            unsecured platform.
     """
 
     num_marketplaces: int = 2
@@ -159,6 +169,7 @@ class PlatformConfig:
     fleet_hedge_delay_percentile: Optional[float] = None
     scoring_backend: str = "array"
     api_recommendation_cache: bool = False
+    handshake_trades: bool = False
 
     def validate(self) -> None:
         if self.num_marketplaces <= 0:
@@ -354,7 +365,17 @@ class ECommercePlatform:
         return host
 
     def _new_context(self, host: Host) -> AgletContext:
-        return AgletContext(host, self.transport, self.directory)
+        # Same-seed runs must produce identical credential/nonce streams,
+        # so each context's AuthenticationService derives its signing
+        # secret and token RNG from the platform seed and host name
+        # instead of OS entropy.
+        token = f"auth|{self.config.seed}|{host.name}"
+        auth = AuthenticationService(
+            host.name,
+            secret=hashlib.sha256(token.encode("utf-8")).digest(),
+            rng=random.Random(token),
+        )
+        return AgletContext(host, self.transport, self.directory, auth=auth)
 
     def _build_coordinator(self) -> CoordinatorServer:
         host = self._new_host("coordinator")
@@ -363,7 +384,11 @@ class ECommercePlatform:
     def _build_marketplace(self, index: int) -> MarketplaceServer:
         name = f"marketplace-{index + 1}"
         host = self._new_host(name)
-        server = MarketplaceServer(self._new_context(host), seed=self.config.seed + index)
+        server = MarketplaceServer(
+            self._new_context(host),
+            seed=self.config.seed + index,
+            handshake_trades=self.config.handshake_trades,
+        )
         self.coordinator.register_server("marketplace", name)
         return server
 

@@ -125,6 +125,44 @@ class NegotiationError(MarketplaceError):
     """Raised when a negotiation protocol step is invalid."""
 
 
+class HandshakeError(MarketplaceError):
+    """Raised when a trade handshake violates the protocol (§4.1 hardening).
+
+    Base class for the typed rejections of the handshake-secured trade
+    path: every negotiated/auctioned purchase on a marketplace built with
+    ``handshake_trades`` must present a verifiable handshake transcript
+    (init → nonce challenge → HMAC echo → finalize), and each way the
+    protocol can be abused gets its own subclass so the gateway's
+    envelope taxonomy can name it.
+    """
+
+
+class ForgedNonceError(HandshakeError):
+    """Raised when a handshake echo does not answer the issued nonce.
+
+    Covers both a fabricated nonce (the attacker invented one instead of
+    echoing the challenge) and a bad HMAC response (the attacker does not
+    hold the credential's session key).
+    """
+
+
+class ReplayedOfferError(HandshakeError):
+    """Raised when an already-consumed nonce or transcript is presented again.
+
+    A nonce answers exactly one challenge and a finalized transcript
+    entitles its holder to exactly one trade; replaying either is how a
+    captured offer would be resubmitted.
+    """
+
+
+class DoubleFinalizeError(HandshakeError):
+    """Raised when a handshake is finalized a second time (single-finalize rule)."""
+
+
+class StaleCredentialError(HandshakeError):
+    """Raised when a handshake is opened with an expired or revoked credential."""
+
+
 class TransactionError(ECommerceError):
     """Raised when a purchase cannot be completed (no stock, no funds)."""
 

@@ -19,6 +19,9 @@ synthetic workloads built here:
   (think-time) arrival models for the concurrent scenarios.
 - :mod:`repro.workload.concurrent` — the overlapping-session driver behind
   :meth:`~repro.workload.scenarios.ScenarioRunner.concurrent_day`.
+- :mod:`repro.workload.adversary` — scripted abuse traffic (scalper
+  fleets, handshake protocol bots, quota floods) interleaved with honest
+  sessions for the adversarial scenarios.
 """
 
 from repro.workload.products import ProductGenerator, TAXONOMY
@@ -31,6 +34,7 @@ from repro.workload.concurrent import (
     ConcurrentScenarioReport,
     LATENCY_HISTOGRAM_BOUNDS_MS,
 )
+from repro.workload.adversary import AdversaryDriver, AdversaryReport
 
 __all__ = [
     "ProductGenerator",
@@ -47,4 +51,6 @@ __all__ = [
     "ConcurrentDriver",
     "ConcurrentScenarioReport",
     "LATENCY_HISTOGRAM_BOUNDS_MS",
+    "AdversaryDriver",
+    "AdversaryReport",
 ]

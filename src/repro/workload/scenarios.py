@@ -25,7 +25,12 @@ from repro.ecommerce.elasticity import AutoscalerPolicy, FleetAutoscaler
 from repro.ecommerce.platform_builder import ECommercePlatform
 from repro.workload.consumers import ConsumerPopulation, SyntheticConsumer
 
-__all__ = ["ElasticScenarioReport", "ScenarioReport", "ScenarioRunner"]
+__all__ = [
+    "ChaosScenarioReport",
+    "ElasticScenarioReport",
+    "ScenarioReport",
+    "ScenarioRunner",
+]
 
 
 @dataclass
@@ -133,6 +138,81 @@ class ElasticScenarioReport:
             "transferred_consumers": self.transferred_consumers,
             "lost_consumers": self.lost_consumers,
             "missing_consumers": self.missing_consumers,
+            "simulated_duration_ms": self.simulated_duration_ms,
+        }
+
+
+@dataclass
+class ChaosScenarioReport:
+    """What a chaos-under-attack day did: traffic, faults, attacks, audit.
+
+    Produced by :meth:`ScenarioRunner.chaos_marketplace_day`.  Three
+    stories are folded together: the honest traffic windows (requests,
+    statuses, goodput), the seeded chaos schedule and the fleet's
+    reaction to it (promotions, purges, lost consumers), and the attack
+    populations' fate (the embedded
+    :class:`~repro.workload.adversary.AdversaryReport` dict plus the
+    ``api.auth.rejected.*`` counter deltas).  ``audit`` is the
+    end-of-run :class:`~repro.adversarial.audit.AuditReport` dict — the
+    acceptance bars read ``audit["ok"]`` and ``attacker_success_rate``
+    straight off this report.
+    """
+
+    scenario: str = "chaos_marketplace_day"
+    consumers: int = 0
+    windows: List[Dict[str, Any]] = field(default_factory=list)
+    chaos_events: List[Dict[str, Any]] = field(default_factory=list)
+    outages: int = 0
+    victims: List[str] = field(default_factory=list)
+    requests: int = 0
+    completed: int = 0
+    shed: int = 0
+    failed_operations: int = 0
+    statuses: Dict[str, int] = field(default_factory=dict)
+    promoted_consumers: int = 0
+    recovered_purged: int = 0
+    lost_consumers: int = 0
+    adversary: Dict[str, Any] = field(default_factory=dict)
+    auth_rejections: Dict[str, int] = field(default_factory=dict)
+    audit: Dict[str, Any] = field(default_factory=dict)
+    started_at_ms: float = 0.0
+    finished_at_ms: float = 0.0
+
+    @property
+    def simulated_duration_ms(self) -> float:
+        return self.finished_at_ms - self.started_at_ms
+
+    @property
+    def honest_goodput(self) -> float:
+        """Fraction of honest requests answered (``ok`` or ``degraded``)."""
+        answered = self.statuses.get("ok", 0) + self.statuses.get("degraded", 0)
+        return answered / self.requests if self.requests else 0.0
+
+    @property
+    def attacker_success_rate(self) -> float:
+        return float(self.adversary.get("attacker_success_rate", 0.0))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "consumers": self.consumers,
+            "windows": [dict(window) for window in self.windows],
+            "chaos_events": [dict(event) for event in self.chaos_events],
+            "outages": self.outages,
+            "victims": list(self.victims),
+            "requests": self.requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed_operations": self.failed_operations,
+            "statuses": dict(sorted(self.statuses.items())),
+            "honest_goodput": self.honest_goodput,
+            "promoted_consumers": self.promoted_consumers,
+            "recovered_purged": self.recovered_purged,
+            "lost_consumers": self.lost_consumers,
+            "adversary": dict(self.adversary),
+            "attacker_success_rate": self.attacker_success_rate,
+            "auth_rejections": dict(sorted(self.auth_rejections.items())),
+            "audit": dict(self.audit),
             "simulated_duration_ms": self.simulated_duration_ms,
         }
 
@@ -962,5 +1042,212 @@ class ScenarioRunner:
         report.missing_consumers = sum(
             1 for user_id in users if not fleet.is_registered(user_id)
         )
+        report.finished_at_ms = platform.now
+        return report
+
+    # -- adversarial chaos scenario ------------------------------------------------
+
+    def chaos_marketplace_day(
+        self,
+        windows: int = 5,
+        sessions_per_window: int = 25,
+        queries_per_session: int = 1,
+        arrival_rate_per_ms: float = 0.05,
+        think_time_ms: float = 150.0,
+        recommendation_probability: float = 0.25,
+        chaos_outages: int = 3,
+        chaos_horizon_ms: float = 30_000.0,
+        chaos_mean_gap_ms: float = 4_000.0,
+        chaos_mean_outage_ms: float = 3_000.0,
+        scalpers: int = 6,
+        bids_per_scalper: int = 3,
+        protocol_rounds: int = 2,
+        flood_requests: int = 30,
+        seed: int = 0,
+    ) -> ChaosScenarioReport:
+        """A marketplace day under simultaneous chaos and attack.
+
+        The capstone adversarial scenario: honest concurrent sessions run
+        in ``windows`` traffic windows while (a) a seeded
+        :class:`~repro.adversarial.chaos.ChaosSchedule` — compiled onto
+        the platform's :class:`~repro.platform.failure.FailureInjector`
+        before traffic starts — crashes and partitions buyer servers,
+        and (b) an :class:`~repro.workload.adversary.AdversaryDriver`
+        interleaves scalper, protocol-bot and quota-flood futures into
+        the *same* session-scheduler drains as the honest sessions.
+
+        Between windows the platform scheduler is pumped so due chaos
+        events fire, then the fleet is reconciled exactly as an operator
+        would: a crashed owner's shards are promoted to the freshest
+        replica holder, a recovered host is purged of stale copies and
+        rejoins as replica capacity.  After the last window the run
+        fast-forwards through any remaining scheduled events, settles
+        anti-entropy, and hands the quiesced platform to the
+        :class:`~repro.adversarial.audit.InvariantAuditor`; the returned
+        report embeds the audit verbatim.
+
+        Requires a replicated multi-server fleet *and* a platform built
+        with ``handshake_trades=True`` (otherwise the handshake-backed
+        invariant and the protocol-bot population would be vacuous).
+        Fully deterministic for a given ``seed``.
+        """
+        from repro.adversarial.audit import InvariantAuditor
+        from repro.adversarial.chaos import ChaosSchedule
+        from repro.workload.adversary import AdversaryDriver
+        from repro.workload.concurrent import ConcurrentDriver
+
+        platform = self.platform
+        fleet = platform.fleet
+        if fleet is None:
+            raise WorkloadError(
+                "chaos marketplace day needs a multi-server fleet "
+                "(PlatformConfig.num_buyer_servers > 1)"
+            )
+        if not platform.config.handshake_trades:
+            raise WorkloadError(
+                "chaos marketplace day needs handshake-secured trades "
+                "(PlatformConfig.handshake_trades=True)"
+            )
+        if windows <= 0 or sessions_per_window <= 0:
+            raise WorkloadError("windows and sessions_per_window must be positive")
+        founding = [
+            server
+            for server in list(fleet.servers)
+            if server.name not in fleet.retired
+        ]
+        for server in founding:
+            if server.replication is None or not server.replication.peers:
+                raise WorkloadError(
+                    "chaos marketplace day needs replication wired "
+                    "(PlatformConfig.replication_factor >= 1)"
+                )
+
+        users = self._ensure_registered()
+        report = ChaosScenarioReport(
+            consumers=len(users), started_at_ms=platform.now
+        )
+        lost_before = fleet.lost_consumers
+        counters_before = dict(platform.metrics.snapshot()["counters"])
+
+        # The settle gap must outlast anti-entropy so every window's writes
+        # are replicated before the next fault can touch their primary —
+        # the serialization that makes "no lost paid transaction" a claim
+        # about failover, not luck (see repro.adversarial.chaos).
+        settle_ms = 3 * platform.config.replication_anti_entropy_interval_ms
+        schedule = ChaosSchedule.generate(
+            hosts=[server.name for server in founding],
+            start_ms=platform.now,
+            horizon_ms=chaos_horizon_ms,
+            seed=seed,
+            max_outages=chaos_outages,
+            mean_gap_ms=chaos_mean_gap_ms,
+            mean_outage_ms=chaos_mean_outage_ms,
+            settle_ms=settle_ms,
+        )
+        chaos_deadline = platform.now + chaos_horizon_ms
+        report.chaos_events = schedule.as_dicts()
+        report.outages = schedule.outages
+        report.victims = schedule.victims()
+        platform.failures.apply_plan(schedule.compile(sorted(platform.hosts)))
+
+        by_name = {server.name: server for server in founding}
+        pending = list(schedule.events)
+
+        def reconcile() -> None:
+            """Fire due chaos events, then repair the fleet's view of them."""
+            platform.scheduler.run_until(platform.now)
+            # Snapshot the horizon: fleet surgery below ships replica
+            # state over the simulated network and advances the clock, and
+            # an event due *after* the snapshot but *before* the advanced
+            # clock has not had its injector callback fired yet — popping
+            # it here would reconcile a recovery whose host is still down.
+            horizon = platform.now
+            while pending and pending[0].at_ms <= horizon:
+                event = pending.pop(0)
+                server = by_name[event.host]
+                if event.kind == "crash":
+                    # The gateway's in-band healing may already have
+                    # promoted the dead owner's shards mid-window; only
+                    # shards still pointing at the corpse need the
+                    # operator-style promotion.
+                    shards = fleet.shards_of(server)
+                    if shards and not server.context.host.is_running:
+                        report.promoted_consumers += fleet.handle_server_failure(
+                            shards[0], strategy="promote"
+                        )
+                elif event.kind == "recover":
+                    if server.context.host.is_running:
+                        report.recovered_purged += fleet.recover_server(server)
+                # partition/heal need no fleet surgery: routing heals
+                # itself when the links come back.
+
+        adversary = AdversaryDriver(platform, seed=seed)
+        for index in range(windows):
+            adversary.inject(
+                scalpers=scalpers,
+                bids_per_scalper=bids_per_scalper,
+                protocol_rounds=protocol_rounds,
+                flood_requests=flood_requests,
+            )
+            driver = ConcurrentDriver(
+                self.platform, self.population, seed=seed + index
+            )
+            window = driver.run(
+                sessions=sessions_per_window,
+                queries_per_session=queries_per_session,
+                arrival_rate_per_ms=arrival_rate_per_ms,
+                think_time_ms=think_time_ms,
+                recommendation_probability=recommendation_probability,
+            )
+            report.requests += window.requests
+            report.completed += window.completed
+            report.shed += window.shed
+            report.failed_operations += window.failed_operations
+            for status, count in window.statuses.items():
+                report.statuses[status] = report.statuses.get(status, 0) + count
+            report.windows.append(
+                {
+                    "window": index,
+                    "requests": window.requests,
+                    "completed": window.completed,
+                    "shed": window.shed,
+                    "failed_operations": window.failed_operations,
+                    "statuses": dict(sorted(window.statuses.items())),
+                    "clock_ms": round(platform.now, 3),
+                    "hosts_down": sorted(
+                        server.name
+                        for server in founding
+                        if not server.context.host.is_running
+                    ),
+                }
+            )
+            reconcile()
+        attack_report = adversary.collect()
+        report.adversary = attack_report.as_dict()
+
+        # Quiesce: fire whatever the traffic never reached, repair it all,
+        # then let anti-entropy settle before auditing convergence.
+        platform.scheduler.run_until(max(platform.now, chaos_deadline))
+        reconcile()
+        platform.scheduler.run_until(platform.now + settle_ms)
+        report.lost_consumers = fleet.lost_consumers - lost_before
+
+        counters_after = platform.metrics.snapshot()["counters"]
+        prefix = "api.auth.rejected."
+        for name, value in sorted(counters_after.items()):
+            if name.startswith(prefix):
+                delta = int(value - counters_before.get(name, 0.0))
+                if delta:
+                    report.auth_rejections[name[len(prefix):]] = delta
+
+        statuses = dict(report.statuses)
+        for status, count in attack_report.statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+        audit = InvariantAuditor(platform).audit(
+            statuses=statuses,
+            error_codes=attack_report.error_codes,
+            require_converged=True,
+        )
+        report.audit = audit.as_dict()
         report.finished_at_ms = platform.now
         return report

@@ -1,0 +1,87 @@
+"""Property tests: the adversarial subsystem is invisible until switched on.
+
+The opt-in contract of the handshake/chaos/abuse stack: a platform
+built with the default knobs (``handshake_trades=False``, no chaos
+schedule, no adversary driver) must behave byte-identically to the
+pre-adversarial platform — same envelope stream, same stats keys, same
+metrics names.  And switching handshakes *on* may only touch the trade
+path: the read-side surface (queries, neighbor streams, recommendation
+answers) stays byte-identical to the unsecured same-seed platform.
+"""
+
+from __future__ import annotations
+
+from repro.ecommerce import build_platform
+
+SEED = 4321
+USERS = [f"user-{index}" for index in range(24)]
+KEYWORDS = ("book", "music", "garden", "movie")
+
+
+def make(**overrides):
+    defaults = dict(
+        num_buyer_servers=2, replication_factor=1, seed=SEED,
+        num_marketplaces=2, num_sellers=2, items_per_seller=10,
+    )
+    defaults.update(overrides)
+    return build_platform(**defaults)
+
+
+def drive(platform):
+    """Deterministic honest traffic; returns the full envelope stream."""
+    gateway = platform.gateway()
+    stream = []
+    for index, user_id in enumerate(USERS):
+        keyword = KEYWORDS[index % len(KEYWORDS)]
+        stream.append(gateway.login(user_id))
+        stream.append(gateway.query(user_id, keyword))
+        if index % 3 == 0:
+            stream.append(gateway.recommendations(user_id, k=5))
+        stream.append(gateway.logout(user_id))
+    return stream
+
+
+def witness(stream):
+    """Status + result payload of every envelope, latencies excluded."""
+    return [(r.status, repr(r.result), repr(r.error)) for r in stream]
+
+
+PRE_HANDSHAKE_STATS_KEYS = {
+    "listings", "stock", "sold", "transactions", "auctions", "negotiations",
+}
+
+
+class TestKnobsOff:
+    def test_default_platform_exposes_no_adversarial_surface(self):
+        platform = make()
+        drive(platform)
+        for market in platform.marketplaces:
+            assert market.handshakes is None
+            assert set(market.stats()) == PRE_HANDSHAKE_STATS_KEYS
+        counters = platform.metrics.snapshot()["counters"]
+        assert not [k for k in counters if k.startswith("api.auth.rejected")]
+        assert not [k for k in counters if k.startswith("adversary.")]
+
+    def test_default_envelope_stream_is_reproducible(self):
+        first = witness(drive(make()))
+        second = witness(drive(make()))
+        assert first == second
+
+
+class TestKnobsOn:
+    def test_handshakes_do_not_perturb_the_read_surface(self):
+        """Same seed, secured vs unsecured: identical non-trade envelopes."""
+        plain = witness(drive(make()))
+        secured = witness(drive(make(handshake_trades=True)))
+        assert secured == plain
+
+    def test_handshakes_only_add_stats_keys(self):
+        platform = make(handshake_trades=True)
+        drive(platform)
+        for market in platform.marketplaces:
+            stats = set(market.stats())
+            assert PRE_HANDSHAKE_STATS_KEYS <= stats
+            assert all(
+                key.startswith("handshakes_")
+                for key in stats - PRE_HANDSHAKE_STATS_KEYS
+            )

@@ -1,0 +1,132 @@
+"""Unit coverage for :mod:`repro.adversarial.chaos`.
+
+A chaos schedule is only useful if it is boringly deterministic: same
+seed, same outage windows, byte for byte — and every window it emits
+must leave room for the settle gap the no-lost-transaction invariant
+depends on.  These tests pin the generator, its validation and the
+lowering of high-level outages into :class:`FailurePlan` actions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.adversarial.chaos import (
+    ChaosEvent,
+    ChaosSchedule,
+    FAULT_KINDS,
+    REPAIR_OF,
+)
+
+HOSTS = ["host-a", "host-b", "host-c"]
+
+
+def _generate(seed=0, **kwargs):
+    defaults = dict(
+        hosts=HOSTS,
+        start_ms=0.0,
+        horizon_ms=20_000.0,
+        seed=seed,
+        max_outages=4,
+        mean_gap_ms=2_000.0,
+        mean_outage_ms=1_500.0,
+        settle_ms=1_000.0,
+    )
+    defaults.update(kwargs)
+    return ChaosSchedule.generate(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_produces_identical_schedules(self):
+        assert _generate(seed=7).as_dicts() == _generate(seed=7).as_dicts()
+
+    def test_different_seeds_diverge(self):
+        streams = {
+            json.dumps(_generate(seed=s).as_dicts(), sort_keys=True)
+            for s in range(4)
+        }
+        assert len(streams) > 1
+
+    def test_events_sorted_by_time_then_host(self):
+        schedule = _generate(seed=3)
+        keys = [(e.at_ms, e.host, e.kind) for e in schedule.events]
+        assert keys == sorted(keys)
+
+
+class TestShape:
+    def test_every_fault_has_its_repair(self):
+        schedule = _generate(seed=5)
+        assert schedule.outages > 0
+        faults = [e for e in schedule.events if e.kind in FAULT_KINDS]
+        repairs = [e for e in schedule.events if e.kind not in FAULT_KINDS]
+        assert len(faults) == len(repairs) == schedule.outages
+        by_host_kind = {(r.host, r.kind) for r in repairs}
+        for fault in faults:
+            assert (fault.host, REPAIR_OF[fault.kind]) in by_host_kind
+
+    def test_windows_never_overrun_horizon_minus_settle(self):
+        for seed in range(6):
+            schedule = _generate(seed=seed, horizon_ms=8_000.0, settle_ms=2_000.0)
+            for event in schedule.events:
+                assert event.at_ms <= 8_000.0 - 2_000.0
+
+    def test_victims_come_from_the_given_hosts(self):
+        assert set(_generate(seed=2).victims()) <= set(HOSTS)
+
+    def test_max_outages_caps_the_window_count(self):
+        assert _generate(seed=1, max_outages=1).outages <= 1
+
+
+class TestValidation:
+    def test_no_hosts_is_refused(self):
+        with pytest.raises(WorkloadError):
+            _generate(hosts=[])
+
+    def test_nonpositive_horizon_is_refused(self):
+        with pytest.raises(WorkloadError):
+            _generate(horizon_ms=0.0)
+
+    def test_negative_outage_count_is_refused(self):
+        with pytest.raises(WorkloadError):
+            _generate(max_outages=-1)
+
+    def test_nonpositive_durations_are_refused(self):
+        with pytest.raises(WorkloadError):
+            _generate(mean_gap_ms=0.0)
+        with pytest.raises(WorkloadError):
+            _generate(mean_outage_ms=-5.0)
+
+
+class TestCompile:
+    def test_crash_lowers_to_crash_and_recover_host(self):
+        schedule = ChaosSchedule(
+            events=[
+                ChaosEvent(100.0, "crash", "host-a"),
+                ChaosEvent(400.0, "recover", "host-a"),
+            ],
+            seed=0,
+        )
+        plan = schedule.compile(HOSTS)
+        kinds = [(action.at_ms, action.kind, action.target) for action in plan.actions]
+        assert (100.0, "crash-host", ("host-a",)) in kinds
+        assert (400.0, "recover-host", ("host-a",)) in kinds
+
+    def test_partition_lowers_to_symmetric_cuts_against_every_peer(self):
+        schedule = ChaosSchedule(
+            events=[
+                ChaosEvent(100.0, "partition", "host-b"),
+                ChaosEvent(300.0, "heal", "host-b"),
+            ],
+            seed=0,
+        )
+        plan = schedule.compile(HOSTS)
+        cuts = {a.target for a in plan.actions if a.kind == "cut-link"}
+        restores = {a.target for a in plan.actions if a.kind == "restore-link"}
+        peers = {("host-b", "host-a"), ("host-b", "host-c")}
+        assert cuts == peers
+        assert restores == peers
+        # The victim never cuts itself off from itself.
+        assert ("host-b", "host-b") not in cuts

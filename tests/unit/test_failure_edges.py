@@ -1,0 +1,149 @@
+"""Edge coverage for :mod:`repro.platform.failure`.
+
+The chaos subsystem compiles its schedules down to
+:class:`~repro.platform.failure.FailurePlan` actions, so these edges are
+load-bearing: a partition must heal back to the *exact* pre-partition
+link state, crashing an already-crashed host must be a typed refusal
+(not a silent no-op), and equal-timestamp plan actions must execute in
+plan order (the scheduler's sequence tiebreak), which is what makes a
+fault/repair pair landing on the same millisecond deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HostError, PlatformError
+from repro.platform.failure import FailureAction, FailurePlan
+from repro.ecommerce.platform_builder import build_platform
+
+
+@pytest.fixture
+def platform():
+    return build_platform(
+        num_marketplaces=2, num_sellers=1, items_per_seller=5, seed=2
+    )
+
+
+def _link_state(network) -> dict:
+    """Snapshot every directed link's up/down flag."""
+    return {key: link.up for key, link in network._links.items()}
+
+
+def _reachable(network, a, b) -> bool:
+    return network.link(a, b).up and not network._partitioned(a, b)
+
+
+def _reachability(network, hosts) -> dict:
+    return {
+        (a, b): _reachable(network, a, b)
+        for a in hosts
+        for b in hosts
+        if a != b
+    }
+
+
+class TestPartitionHeal:
+    def test_heal_restores_exact_pre_partition_reachability(self, platform):
+        network = platform.network
+        hosts = sorted(platform.hosts)
+        # Make the baseline non-trivial: one link is already down before
+        # the partition, and healing must NOT resurrect it.
+        platform.failures.cut_link(hosts[0], hosts[1])
+        before_links = _link_state(network)
+        before_reach = _reachability(network, hosts)
+
+        platform.failures.partition([hosts[0]], hosts[1:])
+        assert not _reachable(network, hosts[0], hosts[2])
+
+        platform.failures.heal()
+        assert _link_state(network) == before_links
+        assert _reachability(network, hosts) == before_reach
+        # The pre-existing cut survived the heal.
+        assert not _reachable(network, hosts[0], hosts[1])
+
+    def test_heal_is_idempotent(self, platform):
+        hosts = sorted(platform.hosts)
+        before = _reachability(platform.network, hosts)
+        platform.failures.partition([hosts[0]], hosts[1:])
+        platform.failures.heal()
+        platform.failures.heal()
+        assert _reachability(platform.network, hosts) == before
+
+
+class TestCrashEdges:
+    def test_crashing_an_already_crashed_host_is_refused(self, platform):
+        victim = sorted(platform.hosts)[0]
+        platform.failures.crash_host(victim)
+        with pytest.raises(HostError, match="cannot crash"):
+            platform.failures.crash_host(victim)
+        # The refusal left the host crashed, and it still recovers.
+        platform.failures.recover_host(victim)
+        assert platform.hosts[victim].is_running
+
+    def test_recovering_a_running_host_is_refused(self, platform):
+        victim = sorted(platform.hosts)[0]
+        with pytest.raises(HostError, match="already running"):
+            platform.failures.recover_host(victim)
+
+    def test_unregistered_host_is_a_typed_error(self, platform):
+        with pytest.raises(PlatformError, match="not registered"):
+            platform.failures.crash_host("no-such-host")
+
+
+class TestApplyPlanOrdering:
+    def test_equal_timestamp_actions_run_in_plan_order(self, platform):
+        """Two actions at the same instant execute FIFO (scheduler seq)."""
+        base = platform.now
+        a, b = sorted(platform.hosts)[:2]
+        plan = FailurePlan()
+        plan.cut_link(base + 50.0, a, b)
+        plan.restore_link(base + 50.0, a, b)
+        platform.failures.apply_plan(plan)
+        platform.scheduler.run_until(base + 50.0)
+        # cut then restore at the same ms nets out to an up link ...
+        assert _reachable(platform.network, a, b)
+
+        reverse = FailurePlan()
+        reverse.restore_link(base + 60.0, a, b)
+        reverse.cut_link(base + 60.0, a, b)
+        platform.failures.apply_plan(reverse)
+        platform.scheduler.run_until(base + 60.0)
+        # ... and restore then cut nets out to a down link.
+        assert not _reachable(platform.network, a, b)
+
+    def test_crash_recover_pair_on_the_same_instant(self, platform):
+        base = platform.now
+        victim = sorted(platform.hosts)[0]
+        plan = (
+            FailurePlan()
+            .crash_host(base + 25.0, victim)
+            .recover_host(base + 25.0, victim)
+        )
+        platform.failures.apply_plan(plan)
+        platform.scheduler.run_until(base + 25.0)
+        assert platform.hosts[victim].is_running
+
+    def test_plan_actions_fire_at_their_timestamps(self, platform):
+        # Building the platform already advanced the simulated clock, so
+        # anchor the plan relative to *now* (past timestamps are clamped).
+        base = platform.now
+        victim = sorted(platform.hosts)[0]
+        plan = (
+            FailurePlan()
+            .crash_host(base + 10.0, victim)
+            .recover_host(base + 30.0, victim)
+        )
+        platform.failures.apply_plan(plan)
+
+        platform.scheduler.run_until(base + 9.0)
+        assert platform.hosts[victim].is_running
+        platform.scheduler.run_until(base + 10.0)
+        assert not platform.hosts[victim].is_running
+        platform.scheduler.run_until(base + 30.0)
+        assert platform.hosts[victim].is_running
+
+    def test_unknown_action_kind_is_refused(self, platform):
+        bogus = FailurePlan(actions=[FailureAction(1.0, "set-on-fire", ("x",))])
+        with pytest.raises(PlatformError, match="unknown failure action"):
+            platform.failures.apply_plan(bogus)

@@ -1,0 +1,108 @@
+"""Unit coverage for the gateway's ``handshake`` operation.
+
+The clients' view of the tentpole: every protocol attack comes back as
+a *failed envelope* carrying its distinct stable error code — never a
+raw exception — and each rejection is mirrored onto an
+``api.auth.rejected.<code>`` counter so a metrics snapshot alone proves
+the attack was refused.  Also pins the opt-in contract: a platform
+built without ``handshake_trades`` refuses the operation with a typed
+``handshake`` error, and its metrics/stats carry no handshake keys at
+all (byte-identity with the pre-handshake platform).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.envelope import ApiStatus
+from repro.api.requests import HandshakeRequest
+from repro.adversarial.handshake import TAMPER_MODES
+from repro.ecommerce.platform_builder import build_platform
+
+
+@pytest.fixture
+def secured():
+    return build_platform(
+        num_marketplaces=2, num_sellers=1, items_per_seller=5, seed=4,
+        handshake_trades=True,
+    )
+
+
+class TestHonestHandshake:
+    def test_honest_handshake_returns_a_verified_result(self, secured):
+        response = secured.gateway().handshake("alice")
+        assert response.ok
+        assert response.result.verified
+        assert response.result.buyer == "alice"
+        assert response.result.marketplace == "marketplace-1"
+        assert response.result.handshake_id.startswith("handshake-marketplace-1-")
+
+    def test_marketplace_can_be_chosen_by_name(self, secured):
+        response = secured.gateway().handshake("alice", marketplace="marketplace-2")
+        assert response.ok
+        assert response.result.marketplace == "marketplace-2"
+
+    def test_unknown_marketplace_is_a_failed_envelope(self, secured):
+        response = secured.gateway().handshake("alice", marketplace="bazaar-9")
+        assert response.status == ApiStatus.FAILED
+        assert response.error.code == "marketplace"
+
+
+class TestTamperedHandshakes:
+    @pytest.mark.parametrize("tamper", TAMPER_MODES)
+    def test_each_tamper_mode_fails_with_its_own_code(self, secured, tamper):
+        response = secured.gateway().handshake("mallory", tamper=tamper)
+        assert response.status == ApiStatus.FAILED
+        assert response.error.code == tamper
+        assert response.error.retryable is False
+        # The envelope carries the structured error, never a traceback.
+        assert response.result is None
+
+    def test_rejections_bump_the_auth_rejected_counters(self, secured):
+        gateway = secured.gateway()
+        for tamper in TAMPER_MODES:
+            gateway.handshake("mallory", tamper=tamper)
+            gateway.handshake("mallory", tamper=tamper)
+        counters = secured.metrics.snapshot()["counters"]
+        for tamper in TAMPER_MODES:
+            assert counters[f"api.auth.rejected.{tamper}"] == 2.0
+
+    def test_honest_handshakes_bump_no_rejection_counters(self, secured):
+        secured.gateway().handshake("alice")
+        counters = secured.metrics.snapshot()["counters"]
+        assert not [key for key in counters if key.startswith("api.auth.rejected")]
+
+    def test_requests_are_not_retry_safe(self):
+        # A handshake mutates broker state (nonces, sessions); the retry
+        # middleware must never replay one.
+        assert HandshakeRequest("alice").retry_safe is False
+
+
+class TestHandshakesOff:
+    def test_unsecured_platform_refuses_the_operation(self):
+        platform = build_platform(
+            num_marketplaces=1, num_sellers=1, items_per_seller=5, seed=4
+        )
+        response = platform.gateway().handshake("alice")
+        assert response.status == ApiStatus.FAILED
+        assert response.error.code == "handshake"
+        assert "handshake_trades=True" in response.error.message
+
+    def test_unsecured_platform_carries_no_handshake_surface(self):
+        platform = build_platform(
+            num_marketplaces=1, num_sellers=1, items_per_seller=5, seed=4
+        )
+        market = platform.marketplaces[0]
+        assert market.handshakes is None
+        assert market.trade_handshakes == {}
+        # Stats and metrics are byte-identical to the pre-handshake
+        # platform: no handshake keys appear anywhere.
+        assert not [key for key in market.stats() if "handshake" in key]
+        counters = platform.metrics.snapshot()["counters"]
+        assert not [key for key in counters if "auth" in key or "adversary" in key]
+
+    def test_secured_platform_reports_handshake_stats(self, secured):
+        secured.gateway().handshake("alice")
+        stats = secured.marketplaces[0].stats()
+        assert stats["handshakes_opened"] == 1.0
+        assert stats["handshakes_finalized"] == 1.0

@@ -1,0 +1,152 @@
+"""Unit coverage for :mod:`repro.agents.security`.
+
+Pins the credential scheme's sharp edges — the expiry *boundary* (a
+credential is valid at exactly ``expires_at`` and dead one tick after),
+revocation, signature tampering, wrong session keys in the
+challenge/response step — and the seeded-determinism contract the
+platform builder relies on: same platform seed, same credential and
+nonce streams, byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.agents.security import AgentCredential, AuthenticationService
+from repro.ecommerce.platform_builder import build_platform
+
+
+def _seeded_service(name: str = "server-a", seed: int = 5) -> AuthenticationService:
+    token = f"auth|{seed}|{name}"
+    return AuthenticationService(
+        name,
+        secret=token.encode("utf-8"),
+        rng=random.Random(token),
+    )
+
+
+class TestExpiryBoundary:
+    def test_credential_valid_at_exact_expiry_instant(self):
+        auth = _seeded_service()
+        credential = auth.issue("mba-1", owner="alice", now=100.0)
+
+        # ``is_expired`` is ``now > expires_at``: the boundary itself passes.
+        assert credential.expires_at == 100.0 + auth.credential_lifetime_ms
+        assert auth.verify(credential, credential.expires_at) is True
+        assert auth.verified_count == 1
+
+    def test_credential_rejected_one_tick_past_expiry(self):
+        auth = _seeded_service()
+        credential = auth.issue("mba-1", owner="alice", now=100.0)
+
+        with pytest.raises(AuthenticationError, match="expired"):
+            auth.verify(credential, credential.expires_at + 0.001)
+        assert auth.rejected_count == 1
+
+
+class TestRevocationAndTampering:
+    def test_revoked_credential_is_refused(self):
+        auth = _seeded_service()
+        credential = auth.issue("mba-1", owner="alice", now=0.0)
+        auth.verify(credential, 1.0)
+
+        auth.revoke("mba-1")
+        with pytest.raises(AuthenticationError, match="revoked"):
+            auth.verify(credential, 1.0)
+
+    def test_tampered_session_key_breaks_the_signature(self):
+        auth = _seeded_service()
+        credential = auth.issue("mba-1", owner="alice", now=0.0)
+        stolen = replace(credential, session_key="0" * 32)
+
+        with pytest.raises(AuthenticationError, match="signature mismatch"):
+            auth.verify(stolen, 1.0)
+
+    def test_foreign_service_signature_is_refused(self):
+        ours = _seeded_service("server-a")
+        theirs = _seeded_service("server-b")
+        credential = theirs.issue("mba-1", owner="alice", now=0.0)
+
+        with pytest.raises(AuthenticationError, match="signature mismatch"):
+            ours.verify(credential, 1.0)
+
+    def test_wrong_session_key_fails_challenge_response(self):
+        auth = _seeded_service()
+        credential = auth.issue("mba-1", owner="alice", now=0.0)
+        nonce = auth.challenge()
+
+        # An imposter holding a different key computes a different echo.
+        imposter = replace(
+            credential,
+            session_key="f" * 32,
+            signature=auth._sign(
+                credential.agent_id,
+                credential.owner,
+                credential.issued_at,
+                credential.expires_at,
+                "f" * 32,
+            ),
+        )
+        forged = AuthenticationService.respond(imposter, nonce)
+        with pytest.raises(AuthenticationError, match="challenge/response"):
+            auth.verify_response(credential, nonce, forged, 1.0)
+
+        # The honest holder's echo passes.
+        honest = AuthenticationService.respond(credential, nonce)
+        assert auth.verify_response(credential, nonce, honest, 1.0) is True
+
+
+class TestSeededDeterminism:
+    def test_same_seed_yields_identical_credential_and_nonce_streams(self):
+        first = _seeded_service("server-a", seed=9)
+        second = _seeded_service("server-a", seed=9)
+
+        for index in range(5):
+            a = first.issue(f"mba-{index}", owner="alice", now=float(index))
+            b = second.issue(f"mba-{index}", owner="alice", now=float(index))
+            assert a == b
+        assert [first.challenge() for _ in range(5)] == [
+            second.challenge() for _ in range(5)
+        ]
+
+    def test_different_servers_draw_different_streams(self):
+        a = _seeded_service("server-a", seed=9)
+        b = _seeded_service("server-b", seed=9)
+        assert a.challenge() != b.challenge()
+
+    def test_platform_builder_seeds_auth_from_platform_seed(self):
+        """Regression: two same-seed platforms produce identical auth streams.
+
+        The builder derives each server's signing secret and token RNG from
+        ``(platform seed, host name)`` instead of OS entropy, so anything
+        that stores a session key or nonce stays byte-reproducible.
+        """
+        one = build_platform(num_marketplaces=1, num_sellers=1,
+                             items_per_seller=5, seed=13)
+        two = build_platform(num_marketplaces=1, num_sellers=1,
+                             items_per_seller=5, seed=13)
+        auth_one = one.marketplaces[0].context.auth
+        auth_two = two.marketplaces[0].context.auth
+
+        assert auth_one.issue("mba-1", owner="alice", now=0.0) == auth_two.issue(
+            "mba-1", owner="alice", now=0.0
+        )
+        assert [auth_one.challenge() for _ in range(3)] == [
+            auth_two.challenge() for _ in range(3)
+        ]
+
+        # A different platform seed shifts the stream.
+        other = build_platform(num_marketplaces=1, num_sellers=1,
+                               items_per_seller=5, seed=14)
+        assert other.marketplaces[0].context.auth.challenge() != auth_one.challenge()
+
+
+def test_unseeded_service_still_works_with_os_entropy():
+    auth = AuthenticationService("standalone")
+    credential = auth.issue("mba-1", owner="alice", now=0.0)
+    assert auth.verify(credential, 1.0) is True
+    assert len(auth.challenge()) == 32
